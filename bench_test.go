@@ -1,0 +1,529 @@
+package repro
+
+import (
+	"bytes"
+	"fmt"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/beacon"
+	"repro/internal/bgp"
+	"repro/internal/classify"
+	"repro/internal/dampening"
+	"repro/internal/labexp"
+	"repro/internal/mrt"
+	"repro/internal/router"
+	"repro/internal/session"
+	"repro/internal/workload"
+)
+
+var benchDay = time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC)
+
+// Shared datasets, generated once.
+var (
+	dayOnce sync.Once
+	dayDS   *workload.Dataset
+
+	beaconOnce sync.Once
+	beaconDS   *workload.Dataset
+	beaconCfg  workload.BeaconConfig
+)
+
+func benchDayDataset() *workload.Dataset {
+	dayOnce.Do(func() {
+		cfg := workload.DefaultDayConfig(benchDay)
+		cfg.Collectors = 4
+		cfg.PeersPerCollector = 10
+		cfg.PrefixesV4 = 250
+		cfg.PrefixesV6 = 25
+		dayDS = workload.GenerateDay(cfg)
+	})
+	return dayDS
+}
+
+func benchBeaconDataset() (*workload.Dataset, workload.BeaconConfig) {
+	beaconOnce.Do(func() {
+		beaconCfg = workload.DefaultBeaconConfig(benchDay)
+		beaconCfg.Collectors = 4
+		beaconCfg.PeersPerCollector = 10
+		beaconDS = workload.GenerateBeacon(beaconCfg)
+	})
+	return beaconDS, beaconCfg
+}
+
+// --- Lab experiments (paper §3, DESIGN E1-E4) ------------------------------
+
+func benchmarkExperiment(b *testing.B, e labexp.Experiment, vendor router.Behavior) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := labexp.Run(e, vendor)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}
+
+func BenchmarkExp1(b *testing.B) { benchmarkExperiment(b, labexp.Exp1, router.CiscoIOS) }
+func BenchmarkExp2(b *testing.B) { benchmarkExperiment(b, labexp.Exp2, router.CiscoIOS) }
+func BenchmarkExp3(b *testing.B) { benchmarkExperiment(b, labexp.Exp3, router.CiscoIOS) }
+func BenchmarkExp4(b *testing.B) { benchmarkExperiment(b, labexp.Exp4, router.CiscoIOS) }
+
+// BenchmarkVendorMatrix regenerates the §3 summary matrix (DESIGN S1):
+// four experiments across five vendor profiles.
+func BenchmarkVendorMatrix(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := labexp.RunMatrix()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 20 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// --- Table 1 / Table 2 (paper §4-§5, DESIGN T1/T2) -------------------------
+
+// BenchmarkTable1 computes the d_mar20 overview statistics.
+func BenchmarkTable1(b *testing.B) {
+	ds := benchDayDataset()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t1 := analysis.ComputeTable1(ds)
+		if t1.Announcements == 0 {
+			b.Fatal("empty table")
+		}
+	}
+	b.ReportMetric(float64(len(ds.Events)), "events")
+}
+
+// BenchmarkTable2 classifies the full day into the six announcement types.
+func BenchmarkTable2(b *testing.B) {
+	ds := benchDayDataset()
+	b.ResetTimer()
+	b.ReportAllocs()
+	var counts classify.Counts
+	for i := 0; i < b.N; i++ {
+		counts = analysis.ClassifyDataset(ds)
+	}
+	for _, ty := range classify.Types() {
+		b.ReportMetric(100*counts.Share(ty), ty.String()+"_pct")
+	}
+}
+
+// BenchmarkTable2BeaconColumn classifies the d_beacon subset (Table 2's
+// second column).
+func BenchmarkTable2BeaconColumn(b *testing.B) {
+	ds, _ := benchBeaconDataset()
+	b.ResetTimer()
+	b.ReportAllocs()
+	var counts classify.Counts
+	for i := 0; i < b.N; i++ {
+		counts = analysis.ClassifyDataset(ds)
+	}
+	b.ReportMetric(100*counts.Share(classify.PC), "pc_pct")
+}
+
+// --- Figures (paper §5-§6, DESIGN F2-F6) -----------------------------------
+
+// BenchmarkFigure2 regenerates the longitudinal per-type series over a
+// three-year slice (full decade in examples/longitudinal).
+func BenchmarkFigure2(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows := analysis.Figure2Series(2018, 2020)
+		if len(rows) != 3 {
+			b.Fatal("bad series")
+		}
+	}
+}
+
+// BenchmarkFigure3 computes the per-session type mix for one beacon at one
+// collector.
+func BenchmarkFigure3(b *testing.B) {
+	ds, _ := benchBeaconDataset()
+	prefix := beacon.RIPEBeacons()[0].Prefix
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mixes := analysis.Figure3PerSession(ds, "rrc00", prefix)
+		if len(mixes) == 0 {
+			b.Fatal("no sessions")
+		}
+	}
+}
+
+// figureSessionPath finds a (session, backup path) pair for the cumulative
+// figures.
+func figureSessionPath(b *testing.B, kind workload.PeerKind) (classify.SessionKey, string) {
+	ds, cfg := benchBeaconDataset()
+	var peer *workload.Peer
+	for i := range ds.Peers {
+		if ds.Peers[i].Kind == kind && ds.Peers[i].TaggedUpstream {
+			peer = &ds.Peers[i]
+			break
+		}
+	}
+	if peer == nil {
+		b.Fatal("no matching peer")
+	}
+	session := classify.SessionKey{Collector: peer.Collector, PeerAddr: peer.Addr}
+	prefix := beacon.RIPEBeacons()[0].Prefix
+	for _, e := range ds.Events {
+		if e.Session() == session && e.Prefix == prefix && !e.Withdraw &&
+			cfg.Schedule.PhaseAt(e.Time) == beacon.PhaseWithdrawal {
+			return session, e.ASPath.String()
+		}
+	}
+	b.Fatal("no backup path found")
+	return session, ""
+}
+
+// BenchmarkFigure4 extracts the community-exploration cumulative series on
+// a geo-tagged transparent path.
+func BenchmarkFigure4(b *testing.B) {
+	ds, _ := benchBeaconDataset()
+	session, path := figureSessionPath(b, workload.PeerTransparent)
+	prefix := beacon.RIPEBeacons()[0].Prefix
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		series := analysis.CumulativeByPath(ds, session, prefix, path)
+		if len(series.Points) == 0 {
+			b.Fatal("empty series")
+		}
+	}
+}
+
+// BenchmarkFigure5 does the same for an egress-cleaning path (nn bursts).
+func BenchmarkFigure5(b *testing.B) {
+	ds, _ := benchBeaconDataset()
+	session, path := figureSessionPath(b, workload.PeerCleansEgress)
+	prefix := beacon.RIPEBeacons()[0].Prefix
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		series := analysis.CumulativeByPath(ds, session, prefix, path)
+		if len(series.Points) == 0 {
+			b.Fatal("empty series")
+		}
+	}
+}
+
+// BenchmarkFigure6 runs the revealed-community attribution for one day.
+func BenchmarkFigure6(b *testing.B) {
+	ds, cfg := benchBeaconDataset()
+	b.ResetTimer()
+	b.ReportAllocs()
+	var s beacon.RevealedSummary
+	for i := 0; i < b.N; i++ {
+		s = analysis.RevealedForDataset(ds, cfg.Schedule)
+	}
+	b.ReportMetric(100*s.WithdrawalRatio, "withdrawal_pct")
+}
+
+// --- Substrate micro-benchmarks ---------------------------------------------
+
+func benchUpdate() *bgp.Update {
+	return &bgp.Update{
+		NLRI: []netip.Prefix{netip.MustParsePrefix("84.205.64.0/24")},
+		Attrs: bgp.PathAttrs{
+			Origin:  bgp.OriginIGP,
+			ASPath:  bgp.NewASPath(20205, 3356, 174, 12654),
+			NextHop: netip.MustParseAddr("10.0.0.1"),
+			Communities: bgp.Communities{
+				bgp.NewCommunity(3356, 901), bgp.NewCommunity(3356, 2),
+				bgp.NewCommunity(3356, 2056),
+			},
+		},
+	}
+}
+
+// BenchmarkUpdateMarshal measures BGP UPDATE serialization.
+func BenchmarkUpdateMarshal(b *testing.B) {
+	u := benchUpdate()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bgp.Marshal(u, bgp.MarshalOptions{FourByteAS: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUpdateUnmarshal measures BGP UPDATE parsing.
+func BenchmarkUpdateUnmarshal(b *testing.B) {
+	wire, err := bgp.Marshal(benchUpdate(), bgp.MarshalOptions{FourByteAS: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bgp.Unmarshal(wire, bgp.MarshalOptions{FourByteAS: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMRTWriteRead measures archive write + streaming read of 1000
+// records.
+func BenchmarkMRTWriteRead(b *testing.B) {
+	wire, _ := bgp.Marshal(benchUpdate(), bgp.MarshalOptions{FourByteAS: true})
+	rec := &mrt.BGP4MPMessage{
+		PeerAS: 20205, LocalAS: 12654,
+		PeerAddr:  netip.MustParseAddr("203.0.113.5"),
+		LocalAddr: netip.MustParseAddr("203.0.113.1"),
+		Data:      wire, FourByteAS: true,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		w := mrt.NewWriter(&buf)
+		w.ExtendedTime = true
+		for j := 0; j < 1000; j++ {
+			if err := w.Write(benchDay.Add(time.Duration(j)*time.Second), rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		w.Flush()
+		n := 0
+		err := mrt.NewReader(&buf).Walk(func(mrt.Header, mrt.Record) error { n++; return nil })
+		if err != nil || n != 1000 {
+			b.Fatalf("n=%d err=%v", n, err)
+		}
+	}
+}
+
+// BenchmarkClassifier measures streaming classification throughput.
+func BenchmarkClassifier(b *testing.B) {
+	ds := benchDayDataset()
+	b.SetBytes(int64(len(ds.Events)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cl := classify.New()
+		for _, e := range ds.Events {
+			cl.Observe(e)
+		}
+	}
+	b.ReportMetric(float64(len(ds.Events)), "events/op")
+}
+
+// BenchmarkGenerateDay measures workload synthesis itself.
+func BenchmarkGenerateDay(b *testing.B) {
+	cfg := workload.DefaultDayConfig(benchDay)
+	cfg.Collectors = 2
+	cfg.PeersPerCollector = 5
+	cfg.PrefixesV4 = 100
+	cfg.PrefixesV6 = 10
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ds := workload.GenerateDay(cfg)
+		if len(ds.Events) == 0 {
+			b.Fatal("empty dataset")
+		}
+	}
+}
+
+// BenchmarkRouterConvergence measures a full lab build + convergence +
+// failure cycle, the unit of every experiment.
+func BenchmarkRouterConvergence(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := labexp.Run(labexp.Exp2, router.BIRD2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.X1toC1) != 1 {
+			b.Fatalf("unexpected result: %d", len(res.X1toC1))
+		}
+	}
+}
+
+// BenchmarkAblationDuplicateSuppression quantifies the message savings of
+// Junos-style duplicate suppression across all four experiments — the
+// design choice DESIGN.md calls out.
+func BenchmarkAblationDuplicateSuppression(b *testing.B) {
+	for _, vendor := range []router.Behavior{router.CiscoIOS, router.Junos} {
+		b.Run(vendor.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			total := 0
+			for i := 0; i < b.N; i++ {
+				total = 0
+				for _, e := range []labexp.Experiment{labexp.Exp1, labexp.Exp2, labexp.Exp3, labexp.Exp4} {
+					res, err := labexp.Run(e, vendor)
+					if err != nil {
+						b.Fatal(err)
+					}
+					total += len(res.Y1toX1) + len(res.X1toC1)
+				}
+			}
+			b.ReportMetric(float64(total), "msgs")
+		})
+	}
+}
+
+// BenchmarkAblationCleaningPlacement compares ingress vs egress community
+// cleaning (Exp3 vs Exp4): identical reachability, different collector
+// load.
+func BenchmarkAblationCleaningPlacement(b *testing.B) {
+	for _, e := range []labexp.Experiment{labexp.Exp3, labexp.Exp4} {
+		b.Run(fmt.Sprintf("%v", e), func(b *testing.B) {
+			msgs := 0
+			for i := 0; i < b.N; i++ {
+				res, err := labexp.Run(e, router.CiscoIOS)
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs = len(res.X1toC1)
+			}
+			b.ReportMetric(float64(msgs), "collector_msgs")
+		})
+	}
+}
+
+// BenchmarkAblationMRAI quantifies how a 30-second MRAI reduces messages
+// under rapid attribute churn: three community flips in one interval reach
+// the downstream peer as a single coalesced update.
+func BenchmarkAblationMRAI(b *testing.B) {
+	run := func(mrai time.Duration) int {
+		n := router.NewNetwork(benchDay)
+		a := n.AddRouter("A", 65001, netip.MustParseAddr("10.255.0.1"), router.CiscoIOS)
+		m := n.AddRouter("B", 65002, netip.MustParseAddr("10.255.0.2"), router.CiscoIOS)
+		c := n.AddRouter("C", 65003, netip.MustParseAddr("10.255.0.3"), router.CiscoIOS)
+		n.Connect(a, m, router.SessionConfig{
+			AAddr: netip.MustParseAddr("10.0.1.1"), BAddr: netip.MustParseAddr("10.0.1.2"),
+		})
+		n.Connect(m, c, router.SessionConfig{
+			AAddr: netip.MustParseAddr("10.0.2.2"), BAddr: netip.MustParseAddr("10.0.2.3"),
+			AMRAI: mrai,
+		})
+		p := netip.MustParsePrefix("192.0.2.0/24")
+		a.Originate(p, bgp.Communities{bgp.NewCommunity(65001, 1)})
+		n.Run()
+		n.Engine.RunUntil(n.Engine.Now().Add(time.Minute))
+		n.ClearTrace()
+		for i := uint16(2); i <= 6; i++ {
+			a.Originate(p, bgp.Communities{bgp.NewCommunity(65001, i)})
+			n.Engine.RunUntil(n.Engine.Now().Add(2 * time.Second))
+		}
+		n.Run()
+		return len(n.TraceBetween("B", "C"))
+	}
+	for _, tc := range []struct {
+		name string
+		mrai time.Duration
+	}{{"no-mrai", 0}, {"mrai-30s", 30 * time.Second}} {
+		b.Run(tc.name, func(b *testing.B) {
+			msgs := 0
+			for i := 0; i < b.N; i++ {
+				msgs = run(tc.mrai)
+			}
+			b.ReportMetric(float64(msgs), "downstream_msgs")
+		})
+	}
+}
+
+// BenchmarkSessionThroughput measures live update exchange over a real
+// TCP loopback session, updates per second end to end.
+func BenchmarkSessionThroughput(b *testing.B) {
+	lnCfg := session.Config{
+		LocalAS:  12654,
+		RouterID: netip.MustParseAddr("198.51.100.1"),
+		HoldTime: 90 * time.Second,
+	}
+	received := make(chan struct{}, 4096)
+	lnCfg.OnUpdate = func(*bgp.Update) { received <- struct{}{} }
+	ln, err := session.Listen("127.0.0.1:0", lnCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		s, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.Run()
+	}()
+	s, err := session.Dial(ln.Addr().String(), session.Config{
+		LocalAS:  65001,
+		RouterID: netip.MustParseAddr("10.0.0.1"),
+		HoldTime: 90 * time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	go s.Run()
+
+	u := benchUpdate()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := s.Send(u); err != nil {
+			b.Fatal(err)
+		}
+		<-received
+	}
+}
+
+// BenchmarkAblationDampening quantifies route-flap dampening (RFC 2439):
+// eight rapid flap cycles downstream with and without dampening enabled on
+// the intermediate AS.
+func BenchmarkAblationDampening(b *testing.B) {
+	run := func(useDamp bool) int {
+		n := router.NewNetwork(benchDay)
+		a := n.AddRouter("A", 65001, netip.MustParseAddr("10.255.0.1"), router.CiscoIOS)
+		m := n.AddRouter("B", 65002, netip.MustParseAddr("10.255.0.2"), router.CiscoIOS)
+		c := n.AddRouter("C", 65003, netip.MustParseAddr("10.255.0.3"), router.CiscoIOS)
+		scfg := router.SessionConfig{
+			AAddr: netip.MustParseAddr("10.0.1.1"), BAddr: netip.MustParseAddr("10.0.1.2"),
+		}
+		if useDamp {
+			dcfg := dampening.DefaultConfig()
+			scfg.BDampening = &dcfg
+		}
+		n.Connect(a, m, scfg)
+		n.Connect(m, c, router.SessionConfig{
+			AAddr: netip.MustParseAddr("10.0.2.2"), BAddr: netip.MustParseAddr("10.0.2.3"),
+		})
+		p := netip.MustParsePrefix("192.0.2.0/24")
+		for i := 0; i < 8; i++ {
+			a.Originate(p, nil)
+			n.Engine.RunUntil(n.Engine.Now().Add(10 * time.Second))
+			a.WithdrawOriginated(p)
+			n.Engine.RunUntil(n.Engine.Now().Add(10 * time.Second))
+		}
+		return len(n.TraceBetween("B", "C"))
+	}
+	for _, tc := range []struct {
+		name string
+		damp bool
+	}{{"no-dampening", false}, {"dampening", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			msgs := 0
+			for i := 0; i < b.N; i++ {
+				msgs = run(tc.damp)
+			}
+			b.ReportMetric(float64(msgs), "downstream_msgs")
+		})
+	}
+}
+
+// BenchmarkTable2Parallel classifies the day fanned out per collector.
+func BenchmarkTable2Parallel(b *testing.B) {
+	ds := benchDayDataset()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		counts := analysis.ClassifyDatasetParallel(ds)
+		if counts.Announcements() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Command bgpcollect is a live passive route collector: it listens for a
+// BGP session over TCP, accepts whatever a peer announces, and archives
+// every update as BGP4MP_ET MRT records — a miniature RIS collector whose
+// output feeds directly into cmd/commclean.
+//
+// Usage:
+//
+//	bgpcollect -listen 127.0.0.1:1790 -out updates.mrt [-as 12654] [-sessions 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+
+	"repro/internal/collector"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:1790", "address to accept BGP sessions on")
+	out := flag.String("out", "updates.mrt", "MRT output file")
+	as := flag.Uint("as", 12654, "collector AS number")
+	sessions := flag.Int("sessions", 1, "number of sessions to serve before exiting")
+	flag.Parse()
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bgpcollect: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	c, err := collector.NewLiveCollector(*listen, f, uint32(*as), netip.MustParseAddr("198.51.100.1"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bgpcollect: %v\n", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+	fmt.Printf("collecting on %s (AS%d), archiving to %s\n", c.Addr(), *as, *out)
+
+	for i := 0; i < *sessions; i++ {
+		if err := c.ServeOne(); err != nil {
+			fmt.Fprintf(os.Stderr, "bgpcollect: session %d: %v\n", i+1, err)
+		}
+		fmt.Printf("session %d closed; %d records archived so far\n", i+1, c.Records())
+	}
+}

@@ -1,0 +1,38 @@
+// Command mrtdump prints MRT archives in a bgpdump-like line format:
+// one line per announced/withdrawn prefix with timestamp, peer, AS path,
+// origin, and communities.
+//
+// Usage:
+//
+//	mrtdump file.mrt [file2.mrt ...]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/mrt"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: mrtdump file.mrt [...]")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mrtdump: %v\n", err)
+			os.Exit(1)
+		}
+		err = mrt.NewReader(f).Walk(func(h mrt.Header, rec mrt.Record) error {
+			fmt.Println(mrt.Format(h, rec))
+			return nil
+		})
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mrtdump: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+	}
+}

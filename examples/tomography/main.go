@@ -1,0 +1,71 @@
+// Tomography demonstrates the paper's §7 outlook: from collector update
+// streams alone, infer how each peer AS handles communities (tag /
+// clean-on-egress / quiet) and how many distinct ingress locations a
+// geo-tagging transit reveals about its customers — then score the
+// inferences against the workload's ground truth.
+//
+// Run with: go run ./examples/tomography
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/textplot"
+	"repro/internal/workload"
+)
+
+func main() {
+	day := time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC)
+	cfg := workload.DefaultBeaconConfig(day)
+	cfg.Collectors = 6
+	cfg.PeersPerCollector = 12
+	ds := workload.GenerateBeacon(cfg)
+
+	inferences := analysis.InferPeerBehavior(ds)
+	fmt.Printf("classified %d peer sessions from their update streams alone:\n\n", len(inferences))
+
+	byClass := map[analysis.PeerBehavior]int{}
+	var rows [][]string
+	for i, inf := range inferences {
+		byClass[inf.Behavior]++
+		if i < 12 {
+			rows = append(rows, []string{
+				fmt.Sprintf("AS%d@%s", inf.PeerAS, inf.Session.Collector),
+				fmt.Sprintf("%d", inf.Announcements),
+				fmt.Sprintf("%.0f%%", 100*inf.CommShare),
+				fmt.Sprintf("%.0f%%", 100*inf.NCShare),
+				fmt.Sprintf("%.0f%%", 100*inf.NNShare),
+				inf.Behavior.String(),
+			})
+		}
+	}
+	fmt.Print(textplot.Table(
+		[]string{"session", "anncs", "comm", "nc", "nn", "verdict"}, rows))
+	fmt.Printf("  ... and %d more sessions\n\n", len(inferences)-len(rows))
+
+	fmt.Println("class totals:")
+	for _, b := range []analysis.PeerBehavior{
+		analysis.BehaviorPropagates, analysis.BehaviorCleansEgress, analysis.BehaviorQuiet,
+	} {
+		fmt.Printf("  %-14s %d sessions\n", b, byClass[b])
+	}
+	acc := analysis.InferenceAccuracy(ds, inferences)
+	fmt.Printf("\naccuracy against the generator's ground truth: %.1f%%\n\n", 100*acc)
+
+	// Interconnection inference: distinct geo locations per (peer, tagger).
+	locs := analysis.InferIngressLocations(ds)
+	fmt.Printf("geo communities reveal ingress footprints for %d (peer, transit) pairs:\n", len(locs))
+	for i, inf := range locs {
+		if i >= 8 {
+			fmt.Printf("  ... and %d more pairs\n", len(locs)-8)
+			break
+		}
+		fmt.Printf("  AS%-6d behind transit AS%-5d: %2d distinct locations revealed\n",
+			inf.PeerAS, inf.TaggerAS, inf.Locations)
+	}
+	fmt.Println("\ncommunities are paradoxical to BGP's information hiding: a remote")
+	fmt.Println("observer learns peering breadth and location without any access to")
+	fmt.Println("the networks involved (paper §7).")
+}

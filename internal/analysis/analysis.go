@@ -1,0 +1,275 @@
+// Package analysis computes the paper's tables and figures from normalized
+// event streams: the dataset overview (Table 1), announcement-type shares
+// (Table 2), the longitudinal type series (Figure 2), per-session type
+// mixes (Figure 3), per-path cumulative series (Figures 4/5), and the
+// revealed-community attribution (Figure 6).
+package analysis
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"repro/internal/beacon"
+	"repro/internal/bgp"
+	"repro/internal/classify"
+	"repro/internal/workload"
+)
+
+// Table1 is the d_mar20 overview (paper Table 1).
+type Table1 struct {
+	PrefixesV4 int
+	PrefixesV6 int
+	ASes       int
+	Sessions   int
+	Peers      int
+
+	Announcements   int
+	WithCommunities int
+	// UniqueCommunities counts distinct 16-bit-encoded (RFC 1997) community
+	// values across all announcements (paper: "uniq. 16 bits").
+	UniqueCommunities int
+	UniqueASPaths     int
+	Withdrawals       int
+}
+
+// ComputeTable1 scans the dataset's in-window events.
+func ComputeTable1(ds *workload.Dataset) Table1 {
+	var t Table1
+	v4 := make(map[netip.Prefix]struct{})
+	v6 := make(map[netip.Prefix]struct{})
+	ases := make(map[uint32]struct{})
+	sessions := make(map[classify.SessionKey]struct{})
+	peers := make(map[uint32]struct{})
+	comms := make(map[bgp.Community]struct{})
+	paths := make(map[string]struct{})
+
+	for _, e := range ds.Events {
+		if !ds.CountingWindow(e) {
+			continue
+		}
+		sessions[e.Session()] = struct{}{}
+		peers[e.PeerAS] = struct{}{}
+		if e.Prefix.Addr().Is4() {
+			v4[e.Prefix] = struct{}{}
+		} else {
+			v6[e.Prefix] = struct{}{}
+		}
+		if e.Withdraw {
+			t.Withdrawals++
+			continue
+		}
+		t.Announcements++
+		if len(e.Communities) > 0 {
+			t.WithCommunities++
+			for _, c := range e.Communities {
+				comms[c] = struct{}{}
+			}
+		}
+		for _, a := range e.ASPath.Flatten() {
+			ases[a] = struct{}{}
+		}
+		paths[e.ASPath.String()] = struct{}{}
+	}
+	t.PrefixesV4 = len(v4)
+	t.PrefixesV6 = len(v6)
+	t.ASes = len(ases)
+	t.Sessions = len(sessions)
+	t.Peers = len(peers)
+	t.UniqueCommunities = len(comms)
+	t.UniqueASPaths = len(paths)
+	return t
+}
+
+// ClassifyDataset runs the classifier over all events in order (warm-up
+// events seed stream state) and tallies only in-window events — the
+// Table 2 computation.
+func ClassifyDataset(ds *workload.Dataset) classify.Counts {
+	cl := classify.New()
+	var counts classify.Counts
+	for _, e := range ds.Events {
+		res, ok := cl.Observe(e)
+		if !ds.CountingWindow(e) {
+			continue
+		}
+		if !ok {
+			counts.Withdrawals++
+			continue
+		}
+		counts.Add(res)
+	}
+	return counts
+}
+
+// Figure2Row is one day of the longitudinal type series.
+type Figure2Row struct {
+	Year   int
+	Counts classify.Counts
+}
+
+// Figure2Series generates and classifies one synthetic day per year over
+// [fromYear, toYear], the scaled-down analogue of Figure 2's quarterly
+// series.
+func Figure2Series(fromYear, toYear int) []Figure2Row {
+	var rows []Figure2Row
+	for y := fromYear; y <= toYear; y++ {
+		ds := workload.GenerateDay(workload.HistoricalDayConfig(y))
+		rows = append(rows, Figure2Row{Year: y, Counts: ClassifyDataset(ds)})
+	}
+	return rows
+}
+
+// SessionMix is one bar of Figure 3: the announcement-type mix one session
+// observed for one beacon prefix.
+type SessionMix struct {
+	Session classify.SessionKey
+	PeerAS  uint32
+	Counts  classify.Counts
+}
+
+// Total returns the session's announcement count.
+func (s SessionMix) Total() int { return s.Counts.Announcements() }
+
+// Figure3PerSession classifies the dataset and returns, for one collector
+// and prefix, each session's type mix sorted by descending announcement
+// count (the paper's stacked bars for 84.205.64.0/24 at rrc00).
+func Figure3PerSession(ds *workload.Dataset, collector string, prefix netip.Prefix) []SessionMix {
+	cl := classify.New()
+	mixes := make(map[classify.SessionKey]*SessionMix)
+	for _, e := range ds.Events {
+		res, ok := cl.Observe(e)
+		if !ds.CountingWindow(e) || e.Collector != collector || e.Prefix != prefix {
+			continue
+		}
+		key := e.Session()
+		m := mixes[key]
+		if m == nil {
+			m = &SessionMix{Session: key, PeerAS: e.PeerAS}
+			mixes[key] = m
+		}
+		if !ok {
+			m.Counts.Withdrawals++
+			continue
+		}
+		m.Counts.Add(res)
+	}
+	out := make([]SessionMix, 0, len(mixes))
+	for _, m := range mixes {
+		out = append(out, *m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total() != out[j].Total() {
+			return out[i].Total() > out[j].Total()
+		}
+		return out[i].Session.PeerAddr.Compare(out[j].Session.PeerAddr) < 0
+	})
+	return out
+}
+
+// CumPoint is one classified announcement on a (session, prefix, path)
+// stream.
+type CumPoint struct {
+	Time time.Time
+	Type classify.Type
+}
+
+// CumSeries is the Figure 4/5 data: announcements over the day for one
+// prefix via one AS path on one session, plus the withdrawal instants
+// (the vertical lines in the figures).
+type CumSeries struct {
+	Points      []CumPoint
+	Withdrawals []time.Time
+}
+
+// CumulativeByPath classifies the dataset and extracts the announcements
+// of one session and prefix whose AS path matches pathStr.
+func CumulativeByPath(ds *workload.Dataset, session classify.SessionKey, prefix netip.Prefix, pathStr string) CumSeries {
+	cl := classify.New()
+	var out CumSeries
+	for _, e := range ds.Events {
+		res, ok := cl.Observe(e)
+		if !ds.CountingWindow(e) || e.Session() != session || e.Prefix != prefix {
+			continue
+		}
+		if !ok {
+			out.Withdrawals = append(out.Withdrawals, e.Time)
+			continue
+		}
+		if e.ASPath.String() != pathStr {
+			continue
+		}
+		out.Points = append(out.Points, CumPoint{Time: e.Time, Type: res.Type})
+	}
+	return out
+}
+
+// TypeCounts tallies the series by type.
+func (c CumSeries) TypeCounts() classify.Counts {
+	var counts classify.Counts
+	for _, p := range c.Points {
+		counts.Add(classify.Result{Type: p.Type})
+	}
+	return counts
+}
+
+// RevealedForDataset runs the Figure 6 attribution over a beacon dataset.
+func RevealedForDataset(ds *workload.Dataset, sched beacon.Schedule) beacon.RevealedSummary {
+	tracker := beacon.NewRevealedTracker(sched)
+	for _, e := range ds.Events {
+		if !ds.CountingWindow(e) || e.Withdraw {
+			continue
+		}
+		tracker.Observe(e.Time, e.Communities)
+	}
+	return tracker.Summary()
+}
+
+// Figure6Row is one year of the revealed-information series.
+type Figure6Row struct {
+	Year    int
+	Summary beacon.RevealedSummary
+}
+
+// Figure6Series generates beacon datasets per year and attributes their
+// community reveals.
+func Figure6Series(fromYear, toYear int) []Figure6Row {
+	var rows []Figure6Row
+	for y := fromYear; y <= toYear; y++ {
+		cfg := workload.HistoricalBeaconConfig(y)
+		ds := workload.GenerateBeacon(cfg)
+		rows = append(rows, Figure6Row{Year: y, Summary: RevealedForDataset(ds, cfg.Schedule)})
+	}
+	return rows
+}
+
+// BeaconSubset filters a dataset to the RIPE beacon prefixes, the paper's
+// d_beacon selection from d_hist.
+func BeaconSubset(ds *workload.Dataset) *workload.Dataset {
+	out := &workload.Dataset{Day: ds.Day, Peers: ds.Peers}
+	for _, e := range ds.Events {
+		if beacon.IsBeaconPrefix(e.Prefix) {
+			out.Events = append(out.Events, e)
+		}
+	}
+	return out
+}
+
+// Figure2QuarterRow is one quarterly sample of the longitudinal series.
+type Figure2QuarterRow struct {
+	Year    int
+	Quarter int // 0-3: Mar/Jun/Sep/Dec 15
+	Counts  classify.Counts
+}
+
+// Figure2SeriesQuarterly reproduces the paper's actual §4 sampling: one
+// day every three months across the year range (Figure 2's x axis).
+func Figure2SeriesQuarterly(fromYear, toYear int) []Figure2QuarterRow {
+	var rows []Figure2QuarterRow
+	for y := fromYear; y <= toYear; y++ {
+		for q := 0; q < 4; q++ {
+			ds := workload.GenerateDay(workload.HistoricalQuarterConfig(y, q))
+			rows = append(rows, Figure2QuarterRow{Year: y, Quarter: q, Counts: ClassifyDataset(ds)})
+		}
+	}
+	return rows
+}

@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/workload"
+)
+
+func TestInferPeerBehaviorOnBeaconData(t *testing.T) {
+	ds := workload.GenerateBeacon(smallBeaconCfg())
+	inferences := InferPeerBehavior(ds)
+	if len(inferences) == 0 {
+		t.Fatal("no inferences")
+	}
+	// Every peer session that announced anything is covered.
+	if len(inferences) != len(ds.Peers) {
+		t.Errorf("inferences = %d, peers = %d", len(inferences), len(ds.Peers))
+	}
+	// The beacon workload exercises the mechanisms strongly, so inference
+	// should be near-perfect.
+	acc := InferenceAccuracy(ds, inferences)
+	if acc < 0.9 {
+		t.Errorf("accuracy = %.2f, want >= 0.9", acc)
+	}
+	// All three classes are represented.
+	seen := map[PeerBehavior]int{}
+	for _, inf := range inferences {
+		seen[inf.Behavior]++
+		if inf.Announcements == 0 {
+			t.Errorf("session %v: zero announcements", inf.Session)
+		}
+	}
+	if seen[BehaviorPropagates] == 0 || seen[BehaviorCleansEgress] == 0 || seen[BehaviorQuiet] == 0 {
+		t.Errorf("class coverage: %v", seen)
+	}
+}
+
+func TestInferPeerBehaviorOnDayData(t *testing.T) {
+	ds := smallDay()
+	inferences := InferPeerBehavior(ds)
+	acc := InferenceAccuracy(ds, inferences)
+	// The wild-style day data is noisier than the beacon view; accuracy
+	// must still be well above random guessing among three classes.
+	if acc < 0.7 {
+		t.Errorf("accuracy = %.2f, want >= 0.7", acc)
+	}
+}
+
+func TestInferPeerBehaviorEvidence(t *testing.T) {
+	ds := workload.GenerateBeacon(smallBeaconCfg())
+	for _, inf := range InferPeerBehavior(ds) {
+		switch inf.Behavior {
+		case BehaviorPropagates:
+			if inf.CommShare <= commShareThreshold {
+				t.Errorf("%v: propagates with comm share %.2f", inf.Session, inf.CommShare)
+			}
+		case BehaviorCleansEgress:
+			if inf.CommShare > commShareThreshold || inf.NNShare <= nnShareThreshold {
+				t.Errorf("%v: cleans-egress with comm %.2f nn %.2f", inf.Session, inf.CommShare, inf.NNShare)
+			}
+		case BehaviorQuiet:
+			if inf.CommShare > commShareThreshold {
+				t.Errorf("%v: quiet with comm share %.2f", inf.Session, inf.CommShare)
+			}
+		}
+	}
+}
+
+func TestInferenceAccuracyEmpty(t *testing.T) {
+	ds := smallDay()
+	if InferenceAccuracy(ds, nil) != 0 {
+		t.Error("empty inference accuracy should be 0")
+	}
+}
+
+func TestInferIngressLocations(t *testing.T) {
+	cfg := smallBeaconCfg()
+	ds := workload.GenerateBeacon(cfg)
+	infs := InferIngressLocations(ds)
+	if len(infs) == 0 {
+		t.Fatal("no ingress inferences")
+	}
+	// Only transparent tagged peers leak locations; each leaks several
+	// (steady + exploration pools).
+	taggedTransparent := map[uint32]bool{}
+	for _, p := range ds.Peers {
+		if p.TaggedUpstream && p.Kind == workload.PeerTransparent {
+			taggedTransparent[p.AS] = true
+		}
+	}
+	for _, inf := range infs {
+		if !taggedTransparent[inf.PeerAS] {
+			t.Errorf("peer AS%d leaks locations but is not transparent+tagged", inf.PeerAS)
+		}
+		if inf.Locations < 2 {
+			t.Errorf("peer AS%d: only %d locations (exploration should reveal more)", inf.PeerAS, inf.Locations)
+		}
+		if inf.Locations > cfg.SteadyLocations+cfg.WithdrawLocations+cfg.AnnounceExtraLocs {
+			t.Errorf("peer AS%d: %d locations exceeds the generator's pool", inf.PeerAS, inf.Locations)
+		}
+	}
+	// Sorted output.
+	for i := 1; i < len(infs); i++ {
+		if infs[i].PeerAS < infs[i-1].PeerAS {
+			t.Fatal("output not sorted")
+		}
+	}
+}
+
+func TestBehaviorString(t *testing.T) {
+	if BehaviorPropagates.String() != "propagates" ||
+		BehaviorCleansEgress.String() != "cleans-egress" ||
+		BehaviorQuiet.String() != "quiet" {
+		t.Error("behavior strings")
+	}
+	if PeerBehavior(9).String() != "behavior(9)" {
+		t.Error("unknown behavior string")
+	}
+}
+
+func TestInferenceSessionsMatchClassifierSessions(t *testing.T) {
+	ds := workload.GenerateBeacon(smallBeaconCfg())
+	infs := InferPeerBehavior(ds)
+	sessions := make(map[classify.SessionKey]bool)
+	for _, e := range ds.Events {
+		sessions[e.Session()] = true
+	}
+	for _, inf := range infs {
+		if !sessions[inf.Session] {
+			t.Errorf("inferred session %v never appeared in events", inf.Session)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"sync"
+
+	"repro/internal/classify"
+	"repro/internal/workload"
+)
+
+// ClassifyDatasetParallel is ClassifyDataset fanned out per collector.
+// Announcement streams are keyed by (collector, peer, prefix), so
+// collectors are independent classification domains and can run
+// concurrently; the merged counts are identical to the sequential result.
+// The per-collector grouping pass costs one copy of the event slice, so
+// the fan-out only pays off with many collectors or expensive per-event
+// work — with a handful of collectors the sequential path wins (see
+// BenchmarkTable2Parallel vs BenchmarkTable2).
+func ClassifyDatasetParallel(ds *workload.Dataset) classify.Counts {
+	byCollector := make(map[string][]classify.Event)
+	for _, e := range ds.Events {
+		byCollector[e.Collector] = append(byCollector[e.Collector], e)
+	}
+	results := make(chan classify.Counts, len(byCollector))
+	var wg sync.WaitGroup
+	for _, events := range byCollector {
+		wg.Add(1)
+		go func(events []classify.Event) {
+			defer wg.Done()
+			cl := classify.New()
+			var counts classify.Counts
+			for _, e := range events {
+				res, ok := cl.Observe(e)
+				if !ds.CountingWindow(e) {
+					continue
+				}
+				if !ok {
+					counts.Withdrawals++
+					continue
+				}
+				counts.Add(res)
+			}
+			results <- counts
+		}(events)
+	}
+	wg.Wait()
+	close(results)
+	var total classify.Counts
+	for c := range results {
+		total.Merge(c)
+	}
+	return total
+}
+
+// GeoBreakdown categorizes the distinct geo communities observed for one
+// (session, prefix, path) route using the 3356-style value convention the
+// generator mirrors (cities 2000–2999, countries 1000–1999, regions
+// 100–199) — the §6 observation "9 city communities, two country and two
+// geographical regions" encoded in 19 announcements.
+type GeoBreakdown struct {
+	Cities    int
+	Countries int
+	Regions   int
+	Other     int
+}
+
+// GeoBreakdownFor scans the dataset for the route's announcements.
+func GeoBreakdownFor(ds *workload.Dataset, session classify.SessionKey, prefix string, pathStr string) GeoBreakdown {
+	cities := map[uint32]struct{}{}
+	countries := map[uint32]struct{}{}
+	regions := map[uint32]struct{}{}
+	other := map[uint32]struct{}{}
+	for _, e := range ds.Events {
+		if e.Withdraw || e.Session() != session || e.Prefix.String() != prefix || e.ASPath.String() != pathStr {
+			continue
+		}
+		for _, c := range e.Communities {
+			v := uint32(c)
+			switch {
+			case c.Value() >= 2000 && c.Value() <= 2999:
+				cities[v] = struct{}{}
+			case c.Value() >= 1000 && c.Value() <= 1999:
+				countries[v] = struct{}{}
+			case c.Value() >= 100 && c.Value() <= 199:
+				regions[v] = struct{}{}
+			default:
+				other[v] = struct{}{}
+			}
+		}
+	}
+	return GeoBreakdown{
+		Cities:    len(cities),
+		Countries: len(countries),
+		Regions:   len(regions),
+		Other:     len(other),
+	}
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/beacon"
+	"repro/internal/classify"
+	"repro/internal/workload"
+)
+
+func TestClassifyDatasetParallelMatchesSequential(t *testing.T) {
+	ds := smallDay()
+	seq := ClassifyDataset(ds)
+	par := ClassifyDatasetParallel(ds)
+	if seq.Announcements() != par.Announcements() || seq.Withdrawals != par.Withdrawals {
+		t.Fatalf("volume: seq %d/%d, par %d/%d",
+			seq.Announcements(), seq.Withdrawals, par.Announcements(), par.Withdrawals)
+	}
+	for _, ty := range classify.Types() {
+		if seq.Of(ty) != par.Of(ty) {
+			t.Errorf("%v: seq %d, par %d", ty, seq.Of(ty), par.Of(ty))
+		}
+	}
+	if seq.MEDOnlyNN != par.MEDOnlyNN {
+		t.Errorf("MEDOnlyNN: seq %d, par %d", seq.MEDOnlyNN, par.MEDOnlyNN)
+	}
+}
+
+func TestClassifyDatasetParallelBeacon(t *testing.T) {
+	ds := workload.GenerateBeacon(smallBeaconCfg())
+	seq := ClassifyDataset(ds)
+	par := ClassifyDatasetParallel(ds)
+	for _, ty := range classify.Types() {
+		if seq.Of(ty) != par.Of(ty) {
+			t.Errorf("%v: seq %d, par %d", ty, seq.Of(ty), par.Of(ty))
+		}
+	}
+}
+
+func TestGeoBreakdownFor(t *testing.T) {
+	ds := workload.GenerateBeacon(smallBeaconCfg())
+	session, backup := findStream(t, ds, workload.PeerTransparent, true)
+	prefix := beacon.RIPEBeacons()[0].Prefix
+	gb := GeoBreakdownFor(ds, session, prefix.String(), backup)
+	// The generator always attaches a city community, usually a country,
+	// sometimes a region (mirroring the §6 observation of 9 cities, two
+	// countries, two regions on a single route).
+	if gb.Cities == 0 {
+		t.Errorf("no city communities on an exploration path: %+v", gb)
+	}
+	if gb.Cities < gb.Regions {
+		t.Errorf("cities should dominate regions: %+v", gb)
+	}
+	if gb.Other != 0 {
+		t.Errorf("unexpected non-geo communities: %+v", gb)
+	}
+}
+
+func TestGeoBreakdownEmptyForUnknownRoute(t *testing.T) {
+	ds := workload.GenerateBeacon(smallBeaconCfg())
+	gb := GeoBreakdownFor(ds, classify.SessionKey{Collector: "nope"}, "0.0.0.0/0", "1 2 3")
+	if gb != (GeoBreakdown{}) {
+		t.Errorf("unknown route: %+v", gb)
+	}
+}

@@ -1,0 +1,168 @@
+package beacon
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+)
+
+func at(h, m int) time.Time {
+	return time.Date(2020, 3, 15, h, m, 0, 0, time.UTC)
+}
+
+func TestPhaseAt(t *testing.T) {
+	cases := []struct {
+		t    time.Time
+		want Phase
+	}{
+		{at(0, 0), PhaseAnnouncement},
+		{at(0, 14), PhaseAnnouncement},
+		{at(0, 15), PhaseOutside},
+		{at(2, 0), PhaseWithdrawal},
+		{at(2, 14), PhaseWithdrawal},
+		{at(2, 15), PhaseOutside},
+		{at(1, 0), PhaseOutside},
+		{at(3, 59), PhaseOutside},
+		{at(4, 0), PhaseAnnouncement},
+		{at(6, 5), PhaseWithdrawal},
+		{at(10, 1), PhaseWithdrawal},
+		{at(12, 3), PhaseAnnouncement},
+		{at(20, 0), PhaseAnnouncement},
+		{at(22, 10), PhaseWithdrawal},
+		{at(23, 59), PhaseOutside},
+	}
+	for _, tc := range cases {
+		if got := RIPE.PhaseAt(tc.t); got != tc.want {
+			t.Errorf("PhaseAt(%v) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestPhaseAtNonUTC(t *testing.T) {
+	loc := time.FixedZone("X", 3600)
+	if got := RIPE.PhaseAt(time.Date(2020, 3, 15, 3, 5, 0, 0, loc)); got != PhaseWithdrawal {
+		t.Errorf("non-UTC 03:05+01 (= 02:05 UTC): %v, want withdrawal", got)
+	}
+}
+
+func TestEventsBetween(t *testing.T) {
+	from := at(0, 0)
+	to := from.Add(24 * time.Hour)
+	evs := RIPE.EventsBetween(from, to)
+	if len(evs) != 12 {
+		t.Fatalf("events in a day = %d, want 12 (6 announce + 6 withdraw)", len(evs))
+	}
+	var ann, wd int
+	for i, e := range evs {
+		if i > 0 && e.At.Before(evs[i-1].At) {
+			t.Error("events not sorted")
+		}
+		if e.Withdraw {
+			wd++
+			if e.At.Hour()%4 != 2 {
+				t.Errorf("withdraw at %v", e.At)
+			}
+		} else {
+			ann++
+			if e.At.Hour()%4 != 0 {
+				t.Errorf("announce at %v", e.At)
+			}
+		}
+	}
+	if ann != 6 || wd != 6 {
+		t.Errorf("ann=%d wd=%d", ann, wd)
+	}
+	// Partial range.
+	evs = RIPE.EventsBetween(at(1, 0), at(5, 0))
+	if len(evs) != 2 { // withdraw 02:00, announce 04:00
+		t.Fatalf("partial range: %d events", len(evs))
+	}
+	if !evs[0].Withdraw || evs[1].Withdraw {
+		t.Errorf("partial range order: %+v", evs)
+	}
+}
+
+func TestRIPEBeacons(t *testing.T) {
+	bs := RIPEBeacons()
+	if len(bs) != 15 {
+		t.Fatalf("beacons = %d", len(bs))
+	}
+	if bs[0].Prefix != netip.MustParsePrefix("84.205.64.0/24") || bs[0].Collector != "rrc00" {
+		t.Errorf("beacon 0: %+v", bs[0])
+	}
+	if bs[14].Prefix != netip.MustParsePrefix("84.205.78.0/24") || bs[14].Collector != "rrc14" {
+		t.Errorf("beacon 14: %+v", bs[14])
+	}
+	for _, b := range bs {
+		if b.OriginAS != 12654 {
+			t.Errorf("beacon %v origin %d", b.Prefix, b.OriginAS)
+		}
+		if !IsBeaconPrefix(b.Prefix) {
+			t.Errorf("IsBeaconPrefix(%v) = false", b.Prefix)
+		}
+	}
+	if IsBeaconPrefix(netip.MustParsePrefix("8.8.8.0/24")) {
+		t.Error("non-beacon prefix accepted")
+	}
+}
+
+func TestRevealedTracker(t *testing.T) {
+	r := NewRevealedTracker(RIPE)
+	comm := func(v uint16) bgp.Communities { return bgp.Communities{bgp.NewCommunity(3356, v)} }
+
+	// Three attrs seen only during withdrawal phases.
+	r.Observe(at(2, 1), comm(501))
+	r.Observe(at(6, 2), comm(502))
+	r.Observe(at(10, 3), comm(503))
+	// One seen only during announcement phases.
+	r.Observe(at(0, 5), comm(601))
+	// One seen only outside.
+	r.Observe(at(1, 30), comm(701))
+	// One ambiguous (both announce and withdraw).
+	r.Observe(at(0, 2), comm(801))
+	r.Observe(at(2, 2), comm(801))
+	// Repeats of the same attr in the same phase do not double count.
+	r.Observe(at(14, 2), comm(501))
+
+	s := r.Summary()
+	if s.Total != 6 {
+		t.Errorf("Total = %d, want 6", s.Total)
+	}
+	if s.WithdrawalOnly != 3 || s.AnnouncementOnly != 1 || s.OutsideOnly != 1 || s.Ambiguous != 1 {
+		t.Errorf("summary: %+v", s)
+	}
+	if s.WithdrawalRatio != 0.5 {
+		t.Errorf("WithdrawalRatio = %f", s.WithdrawalRatio)
+	}
+}
+
+func TestRevealedTrackerIgnoresEmpty(t *testing.T) {
+	r := NewRevealedTracker(RIPE)
+	r.Observe(at(2, 1), nil)
+	r.Observe(at(2, 1), bgp.Communities{})
+	if s := r.Summary(); s.Total != 0 {
+		t.Errorf("empty attributes counted: %+v", s)
+	}
+}
+
+func TestRevealedTrackerDistinctSets(t *testing.T) {
+	// {A} and {A,B} are distinct community attributes.
+	r := NewRevealedTracker(RIPE)
+	a := bgp.NewCommunity(3356, 901)
+	b := bgp.NewCommunity(3356, 2)
+	r.Observe(at(2, 1), bgp.Communities{a})
+	r.Observe(at(2, 1), bgp.Communities{a, b})
+	if s := r.Summary(); s.Total != 2 || s.WithdrawalOnly != 2 {
+		t.Errorf("summary: %+v", s)
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhaseAnnouncement.String() != "announcement" ||
+		PhaseWithdrawal.String() != "withdrawal" ||
+		PhaseOutside.String() != "outside" {
+		t.Error("phase strings")
+	}
+}

@@ -1,0 +1,10 @@
+// Package bgp implements the BGP-4 message model and wire codec used by the
+// rest of the repository: message framing (RFC 4271), path attributes
+// including AS_PATH with 2- and 4-octet AS number encodings (RFC 6793),
+// standard communities (RFC 1997), large communities (RFC 8092), and
+// multiprotocol reachability attributes (RFC 4760) for IPv6 NLRI.
+//
+// The codec follows the DecodeFromBytes/SerializeTo idiom: decoding never
+// retains the input slice, serialization appends to a caller-provided buffer,
+// and every length field is validated before use.
+package bgp

@@ -1,0 +1,186 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"sort"
+)
+
+// AttrExtendedCommunities is the EXTENDED_COMMUNITIES attribute type code
+// (RFC 4360).
+const AttrExtendedCommunities uint8 = 16
+
+// ExtendedCommunity is one 8-octet extended community. The first octet is
+// the type (high bit: IANA authority, second bit: non-transitive), the
+// second the subtype for the common type spaces.
+type ExtendedCommunity [8]byte
+
+// Common extended community type/subtype pairs.
+const (
+	ExtTypeTwoOctetAS  byte = 0x00 // transitive two-octet-AS-specific
+	ExtTypeIPv4        byte = 0x01 // transitive IPv4-address-specific
+	ExtTypeFourOctetAS byte = 0x02 // transitive four-octet-AS-specific
+
+	ExtSubtypeRouteTarget byte = 0x02
+	ExtSubtypeRouteOrigin byte = 0x03
+)
+
+// NewRouteTarget builds the classic RT:asn:value two-octet-AS route target.
+func NewRouteTarget(asn uint16, value uint32) ExtendedCommunity {
+	var ec ExtendedCommunity
+	ec[0] = ExtTypeTwoOctetAS
+	ec[1] = ExtSubtypeRouteTarget
+	binary.BigEndian.PutUint16(ec[2:4], asn)
+	binary.BigEndian.PutUint32(ec[4:8], value)
+	return ec
+}
+
+// NewRouteOrigin builds an SoO (site of origin) two-octet-AS community.
+func NewRouteOrigin(asn uint16, value uint32) ExtendedCommunity {
+	ec := NewRouteTarget(asn, value)
+	ec[1] = ExtSubtypeRouteOrigin
+	return ec
+}
+
+// NewIPv4Specific builds an IPv4-address-specific community.
+func NewIPv4Specific(subtype byte, addr netip.Addr, value uint16) (ExtendedCommunity, error) {
+	var ec ExtendedCommunity
+	if !addr.Is4() {
+		return ec, fmt.Errorf("bgp: IPv4-specific extended community needs an IPv4 address, got %v", addr)
+	}
+	ec[0] = ExtTypeIPv4
+	ec[1] = subtype
+	a4 := addr.As4()
+	copy(ec[2:6], a4[:])
+	binary.BigEndian.PutUint16(ec[6:8], value)
+	return ec, nil
+}
+
+// Transitive reports whether the community is transitive across ASes
+// (RFC 4360 §2: bit 1 of the type octet clear).
+func (ec ExtendedCommunity) Transitive() bool { return ec[0]&0x40 == 0 }
+
+// Type and Subtype return the leading octets.
+func (ec ExtendedCommunity) Type() byte    { return ec[0] }
+func (ec ExtendedCommunity) Subtype() byte { return ec[1] }
+
+// String renders common forms like looking glasses do.
+func (ec ExtendedCommunity) String() string {
+	switch ec[0] &^ 0x40 {
+	case ExtTypeTwoOctetAS:
+		asn := binary.BigEndian.Uint16(ec[2:4])
+		val := binary.BigEndian.Uint32(ec[4:8])
+		return fmt.Sprintf("%s%d:%d", ec.prefixLabel(), asn, val)
+	case ExtTypeIPv4:
+		addr := netip.AddrFrom4([4]byte(ec[2:6]))
+		val := binary.BigEndian.Uint16(ec[6:8])
+		return fmt.Sprintf("%s%v:%d", ec.prefixLabel(), addr, val)
+	case ExtTypeFourOctetAS:
+		asn := binary.BigEndian.Uint32(ec[2:6])
+		val := binary.BigEndian.Uint16(ec[6:8])
+		return fmt.Sprintf("%s%d:%d", ec.prefixLabel(), asn, val)
+	}
+	return fmt.Sprintf("ext:%02x%02x:%x", ec[0], ec[1], ec[2:])
+}
+
+func (ec ExtendedCommunity) prefixLabel() string {
+	switch ec[1] {
+	case ExtSubtypeRouteTarget:
+		return "RT:"
+	case ExtSubtypeRouteOrigin:
+		return "SoO:"
+	}
+	return fmt.Sprintf("ext(%02x):", ec[1])
+}
+
+// ExtendedCommunities is a set; canonical form is sorted bytewise with
+// duplicates removed.
+type ExtendedCommunities []ExtendedCommunity
+
+// Canonical returns a sorted, de-duplicated copy.
+func (es ExtendedCommunities) Canonical() ExtendedCommunities {
+	if len(es) == 0 {
+		return nil
+	}
+	out := make(ExtendedCommunities, len(es))
+	copy(out, es)
+	sort.Slice(out, func(i, j int) bool {
+		for k := 0; k < 8; k++ {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[i-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// Equal reports set equality of canonical forms.
+func (es ExtendedCommunities) Equal(other ExtendedCommunities) bool {
+	a, b := es.Canonical(), other.Canonical()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EncodeExtendedCommunities returns the attribute value bytes.
+func EncodeExtendedCommunities(es ExtendedCommunities) []byte {
+	out := make([]byte, 0, 8*len(es))
+	for _, ec := range es.Canonical() {
+		out = append(out, ec[:]...)
+	}
+	return out
+}
+
+// DecodeExtendedCommunities parses an EXTENDED_COMMUNITIES value.
+func DecodeExtendedCommunities(b []byte) (ExtendedCommunities, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("bgp: EXTENDED_COMMUNITIES length %d not a multiple of 8", len(b))
+	}
+	out := make(ExtendedCommunities, len(b)/8)
+	for i := range out {
+		copy(out[i][:], b[i*8:])
+	}
+	return out, nil
+}
+
+// ExtendedCommunitiesOf extracts the attribute from the raw set; the codec
+// keeps type 16 in Unknown so it round-trips transitively by default.
+func (a *PathAttrs) ExtendedCommunitiesOf() (ExtendedCommunities, error) {
+	for _, raw := range a.Unknown {
+		if raw.Type == AttrExtendedCommunities {
+			return DecodeExtendedCommunities(raw.Value)
+		}
+	}
+	return nil, nil
+}
+
+// SetExtendedCommunities attaches (or replaces) the attribute.
+func (a *PathAttrs) SetExtendedCommunities(es ExtendedCommunities) {
+	val := EncodeExtendedCommunities(es)
+	for i, raw := range a.Unknown {
+		if raw.Type == AttrExtendedCommunities {
+			a.Unknown[i].Value = val
+			return
+		}
+	}
+	a.Unknown = append(a.Unknown, RawAttr{
+		Flags: flagOptional | flagTransitive,
+		Type:  AttrExtendedCommunities,
+		Value: val,
+	})
+}

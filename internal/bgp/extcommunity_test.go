@@ -1,0 +1,132 @@
+package bgp
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestRouteTargetString(t *testing.T) {
+	rt := NewRouteTarget(65001, 100)
+	if rt.String() != "RT:65001:100" {
+		t.Errorf("String() = %q", rt.String())
+	}
+	if !rt.Transitive() {
+		t.Error("route target should be transitive")
+	}
+	if rt.Type() != ExtTypeTwoOctetAS || rt.Subtype() != ExtSubtypeRouteTarget {
+		t.Errorf("type/subtype: %x/%x", rt.Type(), rt.Subtype())
+	}
+	so := NewRouteOrigin(65001, 7)
+	if so.String() != "SoO:65001:7" {
+		t.Errorf("String() = %q", so.String())
+	}
+}
+
+func TestIPv4SpecificCommunity(t *testing.T) {
+	ec, err := NewIPv4Specific(ExtSubtypeRouteTarget, netip.MustParseAddr("192.0.2.1"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ec.String() != "RT:192.0.2.1:5" {
+		t.Errorf("String() = %q", ec.String())
+	}
+	if _, err := NewIPv4Specific(ExtSubtypeRouteTarget, netip.MustParseAddr("::1"), 5); err == nil {
+		t.Error("v6 address accepted")
+	}
+}
+
+func TestNonTransitiveBit(t *testing.T) {
+	var ec ExtendedCommunity
+	ec[0] = 0x40 // non-transitive two-octet AS
+	if ec.Transitive() {
+		t.Error("0x40 type should be non-transitive")
+	}
+}
+
+func TestExtendedCommunitiesCanonical(t *testing.T) {
+	a := NewRouteTarget(2, 2)
+	b := NewRouteTarget(1, 1)
+	es := ExtendedCommunities{a, b, a}
+	can := es.Canonical()
+	if len(can) != 2 || can[0] != b || can[1] != a {
+		t.Errorf("Canonical() = %v", can)
+	}
+	if !es.Equal(ExtendedCommunities{b, a}) {
+		t.Error("Equal should use canonical form")
+	}
+	if ExtendedCommunities(nil).Canonical() != nil {
+		t.Error("nil canonical")
+	}
+}
+
+func TestExtendedCommunitiesEncodeDecode(t *testing.T) {
+	es := ExtendedCommunities{
+		NewRouteTarget(65001, 100),
+		NewRouteOrigin(65002, 200),
+	}
+	wire := EncodeExtendedCommunities(es)
+	if len(wire) != 16 {
+		t.Fatalf("wire length %d", len(wire))
+	}
+	back, err := DecodeExtendedCommunities(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(es) {
+		t.Errorf("round trip: %v", back)
+	}
+	if _, err := DecodeExtendedCommunities(wire[:7]); err == nil {
+		t.Error("misaligned value accepted")
+	}
+}
+
+func TestExtendedCommunitiesOnUpdate(t *testing.T) {
+	es := ExtendedCommunities{NewRouteTarget(65001, 100)}
+	attrs := PathAttrs{
+		Origin:  OriginIGP,
+		ASPath:  NewASPath(65001),
+		NextHop: mustAddr(t, "10.0.0.1"),
+	}
+	attrs.SetExtendedCommunities(es)
+	u := &Update{NLRI: []netip.Prefix{mustPrefix(t, "192.0.2.0/24")}, Attrs: attrs}
+	back := roundTripUpdate(t, u)
+	got, err := back.Attrs.ExtendedCommunitiesOf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(es) {
+		t.Errorf("extended communities lost: %v", got)
+	}
+	// Replacement keeps a single attribute instance.
+	back.Attrs.SetExtendedCommunities(ExtendedCommunities{NewRouteTarget(9, 9)})
+	n := 0
+	for _, raw := range back.Attrs.Unknown {
+		if raw.Type == AttrExtendedCommunities {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("attribute instances = %d", n)
+	}
+}
+
+func TestExtendedCommunitiesAbsent(t *testing.T) {
+	attrs := PathAttrs{}
+	got, err := attrs.ExtendedCommunitiesOf()
+	if err != nil || got != nil {
+		t.Errorf("absent attribute: %v, %v", got, err)
+	}
+}
+
+func TestExtendedCommunityRoundTripProperty(t *testing.T) {
+	f := func(raw [8]byte) bool {
+		ec := ExtendedCommunity(raw)
+		wire := EncodeExtendedCommunities(ExtendedCommunities{ec})
+		back, err := DecodeExtendedCommunities(wire)
+		return err == nil && len(back) == 1 && back[0] == ec
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

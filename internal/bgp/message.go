@@ -1,0 +1,162 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Message framing constants (RFC 4271 §4.1).
+const (
+	HeaderLen     = 19
+	MaxMessageLen = 4096
+	markerLen     = 16
+)
+
+// Message type codes.
+const (
+	TypeOpen         uint8 = 1
+	TypeUpdate       uint8 = 2
+	TypeNotification uint8 = 3
+	TypeKeepalive    uint8 = 4
+)
+
+// TypeName returns the conventional name of a message type code.
+func TypeName(t uint8) string {
+	switch t {
+	case TypeOpen:
+		return "OPEN"
+	case TypeUpdate:
+		return "UPDATE"
+	case TypeNotification:
+		return "NOTIFICATION"
+	case TypeKeepalive:
+		return "KEEPALIVE"
+	}
+	return fmt.Sprintf("type(%d)", t)
+}
+
+// Message is any BGP message body.
+type Message interface {
+	// Type returns the message type code.
+	Type() uint8
+	// appendBody serializes the body (everything after the 19-byte header).
+	appendBody(dst []byte, opt MarshalOptions) ([]byte, error)
+}
+
+// Marshal frames a message with the standard all-ones marker header.
+func Marshal(m Message, opt MarshalOptions) ([]byte, error) {
+	buf := make([]byte, HeaderLen, HeaderLen+64)
+	for i := 0; i < markerLen; i++ {
+		buf[i] = 0xFF
+	}
+	buf[18] = m.Type()
+	buf, err := m.appendBody(buf, opt)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) > MaxMessageLen {
+		return nil, fmt.Errorf("bgp: message length %d exceeds maximum %d", len(buf), MaxMessageLen)
+	}
+	binary.BigEndian.PutUint16(buf[16:18], uint16(len(buf)))
+	return buf, nil
+}
+
+// Unmarshal parses one framed BGP message from b, which must contain exactly
+// one message.
+func Unmarshal(b []byte, opt MarshalOptions) (Message, error) {
+	if len(b) < HeaderLen {
+		return nil, fmt.Errorf("bgp: message shorter than header: %d bytes", len(b))
+	}
+	for i := 0; i < markerLen; i++ {
+		if b[i] != 0xFF {
+			return nil, fmt.Errorf("bgp: bad marker octet at %d", i)
+		}
+	}
+	length := int(binary.BigEndian.Uint16(b[16:18]))
+	if length < HeaderLen || length > MaxMessageLen {
+		return nil, fmt.Errorf("bgp: invalid message length %d", length)
+	}
+	if length != len(b) {
+		return nil, fmt.Errorf("bgp: message length field %d does not match buffer %d", length, len(b))
+	}
+	body := b[HeaderLen:]
+	switch b[18] {
+	case TypeOpen:
+		return decodeOpen(body)
+	case TypeUpdate:
+		return DecodeUpdate(body, opt)
+	case TypeNotification:
+		return decodeNotification(body)
+	case TypeKeepalive:
+		if len(body) != 0 {
+			return nil, fmt.Errorf("bgp: KEEPALIVE with %d body bytes", len(body))
+		}
+		return &Keepalive{}, nil
+	default:
+		return nil, fmt.Errorf("bgp: unknown message type %d", b[18])
+	}
+}
+
+// ReadMessage reads one framed message from r (for stream transports).
+func ReadMessage(r io.Reader, opt MarshalOptions) (Message, error) {
+	hdr := make([]byte, HeaderLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	length := int(binary.BigEndian.Uint16(hdr[16:18]))
+	if length < HeaderLen || length > MaxMessageLen {
+		return nil, fmt.Errorf("bgp: invalid message length %d", length)
+	}
+	buf := make([]byte, length)
+	copy(buf, hdr)
+	if _, err := io.ReadFull(r, buf[HeaderLen:]); err != nil {
+		return nil, fmt.Errorf("bgp: short message body: %w", err)
+	}
+	return Unmarshal(buf, opt)
+}
+
+// Keepalive is the bodyless KEEPALIVE message.
+type Keepalive struct{}
+
+// Type implements Message.
+func (*Keepalive) Type() uint8 { return TypeKeepalive }
+
+func (*Keepalive) appendBody(dst []byte, _ MarshalOptions) ([]byte, error) { return dst, nil }
+
+// Notification is the NOTIFICATION message sent before closing a session.
+type Notification struct {
+	Code    uint8
+	Subcode uint8
+	Data    []byte
+}
+
+// Notification error codes (RFC 4271 §4.5).
+const (
+	NotifMessageHeaderError uint8 = 1
+	NotifOpenError          uint8 = 2
+	NotifUpdateError        uint8 = 3
+	NotifHoldTimerExpired   uint8 = 4
+	NotifFSMError           uint8 = 5
+	NotifCease              uint8 = 6
+)
+
+// Type implements Message.
+func (*Notification) Type() uint8 { return TypeNotification }
+
+func (n *Notification) appendBody(dst []byte, _ MarshalOptions) ([]byte, error) {
+	dst = append(dst, n.Code, n.Subcode)
+	return append(dst, n.Data...), nil
+}
+
+func decodeNotification(b []byte) (*Notification, error) {
+	if len(b) < 2 {
+		return nil, fmt.Errorf("bgp: NOTIFICATION shorter than 2 bytes")
+	}
+	return &Notification{Code: b[0], Subcode: b[1], Data: append([]byte(nil), b[2:]...)}, nil
+}
+
+// Error renders the notification as an error string.
+func (n *Notification) Error() string {
+	return fmt.Sprintf("bgp notification: code %d subcode %d", n.Code, n.Subcode)
+}

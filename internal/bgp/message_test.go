@@ -1,0 +1,194 @@
+package bgp
+
+import (
+	"bytes"
+	"io"
+	"net/netip"
+	"testing"
+)
+
+func TestKeepaliveRoundTrip(t *testing.T) {
+	wire, err := Marshal(&Keepalive{}, opt4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != HeaderLen {
+		t.Errorf("KEEPALIVE length = %d, want %d", len(wire), HeaderLen)
+	}
+	m, err := Unmarshal(wire, opt4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.(*Keepalive); !ok {
+		t.Errorf("got %T", m)
+	}
+}
+
+func TestNotificationRoundTrip(t *testing.T) {
+	n := &Notification{Code: NotifCease, Subcode: 2, Data: []byte{0xAA}}
+	wire, err := Marshal(n, opt4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Unmarshal(wire, opt4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := m.(*Notification)
+	if back.Code != NotifCease || back.Subcode != 2 || !bytes.Equal(back.Data, []byte{0xAA}) {
+		t.Errorf("got %+v", back)
+	}
+	if back.Error() == "" {
+		t.Error("empty Error()")
+	}
+}
+
+func TestOpenRoundTrip(t *testing.T) {
+	o := NewOpen(4200000001, netip.MustParseAddr("10.255.0.1"), 90)
+	wire, err := Marshal(o, opt4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Unmarshal(wire, opt4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := m.(*Open)
+	if back.ASN != 4200000001 {
+		t.Errorf("ASN = %d (4-byte cap should restore the full ASN)", back.ASN)
+	}
+	if back.RouterID != o.RouterID || back.HoldTime != 90 || back.Version != 4 {
+		t.Errorf("got %+v", back)
+	}
+	if !back.SupportsFourByteAS() {
+		t.Error("4-byte AS capability lost")
+	}
+	// Multiprotocol caps for v4 and v6 present.
+	var mpCount int
+	for _, c := range back.Capabilities {
+		if c.Code == CapMultiprotocol {
+			mpCount++
+		}
+	}
+	if mpCount != 2 {
+		t.Errorf("multiprotocol capabilities = %d, want 2", mpCount)
+	}
+}
+
+func TestOpenSmallASN(t *testing.T) {
+	o := NewOpen(65001, netip.MustParseAddr("192.0.2.1"), 180)
+	wire, err := Marshal(o, opt4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(wire, opt4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.(*Open).ASN != 65001 {
+		t.Errorf("ASN = %d", back.(*Open).ASN)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	good, _ := Marshal(&Keepalive{}, opt4)
+
+	short := good[:10]
+	if _, err := Unmarshal(short, opt4); err == nil {
+		t.Error("short message accepted")
+	}
+
+	badMarker := append([]byte(nil), good...)
+	badMarker[3] = 0
+	if _, err := Unmarshal(badMarker, opt4); err == nil {
+		t.Error("bad marker accepted")
+	}
+
+	badLen := append([]byte(nil), good...)
+	badLen[16], badLen[17] = 0xFF, 0xFF
+	if _, err := Unmarshal(badLen, opt4); err == nil {
+		t.Error("oversized length accepted")
+	}
+
+	badType := append([]byte(nil), good...)
+	badType[18] = 77
+	if _, err := Unmarshal(badType, opt4); err == nil {
+		t.Error("unknown type accepted")
+	}
+
+	kaWithBody := append([]byte(nil), good...)
+	kaWithBody = append(kaWithBody, 0xAB)
+	kaWithBody[17] = byte(len(kaWithBody))
+	if _, err := Unmarshal(kaWithBody, opt4); err == nil {
+		t.Error("KEEPALIVE with body accepted")
+	}
+}
+
+func TestReadMessageStream(t *testing.T) {
+	u := &Update{
+		NLRI: []netip.Prefix{netip.MustParsePrefix("192.0.2.0/24")},
+		Attrs: PathAttrs{
+			Origin:  OriginIGP,
+			ASPath:  NewASPath(65000, 65001),
+			NextHop: netip.MustParseAddr("10.0.0.1"),
+		},
+	}
+	var stream bytes.Buffer
+	for i := 0; i < 3; i++ {
+		wire, err := Marshal(u, opt4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream.Write(wire)
+	}
+	kw, _ := Marshal(&Keepalive{}, opt4)
+	stream.Write(kw)
+
+	var updates, keepalives int
+	for {
+		m, err := ReadMessage(&stream, opt4)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch m.(type) {
+		case *Update:
+			updates++
+		case *Keepalive:
+			keepalives++
+		}
+	}
+	if updates != 3 || keepalives != 1 {
+		t.Errorf("read %d updates, %d keepalives", updates, keepalives)
+	}
+}
+
+func TestReadMessageTruncatedStream(t *testing.T) {
+	wire, _ := Marshal(&Keepalive{}, opt4)
+	r := bytes.NewReader(wire[:HeaderLen-5])
+	if _, err := ReadMessage(r, opt4); err == nil {
+		t.Error("truncated header accepted")
+	}
+}
+
+func TestTypeName(t *testing.T) {
+	for typ, want := range map[uint8]string{
+		TypeOpen: "OPEN", TypeUpdate: "UPDATE",
+		TypeNotification: "NOTIFICATION", TypeKeepalive: "KEEPALIVE", 99: "type(99)",
+	} {
+		if got := TypeName(typ); got != want {
+			t.Errorf("TypeName(%d) = %q, want %q", typ, got, want)
+		}
+	}
+}
+
+func TestOriginString(t *testing.T) {
+	if OriginIGP.String() != "IGP" || OriginEGP.String() != "EGP" || OriginIncomplete.String() != "incomplete" {
+		t.Error("origin strings wrong")
+	}
+	if Origin(9).String() != "origin(9)" {
+		t.Error("unknown origin string wrong")
+	}
+}

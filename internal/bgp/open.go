@@ -1,0 +1,147 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// Capability codes used in OPEN optional parameters (RFC 5492).
+const (
+	CapMultiprotocol uint8 = 1
+	CapRouteRefresh  uint8 = 2
+	CapFourByteAS    uint8 = 65
+)
+
+// Capability is one advertised capability.
+type Capability struct {
+	Code  uint8
+	Value []byte
+}
+
+// Open is the OPEN message.
+type Open struct {
+	Version      uint8
+	ASN          uint32 // sender AS; wire "My Autonomous System" caps at AS_TRANS
+	HoldTime     uint16
+	RouterID     netip.Addr
+	Capabilities []Capability
+}
+
+// NewOpen builds a standard OPEN advertising 4-byte AS support and
+// multiprotocol IPv4+IPv6 unicast.
+func NewOpen(asn uint32, routerID netip.Addr, holdTime uint16) *Open {
+	mpCap := func(afi uint16) []byte {
+		v := binary.BigEndian.AppendUint16(nil, afi)
+		return append(v, 0, SAFIUnicast)
+	}
+	return &Open{
+		Version:  4,
+		ASN:      asn,
+		HoldTime: holdTime,
+		RouterID: routerID,
+		Capabilities: []Capability{
+			{Code: CapMultiprotocol, Value: mpCap(AFIIPv4)},
+			{Code: CapMultiprotocol, Value: mpCap(AFIIPv6)},
+			{Code: CapFourByteAS, Value: binary.BigEndian.AppendUint32(nil, asn)},
+		},
+	}
+}
+
+// Type implements Message.
+func (*Open) Type() uint8 { return TypeOpen }
+
+func (o *Open) appendBody(dst []byte, _ MarshalOptions) ([]byte, error) {
+	dst = append(dst, o.Version)
+	wireAS := o.ASN
+	if wireAS > 0xFFFF {
+		wireAS = ASTrans
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(wireAS))
+	dst = binary.BigEndian.AppendUint16(dst, o.HoldTime)
+	if !o.RouterID.Is4() {
+		return nil, fmt.Errorf("bgp: router ID %v is not IPv4", o.RouterID)
+	}
+	rid := o.RouterID.As4()
+	dst = append(dst, rid[:]...)
+
+	var caps []byte
+	for _, c := range o.Capabilities {
+		if len(c.Value) > 255 {
+			return nil, fmt.Errorf("bgp: capability %d value too long", c.Code)
+		}
+		caps = append(caps, c.Code, byte(len(c.Value)))
+		caps = append(caps, c.Value...)
+	}
+	if len(caps) == 0 {
+		return append(dst, 0), nil
+	}
+	// One optional parameter of type 2 (Capabilities).
+	if len(caps) > 253 {
+		return nil, fmt.Errorf("bgp: capability block too long: %d bytes", len(caps))
+	}
+	dst = append(dst, byte(len(caps)+2), 2, byte(len(caps)))
+	return append(dst, caps...), nil
+}
+
+func decodeOpen(b []byte) (*Open, error) {
+	if len(b) < 10 {
+		return nil, fmt.Errorf("bgp: OPEN body shorter than 10 bytes")
+	}
+	o := &Open{
+		Version:  b[0],
+		ASN:      uint32(binary.BigEndian.Uint16(b[1:3])),
+		HoldTime: binary.BigEndian.Uint16(b[3:5]),
+		RouterID: netip.AddrFrom4([4]byte(b[5:9])),
+	}
+	optLen := int(b[9])
+	if len(b) != 10+optLen {
+		return nil, fmt.Errorf("bgp: OPEN optional parameter length %d does not match body", optLen)
+	}
+	opts := b[10:]
+	for len(opts) > 0 {
+		if len(opts) < 2 {
+			return nil, fmt.Errorf("bgp: truncated OPEN optional parameter header")
+		}
+		ptype, plen := opts[0], int(opts[1])
+		if len(opts) < 2+plen {
+			return nil, fmt.Errorf("bgp: truncated OPEN optional parameter")
+		}
+		val := opts[2 : 2+plen]
+		opts = opts[2+plen:]
+		if ptype != 2 {
+			continue // ignore non-capability parameters
+		}
+		for len(val) > 0 {
+			if len(val) < 2 {
+				return nil, fmt.Errorf("bgp: truncated capability header")
+			}
+			code, clen := val[0], int(val[1])
+			if len(val) < 2+clen {
+				return nil, fmt.Errorf("bgp: truncated capability value")
+			}
+			o.Capabilities = append(o.Capabilities, Capability{
+				Code:  code,
+				Value: append([]byte(nil), val[2:2+clen]...),
+			})
+			val = val[2+clen:]
+		}
+	}
+	// Recover the true 4-byte ASN if advertised.
+	for _, c := range o.Capabilities {
+		if c.Code == CapFourByteAS && len(c.Value) == 4 {
+			o.ASN = binary.BigEndian.Uint32(c.Value)
+		}
+	}
+	return o, nil
+}
+
+// SupportsFourByteAS reports whether the 4-octet AS capability is present.
+func (o *Open) SupportsFourByteAS() bool {
+	for _, c := range o.Capabilities {
+		if c.Code == CapFourByteAS {
+			return true
+		}
+	}
+	return false
+}

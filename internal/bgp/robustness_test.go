@@ -1,0 +1,91 @@
+package bgp
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+)
+
+// TestUnmarshalNeverPanics throws random byte soup at the message parser:
+// it must reject or accept, never panic or over-read.
+func TestUnmarshalNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xBAD))
+	for trial := 0; trial < 5000; trial++ {
+		n := rng.Intn(256)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: panic on %x: %v", trial, buf, r)
+				}
+			}()
+			Unmarshal(buf, opt4)
+		}()
+	}
+}
+
+// TestUnmarshalMutatedValidMessages flips bytes in well-formed messages —
+// the harsher corpus, since framing is mostly intact.
+func TestUnmarshalMutatedValidMessages(t *testing.T) {
+	base, err := Marshal(&Update{
+		NLRI: []netip.Prefix{mustPrefix(t, "84.205.64.0/24"), mustPrefix(t, "10.0.0.0/8")},
+		Attrs: PathAttrs{
+			Origin:           OriginIGP,
+			ASPath:           NewASPath(20205, 3356, 12654),
+			NextHop:          mustAddr(t, "10.0.0.1"),
+			Communities:      Communities{NewCommunity(3356, 901)},
+			LargeCommunities: LargeCommunities{{1, 2, 3}},
+			HasMED:           true,
+			MED:              50,
+		},
+	}, opt4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(0xF00D))
+	for trial := 0; trial < 5000; trial++ {
+		buf := append([]byte(nil), base...)
+		// Mutate 1-4 bytes after the marker so most length fields survive.
+		for m := 0; m < 1+rng.Intn(4); m++ {
+			i := markerLen + rng.Intn(len(buf)-markerLen)
+			buf[i] = byte(rng.Intn(256))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: panic on %x: %v", trial, buf, r)
+				}
+			}()
+			Unmarshal(buf, opt4)
+		}()
+	}
+}
+
+// TestDecodeUpdateTruncationSweep truncates a valid UPDATE body at every
+// possible length: each prefix must parse or error, never panic.
+func TestDecodeUpdateTruncationSweep(t *testing.T) {
+	full, err := Marshal(&Update{
+		NLRI: []netip.Prefix{mustPrefix(t, "192.0.2.0/24")},
+		Attrs: PathAttrs{
+			Origin:      OriginIGP,
+			ASPath:      NewASPath(65000, 65001),
+			NextHop:     mustAddr(t, "10.0.0.1"),
+			Communities: Communities{1, 2, 3},
+		},
+	}, opt4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := full[HeaderLen:]
+	for cut := 0; cut <= len(body); cut++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("cut %d: panic: %v", cut, r)
+				}
+			}()
+			DecodeUpdate(body[:cut], opt4)
+		}()
+	}
+}

@@ -1,0 +1,244 @@
+// Package classify implements the paper's core analysis (§5): labelling
+// each BGP announcement, relative to the previous announcement for the same
+// prefix on the same collector session, with one of six types according to
+// whether the AS path and the community attribute changed:
+//
+//	pc  path + community change
+//	pn  path change only
+//	nc  community change only
+//	nn  no change (a duplicate)
+//	xc  path prepending + community change
+//	xn  path prepending only
+//
+// nc and nn announcements carry no new reachability information; the paper
+// shows they constitute roughly half of all collector-observed
+// announcements in March 2020.
+package classify
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"repro/internal/bgp"
+)
+
+// Type is one of the six announcement types of Table 2.
+type Type int
+
+// Announcement types in the paper's presentation order.
+const (
+	PC Type = iota // path + community change
+	PN             // path change only
+	NC             // community change only
+	NN             // no change
+	XC             // prepending + community change
+	XN             // prepending only
+	numTypes
+)
+
+// String renders the conventional two-letter label.
+func (t Type) String() string {
+	switch t {
+	case PC:
+		return "pc"
+	case PN:
+		return "pn"
+	case NC:
+		return "nc"
+	case NN:
+		return "nn"
+	case XC:
+		return "xc"
+	case XN:
+		return "xn"
+	}
+	return fmt.Sprintf("type(%d)", int(t))
+}
+
+// Types lists all six in presentation order.
+func Types() []Type { return []Type{PC, PN, NC, NN, XC, XN} }
+
+// NoPathChange reports whether the type carries no new path information
+// (the paper's "unnecessary update" candidates).
+func (t Type) NoPathChange() bool { return t == NC || t == NN }
+
+// Event is one routing message observation on a collector session, the
+// normalized record the pipeline (§4) produces from raw MRT data.
+type Event struct {
+	Time      time.Time
+	Collector string
+	PeerAS    uint32
+	PeerAddr  netip.Addr
+	Prefix    netip.Prefix
+	Withdraw  bool
+
+	ASPath      bgp.ASPath
+	Communities bgp.Communities // canonical form
+	HasMED      bool
+	MED         uint32
+}
+
+// SessionKey identifies the BGP session an event arrived on.
+type SessionKey struct {
+	Collector string
+	PeerAddr  netip.Addr
+}
+
+// Session returns the event's session key.
+func (e Event) Session() SessionKey {
+	return SessionKey{Collector: e.Collector, PeerAddr: e.PeerAddr}
+}
+
+// streamKey identifies one (session, prefix) announcement stream.
+type streamKey struct {
+	session SessionKey
+	prefix  netip.Prefix
+}
+
+// prevState is the remembered previous announcement of a stream.
+type prevState struct {
+	path   bgp.ASPath
+	comms  bgp.Communities
+	hasMED bool
+	med    uint32
+}
+
+// Result is the classification of one announcement.
+type Result struct {
+	Type Type
+	// First marks the initial announcement of a stream (including the first
+	// after a withdrawal); it compares against the empty state.
+	First bool
+	// MEDChanged annotates nn announcements explicable by a MED change
+	// (§5: "we acknowledge a change in the MED attribute as a reason for an
+	// nn announcement").
+	MEDChanged bool
+}
+
+// Classifier assigns announcement types over per-(session, prefix) streams
+// in arrival order. It is not safe for concurrent use.
+type Classifier struct {
+	state map[streamKey]*prevState
+}
+
+// New returns an empty classifier.
+func New() *Classifier {
+	return &Classifier{state: make(map[streamKey]*prevState)}
+}
+
+// Observe processes one event. Announcements yield a classification;
+// withdrawals clear the stream state (so the next announcement of the
+// stream is First, typically a pc/pn opening a path-exploration burst) and
+// return ok = false.
+func (c *Classifier) Observe(e Event) (Result, bool) {
+	key := streamKey{session: e.Session(), prefix: e.Prefix}
+	if e.Withdraw {
+		delete(c.state, key)
+		return Result{}, false
+	}
+	cur := prevState{
+		path:   e.ASPath,
+		comms:  e.Communities.Canonical(),
+		hasMED: e.HasMED,
+		med:    e.MED,
+	}
+	prev, seen := c.state[key]
+	c.state[key] = &cur
+	if !seen {
+		res := Result{First: true}
+		if len(cur.comms) > 0 {
+			res.Type = PC
+		} else {
+			res.Type = PN
+		}
+		return res, true
+	}
+	pathChanged := !prev.path.Equal(cur.path)
+	prependOnly := pathChanged && prev.path.SameASSet(cur.path)
+	commChanged := !prev.comms.Equal(cur.comms)
+	var t Type
+	switch {
+	case prependOnly && commChanged:
+		t = XC
+	case prependOnly:
+		t = XN
+	case pathChanged && commChanged:
+		t = PC
+	case pathChanged:
+		t = PN
+	case commChanged:
+		t = NC
+	default:
+		t = NN
+	}
+	return Result{
+		Type:       t,
+		MEDChanged: prev.hasMED != cur.hasMED || prev.med != cur.med,
+	}, true
+}
+
+// Streams returns the number of live (session, prefix) streams.
+func (c *Classifier) Streams() int { return len(c.state) }
+
+// Counts tallies announcement types plus withdrawals, the unit of Table 2
+// and Figures 2–5.
+type Counts struct {
+	ByType      [numTypes]int
+	Withdrawals int
+	// MEDOnlyNN counts nn announcements where the MED changed.
+	MEDOnlyNN int
+}
+
+// Observe classifies an event into the counts via the classifier.
+func (c *Counts) Observe(cl *Classifier, e Event) {
+	res, ok := cl.Observe(e)
+	if !ok {
+		c.Withdrawals++
+		return
+	}
+	c.Add(res)
+}
+
+// Add tallies one classification result.
+func (c *Counts) Add(res Result) {
+	c.ByType[res.Type]++
+	if res.Type == NN && res.MEDChanged {
+		c.MEDOnlyNN++
+	}
+}
+
+// Of returns the count for one type.
+func (c Counts) Of(t Type) int { return c.ByType[t] }
+
+// Announcements returns the total number of classified announcements.
+func (c Counts) Announcements() int {
+	n := 0
+	for _, v := range c.ByType {
+		n += v
+	}
+	return n
+}
+
+// Share returns the fraction of announcements with the given type, or 0
+// when no announcements were observed.
+func (c Counts) Share(t Type) float64 {
+	total := c.Announcements()
+	if total == 0 {
+		return 0
+	}
+	return float64(c.ByType[t]) / float64(total)
+}
+
+// NoPathChangeShare returns the combined nc + nn share, the paper's
+// headline "around 50% of announcements signal no path change".
+func (c Counts) NoPathChangeShare() float64 { return c.Share(NC) + c.Share(NN) }
+
+// Merge accumulates other into c.
+func (c *Counts) Merge(other Counts) {
+	for i := range c.ByType {
+		c.ByType[i] += other.ByType[i]
+	}
+	c.Withdrawals += other.Withdrawals
+	c.MEDOnlyNN += other.MEDOnlyNN
+}

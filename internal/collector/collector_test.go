@@ -1,0 +1,231 @@
+package collector
+
+import (
+	"net/netip"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/classify"
+	"repro/internal/labexp"
+	"repro/internal/mrt"
+	"repro/internal/pipeline"
+	"repro/internal/registry"
+	"repro/internal/router"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+var day = time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC)
+
+func TestEventRecordRoundTrip(t *testing.T) {
+	e := classify.Event{
+		Time:        day.Add(2 * time.Hour),
+		Collector:   "rrc00",
+		PeerAS:      20205,
+		PeerAddr:    netip.MustParseAddr("203.0.113.5"),
+		Prefix:      netip.MustParsePrefix("84.205.64.0/24"),
+		ASPath:      bgp.NewASPath(20205, 3356, 12654),
+		Communities: bgp.Communities{bgp.NewCommunity(3356, 901)},
+	}
+	rec, err := EventRecord(e, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := rec.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	upd := msg.(*bgp.Update)
+	if upd.NLRI[0] != e.Prefix {
+		t.Errorf("prefix: %v", upd.NLRI)
+	}
+	if !upd.Attrs.ASPath.Equal(e.ASPath) {
+		t.Errorf("path: %v", upd.Attrs.ASPath)
+	}
+	if !upd.Attrs.Communities.Equal(e.Communities) {
+		t.Errorf("communities: %v", upd.Attrs.Communities)
+	}
+}
+
+func TestEventRecordRouteServerStripsASN(t *testing.T) {
+	e := classify.Event{
+		Time:     day,
+		PeerAS:   6695,
+		PeerAddr: netip.MustParseAddr("203.0.113.9"),
+		Prefix:   netip.MustParsePrefix("84.205.64.0/24"),
+		ASPath:   bgp.NewASPath(6695, 3356, 12654),
+	}
+	rec, err := EventRecord(e, map[uint32]bool{6695: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	upd, _ := rec.Decode()
+	got := upd.(*bgp.Update).Attrs.ASPath.String()
+	if got != "3356 12654" {
+		t.Errorf("path = %q, want route server ASN stripped", got)
+	}
+}
+
+func TestEventRecordIPv6(t *testing.T) {
+	e := classify.Event{
+		Time:     day,
+		PeerAS:   20205,
+		PeerAddr: netip.MustParseAddr("2001:db8::5"),
+		Prefix:   netip.MustParsePrefix("2001:7fb:ff00::/48"),
+		ASPath:   bgp.NewASPath(20205, 12654),
+	}
+	rec, err := EventRecord(e, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upd, _ := rec.Decode()
+	ann := upd.(*bgp.Update).Announced()
+	if len(ann) != 1 || ann[0] != e.Prefix {
+		t.Errorf("announced: %v", ann)
+	}
+	// v6 withdrawal.
+	e.Withdraw = true
+	rec, err = EventRecord(e, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upd, _ = rec.Decode()
+	wd := upd.(*bgp.Update).AllWithdrawn()
+	if len(wd) != 1 || wd[0] != e.Prefix {
+		t.Errorf("withdrawn: %v", wd)
+	}
+}
+
+// TestDatasetMRTRoundTrip is the end-to-end §4 test: generate a dataset,
+// write MRT archives, read them back through the pipeline, and verify the
+// classifier sees the same announcement mix.
+func TestDatasetMRTRoundTrip(t *testing.T) {
+	cfg := workload.DefaultDayConfig(day)
+	cfg.Collectors = 2
+	cfg.PeersPerCollector = 6
+	cfg.PrefixesV4 = 80
+	cfg.PrefixesV6 = 8
+	ds := workload.GenerateDay(cfg)
+
+	dir := t.TempDir()
+	files, err := WriteDatasetDir(ds, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("files: %v", files)
+	}
+
+	// Direct classification.
+	clDirect := classify.New()
+	var direct classify.Counts
+	for _, e := range ds.Events {
+		direct.Observe(clDirect, e)
+	}
+
+	// Via MRT + pipeline.
+	norm := pipeline.NewNormalizer(registry.Synthetic(time.Date(2009, 1, 1, 0, 0, 0, 0, time.UTC)))
+	norm.RouteServers = ds.RouteServerASNs()
+	clPipe := classify.New()
+	var piped classify.Counts
+	for name, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = norm.ProcessReader(name, mrt.NewReader(f), func(e classify.Event) error {
+			piped.Observe(clPipe, e)
+			return nil
+		})
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if piped.Announcements() != direct.Announcements() {
+		t.Errorf("announcements: piped %d, direct %d", piped.Announcements(), direct.Announcements())
+	}
+	if piped.Withdrawals != direct.Withdrawals {
+		t.Errorf("withdrawals: piped %d, direct %d", piped.Withdrawals, direct.Withdrawals)
+	}
+	for _, ty := range classify.Types() {
+		if piped.Of(ty) != direct.Of(ty) {
+			t.Errorf("%v: piped %d, direct %d", ty, piped.Of(ty), direct.Of(ty))
+		}
+	}
+	if norm.Stats.DroppedBogonASN != 0 || norm.Stats.DroppedBogonPrefix != 0 {
+		t.Errorf("synthetic dataset should contain no bogons: %+v", norm.Stats)
+	}
+	// Route-server fixups happened iff the dataset has RS peers that
+	// announced something.
+	if len(ds.RouteServerASNs()) > 0 && norm.Stats.RouteServerFixups == 0 {
+		t.Error("no route-server fixups recorded")
+	}
+}
+
+func TestCountRecords(t *testing.T) {
+	cfg := workload.DefaultBeaconConfig(day)
+	cfg.Collectors = 1
+	cfg.PeersPerCollector = 2
+	ds := workload.GenerateBeacon(cfg)
+	dir := t.TempDir()
+	files, err := WriteDatasetDir(ds, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, path := range files {
+		n, err := CountRecords(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	if total != len(ds.Events) {
+		t.Errorf("records = %d, events = %d", total, len(ds.Events))
+	}
+}
+
+func TestTraceRecordsFromLab(t *testing.T) {
+	// Run Exp2 and archive the collector's view as MRT, then read it back.
+	res, err := labexp.Run(labexp.Exp2, router.CiscoIOS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.X1toC1) == 0 {
+		t.Fatal("no collector messages")
+	}
+	path := filepath.Join(t.TempDir(), "c1.mrt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := mrt.NewWriter(f)
+	w.ExtendedTime = true
+	resolve := func(name string) (uint32, netip.Addr) {
+		return topo.ASX, netip.MustParseAddr("10.0.41.1")
+	}
+	if err := TraceRecords(w, res.X1toC1, "C1", resolve); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	n, err := CountRecords(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(res.X1toC1) {
+		t.Errorf("records = %d, want %d", n, len(res.X1toC1))
+	}
+}
+
+func TestArchiveWindow(t *testing.T) {
+	ts := time.Date(2020, 3, 15, 2, 7, 33, 0, time.UTC)
+	want := time.Date(2020, 3, 15, 2, 5, 0, 0, time.UTC)
+	if got := ArchiveWindow(ts); !got.Equal(want) {
+		t.Errorf("ArchiveWindow = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,120 @@
+package collector
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"sync"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/mrt"
+	"repro/internal/session"
+)
+
+// LiveCollector is a passive BGP speaker that accepts sessions over TCP
+// and archives every received update as BGP4MP_ET MRT records — the role
+// RIS and RouteViews collectors play. Timestamps use the supplied clock
+// so tests stay deterministic.
+type LiveCollector struct {
+	ln  *session.Listener
+	cfg session.Config
+
+	mu sync.Mutex
+	w  *mrt.Writer
+	// Now supplies record timestamps; defaults to time.Now.
+	now func() time.Time
+
+	records int
+}
+
+// NewLiveCollector listens on addr (e.g. "127.0.0.1:0") and archives to w.
+func NewLiveCollector(addr string, w io.Writer, localAS uint32, routerID netip.Addr) (*LiveCollector, error) {
+	c := &LiveCollector{
+		now: time.Now,
+	}
+	c.w = mrt.NewWriter(w)
+	c.w.ExtendedTime = true
+	c.cfg = session.Config{
+		LocalAS:  localAS,
+		RouterID: routerID,
+		HoldTime: 90 * time.Second,
+	}
+	ln, err := session.Listen(addr, c.cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.ln = ln
+	return c, nil
+}
+
+// Addr returns the listening address for peers to dial.
+func (c *LiveCollector) Addr() string { return c.ln.Addr().String() }
+
+// SetClock overrides the timestamp source (tests).
+func (c *LiveCollector) SetClock(now func() time.Time) { c.now = now }
+
+// Records returns the number of archived update records.
+func (c *LiveCollector) Records() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.records
+}
+
+// ServeOne accepts a single peer session and records its updates until the
+// session ends. It returns the session error, if any.
+func (c *LiveCollector) ServeOne() error {
+	conn, err := c.ln.Accept()
+	if err != nil {
+		return err
+	}
+	return c.serve(conn)
+}
+
+func (c *LiveCollector) serve(s *session.Session) error {
+	peerAS := s.PeerAS()
+	// The TCP remote address identifies the session in the archive.
+	peerAddr := netip.MustParseAddr("127.0.0.1")
+
+	opts := s.MarshalOptions()
+	recorder := func(u *bgp.Update) {
+		wire, err := bgp.Marshal(u, opts)
+		if err != nil {
+			return
+		}
+		rec := &mrt.BGP4MPMessage{
+			PeerAS:     peerAS,
+			LocalAS:    c.cfg.LocalAS,
+			PeerAddr:   peerAddr,
+			LocalAddr:  localAddrFor(peerAddr),
+			Data:       wire,
+			FourByteAS: opts.FourByteAS,
+		}
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if err := c.w.Write(c.now(), rec); err == nil {
+			c.records++
+		}
+	}
+	// Rebind the update handler: Accept used the listener config, which
+	// has no recorder bound (it cannot reference the session). Run a
+	// dedicated read loop instead.
+	return c.runWithRecorder(s, recorder)
+}
+
+// runWithRecorder drives the session read loop with the given recorder.
+func (c *LiveCollector) runWithRecorder(s *session.Session, rec func(*bgp.Update)) error {
+	done := make(chan error, 1)
+	go func() { done <- s.RunWithHandler(rec) }()
+	err := <-done
+	c.mu.Lock()
+	c.w.Flush()
+	c.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("collector: session: %w", err)
+	}
+	return nil
+}
+
+// Close stops the listener.
+func (c *LiveCollector) Close() error { return c.ln.Close() }

@@ -1,0 +1,124 @@
+// Package dampening implements BGP route-flap dampening (RFC 2439), one
+// of the update-suppression mechanisms the paper's background section
+// discusses alongside MRAI timers: repeatedly flapping routes accumulate
+// an exponentially decaying penalty and are suppressed past a threshold,
+// trading convergence latency for update-message load.
+package dampening
+
+import (
+	"math"
+	"time"
+)
+
+// Config holds the dampening parameters. The defaults mirror Cisco's
+// well-known values.
+type Config struct {
+	// HalfLife is the penalty decay half-life.
+	HalfLife time.Duration
+	// SuppressThreshold is the penalty above which a route is suppressed.
+	SuppressThreshold float64
+	// ReuseThreshold is the penalty below which a suppressed route is
+	// reinstated.
+	ReuseThreshold float64
+	// MaxPenalty caps accumulation so reuse times stay bounded.
+	MaxPenalty float64
+	// WithdrawPenalty is added per withdrawal flap, AttrChangePenalty per
+	// attribute-change (implicit withdraw) flap.
+	WithdrawPenalty   float64
+	AttrChangePenalty float64
+}
+
+// DefaultConfig returns the conventional parameters: 15-minute half-life,
+// suppress at 2000, reuse at 750, cap at 16000, penalties 1000/500.
+func DefaultConfig() Config {
+	return Config{
+		HalfLife:          15 * time.Minute,
+		SuppressThreshold: 2000,
+		ReuseThreshold:    750,
+		MaxPenalty:        16000,
+		WithdrawPenalty:   1000,
+		AttrChangePenalty: 500,
+	}
+}
+
+// Dampener tracks one route's flap history. The zero value is unusable;
+// construct with New.
+type Dampener struct {
+	cfg        Config
+	penalty    float64
+	lastUpdate time.Time
+	suppressed bool
+}
+
+// New returns a dampener with zero penalty.
+func New(cfg Config) *Dampener {
+	return &Dampener{cfg: cfg}
+}
+
+// decayTo brings the penalty forward to now.
+func (d *Dampener) decayTo(now time.Time) {
+	if d.lastUpdate.IsZero() {
+		d.lastUpdate = now
+		return
+	}
+	dt := now.Sub(d.lastUpdate)
+	if dt <= 0 {
+		return
+	}
+	d.penalty *= math.Exp2(-float64(dt) / float64(d.cfg.HalfLife))
+	d.lastUpdate = now
+}
+
+// Penalty returns the decayed penalty at now.
+func (d *Dampener) Penalty(now time.Time) float64 {
+	d.decayTo(now)
+	return d.penalty
+}
+
+// RecordWithdraw registers a withdrawal flap and returns whether the route
+// is (now) suppressed.
+func (d *Dampener) RecordWithdraw(now time.Time) bool {
+	return d.record(now, d.cfg.WithdrawPenalty)
+}
+
+// RecordAttrChange registers an attribute-change flap and returns whether
+// the route is (now) suppressed.
+func (d *Dampener) RecordAttrChange(now time.Time) bool {
+	return d.record(now, d.cfg.AttrChangePenalty)
+}
+
+func (d *Dampener) record(now time.Time, add float64) bool {
+	d.decayTo(now)
+	d.penalty += add
+	if d.penalty > d.cfg.MaxPenalty {
+		d.penalty = d.cfg.MaxPenalty
+	}
+	if d.penalty >= d.cfg.SuppressThreshold {
+		d.suppressed = true
+	}
+	return d.suppressed
+}
+
+// Suppressed reports whether the route is suppressed at now, updating the
+// state if the penalty has decayed past the reuse threshold.
+func (d *Dampener) Suppressed(now time.Time) bool {
+	d.decayTo(now)
+	if d.suppressed && d.penalty < d.cfg.ReuseThreshold {
+		d.suppressed = false
+	}
+	return d.suppressed
+}
+
+// ReuseAt returns the earliest instant the route will be reusable. If it
+// is not suppressed, it returns now.
+func (d *Dampener) ReuseAt(now time.Time) time.Time {
+	if !d.Suppressed(now) {
+		return now
+	}
+	// penalty * 2^(-dt/halfLife) = reuse  =>  dt = halfLife*log2(p/reuse)
+	dt := time.Duration(float64(d.cfg.HalfLife) * math.Log2(d.penalty/d.cfg.ReuseThreshold))
+	// Margin past the exact crossing so a check at the returned instant
+	// observes the penalty strictly below the threshold (callers schedule
+	// wake-ups at this time; without the margin they could spin).
+	return now.Add(dt + time.Second)
+}

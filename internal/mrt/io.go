@@ -1,0 +1,167 @@
+package mrt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// maxRecordLen bounds record bodies to guard against corrupt length fields.
+const maxRecordLen = 1 << 20
+
+// Writer serializes MRT records to a stream.
+type Writer struct {
+	w *bufio.Writer
+	// ExtendedTime selects BGP4MP_ET framing for BGP4MP records, carrying
+	// microsecond timestamps as RIS and RouteViews do.
+	ExtendedTime bool
+}
+
+// NewWriter returns a Writer emitting plain BGP4MP records.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Write emits one record stamped with ts.
+func (w *Writer) Write(ts time.Time, rec Record) error {
+	typ, sub := rec.MRTType()
+	body, err := rec.appendBody(nil)
+	if err != nil {
+		return err
+	}
+	ext := w.ExtendedTime && typ == TypeBGP4MP
+	if ext {
+		typ = TypeBGP4MPET
+	}
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(ts.Unix()))
+	binary.BigEndian.PutUint16(hdr[4:6], typ)
+	binary.BigEndian.PutUint16(hdr[6:8], sub)
+	bodyLen := len(body)
+	if ext {
+		bodyLen += 4
+	}
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(bodyLen))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if ext {
+		micros := uint32(ts.Nanosecond() / 1000)
+		var mb [4]byte
+		binary.BigEndian.PutUint32(mb[:], micros)
+		if _, err := w.w.Write(mb[:]); err != nil {
+			return err
+		}
+	}
+	_, err = w.w.Write(body)
+	return err
+}
+
+// Flush flushes buffered records to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader parses MRT records from a stream.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader returns a streaming MRT reader.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// ErrUnsupported marks record types this reader does not interpret; callers
+// may skip them and continue.
+var ErrUnsupported = errors.New("mrt: unsupported record type")
+
+// Next reads the next record. It returns io.EOF at clean end of stream. For
+// unknown record types it returns the header, a nil record, and an error
+// wrapping ErrUnsupported; the stream remains positioned at the next record.
+func (r *Reader) Next() (Header, Record, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Header{}, nil, io.EOF
+		}
+		return Header{}, nil, fmt.Errorf("mrt: short header: %w", err)
+	}
+	h := Header{
+		Timestamp: time.Unix(int64(binary.BigEndian.Uint32(hdr[0:4])), 0).UTC(),
+		Type:      binary.BigEndian.Uint16(hdr[4:6]),
+		Subtype:   binary.BigEndian.Uint16(hdr[6:8]),
+	}
+	length := binary.BigEndian.Uint32(hdr[8:12])
+	if length > maxRecordLen {
+		return h, nil, fmt.Errorf("mrt: record length %d exceeds limit", length)
+	}
+	body := make([]byte, length)
+	if _, err := io.ReadFull(r.r, body); err != nil {
+		return h, nil, fmt.Errorf("mrt: short record body: %w", err)
+	}
+	if h.Type == TypeBGP4MPET {
+		if len(body) < 4 {
+			return h, nil, fmt.Errorf("mrt: ET record missing microsecond field")
+		}
+		h.Microsecond = binary.BigEndian.Uint32(body[0:4])
+		if h.Microsecond > 999999 {
+			return h, nil, fmt.Errorf("mrt: microsecond field %d out of range", h.Microsecond)
+		}
+		body = body[4:]
+		h.Type = TypeBGP4MP
+	}
+
+	switch h.Type {
+	case TypeBGP4MP:
+		switch h.Subtype {
+		case SubtypeMessage:
+			rec, err := decodeBGP4MPMessage(body, false)
+			return h, rec, err
+		case SubtypeMessageAS4:
+			rec, err := decodeBGP4MPMessage(body, true)
+			return h, rec, err
+		case SubtypeStateChange:
+			rec, err := decodeBGP4MPStateChange(body, false)
+			return h, rec, err
+		case SubtypeStateChangeAS4:
+			rec, err := decodeBGP4MPStateChange(body, true)
+			return h, rec, err
+		}
+	case TypeTableDumpV2:
+		switch h.Subtype {
+		case SubtypePeerIndexTable:
+			rec, err := decodePeerIndexTable(body)
+			return h, rec, err
+		case SubtypeRIBIPv4Unicast:
+			rec, err := decodeRIBUnicast(body, 1)
+			return h, rec, err
+		case SubtypeRIBIPv6Unicast:
+			rec, err := decodeRIBUnicast(body, 2)
+			return h, rec, err
+		}
+	}
+	return h, nil, fmt.Errorf("%w: type %d subtype %d", ErrUnsupported, h.Type, h.Subtype)
+}
+
+// Walk iterates all records, invoking fn for each supported record and
+// skipping unsupported ones. It stops at end of stream or the first error
+// from fn or the stream.
+func (r *Reader) Walk(fn func(Header, Record) error) error {
+	for {
+		h, rec, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if errors.Is(err, ErrUnsupported) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(h, rec); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Package mrt implements the MRT routing information export format
+// (RFC 6396) used by the RouteViews and RIPE RIS collector archives the
+// paper analyses: BGP4MP / BGP4MP_ET update records and TABLE_DUMP_V2 RIB
+// snapshots.
+package mrt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"repro/internal/bgp"
+)
+
+// MRT record types (RFC 6396 §4).
+const (
+	TypeTableDumpV2 uint16 = 13
+	TypeBGP4MP      uint16 = 16
+	TypeBGP4MPET    uint16 = 17
+)
+
+// BGP4MP subtypes.
+const (
+	SubtypeStateChange    uint16 = 0
+	SubtypeMessage        uint16 = 1
+	SubtypeMessageAS4     uint16 = 4
+	SubtypeStateChangeAS4 uint16 = 5
+)
+
+// TABLE_DUMP_V2 subtypes.
+const (
+	SubtypePeerIndexTable uint16 = 1
+	SubtypeRIBIPv4Unicast uint16 = 2
+	SubtypeRIBIPv6Unicast uint16 = 4
+)
+
+// Header is the common 12-byte MRT record header.
+type Header struct {
+	Timestamp time.Time
+	Type      uint16
+	Subtype   uint16
+	// Microsecond holds the extended-timestamp fraction for *_ET records.
+	Microsecond uint32
+}
+
+// Time returns the record time including the microsecond extension.
+func (h Header) Time() time.Time {
+	return h.Timestamp.Add(time.Duration(h.Microsecond) * time.Microsecond)
+}
+
+// Record is any MRT record body.
+type Record interface {
+	// MRTType returns the (type, subtype) pair identifying the body layout.
+	MRTType() (uint16, uint16)
+	appendBody(dst []byte) ([]byte, error)
+}
+
+// BGP4MPMessage is a BGP4MP MESSAGE or MESSAGE_AS4 record: one BGP message
+// as observed on a collector session.
+type BGP4MPMessage struct {
+	PeerAS    uint32
+	LocalAS   uint32
+	IfIndex   uint16
+	PeerAddr  netip.Addr
+	LocalAddr netip.Addr
+	// Data is the framed BGP message (including the 19-byte header).
+	Data []byte
+	// FourByteAS selects the MESSAGE_AS4 subtype.
+	FourByteAS bool
+}
+
+// MRTType implements Record.
+func (m *BGP4MPMessage) MRTType() (uint16, uint16) {
+	if m.FourByteAS {
+		return TypeBGP4MP, SubtypeMessageAS4
+	}
+	return TypeBGP4MP, SubtypeMessage
+}
+
+// Decode parses the contained BGP message.
+func (m *BGP4MPMessage) Decode() (bgp.Message, error) {
+	return bgp.Unmarshal(m.Data, bgp.MarshalOptions{FourByteAS: m.FourByteAS})
+}
+
+func (m *BGP4MPMessage) appendBody(dst []byte) ([]byte, error) {
+	if m.PeerAddr.Is4() != m.LocalAddr.Is4() {
+		return nil, fmt.Errorf("mrt: peer %v and local %v address families differ", m.PeerAddr, m.LocalAddr)
+	}
+	if m.FourByteAS {
+		dst = binary.BigEndian.AppendUint32(dst, m.PeerAS)
+		dst = binary.BigEndian.AppendUint32(dst, m.LocalAS)
+	} else {
+		if m.PeerAS > 0xFFFF || m.LocalAS > 0xFFFF {
+			return nil, fmt.Errorf("mrt: 4-byte ASN in 2-byte MESSAGE record")
+		}
+		dst = binary.BigEndian.AppendUint16(dst, uint16(m.PeerAS))
+		dst = binary.BigEndian.AppendUint16(dst, uint16(m.LocalAS))
+	}
+	dst = binary.BigEndian.AppendUint16(dst, m.IfIndex)
+	afi := bgp.AFIIPv4
+	if !m.PeerAddr.Is4() {
+		afi = bgp.AFIIPv6
+	}
+	dst = binary.BigEndian.AppendUint16(dst, afi)
+	pa, la := m.PeerAddr.AsSlice(), m.LocalAddr.AsSlice()
+	dst = append(dst, pa...)
+	dst = append(dst, la...)
+	return append(dst, m.Data...), nil
+}
+
+func decodeBGP4MPMessage(body []byte, fourByte bool) (*BGP4MPMessage, error) {
+	asLen := 2
+	if fourByte {
+		asLen = 4
+	}
+	need := 2*asLen + 4
+	if len(body) < need {
+		return nil, fmt.Errorf("mrt: BGP4MP message header truncated: %d bytes", len(body))
+	}
+	m := &BGP4MPMessage{FourByteAS: fourByte}
+	if fourByte {
+		m.PeerAS = binary.BigEndian.Uint32(body[0:4])
+		m.LocalAS = binary.BigEndian.Uint32(body[4:8])
+	} else {
+		m.PeerAS = uint32(binary.BigEndian.Uint16(body[0:2]))
+		m.LocalAS = uint32(binary.BigEndian.Uint16(body[2:4]))
+	}
+	m.IfIndex = binary.BigEndian.Uint16(body[2*asLen:])
+	afi := binary.BigEndian.Uint16(body[2*asLen+2:])
+	rest := body[need:]
+	var alen int
+	switch afi {
+	case bgp.AFIIPv4:
+		alen = 4
+	case bgp.AFIIPv6:
+		alen = 16
+	default:
+		return nil, fmt.Errorf("mrt: BGP4MP unsupported AFI %d", afi)
+	}
+	if len(rest) < 2*alen {
+		return nil, fmt.Errorf("mrt: BGP4MP addresses truncated")
+	}
+	if alen == 4 {
+		m.PeerAddr = netip.AddrFrom4([4]byte(rest[:4]))
+		m.LocalAddr = netip.AddrFrom4([4]byte(rest[4:8]))
+	} else {
+		m.PeerAddr = netip.AddrFrom16([16]byte(rest[:16]))
+		m.LocalAddr = netip.AddrFrom16([16]byte(rest[16:32]))
+	}
+	m.Data = append([]byte(nil), rest[2*alen:]...)
+	return m, nil
+}
+
+// BGP FSM states for STATE_CHANGE records (RFC 6396 §4.4.1).
+const (
+	StateIdle        uint16 = 1
+	StateConnect     uint16 = 2
+	StateActive      uint16 = 3
+	StateOpenSent    uint16 = 4
+	StateOpenConfirm uint16 = 5
+	StateEstablished uint16 = 6
+)
+
+// BGP4MPStateChange records a session FSM transition.
+type BGP4MPStateChange struct {
+	PeerAS     uint32
+	LocalAS    uint32
+	IfIndex    uint16
+	PeerAddr   netip.Addr
+	LocalAddr  netip.Addr
+	OldState   uint16
+	NewState   uint16
+	FourByteAS bool
+}
+
+// MRTType implements Record.
+func (s *BGP4MPStateChange) MRTType() (uint16, uint16) {
+	if s.FourByteAS {
+		return TypeBGP4MP, SubtypeStateChangeAS4
+	}
+	return TypeBGP4MP, SubtypeStateChange
+}
+
+func (s *BGP4MPStateChange) appendBody(dst []byte) ([]byte, error) {
+	msg := &BGP4MPMessage{
+		PeerAS: s.PeerAS, LocalAS: s.LocalAS, IfIndex: s.IfIndex,
+		PeerAddr: s.PeerAddr, LocalAddr: s.LocalAddr, FourByteAS: s.FourByteAS,
+	}
+	dst, err := msg.appendBody(dst)
+	if err != nil {
+		return nil, err
+	}
+	dst = binary.BigEndian.AppendUint16(dst, s.OldState)
+	return binary.BigEndian.AppendUint16(dst, s.NewState), nil
+}
+
+func decodeBGP4MPStateChange(body []byte, fourByte bool) (*BGP4MPStateChange, error) {
+	m, err := decodeBGP4MPMessage(body, fourByte)
+	if err != nil {
+		return nil, err
+	}
+	if len(m.Data) != 4 {
+		return nil, fmt.Errorf("mrt: STATE_CHANGE trailer is %d bytes, want 4", len(m.Data))
+	}
+	return &BGP4MPStateChange{
+		PeerAS: m.PeerAS, LocalAS: m.LocalAS, IfIndex: m.IfIndex,
+		PeerAddr: m.PeerAddr, LocalAddr: m.LocalAddr,
+		OldState:   binary.BigEndian.Uint16(m.Data[0:2]),
+		NewState:   binary.BigEndian.Uint16(m.Data[2:4]),
+		FourByteAS: fourByte,
+	}, nil
+}

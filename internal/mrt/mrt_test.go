@@ -1,0 +1,410 @@
+package mrt
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/bgp"
+)
+
+func sampleUpdateWire(t testing.TB) []byte {
+	t.Helper()
+	u := &bgp.Update{
+		NLRI: []netip.Prefix{netip.MustParsePrefix("84.205.64.0/24")},
+		Attrs: bgp.PathAttrs{
+			Origin:      bgp.OriginIGP,
+			ASPath:      bgp.NewASPath(20205, 3356, 174, 12654),
+			NextHop:     netip.MustParseAddr("10.0.0.1"),
+			Communities: bgp.Communities{bgp.NewCommunity(3356, 901)},
+		},
+	}
+	wire, err := bgp.Marshal(u, bgp.MarshalOptions{FourByteAS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire
+}
+
+func TestBGP4MPMessageRoundTrip(t *testing.T) {
+	rec := &BGP4MPMessage{
+		PeerAS:     20205,
+		LocalAS:    12654,
+		IfIndex:    3,
+		PeerAddr:   netip.MustParseAddr("203.0.113.5"),
+		LocalAddr:  netip.MustParseAddr("203.0.113.6"),
+		Data:       sampleUpdateWire(t),
+		FourByteAS: true,
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	ts := time.Date(2020, 3, 15, 2, 0, 1, 0, time.UTC)
+	if err := w.Write(ts, rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	h, got, err := NewReader(&buf).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Time().Equal(ts) {
+		t.Errorf("timestamp = %v, want %v", h.Time(), ts)
+	}
+	m := got.(*BGP4MPMessage)
+	if m.PeerAS != 20205 || m.LocalAS != 12654 || m.IfIndex != 3 {
+		t.Errorf("header fields: %+v", m)
+	}
+	if m.PeerAddr != rec.PeerAddr || m.LocalAddr != rec.LocalAddr {
+		t.Errorf("addresses: %v %v", m.PeerAddr, m.LocalAddr)
+	}
+	msg, err := m.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	upd := msg.(*bgp.Update)
+	if upd.NLRI[0] != netip.MustParsePrefix("84.205.64.0/24") {
+		t.Errorf("decoded NLRI: %v", upd.NLRI)
+	}
+}
+
+func TestBGP4MPMessageExtendedTime(t *testing.T) {
+	rec := &BGP4MPMessage{
+		PeerAS: 1, LocalAS: 2,
+		PeerAddr:   netip.MustParseAddr("10.0.0.1"),
+		LocalAddr:  netip.MustParseAddr("10.0.0.2"),
+		Data:       sampleUpdateWire(t),
+		FourByteAS: true,
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.ExtendedTime = true
+	ts := time.Date(2020, 3, 15, 2, 0, 1, 123456000, time.UTC)
+	if err := w.Write(ts, rec); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	h, got, err := NewReader(&buf).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Microsecond != 123456 {
+		t.Errorf("microseconds = %d, want 123456", h.Microsecond)
+	}
+	if !h.Time().Equal(ts) {
+		t.Errorf("Time() = %v, want %v", h.Time(), ts)
+	}
+	if _, ok := got.(*BGP4MPMessage); !ok {
+		t.Errorf("got %T", got)
+	}
+}
+
+func TestBGP4MPMessageIPv6Session(t *testing.T) {
+	rec := &BGP4MPMessage{
+		PeerAS: 1, LocalAS: 2,
+		PeerAddr:   netip.MustParseAddr("2001:db8::1"),
+		LocalAddr:  netip.MustParseAddr("2001:db8::2"),
+		Data:       sampleUpdateWire(t),
+		FourByteAS: true,
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(time.Unix(1000, 0), rec); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	_, got, err := NewReader(&buf).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := got.(*BGP4MPMessage)
+	if m.PeerAddr != rec.PeerAddr {
+		t.Errorf("v6 peer address: %v", m.PeerAddr)
+	}
+}
+
+func TestBGP4MPMessageMixedFamiliesRejected(t *testing.T) {
+	rec := &BGP4MPMessage{
+		PeerAddr:  netip.MustParseAddr("10.0.0.1"),
+		LocalAddr: netip.MustParseAddr("2001:db8::2"),
+	}
+	var buf bytes.Buffer
+	if err := NewWriter(&buf).Write(time.Unix(0, 0), rec); err == nil {
+		t.Error("want error for mixed address families")
+	}
+}
+
+func TestBGP4MPTwoByteASOverflow(t *testing.T) {
+	rec := &BGP4MPMessage{
+		PeerAS: 4200000001, LocalAS: 1,
+		PeerAddr:  netip.MustParseAddr("10.0.0.1"),
+		LocalAddr: netip.MustParseAddr("10.0.0.2"),
+	}
+	var buf bytes.Buffer
+	if err := NewWriter(&buf).Write(time.Unix(0, 0), rec); err == nil {
+		t.Error("want error for 4-byte ASN in 2-byte record")
+	}
+}
+
+func TestStateChangeRoundTrip(t *testing.T) {
+	rec := &BGP4MPStateChange{
+		PeerAS: 20205, LocalAS: 12654,
+		PeerAddr:  netip.MustParseAddr("203.0.113.5"),
+		LocalAddr: netip.MustParseAddr("203.0.113.6"),
+		OldState:  StateEstablished, NewState: StateIdle,
+		FourByteAS: true,
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(time.Unix(5000, 0), rec); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	_, got, err := NewReader(&buf).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := got.(*BGP4MPStateChange)
+	if sc.OldState != StateEstablished || sc.NewState != StateIdle {
+		t.Errorf("states: %d -> %d", sc.OldState, sc.NewState)
+	}
+	if sc.PeerAS != 20205 {
+		t.Errorf("peer AS: %d", sc.PeerAS)
+	}
+}
+
+func TestPeerIndexTableRoundTrip(t *testing.T) {
+	tbl := &PeerIndexTable{
+		CollectorBGPID: netip.MustParseAddr("198.51.100.1"),
+		ViewName:       "rrc00",
+		Peers: []Peer{
+			{BGPID: netip.MustParseAddr("10.0.0.1"), Addr: netip.MustParseAddr("203.0.113.5"), AS: 20205},
+			{BGPID: netip.MustParseAddr("10.0.0.2"), Addr: netip.MustParseAddr("2001:db8::5"), AS: 4200000001},
+		},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(time.Unix(0, 0), tbl); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	_, got, err := NewReader(&buf).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := got.(*PeerIndexTable)
+	if back.ViewName != "rrc00" || back.CollectorBGPID != tbl.CollectorBGPID {
+		t.Errorf("table header: %+v", back)
+	}
+	if len(back.Peers) != 2 {
+		t.Fatalf("peers: %d", len(back.Peers))
+	}
+	for i := range tbl.Peers {
+		if back.Peers[i] != tbl.Peers[i] {
+			t.Errorf("peer %d: got %+v, want %+v", i, back.Peers[i], tbl.Peers[i])
+		}
+	}
+}
+
+func TestRIBUnicastRoundTrip(t *testing.T) {
+	for _, prefix := range []string{"84.205.64.0/24", "2001:7fb:ff00::/48"} {
+		rec := &RIBUnicast{
+			Sequence: 42,
+			Prefix:   netip.MustParsePrefix(prefix),
+			Entries: []RIBEntry{
+				{
+					PeerIndex:  1,
+					Originated: time.Unix(1584230400, 0).UTC(),
+					Attrs: bgp.PathAttrs{
+						Origin:      bgp.OriginIGP,
+						ASPath:      bgp.NewASPath(20205, 3356, 12654),
+						Communities: bgp.Communities{bgp.NewCommunity(3356, 901)},
+					},
+				},
+				{
+					PeerIndex:  7,
+					Originated: time.Unix(1584230500, 0).UTC(),
+					Attrs: bgp.PathAttrs{
+						Origin: bgp.OriginIGP,
+						ASPath: bgp.NewASPath(20205, 6939, 50304, 12654),
+					},
+				},
+			},
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.Write(time.Unix(0, 0), rec); err != nil {
+			t.Fatal(err)
+		}
+		w.Flush()
+		_, got, err := NewReader(&buf).Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := got.(*RIBUnicast)
+		if back.Sequence != 42 || back.Prefix != rec.Prefix {
+			t.Errorf("%s: header: %+v", prefix, back)
+		}
+		if len(back.Entries) != 2 {
+			t.Fatalf("%s: entries: %d", prefix, len(back.Entries))
+		}
+		for i := range rec.Entries {
+			if back.Entries[i].PeerIndex != rec.Entries[i].PeerIndex {
+				t.Errorf("entry %d peer index", i)
+			}
+			if !back.Entries[i].Originated.Equal(rec.Entries[i].Originated) {
+				t.Errorf("entry %d originated: %v", i, back.Entries[i].Originated)
+			}
+			if !back.Entries[i].Attrs.ASPath.Equal(rec.Entries[i].Attrs.ASPath) {
+				t.Errorf("entry %d path: %v", i, back.Entries[i].Attrs.ASPath)
+			}
+		}
+	}
+}
+
+func TestWalkSkipsUnsupported(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	rec := &BGP4MPMessage{
+		PeerAS: 1, LocalAS: 2,
+		PeerAddr:  netip.MustParseAddr("10.0.0.1"),
+		LocalAddr: netip.MustParseAddr("10.0.0.2"),
+		Data:      sampleUpdateWire(t), FourByteAS: true,
+	}
+	w.Write(time.Unix(1, 0), rec)
+	w.Flush()
+	// Splice in an unsupported record type (OSPFv2 = 11) by hand.
+	buf.Write([]byte{0, 0, 0, 2, 0, 11, 0, 0, 0, 0, 0, 3, 1, 2, 3})
+	w2 := NewWriter(&buf)
+	w2.Write(time.Unix(2, 0), rec)
+	w2.Flush()
+
+	var count int
+	err := NewReader(&buf).Walk(func(h Header, r Record) error {
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Errorf("walked %d records, want 2", count)
+	}
+}
+
+func TestWalkPropagatesCallbackError(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	rec := &BGP4MPMessage{
+		PeerAS: 1, LocalAS: 2,
+		PeerAddr:  netip.MustParseAddr("10.0.0.1"),
+		LocalAddr: netip.MustParseAddr("10.0.0.2"),
+		Data:      sampleUpdateWire(t), FourByteAS: true,
+	}
+	w.Write(time.Unix(1, 0), rec)
+	w.Flush()
+	want := errors.New("stop")
+	err := NewReader(&buf).Walk(func(Header, Record) error { return want })
+	if !errors.Is(err, want) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestReaderTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	rec := &BGP4MPMessage{
+		PeerAS: 1, LocalAS: 2,
+		PeerAddr:  netip.MustParseAddr("10.0.0.1"),
+		LocalAddr: netip.MustParseAddr("10.0.0.2"),
+		Data:      sampleUpdateWire(t), FourByteAS: true,
+	}
+	w.Write(time.Unix(1, 0), rec)
+	w.Flush()
+	full := buf.Bytes()
+
+	if _, _, err := NewReader(bytes.NewReader(full[:8])).Next(); err == nil || err == io.EOF {
+		t.Error("truncated header should error")
+	}
+	if _, _, err := NewReader(bytes.NewReader(full[:20])).Next(); err == nil || err == io.EOF {
+		t.Error("truncated body should error")
+	}
+	if _, _, err := NewReader(bytes.NewReader(nil)).Next(); err != io.EOF {
+		t.Errorf("empty stream: err = %v, want io.EOF", err)
+	}
+}
+
+func TestReaderRejectsHugeRecord(t *testing.T) {
+	hdr := []byte{0, 0, 0, 0, 0, 16, 0, 4, 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, _, err := NewReader(bytes.NewReader(hdr)).Next(); err == nil {
+		t.Error("oversized record accepted")
+	}
+}
+
+func TestRIBAttrsRoundTripProperty(t *testing.T) {
+	f := func(asn1, asn2 uint32, comm uint32, med uint32, hasMED bool) bool {
+		attrs := bgp.PathAttrs{
+			Origin:      bgp.OriginIGP,
+			ASPath:      bgp.NewASPath(asn1, asn2),
+			Communities: bgp.Communities{bgp.Community(comm)},
+			MED:         med,
+			HasMED:      hasMED,
+		}
+		if !hasMED {
+			attrs.MED = 0
+		}
+		wire, err := AppendRIBAttrs(nil, attrs)
+		if err != nil {
+			return false
+		}
+		back, err := DecodeRIBAttrs(wire)
+		if err != nil {
+			return false
+		}
+		return back.Equal(attrs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestManyRecordsStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.ExtendedTime = true
+	data := sampleUpdateWire(t)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		rec := &BGP4MPMessage{
+			PeerAS: uint32(i%100 + 1), LocalAS: 12654,
+			PeerAddr:  netip.MustParseAddr("10.0.0.1"),
+			LocalAddr: netip.MustParseAddr("10.0.0.2"),
+			Data:      data, FourByteAS: true,
+		}
+		if err := w.Write(time.Unix(int64(i), int64(i%1000)*1000), rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	var count int
+	var last time.Time
+	err := NewReader(&buf).Walk(func(h Header, r Record) error {
+		if h.Time().Before(last) {
+			t.Errorf("timestamps regress at record %d", count)
+		}
+		last = h.Time()
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Errorf("count = %d, want %d", count, n)
+	}
+}

@@ -1,0 +1,119 @@
+package mrt
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// TestReaderNeverPanicsOnGarbage streams random bytes through the MRT
+// reader: every record must parse, error, or hit EOF — never panic.
+func TestReaderNeverPanicsOnGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xCAFE))
+	for trial := 0; trial < 3000; trial++ {
+		n := rng.Intn(300)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: panic on %x: %v", trial, buf, r)
+				}
+			}()
+			r := NewReader(bytes.NewReader(buf))
+			for i := 0; i < 10; i++ {
+				if _, _, err := r.Next(); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// TestReaderMutatedValidRecords corrupts well-formed archives.
+func TestReaderMutatedValidRecords(t *testing.T) {
+	var base bytes.Buffer
+	w := NewWriter(&base)
+	w.ExtendedTime = true
+	rec := &BGP4MPMessage{
+		PeerAS: 20205, LocalAS: 12654,
+		PeerAddr:  netip.MustParseAddr("203.0.113.5"),
+		LocalAddr: netip.MustParseAddr("203.0.113.1"),
+		Data:      sampleUpdateWire(t), FourByteAS: true,
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.Write(time.Unix(int64(i), 0), rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	orig := base.Bytes()
+
+	rng := rand.New(rand.NewSource(0xDEAD))
+	for trial := 0; trial < 3000; trial++ {
+		buf := append([]byte(nil), orig...)
+		for m := 0; m < 1+rng.Intn(5); m++ {
+			buf[rng.Intn(len(buf))] = byte(rng.Intn(256))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: panic: %v", trial, r)
+				}
+			}()
+			r := NewReader(bytes.NewReader(buf))
+			for {
+				if _, _, err := r.Next(); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// TestRIBAttrsDecodeGarbage exercises the RIB attribute block decoder.
+func TestRIBAttrsDecodeGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		buf := make([]byte, rng.Intn(100))
+		rng.Read(buf)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: panic on %x: %v", trial, buf, r)
+				}
+			}()
+			DecodeRIBAttrs(buf)
+		}()
+	}
+}
+
+// TestReaderStopsAtCleanEOF confirms a partial trailing record errors
+// rather than silently truncating.
+func TestReaderStopsAtCleanEOF(t *testing.T) {
+	var base bytes.Buffer
+	w := NewWriter(&base)
+	rec := &BGP4MPMessage{
+		PeerAS: 1, LocalAS: 2,
+		PeerAddr:  netip.MustParseAddr("10.0.0.1"),
+		LocalAddr: netip.MustParseAddr("10.0.0.2"),
+		Data:      sampleUpdateWire(t), FourByteAS: true,
+	}
+	w.Write(time.Unix(0, 0), rec)
+	w.Write(time.Unix(1, 0), rec)
+	w.Flush()
+	full := base.Bytes()
+
+	// Cut in the middle of the second record.
+	cut := len(full) - 7
+	r := NewReader(bytes.NewReader(full[:cut]))
+	if _, _, err := r.Next(); err != nil {
+		t.Fatalf("first record: %v", err)
+	}
+	if _, _, err := r.Next(); err == nil || err == io.EOF {
+		t.Errorf("truncated trailing record: err = %v, want a real error", err)
+	}
+}

@@ -1,0 +1,226 @@
+package mrt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"repro/internal/bgp"
+)
+
+// Peer index table peer-type flag bits.
+const (
+	peerFlagIPv6 uint8 = 0x1
+	peerFlagAS4  uint8 = 0x2
+)
+
+// Peer is one entry in a TABLE_DUMP_V2 PEER_INDEX_TABLE.
+type Peer struct {
+	BGPID netip.Addr
+	Addr  netip.Addr
+	AS    uint32
+}
+
+// PeerIndexTable maps the peer indexes used by subsequent RIB records.
+type PeerIndexTable struct {
+	CollectorBGPID netip.Addr
+	ViewName       string
+	Peers          []Peer
+}
+
+// MRTType implements Record.
+func (*PeerIndexTable) MRTType() (uint16, uint16) { return TypeTableDumpV2, SubtypePeerIndexTable }
+
+func (t *PeerIndexTable) appendBody(dst []byte) ([]byte, error) {
+	if !t.CollectorBGPID.Is4() {
+		return nil, fmt.Errorf("mrt: collector BGP ID %v is not IPv4", t.CollectorBGPID)
+	}
+	id := t.CollectorBGPID.As4()
+	dst = append(dst, id[:]...)
+	if len(t.ViewName) > 0xFFFF {
+		return nil, fmt.Errorf("mrt: view name too long")
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(t.ViewName)))
+	dst = append(dst, t.ViewName...)
+	if len(t.Peers) > 0xFFFF {
+		return nil, fmt.Errorf("mrt: too many peers: %d", len(t.Peers))
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(t.Peers)))
+	for _, p := range t.Peers {
+		var flags uint8 = peerFlagAS4 // always write 4-byte ASNs
+		if !p.Addr.Is4() {
+			flags |= peerFlagIPv6
+		}
+		dst = append(dst, flags)
+		if !p.BGPID.Is4() {
+			return nil, fmt.Errorf("mrt: peer BGP ID %v is not IPv4", p.BGPID)
+		}
+		pid := p.BGPID.As4()
+		dst = append(dst, pid[:]...)
+		dst = append(dst, p.Addr.AsSlice()...)
+		dst = binary.BigEndian.AppendUint32(dst, p.AS)
+	}
+	return dst, nil
+}
+
+func decodePeerIndexTable(body []byte) (*PeerIndexTable, error) {
+	if len(body) < 8 {
+		return nil, fmt.Errorf("mrt: PEER_INDEX_TABLE truncated")
+	}
+	t := &PeerIndexTable{CollectorBGPID: netip.AddrFrom4([4]byte(body[0:4]))}
+	nameLen := int(binary.BigEndian.Uint16(body[4:6]))
+	if len(body) < 6+nameLen+2 {
+		return nil, fmt.Errorf("mrt: PEER_INDEX_TABLE view name truncated")
+	}
+	t.ViewName = string(body[6 : 6+nameLen])
+	rest := body[6+nameLen:]
+	count := int(binary.BigEndian.Uint16(rest[0:2]))
+	rest = rest[2:]
+	for i := 0; i < count; i++ {
+		if len(rest) < 5 {
+			return nil, fmt.Errorf("mrt: peer entry %d truncated", i)
+		}
+		flags := rest[0]
+		var p Peer
+		p.BGPID = netip.AddrFrom4([4]byte(rest[1:5]))
+		rest = rest[5:]
+		alen := 4
+		if flags&peerFlagIPv6 != 0 {
+			alen = 16
+		}
+		asLen := 2
+		if flags&peerFlagAS4 != 0 {
+			asLen = 4
+		}
+		if len(rest) < alen+asLen {
+			return nil, fmt.Errorf("mrt: peer entry %d body truncated", i)
+		}
+		if alen == 4 {
+			p.Addr = netip.AddrFrom4([4]byte(rest[:4]))
+		} else {
+			p.Addr = netip.AddrFrom16([16]byte(rest[:16]))
+		}
+		if asLen == 4 {
+			p.AS = binary.BigEndian.Uint32(rest[alen:])
+		} else {
+			p.AS = uint32(binary.BigEndian.Uint16(rest[alen:]))
+		}
+		rest = rest[alen+asLen:]
+		t.Peers = append(t.Peers, p)
+	}
+	return t, nil
+}
+
+// RIBEntry is one peer's path for a prefix in a RIB snapshot record.
+type RIBEntry struct {
+	PeerIndex  uint16
+	Originated time.Time
+	Attrs      bgp.PathAttrs
+}
+
+// RIBUnicast is a TABLE_DUMP_V2 RIB_IPV4_UNICAST or RIB_IPV6_UNICAST record.
+type RIBUnicast struct {
+	Sequence uint32
+	Prefix   netip.Prefix
+	Entries  []RIBEntry
+}
+
+// MRTType implements Record.
+func (r *RIBUnicast) MRTType() (uint16, uint16) {
+	if r.Prefix.Addr().Is4() {
+		return TypeTableDumpV2, SubtypeRIBIPv4Unicast
+	}
+	return TypeTableDumpV2, SubtypeRIBIPv6Unicast
+}
+
+func (r *RIBUnicast) appendBody(dst []byte) ([]byte, error) {
+	dst = binary.BigEndian.AppendUint32(dst, r.Sequence)
+	dst = bgp.AppendPrefix(dst, r.Prefix)
+	if len(r.Entries) > 0xFFFF {
+		return nil, fmt.Errorf("mrt: too many RIB entries: %d", len(r.Entries))
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(r.Entries)))
+	for _, e := range r.Entries {
+		dst = binary.BigEndian.AppendUint16(dst, e.PeerIndex)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(e.Originated.Unix()))
+		attrs, err := AppendRIBAttrs(nil, e.Attrs)
+		if err != nil {
+			return nil, err
+		}
+		if len(attrs) > 0xFFFF {
+			return nil, fmt.Errorf("mrt: RIB entry attributes too long")
+		}
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(attrs)))
+		dst = append(dst, attrs...)
+	}
+	return dst, nil
+}
+
+func decodeRIBUnicast(body []byte, afi uint16) (*RIBUnicast, error) {
+	if len(body) < 4 {
+		return nil, fmt.Errorf("mrt: RIB record truncated")
+	}
+	r := &RIBUnicast{Sequence: binary.BigEndian.Uint32(body[0:4])}
+	prefix, n, err := bgp.DecodePrefix(body[4:], afi)
+	if err != nil {
+		return nil, err
+	}
+	r.Prefix = prefix
+	rest := body[4+n:]
+	if len(rest) < 2 {
+		return nil, fmt.Errorf("mrt: RIB entry count truncated")
+	}
+	count := int(binary.BigEndian.Uint16(rest[0:2]))
+	rest = rest[2:]
+	for i := 0; i < count; i++ {
+		if len(rest) < 8 {
+			return nil, fmt.Errorf("mrt: RIB entry %d header truncated", i)
+		}
+		var e RIBEntry
+		e.PeerIndex = binary.BigEndian.Uint16(rest[0:2])
+		e.Originated = time.Unix(int64(binary.BigEndian.Uint32(rest[2:6])), 0).UTC()
+		alen := int(binary.BigEndian.Uint16(rest[6:8]))
+		if len(rest) < 8+alen {
+			return nil, fmt.Errorf("mrt: RIB entry %d attributes truncated", i)
+		}
+		attrs, err := DecodeRIBAttrs(rest[8 : 8+alen])
+		if err != nil {
+			return nil, err
+		}
+		e.Attrs = attrs
+		r.Entries = append(r.Entries, e)
+		rest = rest[8+alen:]
+	}
+	return r, nil
+}
+
+// AppendRIBAttrs serializes a path attribute block as found inside
+// TABLE_DUMP_V2 RIB entries (always 4-byte AS encoding, per RFC 6396 §4.3.4).
+func AppendRIBAttrs(dst []byte, attrs bgp.PathAttrs) ([]byte, error) {
+	u := &bgp.Update{Attrs: attrs, NLRI: nil}
+	wire, err := bgp.Marshal(u, bgp.MarshalOptions{FourByteAS: true})
+	if err != nil {
+		return nil, err
+	}
+	// Strip header (19), withdrawn len (2), and attr len (2) to get the bare
+	// attribute block.
+	body := wire[bgp.HeaderLen:]
+	wdLen := int(binary.BigEndian.Uint16(body[0:2]))
+	attrBlock := body[2+wdLen+2:]
+	return append(dst, attrBlock...), nil
+}
+
+// DecodeRIBAttrs parses a bare path attribute block from a RIB entry.
+func DecodeRIBAttrs(b []byte) (bgp.PathAttrs, error) {
+	// Reconstruct an UPDATE body around the block and reuse the bgp decoder.
+	body := make([]byte, 0, len(b)+4)
+	body = append(body, 0, 0) // no withdrawn routes
+	body = binary.BigEndian.AppendUint16(body, uint16(len(b)))
+	body = append(body, b...)
+	u, err := bgp.DecodeUpdate(body, bgp.MarshalOptions{FourByteAS: true})
+	if err != nil {
+		return bgp.PathAttrs{}, err
+	}
+	return u.Attrs, nil
+}

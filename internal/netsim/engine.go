@@ -1,0 +1,110 @@
+// Package netsim provides the deterministic discrete-event engine under the
+// lab testbed and beacon simulations: a virtual clock, an ordered event
+// queue, and a message trace facility. All simulated routers share one
+// engine, so every run is exactly reproducible.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Engine is a discrete-event scheduler with a virtual clock.
+type Engine struct {
+	now   time.Time
+	seq   uint64
+	queue eventQueue
+}
+
+type event struct {
+	at  time.Time
+	seq uint64 // tie-break: FIFO among same-instant events
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+
+// NewEngine returns an engine whose clock starts at start.
+func NewEngine(start time.Time) *Engine {
+	return &Engine{now: start}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Time { return e.now }
+
+// Schedule runs fn after the given virtual delay. A negative delay is
+// treated as zero (run at the current instant, after already-queued events
+// for that instant).
+func (e *Engine) Schedule(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.ScheduleAt(e.now.Add(d), fn)
+}
+
+// ScheduleAt runs fn at the given virtual time. Times in the past are
+// clamped to now.
+func (e *Engine) ScheduleAt(t time.Time, fn func()) {
+	if t.Before(e.now) {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// Step executes the next pending event, advancing the clock to it. It
+// reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains and returns the number of
+// events executed. maxEvents bounds runaway simulations; pass 0 for the
+// default of one million.
+func (e *Engine) Run(maxEvents int) (int, error) {
+	if maxEvents <= 0 {
+		maxEvents = 1_000_000
+	}
+	n := 0
+	for e.Step() {
+		n++
+		if n >= maxEvents {
+			return n, fmt.Errorf("netsim: event budget %d exhausted (likely oscillation)", maxEvents)
+		}
+	}
+	return n, nil
+}
+
+// RunUntil executes events with at-time <= t, then advances the clock to t.
+func (e *Engine) RunUntil(t time.Time) int {
+	n := 0
+	for len(e.queue) > 0 && !e.queue[0].at.After(t) {
+		e.Step()
+		n++
+	}
+	if e.now.Before(t) {
+		e.now = t
+	}
+	return n
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }

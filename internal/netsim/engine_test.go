@@ -1,0 +1,134 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine(t0)
+	var order []int
+	e.Schedule(2*time.Second, func() { order = append(order, 2) })
+	e.Schedule(1*time.Second, func() { order = append(order, 1) })
+	e.Schedule(3*time.Second, func() { order = append(order, 3) })
+	n, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("ran %d events", n)
+	}
+	for i, v := range []int{1, 2, 3} {
+		if order[i] != v {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if !e.Now().Equal(t0.Add(3 * time.Second)) {
+		t.Errorf("Now() = %v", e.Now())
+	}
+}
+
+func TestEngineFIFOWithinInstant(t *testing.T) {
+	e := NewEngine(t0)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	e.Run(0)
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-instant events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineCascade(t *testing.T) {
+	e := NewEngine(t0)
+	var hits int
+	var recurse func(depth int)
+	recurse = func(depth int) {
+		hits++
+		if depth < 5 {
+			e.Schedule(time.Millisecond, func() { recurse(depth + 1) })
+		}
+	}
+	e.Schedule(0, func() { recurse(0) })
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if hits != 6 {
+		t.Errorf("hits = %d", hits)
+	}
+}
+
+func TestEngineBudget(t *testing.T) {
+	e := NewEngine(t0)
+	var loop func()
+	loop = func() { e.Schedule(time.Millisecond, loop) }
+	e.Schedule(0, loop)
+	if _, err := e.Run(100); err == nil {
+		t.Error("want budget-exhausted error")
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine(t0)
+	var hits []time.Duration
+	for _, d := range []time.Duration{time.Second, 5 * time.Second, 10 * time.Second} {
+		d := d
+		e.Schedule(d, func() { hits = append(hits, d) })
+	}
+	n := e.RunUntil(t0.Add(6 * time.Second))
+	if n != 2 || len(hits) != 2 {
+		t.Errorf("ran %d events, hits %v", n, hits)
+	}
+	if !e.Now().Equal(t0.Add(6 * time.Second)) {
+		t.Errorf("Now() = %v", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending() = %d", e.Pending())
+	}
+	e.RunUntil(t0.Add(time.Hour))
+	if len(hits) != 3 {
+		t.Errorf("remaining event not run: %v", hits)
+	}
+}
+
+func TestEnginePastSchedulingClamps(t *testing.T) {
+	e := NewEngine(t0)
+	var ran bool
+	e.Schedule(time.Second, func() {
+		// Scheduling in the past must still execute, at the current instant.
+		e.ScheduleAt(t0, func() { ran = true })
+	})
+	e.Run(0)
+	if !ran {
+		t.Error("past-scheduled event never ran")
+	}
+	if e.Now().Before(t0.Add(time.Second)) {
+		t.Error("clock went backwards")
+	}
+}
+
+func TestEngineNegativeDelay(t *testing.T) {
+	e := NewEngine(t0)
+	ran := false
+	e.Schedule(-5*time.Second, func() { ran = true })
+	e.Run(0)
+	if !ran {
+		t.Error("negative-delay event never ran")
+	}
+	if !e.Now().Equal(t0) {
+		t.Errorf("Now() = %v, want %v", e.Now(), t0)
+	}
+}
+
+func TestEngineStepEmpty(t *testing.T) {
+	e := NewEngine(t0)
+	if e.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+}

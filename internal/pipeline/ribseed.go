@@ -1,0 +1,77 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/classify"
+	"repro/internal/mrt"
+)
+
+// RIBEvents converts a TABLE_DUMP_V2 snapshot stream into one synthetic
+// announcement event per (peer, prefix) RIB entry, timestamped at the
+// snapshot instant. Feeding these to a classifier before the day's update
+// archive seeds every stream's previous-announcement state, so the first
+// real update of the day classifies against the RIB rather than as a
+// stream opener — the standard bview + updates bootstrap.
+func RIBEvents(collector string, r *mrt.Reader) ([]classify.Event, error) {
+	var peers []mrt.Peer
+	var out []classify.Event
+	err := r.Walk(func(h mrt.Header, rec mrt.Record) error {
+		switch rec := rec.(type) {
+		case *mrt.PeerIndexTable:
+			peers = rec.Peers
+		case *mrt.RIBUnicast:
+			for _, entry := range rec.Entries {
+				if int(entry.PeerIndex) >= len(peers) {
+					return fmt.Errorf("pipeline: RIB entry references peer index %d of %d",
+						entry.PeerIndex, len(peers))
+				}
+				peer := peers[entry.PeerIndex]
+				out = append(out, classify.Event{
+					Time:        h.Time(),
+					Collector:   collector,
+					PeerAS:      peer.AS,
+					PeerAddr:    peer.Addr,
+					Prefix:      rec.Prefix,
+					ASPath:      entry.Attrs.ASPath,
+					Communities: entry.Attrs.Communities.Canonical(),
+					HasMED:      entry.Attrs.HasMED,
+					MED:         entry.Attrs.MED,
+				})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SeedClassifier feeds RIB snapshot events into cl, discarding the
+// (First) classifications, and returns the number of streams seeded.
+func SeedClassifier(cl *classify.Classifier, events []classify.Event) int {
+	n := 0
+	seen := make(map[string]bool)
+	for _, e := range events {
+		if _, ok := cl.Observe(e); ok {
+			key := e.Collector + "|" + e.PeerAddr.String() + "|" + e.Prefix.String()
+			if !seen[key] {
+				seen[key] = true
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// PrimeClock records the snapshot time as the collector's last-seen
+// timestamp so same-second disambiguation continues monotonically across
+// the bview/updates boundary.
+func (n *Normalizer) PrimeClock(collector string, events []classify.Event) {
+	for _, e := range events {
+		if last, ok := n.lastTime[collector]; !ok || e.Time.After(last) {
+			n.lastTime[collector] = e.Time
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package registry provides a time-aware ASN and prefix allocation
+// database standing in for the regional-registry data the paper uses to
+// filter bogons (§4): "we remove BGP messages that contain an unallocated
+// ASN or prefix at the time of the message."
+package registry
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+)
+
+type asnRange struct {
+	lo, hi uint32
+	from   time.Time
+}
+
+type prefixAlloc struct {
+	prefix netip.Prefix
+	from   time.Time
+}
+
+// Registry answers "was this ASN / prefix allocated at time t" queries.
+// The zero value is an empty registry (everything is a bogon).
+// Prefix lookups are served by per-family binary tries, rebuilt lazily
+// after mutation, so the §4 bogon filter stays O(prefix length) even with
+// large allocation tables.
+type Registry struct {
+	asns     []asnRange
+	prefixes []prefixAlloc
+	sorted   bool
+
+	trieV4, trieV6 *prefixTrie
+}
+
+// New returns an empty registry.
+func New() *Registry { return &Registry{} }
+
+// AllocateASN records that asn was allocated starting at from.
+func (r *Registry) AllocateASN(asn uint32, from time.Time) {
+	r.AllocateASNRange(asn, asn, from)
+}
+
+// AllocateASNRange records an inclusive allocation block.
+func (r *Registry) AllocateASNRange(lo, hi uint32, from time.Time) {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	r.asns = append(r.asns, asnRange{lo: lo, hi: hi, from: from})
+	r.sorted = false
+}
+
+// AllocatePrefix records that prefix (and all more-specifics) was allocated
+// starting at from.
+func (r *Registry) AllocatePrefix(p netip.Prefix, from time.Time) {
+	r.prefixes = append(r.prefixes, prefixAlloc{prefix: p.Masked(), from: from})
+	r.sorted = false
+	r.trieV4, r.trieV6 = nil, nil
+}
+
+func (r *Registry) ensureSorted() {
+	if r.sorted {
+		return
+	}
+	sort.Slice(r.asns, func(i, j int) bool { return r.asns[i].lo < r.asns[j].lo })
+	r.sorted = true
+}
+
+// ASNAllocated reports whether asn was allocated at time t.
+func (r *Registry) ASNAllocated(asn uint32, t time.Time) bool {
+	r.ensureSorted()
+	// Binary search for the first range with lo > asn, then scan backwards
+	// over candidates (ranges may overlap).
+	i := sort.Search(len(r.asns), func(i int) bool { return r.asns[i].lo > asn })
+	for j := i - 1; j >= 0; j-- {
+		rr := r.asns[j]
+		if rr.hi >= asn && !rr.from.After(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// PrefixAllocated reports whether p fell inside an allocated block at t.
+func (r *Registry) PrefixAllocated(p netip.Prefix, t time.Time) bool {
+	r.ensureTries()
+	if p.Addr().Is4() {
+		return r.trieV4.allocated(p, t)
+	}
+	return r.trieV6.allocated(p, t)
+}
+
+// ensureTries rebuilds the per-family lookup tries after mutation.
+func (r *Registry) ensureTries() {
+	if r.trieV4 != nil && r.trieV6 != nil {
+		return
+	}
+	r.trieV4, r.trieV6 = &prefixTrie{}, &prefixTrie{}
+	for _, a := range r.prefixes {
+		if a.prefix.Addr().Is4() {
+			r.trieV4.insert(a.prefix, a.from)
+		} else {
+			r.trieV6.insert(a.prefix, a.from)
+		}
+	}
+}
+
+// PathAllocated reports whether every ASN in the path was allocated at t.
+func (r *Registry) PathAllocated(asns []uint32, t time.Time) bool {
+	for _, a := range asns {
+		if !r.ASNAllocated(a, t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Synthetic returns the registry backing the synthetic workloads: the
+// documentation/test and private-use number spaces used by the generator,
+// plus RIPE's beacon resources, all allocated from the given epoch.
+func Synthetic(epoch time.Time) *Registry {
+	r := New()
+	// The generator's AS space: 16-bit private + public-style blocks.
+	r.AllocateASNRange(1, 64495, epoch)
+	r.AllocateASNRange(64512, 65534, epoch)
+	// 32-bit private block (RFC 6996).
+	r.AllocateASNRange(4200000000, 4294967294, epoch)
+	// RIS beacon origin.
+	r.AllocateASN(12654, epoch)
+	// Prefix space used by the generator and the beacons.
+	r.AllocatePrefix(netip.MustParsePrefix("10.0.0.0/8"), epoch)
+	r.AllocatePrefix(netip.MustParsePrefix("84.205.0.0/16"), epoch)
+	r.AllocatePrefix(netip.MustParsePrefix("100.64.0.0/10"), epoch)
+	r.AllocatePrefix(netip.MustParsePrefix("2001:7fb::/32"), epoch)
+	r.AllocatePrefix(netip.MustParsePrefix("2001:db8::/32"), epoch)
+	r.AllocatePrefix(netip.MustParsePrefix("fd00::/8"), epoch)
+	return r
+}

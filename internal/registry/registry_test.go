@@ -1,0 +1,134 @@
+package registry
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+)
+
+var (
+	y2010 = time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+	y2015 = time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+	y2020 = time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+)
+
+func TestASNAllocation(t *testing.T) {
+	r := New()
+	r.AllocateASN(3356, y2010)
+	r.AllocateASNRange(64512, 65534, y2015)
+
+	if !r.ASNAllocated(3356, y2020) {
+		t.Error("3356 should be allocated in 2020")
+	}
+	if r.ASNAllocated(3356, y2010.Add(-time.Hour)) {
+		t.Error("3356 should not be allocated before 2010")
+	}
+	if !r.ASNAllocated(3356, y2010) {
+		t.Error("allocation instant should count")
+	}
+	if !r.ASNAllocated(65000, y2020) {
+		t.Error("range member should be allocated")
+	}
+	if r.ASNAllocated(65000, y2010) {
+		t.Error("range member allocated before its date")
+	}
+	if r.ASNAllocated(63000, y2020) {
+		t.Error("unallocated ASN accepted")
+	}
+	if r.ASNAllocated(65535, y2020) {
+		t.Error("ASN just past range end accepted")
+	}
+	// Range boundaries inclusive.
+	if !r.ASNAllocated(64512, y2020) || !r.ASNAllocated(65534, y2020) {
+		t.Error("range boundaries should be allocated")
+	}
+}
+
+func TestASNRangeSwappedBounds(t *testing.T) {
+	r := New()
+	r.AllocateASNRange(100, 50, y2010)
+	if !r.ASNAllocated(75, y2020) {
+		t.Error("swapped bounds should be normalized")
+	}
+}
+
+func TestOverlappingRanges(t *testing.T) {
+	r := New()
+	r.AllocateASNRange(1, 100, y2020) // allocated late
+	r.AllocateASNRange(50, 60, y2010) // subset allocated early
+	if !r.ASNAllocated(55, y2015) {
+		t.Error("early subset allocation not found under overlap")
+	}
+	if r.ASNAllocated(10, y2015) {
+		t.Error("non-subset member allocated early")
+	}
+}
+
+func TestPrefixAllocation(t *testing.T) {
+	r := New()
+	r.AllocatePrefix(netip.MustParsePrefix("84.205.0.0/16"), y2010)
+
+	if !r.PrefixAllocated(netip.MustParsePrefix("84.205.64.0/24"), y2020) {
+		t.Error("more-specific of allocated block rejected")
+	}
+	if !r.PrefixAllocated(netip.MustParsePrefix("84.205.0.0/16"), y2020) {
+		t.Error("exact allocated block rejected")
+	}
+	if r.PrefixAllocated(netip.MustParsePrefix("84.0.0.0/8"), y2020) {
+		t.Error("less-specific (covering) prefix accepted")
+	}
+	if r.PrefixAllocated(netip.MustParsePrefix("84.206.0.0/24"), y2020) {
+		t.Error("sibling prefix accepted")
+	}
+	if r.PrefixAllocated(netip.MustParsePrefix("84.205.64.0/24"), y2010.Add(-time.Hour)) {
+		t.Error("prefix allocated before its date")
+	}
+}
+
+func TestPathAllocated(t *testing.T) {
+	r := New()
+	r.AllocateASN(1, y2010)
+	r.AllocateASN(2, y2010)
+	if !r.PathAllocated([]uint32{1, 2}, y2020) {
+		t.Error("fully allocated path rejected")
+	}
+	if r.PathAllocated([]uint32{1, 2, 3}, y2020) {
+		t.Error("path with bogon ASN accepted")
+	}
+	if !r.PathAllocated(nil, y2020) {
+		t.Error("empty path should be vacuously allocated")
+	}
+}
+
+func TestSynthetic(t *testing.T) {
+	r := Synthetic(y2010)
+	for _, asn := range []uint32{12654, 3356, 65001, 4200000001} {
+		if !r.ASNAllocated(asn, y2020) {
+			t.Errorf("synthetic registry missing ASN %d", asn)
+		}
+	}
+	if r.ASNAllocated(0, y2020) {
+		t.Error("AS0 should never be allocated")
+	}
+	if r.ASNAllocated(64500, y2020) {
+		t.Error("reserved gap 64496-64511 should be unallocated")
+	}
+	for _, p := range []string{"84.205.64.0/24", "10.1.2.0/24", "2001:7fb:ff00::/48"} {
+		if !r.PrefixAllocated(netip.MustParsePrefix(p), y2020) {
+			t.Errorf("synthetic registry missing prefix %s", p)
+		}
+	}
+	if r.PrefixAllocated(netip.MustParsePrefix("192.88.99.0/24"), y2020) {
+		t.Error("unlisted prefix allocated")
+	}
+}
+
+func TestEmptyRegistry(t *testing.T) {
+	r := New()
+	if r.ASNAllocated(1, y2020) {
+		t.Error("empty registry allocated an ASN")
+	}
+	if r.PrefixAllocated(netip.MustParsePrefix("10.0.0.0/8"), y2020) {
+		t.Error("empty registry allocated a prefix")
+	}
+}

@@ -1,0 +1,63 @@
+package registry
+
+import (
+	"net/netip"
+	"time"
+)
+
+// trieNode is one node of a binary prefix trie. An allocation recorded at
+// a node covers every more-specific prefix below it; the earliest
+// allocation time wins when a prefix is recorded twice.
+type trieNode struct {
+	children [2]*trieNode
+	hasAlloc bool
+	from     time.Time
+}
+
+// prefixTrie indexes allocations for one address family.
+type prefixTrie struct {
+	root trieNode
+}
+
+// bitAt returns bit i (0 = most significant) of the address.
+func bitAt(addr netip.Addr, i int) int {
+	b := addr.AsSlice()
+	return int(b[i/8]>>(7-i%8)) & 1
+}
+
+// insert records an allocation for prefix starting at from.
+func (t *prefixTrie) insert(p netip.Prefix, from time.Time) {
+	node := &t.root
+	addr := p.Addr()
+	for i := 0; i < p.Bits(); i++ {
+		bit := bitAt(addr, i)
+		if node.children[bit] == nil {
+			node.children[bit] = &trieNode{}
+		}
+		node = node.children[bit]
+	}
+	if !node.hasAlloc || from.Before(node.from) {
+		node.hasAlloc = true
+		node.from = from
+	}
+}
+
+// allocated reports whether p was covered by an allocation (equal or
+// less-specific prefix) active at time at.
+func (t *prefixTrie) allocated(p netip.Prefix, at time.Time) bool {
+	node := &t.root
+	addr := p.Addr()
+	for i := 0; ; i++ {
+		if node.hasAlloc && !node.from.After(at) {
+			return true
+		}
+		if i == p.Bits() {
+			return false
+		}
+		next := node.children[bitAt(addr, i)]
+		if next == nil {
+			return false
+		}
+		node = next
+	}
+}

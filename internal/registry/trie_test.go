@@ -1,0 +1,128 @@
+package registry
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// linearAllocated is the reference implementation the trie must match.
+func linearAllocated(allocs []prefixAlloc, p netip.Prefix, t time.Time) bool {
+	for _, a := range allocs {
+		if a.from.After(t) {
+			continue
+		}
+		if a.prefix.Contains(p.Addr()) && a.prefix.Bits() <= p.Bits() {
+			return true
+		}
+	}
+	return false
+}
+
+func randPrefix(rng *rand.Rand, v4 bool) netip.Prefix {
+	if v4 {
+		var b [4]byte
+		rng.Read(b[:])
+		bits := rng.Intn(33)
+		p, _ := netip.AddrFrom4(b).Prefix(bits)
+		return p
+	}
+	var b [16]byte
+	rng.Read(b[:])
+	bits := rng.Intn(129)
+	p, _ := netip.AddrFrom16(b).Prefix(bits)
+	return p
+}
+
+// TestTrieMatchesLinearReference cross-validates the trie against the
+// straightforward scan on random allocation tables and queries.
+func TestTrieMatchesLinearReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	for trial := 0; trial < 50; trial++ {
+		v4 := trial%2 == 0
+		r := New()
+		var allocs []prefixAlloc
+		for i := 0; i < 40; i++ {
+			p := randPrefix(rng, v4)
+			from := y2010.Add(time.Duration(rng.Intn(100000)) * time.Minute)
+			r.AllocatePrefix(p, from)
+			allocs = append(allocs, prefixAlloc{prefix: p.Masked(), from: from})
+		}
+		for q := 0; q < 300; q++ {
+			p := randPrefix(rng, v4)
+			at := y2010.Add(time.Duration(rng.Intn(120000)) * time.Minute)
+			want := linearAllocated(allocs, p, at)
+			got := r.PrefixAllocated(p, at)
+			if got != want {
+				t.Fatalf("trial %d: PrefixAllocated(%v, %v) = %v, want %v", trial, p, at, got, want)
+			}
+		}
+	}
+}
+
+func TestTrieDefaultRoute(t *testing.T) {
+	r := New()
+	r.AllocatePrefix(netip.MustParsePrefix("0.0.0.0/0"), y2010)
+	if !r.PrefixAllocated(netip.MustParsePrefix("203.0.113.0/24"), y2020) {
+		t.Error("default route should cover everything")
+	}
+	if r.PrefixAllocated(netip.MustParsePrefix("2001:db8::/32"), y2020) {
+		t.Error("v4 default route must not cover v6")
+	}
+}
+
+func TestTrieExactHostRoute(t *testing.T) {
+	r := New()
+	r.AllocatePrefix(netip.MustParsePrefix("192.0.2.1/32"), y2010)
+	if !r.PrefixAllocated(netip.MustParsePrefix("192.0.2.1/32"), y2020) {
+		t.Error("exact /32 miss")
+	}
+	if r.PrefixAllocated(netip.MustParsePrefix("192.0.2.0/24"), y2020) {
+		t.Error("/24 covered by a /32")
+	}
+	if r.PrefixAllocated(netip.MustParsePrefix("192.0.2.2/32"), y2020) {
+		t.Error("sibling /32 covered")
+	}
+}
+
+func TestTrieEarliestAllocationWins(t *testing.T) {
+	r := New()
+	p := netip.MustParsePrefix("10.0.0.0/8")
+	r.AllocatePrefix(p, y2020)
+	r.AllocatePrefix(p, y2010) // re-recorded with an earlier date
+	if !r.PrefixAllocated(netip.MustParsePrefix("10.1.0.0/16"), y2015) {
+		t.Error("earlier allocation date lost")
+	}
+}
+
+func TestTrieMutationInvalidates(t *testing.T) {
+	r := New()
+	q := netip.MustParsePrefix("198.51.100.0/24")
+	if r.PrefixAllocated(q, y2020) {
+		t.Fatal("empty registry allocated")
+	}
+	// Allocation after a query must take effect (trie rebuild).
+	r.AllocatePrefix(netip.MustParsePrefix("198.51.100.0/22"), y2010)
+	if !r.PrefixAllocated(q, y2020) {
+		t.Error("allocation after first query ignored")
+	}
+}
+
+func BenchmarkTrieLookup(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	r := New()
+	for i := 0; i < 10000; i++ {
+		r.AllocatePrefix(randPrefix(rng, true), y2010)
+	}
+	queries := make([]netip.Prefix, 1024)
+	for i := range queries {
+		queries[i] = randPrefix(rng, true)
+	}
+	r.PrefixAllocated(queries[0], y2020) // build tries outside the timer
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.PrefixAllocated(queries[i%len(queries)], y2020)
+	}
+}

@@ -1,0 +1,315 @@
+// Package rib implements BGP routing information bases and the RFC 4271
+// decision process used by the simulated routers: per-peer Adj-RIB-In,
+// the Loc-RIB best-path selection, and per-peer Adj-RIB-Out state for
+// duplicate detection.
+package rib
+
+import (
+	"net/netip"
+	"sort"
+
+	"repro/internal/bgp"
+)
+
+// DefaultLocalPref is applied to routes without an explicit LOCAL_PREF.
+const DefaultLocalPref uint32 = 100
+
+// Route is a received path for one prefix, as held in an Adj-RIB-In after
+// import policy.
+type Route struct {
+	Prefix netip.Prefix
+	Attrs  bgp.PathAttrs
+
+	// PeerAddr and PeerAS identify the session the route was learned on.
+	PeerAddr netip.Addr
+	PeerAS   uint32
+	// FromIBGP marks routes learned over iBGP.
+	FromIBGP bool
+	// PeerRouterID is the advertising router's BGP identifier (tie-break).
+	PeerRouterID netip.Addr
+	// IGPMetric is the cost to reach the next hop (tie-break).
+	IGPMetric uint32
+	// Local marks locally originated routes, which beat all learned ones.
+	Local bool
+}
+
+// Clone returns a deep copy of the route.
+func (r *Route) Clone() *Route {
+	if r == nil {
+		return nil
+	}
+	out := *r
+	out.Attrs = r.Attrs.Clone()
+	return &out
+}
+
+// localPref returns the effective LOCAL_PREF.
+func (r *Route) localPref() uint32 {
+	if r.Attrs.HasLocalPref {
+		return r.Attrs.LocalPref
+	}
+	return DefaultLocalPref
+}
+
+// med returns the effective MED (absent compares as 0, the common default).
+func (r *Route) med() uint32 {
+	if r.Attrs.HasMED {
+		return r.Attrs.MED
+	}
+	return 0
+}
+
+// neighborAS returns the first AS in the path, used to scope MED comparison.
+func (r *Route) neighborAS() (uint32, bool) { return r.Attrs.ASPath.FirstAS() }
+
+// Compare implements the BGP decision process. It returns a negative value
+// if a is preferred over b, positive if b is preferred, and never 0 for
+// distinct routes (the final tie-breaks are total).
+func Compare(a, b *Route) int {
+	// 0. Locally originated routes win.
+	if a.Local != b.Local {
+		if a.Local {
+			return -1
+		}
+		return 1
+	}
+	// 1. Highest LOCAL_PREF.
+	if la, lb := a.localPref(), b.localPref(); la != lb {
+		if la > lb {
+			return -1
+		}
+		return 1
+	}
+	// 2. Shortest AS path.
+	if pa, pb := a.Attrs.ASPath.Length(), b.Attrs.ASPath.Length(); pa != pb {
+		if pa < pb {
+			return -1
+		}
+		return 1
+	}
+	// 3. Lowest origin code.
+	if a.Attrs.Origin != b.Attrs.Origin {
+		if a.Attrs.Origin < b.Attrs.Origin {
+			return -1
+		}
+		return 1
+	}
+	// 4. Lowest MED, only between routes from the same neighbor AS.
+	na, okA := a.neighborAS()
+	nb, okB := b.neighborAS()
+	if okA && okB && na == nb {
+		if ma, mb := a.med(), b.med(); ma != mb {
+			if ma < mb {
+				return -1
+			}
+			return 1
+		}
+	}
+	// 5. Prefer eBGP over iBGP.
+	if a.FromIBGP != b.FromIBGP {
+		if !a.FromIBGP {
+			return -1
+		}
+		return 1
+	}
+	// 6. Lowest IGP metric to next hop.
+	if a.IGPMetric != b.IGPMetric {
+		if a.IGPMetric < b.IGPMetric {
+			return -1
+		}
+		return 1
+	}
+	// 7. Lowest router ID.
+	if c := a.PeerRouterID.Compare(b.PeerRouterID); c != 0 {
+		return c
+	}
+	// 8. Lowest peer address.
+	return a.PeerAddr.Compare(b.PeerAddr)
+}
+
+// AdjIn is one peer's Adj-RIB-In: the post-policy routes received on a
+// session, keyed by prefix.
+type AdjIn struct {
+	routes map[netip.Prefix]*Route
+}
+
+// NewAdjIn returns an empty Adj-RIB-In.
+func NewAdjIn() *AdjIn {
+	return &AdjIn{routes: make(map[netip.Prefix]*Route)}
+}
+
+// Get returns the route for prefix, or nil.
+func (a *AdjIn) Get(p netip.Prefix) *Route { return a.routes[p] }
+
+// Set installs a route, replacing any previous one (implicit withdraw), and
+// reports whether the stored route changed semantically — identical
+// re-announcements are no-ops.
+func (a *AdjIn) Set(r *Route) bool {
+	old := a.routes[r.Prefix]
+	a.routes[r.Prefix] = r
+	if old == nil {
+		return true
+	}
+	return !old.Attrs.Equal(r.Attrs) || old.IGPMetric != r.IGPMetric
+}
+
+// Remove deletes the route for prefix, reporting whether one was present.
+func (a *AdjIn) Remove(p netip.Prefix) bool {
+	if _, ok := a.routes[p]; !ok {
+		return false
+	}
+	delete(a.routes, p)
+	return true
+}
+
+// Prefixes returns all prefixes with a route, in stable sorted order.
+func (a *AdjIn) Prefixes() []netip.Prefix {
+	out := make([]netip.Prefix, 0, len(a.routes))
+	for p := range a.routes {
+		out = append(out, p)
+	}
+	sortPrefixes(out)
+	return out
+}
+
+// Len returns the number of routes held.
+func (a *AdjIn) Len() int { return len(a.routes) }
+
+// Clear drops all routes (session reset), returning the affected prefixes.
+func (a *AdjIn) Clear() []netip.Prefix {
+	out := a.Prefixes()
+	a.routes = make(map[netip.Prefix]*Route)
+	return out
+}
+
+// LocRIB is the router's best-path table.
+type LocRIB struct {
+	best map[netip.Prefix]*Route
+}
+
+// NewLocRIB returns an empty Loc-RIB.
+func NewLocRIB() *LocRIB {
+	return &LocRIB{best: make(map[netip.Prefix]*Route)}
+}
+
+// Best returns the current best route for prefix, or nil.
+func (l *LocRIB) Best(p netip.Prefix) *Route { return l.best[p] }
+
+// SelectionResult describes the outcome of a best-path recomputation.
+type SelectionResult struct {
+	// Changed reports whether the best route changed in any way, including
+	// an attribute-identical replacement from a different peer or with a
+	// different next hop (the trigger for vendor duplicate behaviour).
+	Changed bool
+	// AttrsChanged reports whether the Loc-RIB attribute set changed
+	// semantically.
+	AttrsChanged bool
+	// Withdrawn reports that the prefix no longer has any route.
+	Withdrawn bool
+	Old, New  *Route
+}
+
+// Update recomputes the best path for prefix among candidates and installs
+// it. Candidates may be in any order; nil entries are skipped.
+func (l *LocRIB) Update(p netip.Prefix, candidates []*Route) SelectionResult {
+	old := l.best[p]
+	var best *Route
+	for _, c := range candidates {
+		if c == nil {
+			continue
+		}
+		if best == nil || Compare(c, best) < 0 {
+			best = c
+		}
+	}
+	res := SelectionResult{Old: old, New: best}
+	switch {
+	case best == nil && old == nil:
+		// nothing
+	case best == nil:
+		delete(l.best, p)
+		res.Changed = true
+		res.AttrsChanged = true
+		res.Withdrawn = true
+	case old == nil:
+		l.best[p] = best
+		res.Changed = true
+		res.AttrsChanged = true
+	default:
+		l.best[p] = best
+		if old != best {
+			// Pointer identity: adj-in replacement or different candidate.
+			res.Changed = old.PeerAddr != best.PeerAddr ||
+				old.PeerAS != best.PeerAS ||
+				!old.Attrs.Equal(best.Attrs) ||
+				old.IGPMetric != best.IGPMetric
+			res.AttrsChanged = !old.Attrs.Equal(best.Attrs)
+		}
+	}
+	return res
+}
+
+// Prefixes returns all prefixes with a best route, sorted.
+func (l *LocRIB) Prefixes() []netip.Prefix {
+	out := make([]netip.Prefix, 0, len(l.best))
+	for p := range l.best {
+		out = append(out, p)
+	}
+	sortPrefixes(out)
+	return out
+}
+
+// Len returns the number of best routes.
+func (l *LocRIB) Len() int { return len(l.best) }
+
+// AdjOut tracks what has been advertised to one peer, for withdrawal
+// bookkeeping and Junos-style duplicate suppression.
+type AdjOut struct {
+	sent map[netip.Prefix]bgp.PathAttrs
+}
+
+// NewAdjOut returns an empty Adj-RIB-Out.
+func NewAdjOut() *AdjOut {
+	return &AdjOut{sent: make(map[netip.Prefix]bgp.PathAttrs)}
+}
+
+// Advertised returns the last advertised attributes for prefix.
+func (a *AdjOut) Advertised(p netip.Prefix) (bgp.PathAttrs, bool) {
+	attrs, ok := a.sent[p]
+	return attrs, ok
+}
+
+// Record stores the advertised attributes for prefix.
+func (a *AdjOut) Record(p netip.Prefix, attrs bgp.PathAttrs) { a.sent[p] = attrs.Clone() }
+
+// RemoveRecord forgets prefix (after sending a withdrawal), reporting
+// whether it was advertised.
+func (a *AdjOut) RemoveRecord(p netip.Prefix) bool {
+	if _, ok := a.sent[p]; !ok {
+		return false
+	}
+	delete(a.sent, p)
+	return true
+}
+
+// Prefixes returns all advertised prefixes, sorted.
+func (a *AdjOut) Prefixes() []netip.Prefix {
+	out := make([]netip.Prefix, 0, len(a.sent))
+	for p := range a.sent {
+		out = append(out, p)
+	}
+	sortPrefixes(out)
+	return out
+}
+
+// Len returns the number of advertised prefixes.
+func (a *AdjOut) Len() int { return len(a.sent) }
+
+func sortPrefixes(ps []netip.Prefix) {
+	sort.Slice(ps, func(i, j int) bool {
+		if c := ps[i].Addr().Compare(ps[j].Addr()); c != 0 {
+			return c < 0
+		}
+		return ps[i].Bits() < ps[j].Bits()
+	})
+}

@@ -1,0 +1,329 @@
+package rib
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"repro/internal/bgp"
+)
+
+func route(mod func(*Route)) *Route {
+	r := &Route{
+		Prefix: netip.MustParsePrefix("84.205.64.0/24"),
+		Attrs: bgp.PathAttrs{
+			Origin:  bgp.OriginIGP,
+			ASPath:  bgp.NewASPath(3356, 174, 12654),
+			NextHop: netip.MustParseAddr("10.0.0.1"),
+		},
+		PeerAddr:     netip.MustParseAddr("10.0.0.1"),
+		PeerAS:       3356,
+		PeerRouterID: netip.MustParseAddr("10.255.0.1"),
+	}
+	if mod != nil {
+		mod(r)
+	}
+	return r
+}
+
+func TestCompareLocalPref(t *testing.T) {
+	hi := route(func(r *Route) { r.Attrs.HasLocalPref = true; r.Attrs.LocalPref = 200 })
+	lo := route(func(r *Route) { r.Attrs.HasLocalPref = true; r.Attrs.LocalPref = 50 })
+	def := route(nil) // default 100
+	if Compare(hi, lo) >= 0 || Compare(lo, hi) <= 0 {
+		t.Error("higher LOCAL_PREF must win")
+	}
+	if Compare(def, lo) >= 0 {
+		t.Error("default LOCAL_PREF 100 must beat 50")
+	}
+	if Compare(hi, def) >= 0 {
+		t.Error("200 must beat default 100")
+	}
+}
+
+func TestCompareASPathLength(t *testing.T) {
+	short := route(func(r *Route) { r.Attrs.ASPath = bgp.NewASPath(3356, 12654) })
+	long := route(func(r *Route) { r.Attrs.ASPath = bgp.NewASPath(3356, 174, 701, 12654) })
+	if Compare(short, long) >= 0 {
+		t.Error("shorter path must win")
+	}
+	// Prepending lengthens the path.
+	prepended := route(func(r *Route) { r.Attrs.ASPath = bgp.NewASPath(3356, 3356, 12654) })
+	if Compare(short, prepended) >= 0 {
+		t.Error("prepended path must lose")
+	}
+}
+
+func TestCompareOrigin(t *testing.T) {
+	igp := route(nil)
+	incomplete := route(func(r *Route) { r.Attrs.Origin = bgp.OriginIncomplete })
+	if Compare(igp, incomplete) >= 0 {
+		t.Error("IGP origin must beat incomplete")
+	}
+}
+
+func TestCompareMEDSameNeighborOnly(t *testing.T) {
+	lowMED := route(func(r *Route) { r.Attrs.HasMED = true; r.Attrs.MED = 5 })
+	highMED := route(func(r *Route) { r.Attrs.HasMED = true; r.Attrs.MED = 50 })
+	if Compare(lowMED, highMED) >= 0 {
+		t.Error("lower MED must win for same neighbor AS")
+	}
+	// Different neighbor AS: MED ignored, falls through to router ID/addr.
+	otherNeighbor := route(func(r *Route) {
+		r.Attrs.HasMED = true
+		r.Attrs.MED = 50
+		r.Attrs.ASPath = bgp.NewASPath(6939, 174, 12654)
+		r.PeerRouterID = netip.MustParseAddr("10.255.0.0") // wins tie-break
+	})
+	if Compare(otherNeighbor, lowMED) >= 0 {
+		t.Error("MED must not compare across neighbor ASes; router ID decides")
+	}
+}
+
+func TestCompareEBGPOverIBGP(t *testing.T) {
+	ebgp := route(nil)
+	ibgp := route(func(r *Route) { r.FromIBGP = true })
+	if Compare(ebgp, ibgp) >= 0 {
+		t.Error("eBGP must beat iBGP")
+	}
+}
+
+func TestCompareIGPMetricRouterIDPeerAddr(t *testing.T) {
+	near := route(func(r *Route) { r.IGPMetric = 1 })
+	far := route(func(r *Route) { r.IGPMetric = 10 })
+	if Compare(near, far) >= 0 {
+		t.Error("lower IGP metric must win")
+	}
+	idA := route(func(r *Route) { r.PeerRouterID = netip.MustParseAddr("10.255.0.1") })
+	idB := route(func(r *Route) { r.PeerRouterID = netip.MustParseAddr("10.255.0.2") })
+	if Compare(idA, idB) >= 0 {
+		t.Error("lower router ID must win")
+	}
+	addrA := route(func(r *Route) { r.PeerAddr = netip.MustParseAddr("10.0.0.1") })
+	addrB := route(func(r *Route) { r.PeerAddr = netip.MustParseAddr("10.0.0.2") })
+	if Compare(addrA, addrB) >= 0 {
+		t.Error("lower peer address must win")
+	}
+}
+
+func TestCompareLocalWins(t *testing.T) {
+	local := route(func(r *Route) { r.Local = true; r.Attrs.ASPath = nil })
+	learned := route(nil)
+	if Compare(local, learned) >= 0 || Compare(learned, local) <= 0 {
+		t.Error("locally originated route must win")
+	}
+}
+
+func TestCompareTotalOrderProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	mk := func() *Route {
+		return route(func(r *Route) {
+			if rng.Intn(2) == 0 {
+				r.Attrs.HasLocalPref = true
+				r.Attrs.LocalPref = uint32(rng.Intn(3)) * 100
+			}
+			n := 1 + rng.Intn(4)
+			asns := make([]uint32, n)
+			for i := range asns {
+				asns[i] = uint32(rng.Intn(5) + 1)
+			}
+			r.Attrs.ASPath = bgp.NewASPath(asns...)
+			r.Attrs.Origin = bgp.Origin(rng.Intn(3))
+			r.FromIBGP = rng.Intn(2) == 0
+			r.IGPMetric = uint32(rng.Intn(3))
+			r.PeerRouterID = netip.AddrFrom4([4]byte{10, 255, 0, byte(rng.Intn(4))})
+			r.PeerAddr = netip.AddrFrom4([4]byte{10, 0, 0, byte(rng.Intn(4))})
+		})
+	}
+	for trial := 0; trial < 500; trial++ {
+		a, b, c := mk(), mk(), mk()
+		// Antisymmetry.
+		if sgnA, sgnB := Compare(a, b), Compare(b, a); sgnA != 0 && sgnA == sgnB {
+			t.Fatalf("antisymmetry violated: %d %d", sgnA, sgnB)
+		}
+		// Transitivity of preference.
+		if Compare(a, b) < 0 && Compare(b, c) < 0 && Compare(a, c) >= 0 {
+			t.Fatalf("transitivity violated")
+		}
+	}
+}
+
+func TestAdjInSetIdenticalIsNoop(t *testing.T) {
+	a := NewAdjIn()
+	r1 := route(nil)
+	if !a.Set(r1) {
+		t.Error("first install must report change")
+	}
+	// Identical re-announcement: no semantic change.
+	if a.Set(route(nil)) {
+		t.Error("identical re-announcement must be a no-op")
+	}
+	// Community change: semantic change.
+	if !a.Set(route(func(r *Route) { r.Attrs.Communities = bgp.Communities{bgp.NewCommunity(3356, 901)} })) {
+		t.Error("community change must report change")
+	}
+	if a.Len() != 1 {
+		t.Errorf("Len() = %d", a.Len())
+	}
+}
+
+func TestAdjInRemoveClear(t *testing.T) {
+	a := NewAdjIn()
+	p := netip.MustParsePrefix("84.205.64.0/24")
+	if a.Remove(p) {
+		t.Error("removing absent prefix reported true")
+	}
+	a.Set(route(nil))
+	if !a.Remove(p) {
+		t.Error("removing present prefix reported false")
+	}
+	a.Set(route(nil))
+	a.Set(route(func(r *Route) { r.Prefix = netip.MustParsePrefix("10.0.0.0/8") }))
+	cleared := a.Clear()
+	if len(cleared) != 2 || a.Len() != 0 {
+		t.Errorf("Clear() = %v, len %d", cleared, a.Len())
+	}
+	// Sorted order.
+	if cleared[0] != netip.MustParsePrefix("10.0.0.0/8") {
+		t.Errorf("Clear() order: %v", cleared)
+	}
+}
+
+func TestLocRIBLifecycle(t *testing.T) {
+	l := NewLocRIB()
+	p := netip.MustParsePrefix("84.205.64.0/24")
+
+	// Install.
+	r1 := route(nil)
+	res := l.Update(p, []*Route{r1})
+	if !res.Changed || !res.AttrsChanged || res.Withdrawn {
+		t.Errorf("install: %+v", res)
+	}
+	if l.Best(p) != r1 {
+		t.Error("best not installed")
+	}
+
+	// Same route again: no change.
+	res = l.Update(p, []*Route{r1})
+	if res.Changed || res.AttrsChanged {
+		t.Errorf("idempotent update: %+v", res)
+	}
+
+	// Better candidate appears.
+	r2 := route(func(r *Route) {
+		r.Attrs.ASPath = bgp.NewASPath(6939, 12654)
+		r.PeerAddr = netip.MustParseAddr("10.0.0.9")
+		r.PeerAS = 6939
+	})
+	res = l.Update(p, []*Route{r1, r2})
+	if !res.Changed || !res.AttrsChanged || l.Best(p) != r2 {
+		t.Errorf("better candidate: %+v", res)
+	}
+
+	// Withdraw all.
+	res = l.Update(p, nil)
+	if !res.Changed || !res.Withdrawn || l.Best(p) != nil {
+		t.Errorf("withdraw: %+v", res)
+	}
+	// Withdraw again: no change.
+	res = l.Update(p, nil)
+	if res.Changed || res.Withdrawn {
+		t.Errorf("double withdraw: %+v", res)
+	}
+}
+
+func TestLocRIBNextHopOnlyChange(t *testing.T) {
+	// The Exp1 situation: best path moves to an attribute-identical route
+	// via a different peer (internal next-hop change). Changed must be true,
+	// AttrsChanged false.
+	l := NewLocRIB()
+	p := netip.MustParsePrefix("84.205.64.0/24")
+	viaY2 := route(func(r *Route) {
+		r.FromIBGP = true
+		r.PeerAddr = netip.MustParseAddr("10.1.0.2")
+		r.Attrs.NextHop = netip.MustParseAddr("10.1.0.2")
+	})
+	viaY3 := route(func(r *Route) {
+		r.FromIBGP = true
+		r.PeerAddr = netip.MustParseAddr("10.1.0.3")
+		r.Attrs.NextHop = netip.MustParseAddr("10.1.0.3")
+	})
+	l.Update(p, []*Route{viaY2, viaY3})
+	if l.Best(p) != viaY2 {
+		t.Fatal("tie-break should pick lower peer address (Y2)")
+	}
+	res := l.Update(p, []*Route{viaY3})
+	if !res.Changed {
+		t.Error("next-hop move must set Changed")
+	}
+	// The NEXT_HOP attribute itself differs between the two iBGP routes, so
+	// the Loc-RIB attribute set changes even though the AS path does not;
+	// egress next-hop-self rewriting is what makes the outbound update a
+	// duplicate in Exp1.
+	if !res.AttrsChanged {
+		t.Error("next-hop move must set AttrsChanged (NEXT_HOP is an attribute)")
+	}
+}
+
+func TestLocRIBAttrsChangedOnCommunityMove(t *testing.T) {
+	l := NewLocRIB()
+	p := netip.MustParsePrefix("84.205.64.0/24")
+	withY300 := route(func(r *Route) {
+		r.FromIBGP = true
+		r.PeerAddr = netip.MustParseAddr("10.1.0.2")
+		r.Attrs.Communities = bgp.Communities{bgp.NewCommunity(65001, 300)}
+	})
+	withY400 := route(func(r *Route) {
+		r.FromIBGP = true
+		r.PeerAddr = netip.MustParseAddr("10.1.0.3")
+		r.Attrs.Communities = bgp.Communities{bgp.NewCommunity(65001, 400)}
+	})
+	l.Update(p, []*Route{withY300, withY400})
+	res := l.Update(p, []*Route{withY400})
+	if !res.Changed || !res.AttrsChanged {
+		t.Errorf("community move: %+v", res)
+	}
+}
+
+func TestAdjOut(t *testing.T) {
+	a := NewAdjOut()
+	p := netip.MustParsePrefix("84.205.64.0/24")
+	if _, ok := a.Advertised(p); ok {
+		t.Error("empty AdjOut claims advertisement")
+	}
+	attrs := bgp.PathAttrs{ASPath: bgp.NewASPath(1, 2), NextHop: netip.MustParseAddr("10.0.0.1")}
+	a.Record(p, attrs)
+	got, ok := a.Advertised(p)
+	if !ok || !got.Equal(attrs) {
+		t.Error("Record/Advertised round trip failed")
+	}
+	// Mutating the original must not affect the stored copy.
+	attrs.Communities = bgp.Communities{1}
+	got, _ = a.Advertised(p)
+	if len(got.Communities) != 0 {
+		t.Error("AdjOut stored a shared reference")
+	}
+	if !a.RemoveRecord(p) || a.RemoveRecord(p) {
+		t.Error("RemoveRecord bookkeeping wrong")
+	}
+}
+
+func TestPrefixesSorted(t *testing.T) {
+	l := NewLocRIB()
+	var prefixes []netip.Prefix
+	for _, s := range []string{"192.0.2.0/24", "10.0.0.0/8", "10.0.0.0/16", "84.205.64.0/24"} {
+		p := netip.MustParsePrefix(s)
+		prefixes = append(prefixes, p)
+		l.Update(p, []*Route{route(func(r *Route) { r.Prefix = p })})
+	}
+	got := l.Prefixes()
+	if len(got) != 4 {
+		t.Fatalf("Prefixes() = %v", got)
+	}
+	want := []string{"10.0.0.0/8", "10.0.0.0/16", "84.205.64.0/24", "192.0.2.0/24"}
+	for i, s := range want {
+		if got[i] != netip.MustParsePrefix(s) {
+			t.Errorf("Prefixes()[%d] = %v, want %s", i, got[i], s)
+		}
+	}
+}

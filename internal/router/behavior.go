@@ -1,0 +1,32 @@
+package router
+
+// Behavior models the vendor-specific update-generation behaviour the
+// paper's lab experiments isolate (§3). All tested implementations re-run
+// export whenever the best path changes internally; they differ in whether
+// the outbound update is compared against the Adj-RIB-Out before sending.
+type Behavior struct {
+	// Name identifies the modelled implementation.
+	Name string
+	// SuppressDuplicates compares the post-policy outbound attribute set
+	// against the last advertised one and withholds identical updates.
+	// Junos does this by default; Cisco IOS, IOS XR, and BIRD do not, so
+	// they emit duplicate updates on internal best-path events — violating
+	// RFC 4271 §9.2's advisory that unchanged routes need not be sent.
+	SuppressDuplicates bool
+}
+
+// Vendor profiles matching the routing software tested in the paper
+// (Cisco IOS 12.4(20)T and XR 6.0.1, Junos OS Olive 12.1R1.9, BIRD 1.6.6
+// and 2.0.7).
+var (
+	CiscoIOS   = Behavior{Name: "cisco-ios-12.4"}
+	CiscoIOSXR = Behavior{Name: "cisco-ios-xr-6.0"}
+	Junos      = Behavior{Name: "junos-12.1", SuppressDuplicates: true}
+	BIRD1      = Behavior{Name: "bird-1.6"}
+	BIRD2      = Behavior{Name: "bird-2.0"}
+)
+
+// AllBehaviors lists every modelled implementation, for experiment sweeps.
+func AllBehaviors() []Behavior {
+	return []Behavior{CiscoIOS, CiscoIOSXR, Junos, BIRD1, BIRD2}
+}

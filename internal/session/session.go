@@ -1,0 +1,453 @@
+// Package session implements a live BGP-4 session over a net.Conn: the
+// OPEN handshake with capability negotiation (RFC 5492, RFC 6793),
+// keepalive and hold timers, and framed message exchange. It lets the
+// repository's BGP codec drive real TCP connections — e.g. a passive
+// collector listening for update feeds (cmd/bgpcollect) — complementing
+// the deterministic in-memory simulator in internal/router.
+package session
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"repro/internal/bgp"
+)
+
+// State is the BGP FSM state (RFC 4271 §8.2.2). The dial/accept helpers
+// collapse Connect/Active into the handshake, so a Session only ever
+// reports Idle, OpenSent, OpenConfirm, or Established.
+type State int
+
+// FSM states.
+const (
+	StateIdle State = iota
+	StateConnect
+	StateActive
+	StateOpenSent
+	StateOpenConfirm
+	StateEstablished
+)
+
+// String names the state as in RFC 4271.
+func (s State) String() string {
+	switch s {
+	case StateIdle:
+		return "Idle"
+	case StateConnect:
+		return "Connect"
+	case StateActive:
+		return "Active"
+	case StateOpenSent:
+		return "OpenSent"
+	case StateOpenConfirm:
+		return "OpenConfirm"
+	case StateEstablished:
+		return "Established"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Config parameterizes a session endpoint.
+type Config struct {
+	LocalAS  uint32
+	RouterID netip.Addr
+	// HoldTime proposed in the OPEN; the session uses the minimum of both
+	// sides (RFC 4271 §4.2). Zero defaults to 90 seconds. Values below
+	// 3 seconds (other than 0) are rejected by the peer validator.
+	HoldTime time.Duration
+	// ExpectAS, when nonzero, rejects peers announcing a different AS.
+	ExpectAS uint32
+	// OnUpdate is invoked from the read loop for every received UPDATE.
+	OnUpdate func(*bgp.Update)
+	// OnStateChange is invoked on every FSM transition (for tracing).
+	OnStateChange func(old, new State)
+}
+
+func (c Config) holdTime() time.Duration {
+	if c.HoldTime == 0 {
+		return 90 * time.Second
+	}
+	return c.HoldTime
+}
+
+// Session is one established BGP session.
+type Session struct {
+	conn net.Conn
+	cfg  Config
+
+	mu       sync.Mutex
+	state    State
+	peerOpen *bgp.Open
+	hold     time.Duration
+	opts     bgp.MarshalOptions
+	err      error
+	closed   bool
+
+	writeMu sync.Mutex
+
+	done chan struct{}
+}
+
+// ErrHoldTimerExpired reports that the peer went silent past the
+// negotiated hold time.
+var ErrHoldTimerExpired = errors.New("session: hold timer expired")
+
+// ErrClosed reports use of a closed session.
+var ErrClosed = errors.New("session: closed")
+
+// setState transitions the FSM and fires the callback.
+func (s *Session) setState(st State) {
+	s.mu.Lock()
+	old := s.state
+	s.state = st
+	cb := s.cfg.OnStateChange
+	s.mu.Unlock()
+	if cb != nil && old != st {
+		cb(old, st)
+	}
+}
+
+// State returns the current FSM state.
+func (s *Session) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// PeerOpen returns the peer's OPEN message (valid once established).
+func (s *Session) PeerOpen() *bgp.Open {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peerOpen
+}
+
+// PeerAS returns the peer's AS number (valid once established).
+func (s *Session) PeerAS() uint32 {
+	if o := s.PeerOpen(); o != nil {
+		return o.ASN
+	}
+	return 0
+}
+
+// HoldTime returns the negotiated hold time.
+func (s *Session) HoldTime() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hold
+}
+
+// MarshalOptions returns the negotiated wire options (4-byte AS support).
+func (s *Session) MarshalOptions() bgp.MarshalOptions {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.opts
+}
+
+// Establish performs the OPEN/KEEPALIVE handshake on conn and returns an
+// established session. The caller must then invoke Run (usually in a
+// goroutine) to service the read loop. On handshake failure the
+// connection is closed.
+func Establish(conn net.Conn, cfg Config) (*Session, error) {
+	s := &Session{
+		conn:  conn,
+		cfg:   cfg,
+		state: StateIdle,
+		done:  make(chan struct{}),
+	}
+	if err := s.handshake(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Session) handshake() error {
+	deadline := time.Now().Add(10 * time.Second)
+	if err := s.conn.SetDeadline(deadline); err != nil {
+		return fmt.Errorf("session: set handshake deadline: %w", err)
+	}
+	holdSecs := uint16(s.cfg.holdTime() / time.Second)
+	open := bgp.NewOpen(s.cfg.LocalAS, s.cfg.RouterID, holdSecs)
+	wire, err := bgp.Marshal(open, bgp.MarshalOptions{})
+	if err != nil {
+		return err
+	}
+	// Write concurrently with the read: both ends send their OPEN first,
+	// and unbuffered transports (net.Pipe) would deadlock on synchronous
+	// writes.
+	openSent := make(chan error, 1)
+	go func() {
+		_, err := s.conn.Write(wire)
+		openSent <- err
+	}()
+	s.setState(StateOpenSent)
+
+	msg, err := bgp.ReadMessage(s.conn, bgp.MarshalOptions{})
+	if err != nil {
+		return fmt.Errorf("session: read OPEN: %w", err)
+	}
+	if err := <-openSent; err != nil {
+		return fmt.Errorf("session: send OPEN: %w", err)
+	}
+	peerOpen, ok := msg.(*bgp.Open)
+	if !ok {
+		s.notify(bgp.NotifFSMError, 0)
+		return fmt.Errorf("session: expected OPEN, got %s", bgp.TypeName(msg.Type()))
+	}
+	if err := s.validateOpen(peerOpen); err != nil {
+		return err
+	}
+	s.setState(StateOpenConfirm)
+
+	ka, _ := bgp.Marshal(&bgp.Keepalive{}, bgp.MarshalOptions{})
+	kaSent := make(chan error, 1)
+	go func() {
+		_, err := s.conn.Write(ka)
+		kaSent <- err
+	}()
+	msg, err = bgp.ReadMessage(s.conn, bgp.MarshalOptions{})
+	if err != nil {
+		return fmt.Errorf("session: read KEEPALIVE: %w", err)
+	}
+	if err := <-kaSent; err != nil {
+		return fmt.Errorf("session: send KEEPALIVE: %w", err)
+	}
+	switch m := msg.(type) {
+	case *bgp.Keepalive:
+	case *bgp.Notification:
+		return fmt.Errorf("session: peer refused: %w", m)
+	default:
+		s.notify(bgp.NotifFSMError, 0)
+		return fmt.Errorf("session: expected KEEPALIVE, got %s", bgp.TypeName(msg.Type()))
+	}
+
+	s.mu.Lock()
+	s.peerOpen = peerOpen
+	hold := s.cfg.holdTime()
+	if peer := time.Duration(peerOpen.HoldTime) * time.Second; peer < hold {
+		hold = peer
+	}
+	s.hold = hold
+	s.opts = bgp.MarshalOptions{FourByteAS: peerOpen.SupportsFourByteAS()}
+	s.mu.Unlock()
+	s.conn.SetDeadline(time.Time{})
+	s.setState(StateEstablished)
+	return nil
+}
+
+func (s *Session) validateOpen(o *bgp.Open) error {
+	if o.Version != 4 {
+		s.notify(bgp.NotifOpenError, 1) // unsupported version number
+		return fmt.Errorf("session: peer version %d", o.Version)
+	}
+	if s.cfg.ExpectAS != 0 && o.ASN != s.cfg.ExpectAS {
+		s.notify(bgp.NotifOpenError, 2) // bad peer AS
+		return fmt.Errorf("session: peer AS %d, want %d", o.ASN, s.cfg.ExpectAS)
+	}
+	if o.HoldTime != 0 && o.HoldTime < 3 {
+		s.notify(bgp.NotifOpenError, 6) // unacceptable hold time
+		return fmt.Errorf("session: unacceptable hold time %d", o.HoldTime)
+	}
+	return nil
+}
+
+// notify best-effort sends a NOTIFICATION before teardown.
+func (s *Session) notify(code, subcode uint8) {
+	wire, err := bgp.Marshal(&bgp.Notification{Code: code, Subcode: subcode}, bgp.MarshalOptions{})
+	if err == nil {
+		s.conn.SetWriteDeadline(time.Now().Add(time.Second))
+		s.conn.Write(wire)
+	}
+}
+
+// Send transmits an UPDATE on the established session.
+func (s *Session) Send(u *bgp.Update) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	opts := s.opts
+	s.mu.Unlock()
+	wire, err := bgp.Marshal(u, opts)
+	if err != nil {
+		return err
+	}
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	_, err = s.conn.Write(wire)
+	return err
+}
+
+// Run services the session: it reads messages, dispatches updates to
+// cfg.OnUpdate, enforces the hold timer via read deadlines, and emits
+// keepalives at one third of the hold time. It blocks until the session
+// ends, returning nil on clean closure (peer Cease or local Close) and
+// the terminating error otherwise.
+func (s *Session) Run() error { return s.RunWithHandler(s.cfg.OnUpdate) }
+
+// RunWithHandler is Run with an explicit update handler, overriding
+// cfg.OnUpdate — used when the handler needs the established session
+// (e.g. its negotiated peer AS), which does not exist at config time.
+func (s *Session) RunWithHandler(onUpdate func(*bgp.Update)) error {
+	hold := s.HoldTime()
+	keepaliveEvery := hold / 3
+	if keepaliveEvery <= 0 {
+		keepaliveEvery = time.Second
+	}
+	stopKA := make(chan struct{})
+	var kaWG sync.WaitGroup
+	kaWG.Add(1)
+	go func() {
+		defer kaWG.Done()
+		t := time.NewTicker(keepaliveEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopKA:
+				return
+			case <-t.C:
+				wire, _ := bgp.Marshal(&bgp.Keepalive{}, bgp.MarshalOptions{})
+				s.writeMu.Lock()
+				s.conn.SetWriteDeadline(time.Now().Add(keepaliveEvery))
+				_, err := s.conn.Write(wire)
+				s.writeMu.Unlock()
+				if err != nil {
+					return
+				}
+			}
+		}
+	}()
+	defer func() {
+		close(stopKA)
+		kaWG.Wait()
+	}()
+
+	opts := s.MarshalOptions()
+	for {
+		if hold > 0 {
+			s.conn.SetReadDeadline(time.Now().Add(hold))
+		}
+		msg, err := bgp.ReadMessage(s.conn, opts)
+		if err != nil {
+			if s.isClosed() {
+				return nil
+			}
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				s.notify(bgp.NotifHoldTimerExpired, 0)
+				s.teardown(ErrHoldTimerExpired)
+				return ErrHoldTimerExpired
+			}
+			s.teardown(err)
+			return err
+		}
+		switch m := msg.(type) {
+		case *bgp.Keepalive:
+			// liveness only
+		case *bgp.Update:
+			if onUpdate != nil {
+				onUpdate(m)
+			}
+		case *bgp.Notification:
+			if m.Code == bgp.NotifCease {
+				s.teardown(nil)
+				return nil
+			}
+			err := fmt.Errorf("session: peer notification: %w", m)
+			s.teardown(err)
+			return err
+		case *bgp.Open:
+			s.notify(bgp.NotifFSMError, 0)
+			err := errors.New("session: unexpected OPEN on established session")
+			s.teardown(err)
+			return err
+		}
+	}
+}
+
+func (s *Session) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *Session) teardown(err error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.err = err
+	s.mu.Unlock()
+	s.conn.Close()
+	s.setState(StateIdle)
+	close(s.done)
+}
+
+// Close gracefully ends the session with a Cease notification.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+	s.notify(bgp.NotifCease, 0)
+	s.teardown(nil)
+	return nil
+}
+
+// Done is closed when the session has ended.
+func (s *Session) Done() <-chan struct{} { return s.done }
+
+// Err returns the terminating error, if any, once Done is closed.
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Dial connects to addr over TCP and establishes a session.
+func Dial(addr string, cfg Config) (*Session, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("session: dial %s: %w", addr, err)
+	}
+	return Establish(conn, cfg)
+}
+
+// Listener accepts inbound BGP sessions, the passive collector role.
+type Listener struct {
+	ln  net.Listener
+	cfg Config
+}
+
+// Listen opens a TCP listener on addr (e.g. "127.0.0.1:0").
+func Listen(addr string, cfg Config) (*Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("session: listen %s: %w", addr, err)
+	}
+	return &Listener{ln: ln, cfg: cfg}, nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() net.Addr { return l.ln.Addr() }
+
+// Accept waits for one inbound connection and completes the handshake.
+func (l *Listener) Accept() (*Session, error) {
+	conn, err := l.ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return Establish(conn, l.cfg)
+}
+
+// Close stops accepting new sessions.
+func (l *Listener) Close() error { return l.ln.Close() }

@@ -1,0 +1,301 @@
+package session
+
+import (
+	"errors"
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+)
+
+// pipePair establishes both halves of a session over net.Pipe.
+func pipePair(t *testing.T, cfgA, cfgB Config) (*Session, *Session) {
+	t.Helper()
+	ca, cb := net.Pipe()
+	var sa, sb *Session
+	var errA, errB error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); sa, errA = Establish(ca, cfgA) }()
+	go func() { defer wg.Done(); sb, errB = Establish(cb, cfgB) }()
+	wg.Wait()
+	if errA != nil || errB != nil {
+		t.Fatalf("handshake: %v / %v", errA, errB)
+	}
+	return sa, sb
+}
+
+func cfg(as uint32, id string) Config {
+	return Config{
+		LocalAS:  as,
+		RouterID: netip.MustParseAddr(id),
+		HoldTime: 5 * time.Second,
+	}
+}
+
+func TestHandshake(t *testing.T) {
+	sa, sb := pipePair(t, cfg(65001, "10.0.0.1"), cfg(4200000001, "10.0.0.2"))
+	defer sa.Close()
+	defer sb.Close()
+	if sa.State() != StateEstablished || sb.State() != StateEstablished {
+		t.Fatalf("states: %v / %v", sa.State(), sb.State())
+	}
+	if sa.PeerAS() != 4200000001 {
+		t.Errorf("A sees peer AS %d (4-byte AS capability)", sa.PeerAS())
+	}
+	if sb.PeerAS() != 65001 {
+		t.Errorf("B sees peer AS %d", sb.PeerAS())
+	}
+	if !sa.MarshalOptions().FourByteAS {
+		t.Error("4-byte AS not negotiated")
+	}
+	if sa.HoldTime() != 5*time.Second {
+		t.Errorf("hold time = %v", sa.HoldTime())
+	}
+}
+
+func TestHoldTimeNegotiationMinimum(t *testing.T) {
+	a := cfg(65001, "10.0.0.1")
+	a.HoldTime = 30 * time.Second
+	b := cfg(65002, "10.0.0.2")
+	b.HoldTime = 9 * time.Second
+	sa, sb := pipePair(t, a, b)
+	defer sa.Close()
+	defer sb.Close()
+	if sa.HoldTime() != 9*time.Second || sb.HoldTime() != 9*time.Second {
+		t.Errorf("negotiated hold: %v / %v, want 9s", sa.HoldTime(), sb.HoldTime())
+	}
+}
+
+func TestExpectASMismatch(t *testing.T) {
+	ca, cb := net.Pipe()
+	a := cfg(65001, "10.0.0.1")
+	a.ExpectAS = 65099 // B is 65002: reject
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var errB error
+	go func() {
+		defer wg.Done()
+		_, errB = Establish(cb, cfg(65002, "10.0.0.2"))
+	}()
+	_, errA := Establish(ca, a)
+	wg.Wait()
+	if errA == nil {
+		t.Fatal("AS mismatch accepted")
+	}
+	// B observes either the NOTIFICATION or a closed pipe.
+	if errB == nil {
+		t.Fatal("B's handshake should fail too")
+	}
+}
+
+func TestUpdateExchange(t *testing.T) {
+	got := make(chan *bgp.Update, 10)
+	a := cfg(65001, "10.0.0.1")
+	b := cfg(65002, "10.0.0.2")
+	b.OnUpdate = func(u *bgp.Update) { got <- u }
+	sa, sb := pipePair(t, a, b)
+	defer sa.Close()
+	defer sb.Close()
+	go sa.Run()
+	go sb.Run()
+
+	u := &bgp.Update{
+		NLRI: []netip.Prefix{netip.MustParsePrefix("84.205.64.0/24")},
+		Attrs: bgp.PathAttrs{
+			Origin:      bgp.OriginIGP,
+			ASPath:      bgp.NewASPath(65001),
+			NextHop:     netip.MustParseAddr("10.0.0.1"),
+			Communities: bgp.Communities{bgp.NewCommunity(65001, 300)},
+		},
+	}
+	if err := sa.Send(u); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case rx := <-got:
+		if rx.NLRI[0] != u.NLRI[0] {
+			t.Errorf("prefix: %v", rx.NLRI)
+		}
+		if !rx.Attrs.Communities.Equal(u.Attrs.Communities) {
+			t.Errorf("communities: %v", rx.Attrs.Communities)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("update not delivered")
+	}
+}
+
+func TestGracefulClose(t *testing.T) {
+	sa, sb := pipePair(t, cfg(65001, "10.0.0.1"), cfg(65002, "10.0.0.2"))
+	errs := make(chan error, 1)
+	go func() { errs <- sb.Run() }()
+	go sa.Run()
+	time.Sleep(50 * time.Millisecond)
+	if err := sa.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errs:
+		if err != nil {
+			t.Errorf("peer Run() = %v, want nil on Cease", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("peer did not observe closure")
+	}
+	if sa.State() != StateIdle {
+		t.Errorf("state after close: %v", sa.State())
+	}
+	// Send after close fails.
+	if err := sa.Send(&bgp.Update{}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Send after close: %v", err)
+	}
+	// Double close is fine.
+	if err := sa.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestHoldTimerExpiry(t *testing.T) {
+	// B never runs its keepalive loop; A's hold timer must fire.
+	a := cfg(65001, "10.0.0.1")
+	a.HoldTime = 3 * time.Second // minimum acceptable
+	b := cfg(65002, "10.0.0.2")
+	b.HoldTime = 3 * time.Second
+	sa, sb := pipePair(t, a, b)
+	defer sb.Close()
+	errs := make(chan error, 1)
+	go func() { errs <- sa.Run() }()
+	// Drain B's conn so A's writes don't block, without sending keepalives.
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			if _, err := sb.conn.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	select {
+	case err := <-errs:
+		if !errors.Is(err, ErrHoldTimerExpired) {
+			t.Errorf("Run() = %v, want hold timer expiry", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("hold timer never fired")
+	}
+}
+
+func TestKeepalivesSustainSession(t *testing.T) {
+	a := cfg(65001, "10.0.0.1")
+	a.HoldTime = 3 * time.Second
+	b := cfg(65002, "10.0.0.2")
+	b.HoldTime = 3 * time.Second
+	sa, sb := pipePair(t, a, b)
+	defer sa.Close()
+	defer sb.Close()
+	errsA := make(chan error, 1)
+	errsB := make(chan error, 1)
+	go func() { errsA <- sa.Run() }()
+	go func() { errsB <- sb.Run() }()
+	// Both run loops exchange keepalives; the session must outlive several
+	// hold periods.
+	select {
+	case err := <-errsA:
+		t.Fatalf("A died: %v", err)
+	case err := <-errsB:
+		t.Fatalf("B died: %v", err)
+	case <-time.After(4 * time.Second):
+	}
+	if sa.State() != StateEstablished || sb.State() != StateEstablished {
+		t.Errorf("states: %v / %v", sa.State(), sb.State())
+	}
+}
+
+func TestTCPListenerDial(t *testing.T) {
+	lnCfg := cfg(12654, "198.51.100.1")
+	received := make(chan *bgp.Update, 100)
+	lnCfg.OnUpdate = func(u *bgp.Update) { received <- u }
+	ln, err := Listen("127.0.0.1:0", lnCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	accepted := make(chan *Session, 1)
+	go func() {
+		s, err := ln.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		accepted <- s
+		s.Run()
+	}()
+
+	var transitions []State
+	dialCfg := cfg(65001, "10.0.0.1")
+	dialCfg.OnStateChange = func(old, new State) { transitions = append(transitions, new) }
+	s, err := Dial(ln.Addr().String(), dialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	go s.Run()
+
+	srv := <-accepted
+	defer srv.Close()
+	if srv.PeerAS() != 65001 || s.PeerAS() != 12654 {
+		t.Errorf("peer ASes: %d / %d", srv.PeerAS(), s.PeerAS())
+	}
+
+	// Feed 50 updates through real TCP.
+	for i := 0; i < 50; i++ {
+		u := &bgp.Update{
+			NLRI: []netip.Prefix{netip.MustParsePrefix("84.205.64.0/24")},
+			Attrs: bgp.PathAttrs{
+				Origin:      bgp.OriginIGP,
+				ASPath:      bgp.NewASPath(65001, 12654),
+				NextHop:     netip.MustParseAddr("10.0.0.1"),
+				Communities: bgp.Communities{bgp.NewCommunity(65001, uint16(i))},
+			},
+		}
+		if err := s.Send(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		select {
+		case <-received:
+		case <-time.After(3 * time.Second):
+			t.Fatalf("only %d of 50 updates arrived", i)
+		}
+	}
+	// FSM walked OpenSent → OpenConfirm → Established.
+	want := []State{StateOpenSent, StateOpenConfirm, StateEstablished}
+	if len(transitions) < 3 {
+		t.Fatalf("transitions: %v", transitions)
+	}
+	for i, st := range want {
+		if transitions[i] != st {
+			t.Errorf("transition %d = %v, want %v", i, transitions[i], st)
+		}
+	}
+}
+
+func TestStateString(t *testing.T) {
+	names := map[State]string{
+		StateIdle: "Idle", StateConnect: "Connect", StateActive: "Active",
+		StateOpenSent: "OpenSent", StateOpenConfirm: "OpenConfirm",
+		StateEstablished: "Established",
+	}
+	for st, want := range names {
+		if st.String() != want {
+			t.Errorf("%d: %q", int(st), st.String())
+		}
+	}
+	if State(99).String() != "State(99)" {
+		t.Error("unknown state string")
+	}
+}
