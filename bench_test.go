@@ -17,6 +17,7 @@ import (
 	"repro/internal/mrt"
 	"repro/internal/router"
 	"repro/internal/session"
+	"repro/internal/stream"
 	"repro/internal/workload"
 )
 
@@ -515,7 +516,9 @@ func BenchmarkAblationDampening(b *testing.B) {
 	}
 }
 
-// BenchmarkTable2Parallel classifies the day fanned out per collector.
+// BenchmarkTable2Parallel classifies the day fanned out per collector via
+// stream.ParallelClassify: events are routed to per-collector workers in
+// batches, with no up-front grouping copy of the dataset.
 func BenchmarkTable2Parallel(b *testing.B) {
 	ds := benchDayDataset()
 	b.ResetTimer()
@@ -526,4 +529,69 @@ func BenchmarkTable2Parallel(b *testing.B) {
 			b.Fatal("empty")
 		}
 	}
+}
+
+// --- Streaming pipeline (stream.EventSource) --------------------------------
+
+// BenchmarkMergeStream measures the k-way heap merge of per-collector
+// slices through the lazy source path (iter.Pull cursors).
+func BenchmarkMergeStream(b *testing.B) {
+	ds := benchDayDataset()
+	byCollector := make(map[string][]classify.Event)
+	for _, e := range ds.Events {
+		byCollector[e.Collector] = append(byCollector[e.Collector], e)
+	}
+	sources := make([]stream.EventSource, 0, len(byCollector))
+	for _, evs := range byCollector {
+		sources = append(sources, stream.FromSlice(evs))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n := stream.Count(stream.Merge(sources...))
+		if n != len(ds.Events) {
+			b.Fatalf("merged %d of %d", n, len(ds.Events))
+		}
+	}
+}
+
+// BenchmarkTable2FromSources classifies the day straight from the lazy
+// per-session generators — generation, streaming, and classification in
+// one pass with no materialized dataset (compare against
+// BenchmarkGenerateDay + BenchmarkTable2 for the two-phase cost).
+func BenchmarkTable2FromSources(b *testing.B) {
+	cfg := workload.DefaultDayConfig(benchDay)
+	cfg.Collectors = 4
+	cfg.PeersPerCollector = 10
+	cfg.PrefixesV4 = 250
+	cfg.PrefixesV6 = 25
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sources := workload.DaySources(cfg)
+		counts := stream.Classify(stream.Concat(sources...), cfg.InWindow)
+		if counts.Announcements() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkMultiDayStream classifies three consecutive generated days as
+// one continuous stream — the multi-day workload shape that a
+// materialized pipeline could not hold. Peak footprint stays one
+// session-day regardless of the day count.
+func BenchmarkMultiDayStream(b *testing.B) {
+	cfg := workload.DefaultDayConfig(benchDay)
+	cfg.Collectors = 2
+	cfg.PeersPerCollector = 5
+	cfg.PrefixesV4 = 100
+	cfg.PrefixesV6 = 10
+	b.ReportAllocs()
+	var counts classify.Counts
+	for i := 0; i < b.N; i++ {
+		counts = stream.Classify(workload.MultiDaySource(cfg, 3), nil)
+		if counts.Announcements() == 0 {
+			b.Fatal("empty")
+		}
+	}
+	b.ReportMetric(float64(counts.Announcements()), "announcements")
 }

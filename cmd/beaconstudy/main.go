@@ -17,6 +17,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/beacon"
 	"repro/internal/classify"
+	"repro/internal/stream"
 	"repro/internal/textplot"
 	"repro/internal/workload"
 )
@@ -33,11 +34,15 @@ func main() {
 	if *sessions > 0 {
 		cfg.PeersPerCollector = *sessions
 	}
-	ds := workload.GenerateBeacon(cfg)
-	counts := analysis.ClassifyDataset(ds)
+	// This tool scans the same day several times (Table 2, Figures 3-6),
+	// so generate once — session-ordered, skipping the global sort a full
+	// Dataset would pay — and replay the materialized slice per analysis.
+	peers, sources := workload.BeaconSources(cfg)
+	src := stream.FromSlice(stream.Collect(stream.Concat(sources...)))
+	counts := stream.Classify(src, cfg.InWindow)
 
 	fmt.Printf("d_beacon %d: %d announcements, %d withdrawals over %d sessions\n\n",
-		*year, counts.Announcements(), counts.Withdrawals, len(ds.Peers))
+		*year, counts.Announcements(), counts.Withdrawals, len(peers))
 
 	fmt.Println("Announcement types (paper d_beacon: pc 44.6 pn 29.9 nc 13.8 nn 11.2):")
 	var rows [][]string
@@ -50,7 +55,7 @@ func main() {
 	// Figure 3: per-session mix for the first beacon at rrc00.
 	prefix := beacon.RIPEBeacons()[0].Prefix
 	fmt.Printf("\nFigure 3 — per-session types for %v at rrc00 (P=pc p=pn C=nc n=nn):\n", prefix)
-	mixes := analysis.Figure3PerSession(ds, "rrc00", prefix)
+	mixes := analysis.Figure3PerSessionStream(src, cfg.InWindow, "rrc00", prefix)
 	for i, m := range mixes {
 		if i >= 16 {
 			fmt.Printf("  ... %d more sessions\n", len(mixes)-i)
@@ -65,13 +70,13 @@ func main() {
 	}
 
 	// Figures 4/5: single-path cumulative series.
-	printPathSeries(ds, workload.PeerTransparent,
+	printPathSeries(peers, src, cfg, workload.PeerTransparent,
 		"Figure 4 — geo-tagged transparent peer (nc bursts during withdrawal phases)")
-	printPathSeries(ds, workload.PeerCleansEgress,
+	printPathSeries(peers, src, cfg, workload.PeerCleansEgress,
 		"Figure 5 — egress-cleaning peer (nn duplicates during withdrawal phases)")
 
 	// Figure 6: revealed attribution.
-	s := analysis.RevealedForDataset(ds, cfg.Schedule)
+	s := analysis.RevealedForStream(src, cfg.InWindow, cfg.Schedule)
 	fmt.Println("\nFigure 6 — revealed community attributes (paper: 62% withdrawal-only, 17% announce-only):")
 	fmt.Print(textplot.Table([]string{"class", "count", "share"}, [][]string{
 		{"total", strconv.Itoa(s.Total), "100%"},
@@ -102,12 +107,12 @@ func main() {
 
 // printPathSeries locates a session of the wanted kind and prints the
 // cumulative per-type counts of its backup path.
-func printPathSeries(ds *workload.Dataset, kind workload.PeerKind, title string) {
+func printPathSeries(peers []workload.Peer, src stream.EventSource, cfg workload.BeaconConfig, kind workload.PeerKind, title string) {
 	var peer *workload.Peer
-	for i := range ds.Peers {
-		p := ds.Peers[i]
+	for i := range peers {
+		p := peers[i]
 		if p.Kind == kind && p.TaggedUpstream {
-			peer = &ds.Peers[i]
+			peer = &peers[i]
 			break
 		}
 	}
@@ -116,9 +121,10 @@ func printPathSeries(ds *workload.Dataset, kind workload.PeerKind, title string)
 	}
 	session := classify.SessionKey{Collector: peer.Collector, PeerAddr: peer.Addr}
 	prefix := beacon.RIPEBeacons()[0].Prefix
-	sched := beacon.RIPE
+	sched := cfg.Schedule
 	var backup string
-	for _, e := range ds.Events {
+	// Scan stops at the first withdrawal-phase announcement of the session.
+	for e := range src {
 		if e.Session() == session && e.Prefix == prefix && !e.Withdraw &&
 			sched.PhaseAt(e.Time) == beacon.PhaseWithdrawal {
 			backup = e.ASPath.String()
@@ -128,7 +134,7 @@ func printPathSeries(ds *workload.Dataset, kind workload.PeerKind, title string)
 	if backup == "" {
 		return
 	}
-	series := analysis.CumulativeByPath(ds, session, prefix, backup)
+	series := analysis.CumulativeByPathStream(src, cfg.InWindow, session, prefix, backup)
 	fmt.Printf("\n%s\n  session AS%d via path (%s):\n", title, peer.AS, backup)
 	cum := 0
 	for _, pt := range series.Points {

@@ -1,31 +1,31 @@
 // Command commclean is the end-to-end measurement pipeline (§4–§5): it
-// reads per-collector MRT archives (or generates a synthetic day), applies
-// the cleaning/normalization steps, classifies every announcement, and
-// prints the Table 1 overview and Table 2 type shares.
+// streams per-collector MRT archives (or lazily generated synthetic days)
+// through the cleaning/normalization steps, classifies every announcement,
+// and prints the Table 1 overview and Table 2 type shares — all in a
+// single pass without materializing the event stream.
 //
 // Usage:
 //
-//	commclean [-in DIR] [-year 2020] [-routeservers AS1,AS2,...]
+//	commclean [-in DIR] [-year 2020] [-days N] [-routeservers AS1,AS2,...]
 //
-// Without -in, a synthetic d_mar20-like day is generated in memory.
+// Without -in, a synthetic d_mar20-like day is generated on the fly;
+// -days N streams N consecutive synthetic days back to back (a range far
+// larger than would fit in memory materialized).
 package main
 
 import (
 	"flag"
 	"fmt"
-	"net/netip"
 	"os"
-	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/analysis"
-	"repro/internal/bgp"
 	"repro/internal/classify"
-	"repro/internal/mrt"
 	"repro/internal/pipeline"
 	"repro/internal/registry"
+	"repro/internal/stream"
 	"repro/internal/textplot"
 	"repro/internal/workload"
 )
@@ -33,6 +33,7 @@ import (
 func main() {
 	in := flag.String("in", "", "directory of <collector>.updates.mrt files; empty generates a synthetic day")
 	year := flag.Int("year", 2020, "year for the synthetic dataset")
+	days := flag.Int("days", 1, "number of consecutive synthetic days to stream")
 	rsList := flag.String("routeservers", "", "comma-separated route-server peer ASNs (for -in mode)")
 	flag.Parse()
 
@@ -40,9 +41,18 @@ func main() {
 	var table1 analysis.Table1
 	if *in == "" {
 		cfg := workload.HistoricalDayConfig(*year)
-		ds := workload.GenerateDay(cfg)
-		counts = analysis.ClassifyDataset(ds)
-		table1 = analysis.ComputeTable1(ds)
+		if *days > 1 {
+			// Multi-day: day k+1 is generated only after day k has been
+			// consumed, so the footprint stays one session-day.
+			src := workload.MultiDaySource(cfg, *days)
+			from, to := cfg.Day, cfg.Day.Add(time.Duration(*days)*24*time.Hour)
+			table1, counts = analysis.Report(src, func(e classify.Event) bool {
+				return !e.Time.Before(from) && e.Time.Before(to)
+			})
+		} else {
+			_, sources := workload.DaySources(cfg)
+			table1, counts = analysis.Report(stream.Concat(sources...), cfg.InWindow)
+		}
 	} else {
 		var err error
 		counts, table1, err = runPipeline(*in, *rsList)
@@ -80,7 +90,8 @@ func main() {
 		100*counts.NoPathChangeShare())
 }
 
-// runPipeline consumes real MRT archives from dir.
+// runPipeline streams real MRT archives from dir through the normalizer
+// and both analyses in one combined pass.
 func runPipeline(dir, rsList string) (classify.Counts, analysis.Table1, error) {
 	routeServers := make(map[uint32]bool)
 	if rsList != "" {
@@ -92,67 +103,20 @@ func runPipeline(dir, rsList string) (classify.Counts, analysis.Table1, error) {
 			routeServers[uint32(asn)] = true
 		}
 	}
-	paths, err := filepath.Glob(filepath.Join(dir, "*.mrt"))
-	if err != nil || len(paths) == 0 {
-		return classify.Counts{}, analysis.Table1{}, fmt.Errorf("no .mrt files in %s", dir)
-	}
 	norm := pipeline.NewNormalizer(registry.Synthetic(time.Date(2009, 1, 1, 0, 0, 0, 0, time.UTC)))
 	norm.RouteServers = routeServers
 
-	// The archive directory is self-contained: derive Table 1 and Table 2
-	// over all events it yields.
-	cl := classify.New()
-	var counts classify.Counts
-	var t1 analysis.Table1
-	v4 := map[netip.Prefix]struct{}{}
-	v6 := map[netip.Prefix]struct{}{}
-	ases := map[uint32]struct{}{}
-	sessions := map[classify.SessionKey]struct{}{}
-	peers := map[uint32]struct{}{}
-	comms := map[bgp.Community]struct{}{}
-	pathsSeen := map[string]struct{}{}
-
-	for _, p := range paths {
-		name := strings.TrimSuffix(filepath.Base(p), ".updates.mrt")
-		name = strings.TrimSuffix(name, ".mrt")
-		f, err := os.Open(p)
-		if err != nil {
-			return counts, t1, err
-		}
-		err = norm.ProcessReader(name, mrt.NewReader(f), func(e classify.Event) error {
-			counts.Observe(cl, e)
-			sessions[e.Session()] = struct{}{}
-			peers[e.PeerAS] = struct{}{}
-			if e.Prefix.Addr().Is4() {
-				v4[e.Prefix] = struct{}{}
-			} else {
-				v6[e.Prefix] = struct{}{}
-			}
-			if e.Withdraw {
-				t1.Withdrawals++
-				return nil
-			}
-			t1.Announcements++
-			if len(e.Communities) > 0 {
-				t1.WithCommunities++
-				for _, c := range e.Communities {
-					comms[c] = struct{}{}
-				}
-			}
-			for _, a := range e.ASPath.Flatten() {
-				ases[a] = struct{}{}
-			}
-			pathsSeen[e.ASPath.String()] = struct{}{}
-			return nil
-		})
-		f.Close()
-		if err != nil {
-			return counts, t1, err
-		}
+	var srcErr error
+	_, sources, err := pipeline.DirSources(norm, dir, &srcErr)
+	if err != nil {
+		return classify.Counts{}, analysis.Table1{}, err
 	}
-	t1.PrefixesV4, t1.PrefixesV6 = len(v4), len(v6)
-	t1.ASes, t1.Sessions, t1.Peers = len(ases), len(sessions), len(peers)
-	t1.UniqueCommunities, t1.UniqueASPaths = len(comms), len(pathsSeen)
+	// The archive directory is self-contained: derive Table 1 and Table 2
+	// over every event it yields, one archive at a time.
+	t1, counts := analysis.Report(stream.Concat(sources...), nil)
+	if srcErr != nil {
+		return counts, t1, srcErr
+	}
 	fmt.Fprintf(os.Stderr, "pipeline stats: %+v\n", norm.Stats)
 	return counts, t1, nil
 }

@@ -11,8 +11,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"repro/internal/collector"
+	"repro/internal/stream"
 	"repro/internal/workload"
 )
 
@@ -28,7 +30,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	var ds *workload.Dataset
+	// The generators hand out one lazy source per (collector, peer)
+	// session; archives are written collector by collector without ever
+	// materializing the dataset.
+	var peers []workload.Peer
+	var sources []stream.EventSource
 	switch *kind {
 	case "day":
 		cfg := workload.HistoricalDayConfig(*year)
@@ -38,34 +44,41 @@ func main() {
 		if *seed != 0 {
 			cfg.Seed = *seed
 		}
-		ds = workload.GenerateDay(cfg)
+		peers, sources = workload.DaySources(cfg)
 	case "beacon":
 		cfg := workload.HistoricalBeaconConfig(*year)
 		cfg.PeersPerCollector = max(1, int(float64(cfg.PeersPerCollector)**scale))
 		if *seed != 0 {
 			cfg.Seed = *seed
 		}
-		ds = workload.GenerateBeacon(cfg)
+		peers, sources = workload.BeaconSources(cfg)
 	default:
 		fmt.Fprintf(os.Stderr, "mrtgen: unknown kind %q\n", *kind)
 		os.Exit(2)
 	}
 
-	files, err := collector.WriteDatasetDir(ds, *out)
+	files, err := collector.WriteSourcesDir(peers, sources, *out)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mrtgen: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %d events across %d collector archives in %s\n",
-		len(ds.Events), len(files), *out)
-	for name, path := range files {
-		n, err := collector.CountRecords(path)
+	total := 0
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n, err := collector.CountRecords(files[name])
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mrtgen: verify %s: %v\n", path, err)
+			fmt.Fprintf(os.Stderr, "mrtgen: verify %s: %v\n", files[name], err)
 			os.Exit(1)
 		}
-		fmt.Printf("  %-16s %8d records  %s\n", name, n, path)
+		total += n
+		fmt.Printf("  %-16s %8d records  %s\n", name, n, files[name])
 	}
+	fmt.Printf("wrote %d records across %d collector archives in %s\n",
+		total, len(files), *out)
 }
 
 func max(a, b int) int {

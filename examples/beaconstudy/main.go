@@ -13,6 +13,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/beacon"
 	"repro/internal/classify"
+	"repro/internal/stream"
 	"repro/internal/workload"
 )
 
@@ -21,21 +22,25 @@ func main() {
 	cfg := workload.DefaultBeaconConfig(day)
 	cfg.Collectors = 4
 	cfg.PeersPerCollector = 10
-	ds := workload.GenerateBeacon(cfg)
+	// Several analyses reuse the same day, so generate once (session by
+	// session, no global sort) and replay the materialized slice.
+	peers, sources := workload.BeaconSources(cfg)
+	events := stream.Collect(stream.Concat(sources...))
+	src := stream.FromSlice(events)
 
 	fmt.Printf("d_beacon: %d events for %d beacon prefixes across %d sessions\n\n",
-		len(ds.Events), len(beacon.RIPEBeacons()), len(ds.Peers))
+		len(events), len(beacon.RIPEBeacons()), len(peers))
 
 	// Community exploration (Figure 4): a transparent, geo-tagged session.
-	showPath(ds, workload.PeerTransparent,
+	showPath(peers, src, cfg, workload.PeerTransparent,
 		"community exploration — transparent peer behind a geo-tagging transit")
 
 	// Duplicate announcements (Figure 5): an egress-cleaning session.
-	showPath(ds, workload.PeerCleansEgress,
+	showPath(peers, src, cfg, workload.PeerCleansEgress,
 		"duplicate announcements — peer cleaning communities on egress")
 
 	// Revealed information (Figure 6).
-	s := analysis.RevealedForDataset(ds, cfg.Schedule)
+	s := analysis.RevealedForStream(src, cfg.InWindow, cfg.Schedule)
 	fmt.Println("revealed community attributes by beacon phase:")
 	fmt.Printf("  total unique attributes:   %d\n", s.Total)
 	fmt.Printf("  withdrawal phases only:    %d (%.1f%%)  <- the paper's 62%%\n",
@@ -49,11 +54,11 @@ func main() {
 
 // showPath prints the classified backup-path series of the first session
 // matching the peer kind.
-func showPath(ds *workload.Dataset, kind workload.PeerKind, title string) {
+func showPath(peers []workload.Peer, src stream.EventSource, cfg workload.BeaconConfig, kind workload.PeerKind, title string) {
 	var peer *workload.Peer
-	for i := range ds.Peers {
-		if ds.Peers[i].Kind == kind && ds.Peers[i].TaggedUpstream {
-			peer = &ds.Peers[i]
+	for i := range peers {
+		if peers[i].Kind == kind && peers[i].TaggedUpstream {
+			peer = &peers[i]
 			break
 		}
 	}
@@ -63,14 +68,14 @@ func showPath(ds *workload.Dataset, kind workload.PeerKind, title string) {
 	session := classify.SessionKey{Collector: peer.Collector, PeerAddr: peer.Addr}
 	prefix := beacon.RIPEBeacons()[0].Prefix
 	var backup string
-	for _, e := range ds.Events {
+	for e := range src {
 		if e.Session() == session && e.Prefix == prefix && !e.Withdraw &&
 			beacon.RIPE.PhaseAt(e.Time) == beacon.PhaseWithdrawal {
 			backup = e.ASPath.String()
 			break
 		}
 	}
-	series := analysis.CumulativeByPath(ds, session, prefix, backup)
+	series := analysis.CumulativeByPathStream(src, cfg.InWindow, session, prefix, backup)
 	counts := series.TypeCounts()
 	fmt.Printf("%s\n  prefix %v via (%s), session AS%d at %s:\n",
 		title, prefix, backup, peer.AS, peer.Collector)

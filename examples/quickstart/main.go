@@ -10,15 +10,13 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"path/filepath"
-	"strings"
 	"time"
 
 	"repro/internal/classify"
 	"repro/internal/collector"
-	"repro/internal/mrt"
 	"repro/internal/pipeline"
 	"repro/internal/registry"
+	"repro/internal/stream"
 	"repro/internal/workload"
 )
 
@@ -48,37 +46,22 @@ func main() {
 
 	// 3. Read them back through the cleaning pipeline: bogon filtering,
 	// route-server AS-path fixup, and same-second timestamp spreading.
+	// Each archive becomes a lazy event source — records are decoded one
+	// at a time as the classifier pulls them, never a whole file.
 	norm := pipeline.NewNormalizer(registry.Synthetic(day.AddDate(-10, 0, 0)))
 	norm.RouteServers = ds.RouteServerASNs()
+	var srcErr error
+	_, sources, err := pipeline.DirSources(norm, dir, &srcErr)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	// 4. Classify per (session, prefix) stream.
-	cl := classify.New()
-	var counts classify.Counts
-	for name, path := range files {
-		f, err := os.Open(path)
-		if err != nil {
-			log.Fatal(err)
-		}
-		collectorName := strings.TrimSuffix(filepath.Base(path), ".updates.mrt")
-		_ = name
-		err = norm.ProcessReader(collectorName, mrt.NewReader(f), func(e classify.Event) error {
-			// The archive includes pre-day warm-up announcements that seed
-			// per-stream state; classify them but only count the measured day.
-			res, ok := cl.Observe(e)
-			if !ds.CountingWindow(e) {
-				return nil
-			}
-			if !ok {
-				counts.Withdrawals++
-				return nil
-			}
-			counts.Add(res)
-			return nil
-		})
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
+	// 4. Classify per (session, prefix) stream in one streaming pass. The
+	// archives include pre-day warm-up announcements that seed per-stream
+	// state; they feed the classifier but only the measured day is counted.
+	counts := stream.Classify(stream.Concat(sources...), ds.CountingWindow)
+	if srcErr != nil {
+		log.Fatal(srcErr)
 	}
 
 	// 5. Report the Table 2 type mix.

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/stream"
 	"repro/internal/textplot"
 	"repro/internal/workload"
 )
@@ -21,9 +22,14 @@ func main() {
 	cfg := workload.DefaultBeaconConfig(day)
 	cfg.Collectors = 6
 	cfg.PeersPerCollector = 12
-	ds := workload.GenerateBeacon(cfg)
+	// Both inferences below scan the same day, so generate it once
+	// (session by session, no global sort) and replay the slice; each
+	// inference is still a single stream pass, as it would be over live
+	// collector archives.
+	peers, sources := workload.BeaconSources(cfg)
+	src := stream.FromSlice(stream.Collect(stream.Concat(sources...)))
 
-	inferences := analysis.InferPeerBehavior(ds)
+	inferences := analysis.InferPeerBehaviorStream(src, cfg.InWindow)
 	fmt.Printf("classified %d peer sessions from their update streams alone:\n\n", len(inferences))
 
 	byClass := map[analysis.PeerBehavior]int{}
@@ -51,11 +57,11 @@ func main() {
 	} {
 		fmt.Printf("  %-14s %d sessions\n", b, byClass[b])
 	}
-	acc := analysis.InferenceAccuracy(ds, inferences)
+	acc := analysis.InferenceAccuracyPeers(peers, inferences)
 	fmt.Printf("\naccuracy against the generator's ground truth: %.1f%%\n\n", 100*acc)
 
 	// Interconnection inference: distinct geo locations per (peer, tagger).
-	locs := analysis.InferIngressLocations(ds)
+	locs := analysis.InferIngressLocationsStream(src)
 	fmt.Printf("geo communities reveal ingress footprints for %d (peer, transit) pairs:\n", len(locs))
 	for i, inf := range locs {
 		if i >= 8 {

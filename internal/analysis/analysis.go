@@ -3,6 +3,12 @@
 // (Table 2), the longitudinal type series (Figure 2), per-session type
 // mixes (Figure 3), per-path cumulative series (Figures 4/5), and the
 // revealed-community attribution (Figure 6).
+//
+// Every analysis is a single pass over a stream.EventSource; the
+// *Dataset-taking functions are thin wrappers that stream a materialized
+// workload.Dataset. MRT-archive-backed sources (pipeline.DirSources) and
+// lazily generated sources (workload.DaySources) drive the same analyses
+// without ever holding a full event slice.
 package analysis
 
 import (
@@ -13,6 +19,7 @@ import (
 	"repro/internal/beacon"
 	"repro/internal/bgp"
 	"repro/internal/classify"
+	"repro/internal/stream"
 	"repro/internal/workload"
 )
 
@@ -33,72 +40,110 @@ type Table1 struct {
 	Withdrawals       int
 }
 
-// ComputeTable1 scans the dataset's in-window events.
-func ComputeTable1(ds *workload.Dataset) Table1 {
-	var t Table1
-	v4 := make(map[netip.Prefix]struct{})
-	v6 := make(map[netip.Prefix]struct{})
-	ases := make(map[uint32]struct{})
-	sessions := make(map[classify.SessionKey]struct{})
-	peers := make(map[uint32]struct{})
-	comms := make(map[bgp.Community]struct{})
-	paths := make(map[string]struct{})
-
-	for _, e := range ds.Events {
-		if !ds.CountingWindow(e) {
-			continue
-		}
-		sessions[e.Session()] = struct{}{}
-		peers[e.PeerAS] = struct{}{}
-		if e.Prefix.Addr().Is4() {
-			v4[e.Prefix] = struct{}{}
-		} else {
-			v6[e.Prefix] = struct{}{}
-		}
-		if e.Withdraw {
-			t.Withdrawals++
-			continue
-		}
-		t.Announcements++
-		if len(e.Communities) > 0 {
-			t.WithCommunities++
-			for _, c := range e.Communities {
-				comms[c] = struct{}{}
-			}
-		}
-		for _, a := range e.ASPath.Flatten() {
-			ases[a] = struct{}{}
-		}
-		paths[e.ASPath.String()] = struct{}{}
-	}
-	t.PrefixesV4 = len(v4)
-	t.PrefixesV6 = len(v6)
-	t.ASes = len(ases)
-	t.Sessions = len(sessions)
-	t.Peers = len(peers)
-	t.UniqueCommunities = len(comms)
-	t.UniqueASPaths = len(paths)
-	return t
+// table1Accum incrementally builds Table 1 from in-window events.
+type table1Accum struct {
+	t1       Table1
+	v4, v6   map[netip.Prefix]struct{}
+	ases     map[uint32]struct{}
+	sessions map[classify.SessionKey]struct{}
+	peers    map[uint32]struct{}
+	comms    map[bgp.Community]struct{}
+	paths    map[string]struct{}
 }
 
-// ClassifyDataset runs the classifier over all events in order (warm-up
-// events seed stream state) and tallies only in-window events — the
-// Table 2 computation.
-func ClassifyDataset(ds *workload.Dataset) classify.Counts {
-	cl := classify.New()
-	var counts classify.Counts
-	for _, e := range ds.Events {
-		res, ok := cl.Observe(e)
-		if !ds.CountingWindow(e) {
+func newTable1Accum() *table1Accum {
+	return &table1Accum{
+		v4:       make(map[netip.Prefix]struct{}),
+		v6:       make(map[netip.Prefix]struct{}),
+		ases:     make(map[uint32]struct{}),
+		sessions: make(map[classify.SessionKey]struct{}),
+		peers:    make(map[uint32]struct{}),
+		comms:    make(map[bgp.Community]struct{}),
+		paths:    make(map[string]struct{}),
+	}
+}
+
+func (a *table1Accum) observe(e classify.Event) {
+	a.sessions[e.Session()] = struct{}{}
+	a.peers[e.PeerAS] = struct{}{}
+	if e.Prefix.Addr().Is4() {
+		a.v4[e.Prefix] = struct{}{}
+	} else {
+		a.v6[e.Prefix] = struct{}{}
+	}
+	if e.Withdraw {
+		a.t1.Withdrawals++
+		return
+	}
+	a.t1.Announcements++
+	if len(e.Communities) > 0 {
+		a.t1.WithCommunities++
+		for _, c := range e.Communities {
+			a.comms[c] = struct{}{}
+		}
+	}
+	for _, as := range e.ASPath.Flatten() {
+		a.ases[as] = struct{}{}
+	}
+	a.paths[e.ASPath.String()] = struct{}{}
+}
+
+func (a *table1Accum) finish() Table1 {
+	a.t1.PrefixesV4 = len(a.v4)
+	a.t1.PrefixesV6 = len(a.v6)
+	a.t1.ASes = len(a.ases)
+	a.t1.Sessions = len(a.sessions)
+	a.t1.Peers = len(a.peers)
+	a.t1.UniqueCommunities = len(a.comms)
+	a.t1.UniqueASPaths = len(a.paths)
+	return a.t1
+}
+
+// ComputeTable1Stream scans a source's in-window events in one pass
+// (inWindow nil counts everything).
+func ComputeTable1Stream(src stream.EventSource, inWindow func(classify.Event) bool) Table1 {
+	acc := newTable1Accum()
+	for e := range src {
+		if inWindow != nil && !inWindow(e) {
 			continue
 		}
+		acc.observe(e)
+	}
+	return acc.finish()
+}
+
+// ComputeTable1 scans the dataset's in-window events.
+func ComputeTable1(ds *workload.Dataset) Table1 {
+	return ComputeTable1Stream(ds.Source(), ds.CountingWindow)
+}
+
+// Report computes Table 1 and the Table 2 type counts in one combined
+// pass over the stream — the full §4–§5 measurement on archive-backed
+// sources that can only be read once.
+func Report(src stream.EventSource, inWindow func(classify.Event) bool) (Table1, classify.Counts) {
+	acc := newTable1Accum()
+	cl := classify.New()
+	var counts classify.Counts
+	for e := range src {
+		res, ok := cl.Observe(e)
+		if inWindow != nil && !inWindow(e) {
+			continue
+		}
+		acc.observe(e)
 		if !ok {
 			counts.Withdrawals++
 			continue
 		}
 		counts.Add(res)
 	}
-	return counts
+	return acc.finish(), counts
+}
+
+// ClassifyDataset runs the classifier over all events in order (warm-up
+// events seed stream state) and tallies only in-window events — the
+// Table 2 computation. Equivalent to stream.Classify over the dataset.
+func ClassifyDataset(ds *workload.Dataset) classify.Counts {
+	return stream.Classify(ds.Source(), ds.CountingWindow)
 }
 
 // Figure2Row is one day of the longitudinal type series.
@@ -109,12 +154,15 @@ type Figure2Row struct {
 
 // Figure2Series generates and classifies one synthetic day per year over
 // [fromYear, toYear], the scaled-down analogue of Figure 2's quarterly
-// series.
+// series. Each day streams session by session through the classifier
+// without being materialized or globally sorted.
 func Figure2Series(fromYear, toYear int) []Figure2Row {
 	var rows []Figure2Row
 	for y := fromYear; y <= toYear; y++ {
-		ds := workload.GenerateDay(workload.HistoricalDayConfig(y))
-		rows = append(rows, Figure2Row{Year: y, Counts: ClassifyDataset(ds)})
+		cfg := workload.HistoricalDayConfig(y)
+		_, sources := workload.DaySources(cfg)
+		counts := stream.Classify(stream.Concat(sources...), cfg.InWindow)
+		rows = append(rows, Figure2Row{Year: y, Counts: counts})
 	}
 	return rows
 }
@@ -130,15 +178,16 @@ type SessionMix struct {
 // Total returns the session's announcement count.
 func (s SessionMix) Total() int { return s.Counts.Announcements() }
 
-// Figure3PerSession classifies the dataset and returns, for one collector
-// and prefix, each session's type mix sorted by descending announcement
-// count (the paper's stacked bars for 84.205.64.0/24 at rrc00).
-func Figure3PerSession(ds *workload.Dataset, collector string, prefix netip.Prefix) []SessionMix {
+// Figure3PerSessionStream classifies a source and returns, for one
+// collector and prefix, each session's type mix sorted by descending
+// announcement count (the paper's stacked bars for 84.205.64.0/24 at
+// rrc00). The source must preserve per-session event order.
+func Figure3PerSessionStream(src stream.EventSource, inWindow func(classify.Event) bool, collector string, prefix netip.Prefix) []SessionMix {
 	cl := classify.New()
 	mixes := make(map[classify.SessionKey]*SessionMix)
-	for _, e := range ds.Events {
+	for e := range src {
 		res, ok := cl.Observe(e)
-		if !ds.CountingWindow(e) || e.Collector != collector || e.Prefix != prefix {
+		if (inWindow != nil && !inWindow(e)) || e.Collector != collector || e.Prefix != prefix {
 			continue
 		}
 		key := e.Session()
@@ -166,6 +215,11 @@ func Figure3PerSession(ds *workload.Dataset, collector string, prefix netip.Pref
 	return out
 }
 
+// Figure3PerSession is Figure3PerSessionStream over a materialized dataset.
+func Figure3PerSession(ds *workload.Dataset, collector string, prefix netip.Prefix) []SessionMix {
+	return Figure3PerSessionStream(ds.Source(), ds.CountingWindow, collector, prefix)
+}
+
 // CumPoint is one classified announcement on a (session, prefix, path)
 // stream.
 type CumPoint struct {
@@ -181,14 +235,14 @@ type CumSeries struct {
 	Withdrawals []time.Time
 }
 
-// CumulativeByPath classifies the dataset and extracts the announcements
-// of one session and prefix whose AS path matches pathStr.
-func CumulativeByPath(ds *workload.Dataset, session classify.SessionKey, prefix netip.Prefix, pathStr string) CumSeries {
+// CumulativeByPathStream classifies a source and extracts the
+// announcements of one session and prefix whose AS path matches pathStr.
+func CumulativeByPathStream(src stream.EventSource, inWindow func(classify.Event) bool, session classify.SessionKey, prefix netip.Prefix, pathStr string) CumSeries {
 	cl := classify.New()
 	var out CumSeries
-	for _, e := range ds.Events {
+	for e := range src {
 		res, ok := cl.Observe(e)
-		if !ds.CountingWindow(e) || e.Session() != session || e.Prefix != prefix {
+		if (inWindow != nil && !inWindow(e)) || e.Session() != session || e.Prefix != prefix {
 			continue
 		}
 		if !ok {
@@ -203,6 +257,11 @@ func CumulativeByPath(ds *workload.Dataset, session classify.SessionKey, prefix 
 	return out
 }
 
+// CumulativeByPath is CumulativeByPathStream over a materialized dataset.
+func CumulativeByPath(ds *workload.Dataset, session classify.SessionKey, prefix netip.Prefix, pathStr string) CumSeries {
+	return CumulativeByPathStream(ds.Source(), ds.CountingWindow, session, prefix, pathStr)
+}
+
 // TypeCounts tallies the series by type.
 func (c CumSeries) TypeCounts() classify.Counts {
 	var counts classify.Counts
@@ -212,16 +271,21 @@ func (c CumSeries) TypeCounts() classify.Counts {
 	return counts
 }
 
-// RevealedForDataset runs the Figure 6 attribution over a beacon dataset.
-func RevealedForDataset(ds *workload.Dataset, sched beacon.Schedule) beacon.RevealedSummary {
+// RevealedForStream runs the Figure 6 attribution over a beacon source.
+func RevealedForStream(src stream.EventSource, inWindow func(classify.Event) bool, sched beacon.Schedule) beacon.RevealedSummary {
 	tracker := beacon.NewRevealedTracker(sched)
-	for _, e := range ds.Events {
-		if !ds.CountingWindow(e) || e.Withdraw {
+	for e := range src {
+		if (inWindow != nil && !inWindow(e)) || e.Withdraw {
 			continue
 		}
 		tracker.Observe(e.Time, e.Communities)
 	}
 	return tracker.Summary()
+}
+
+// RevealedForDataset runs the Figure 6 attribution over a beacon dataset.
+func RevealedForDataset(ds *workload.Dataset, sched beacon.Schedule) beacon.RevealedSummary {
+	return RevealedForStream(ds.Source(), ds.CountingWindow, sched)
 }
 
 // Figure6Row is one year of the revealed-information series.
@@ -230,28 +294,34 @@ type Figure6Row struct {
 	Summary beacon.RevealedSummary
 }
 
-// Figure6Series generates beacon datasets per year and attributes their
-// community reveals.
+// Figure6Series generates beacon update streams per year and attributes
+// their community reveals, session by session without materializing.
 func Figure6Series(fromYear, toYear int) []Figure6Row {
 	var rows []Figure6Row
 	for y := fromYear; y <= toYear; y++ {
 		cfg := workload.HistoricalBeaconConfig(y)
-		ds := workload.GenerateBeacon(cfg)
-		rows = append(rows, Figure6Row{Year: y, Summary: RevealedForDataset(ds, cfg.Schedule)})
+		_, sources := workload.BeaconSources(cfg)
+		summary := RevealedForStream(stream.Concat(sources...), cfg.InWindow, cfg.Schedule)
+		rows = append(rows, Figure6Row{Year: y, Summary: summary})
 	}
 	return rows
 }
 
-// BeaconSubset filters a dataset to the RIPE beacon prefixes, the paper's
-// d_beacon selection from d_hist.
+// BeaconSubsetStream filters a source to the RIPE beacon prefixes, the
+// paper's d_beacon selection from d_hist.
+func BeaconSubsetStream(src stream.EventSource) stream.EventSource {
+	return stream.Filter(src, func(e classify.Event) bool {
+		return beacon.IsBeaconPrefix(e.Prefix)
+	})
+}
+
+// BeaconSubset filters a dataset to the RIPE beacon prefixes.
 func BeaconSubset(ds *workload.Dataset) *workload.Dataset {
-	out := &workload.Dataset{Day: ds.Day, Peers: ds.Peers}
-	for _, e := range ds.Events {
-		if beacon.IsBeaconPrefix(e.Prefix) {
-			out.Events = append(out.Events, e)
-		}
+	return &workload.Dataset{
+		Day:    ds.Day,
+		Peers:  ds.Peers,
+		Events: stream.Collect(BeaconSubsetStream(ds.Source())),
 	}
-	return out
 }
 
 // Figure2QuarterRow is one quarterly sample of the longitudinal series.
@@ -267,8 +337,10 @@ func Figure2SeriesQuarterly(fromYear, toYear int) []Figure2QuarterRow {
 	var rows []Figure2QuarterRow
 	for y := fromYear; y <= toYear; y++ {
 		for q := 0; q < 4; q++ {
-			ds := workload.GenerateDay(workload.HistoricalQuarterConfig(y, q))
-			rows = append(rows, Figure2QuarterRow{Year: y, Quarter: q, Counts: ClassifyDataset(ds)})
+			cfg := workload.HistoricalQuarterConfig(y, q)
+			_, sources := workload.DaySources(cfg)
+			counts := stream.Classify(stream.Concat(sources...), cfg.InWindow)
+			rows = append(rows, Figure2QuarterRow{Year: y, Quarter: q, Counts: counts})
 		}
 	}
 	return rows

@@ -97,6 +97,9 @@ func TestClassifyDatasetUsesWarmupState(t *testing.T) {
 }
 
 func TestFigure2SeriesShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates 11 full synthetic days; skipped in -short mode")
+	}
 	rows := Figure2Series(2010, 2020)
 	if len(rows) != 11 {
 		t.Fatalf("rows = %d", len(rows))
@@ -296,6 +299,9 @@ func TestBeaconSubset(t *testing.T) {
 }
 
 func TestFigure2QuarterlySampling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates 8 full synthetic days; skipped in -short mode")
+	}
 	rows := Figure2SeriesQuarterly(2019, 2020)
 	if len(rows) != 8 {
 		t.Fatalf("rows = %d, want 8 (two years, quarterly)", len(rows))

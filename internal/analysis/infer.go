@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bgp"
 	"repro/internal/classify"
+	"repro/internal/stream"
 	"repro/internal/workload"
 )
 
@@ -66,8 +67,9 @@ const (
 	nnShareThreshold   = 0.10
 )
 
-// InferPeerBehavior classifies every session in the dataset.
-func InferPeerBehavior(ds *workload.Dataset) []PeerInference {
+// InferPeerBehaviorStream classifies every session observed on a source
+// in one pass (inWindow nil considers everything).
+func InferPeerBehaviorStream(src stream.EventSource, inWindow func(classify.Event) bool) []PeerInference {
 	cl := classify.New()
 	type acc struct {
 		peerAS   uint32
@@ -76,9 +78,9 @@ func InferPeerBehavior(ds *workload.Dataset) []PeerInference {
 		counts   classify.Counts
 	}
 	accs := make(map[classify.SessionKey]*acc)
-	for _, e := range ds.Events {
+	for e := range src {
 		res, ok := cl.Observe(e)
-		if !ds.CountingWindow(e) || !ok {
+		if (inWindow != nil && !inWindow(e)) || !ok {
 			continue
 		}
 		key := e.Session()
@@ -123,14 +125,25 @@ func InferPeerBehavior(ds *workload.Dataset) []PeerInference {
 	return out
 }
 
+// InferPeerBehavior classifies every session in the dataset.
+func InferPeerBehavior(ds *workload.Dataset) []PeerInference {
+	return InferPeerBehaviorStream(ds.Source(), ds.CountingWindow)
+}
+
 // InferenceAccuracy scores inferences against the workload's ground-truth
-// peer profiles, mapping ground truth to the closest observable class:
+// peer profiles.
+func InferenceAccuracy(ds *workload.Dataset, inferences []PeerInference) float64 {
+	return InferenceAccuracyPeers(ds.Peers, inferences)
+}
+
+// InferenceAccuracyPeers scores inferences against ground-truth peer
+// profiles, mapping ground truth to the closest observable class:
 // transparent+tagged → propagates; cleans-egress+tagged → cleans-egress;
 // everything else (untagged, or ingress cleaning) → quiet. It returns the
 // fraction of sessions classified correctly.
-func InferenceAccuracy(ds *workload.Dataset, inferences []PeerInference) float64 {
+func InferenceAccuracyPeers(peers []workload.Peer, inferences []PeerInference) float64 {
 	truth := make(map[classify.SessionKey]PeerBehavior)
-	for _, p := range ds.Peers {
+	for _, p := range peers {
 		key := classify.SessionKey{Collector: p.Collector, PeerAddr: p.Addr}
 		switch {
 		case p.TaggedUpstream && p.Kind == workload.PeerTransparent:
@@ -163,16 +176,16 @@ type IngressInference struct {
 	Locations int
 }
 
-// InferIngressLocations counts distinct city-level geo communities (the
-// generator's 2000-2999 value convention, mirroring real geo schemes like
-// AS3356's) per (peer, tagger) pair.
-func InferIngressLocations(ds *workload.Dataset) []IngressInference {
+// InferIngressLocationsStream counts distinct city-level geo communities
+// (the generator's 2000-2999 value convention, mirroring real geo schemes
+// like AS3356's) per (peer, tagger) pair, in one pass over a source.
+func InferIngressLocationsStream(src stream.EventSource) []IngressInference {
 	type pairKey struct {
 		peerAS uint32
 		tagger uint16
 	}
 	locs := make(map[pairKey]map[bgp.Community]struct{})
-	for _, e := range ds.Events {
+	for e := range src {
 		if e.Withdraw {
 			continue
 		}
@@ -204,4 +217,9 @@ func InferIngressLocations(ds *workload.Dataset) []IngressInference {
 		return out[i].TaggerAS < out[j].TaggerAS
 	})
 	return out
+}
+
+// InferIngressLocations is InferIngressLocationsStream over a dataset.
+func InferIngressLocations(ds *workload.Dataset) []IngressInference {
+	return InferIngressLocationsStream(ds.Source())
 }

@@ -1,9 +1,8 @@
 package analysis
 
 import (
-	"sync"
-
 	"repro/internal/classify"
+	"repro/internal/stream"
 	"repro/internal/workload"
 )
 
@@ -11,44 +10,11 @@ import (
 // Announcement streams are keyed by (collector, peer, prefix), so
 // collectors are independent classification domains and can run
 // concurrently; the merged counts are identical to the sequential result.
-// The per-collector grouping pass costs one copy of the event slice, so
-// the fan-out only pays off with many collectors or expensive per-event
-// work — with a handful of collectors the sequential path wins (see
-// BenchmarkTable2Parallel vs BenchmarkTable2).
+// Events are routed to per-collector workers in small batches as they
+// stream by (stream.ParallelClassify), so no per-collector grouping copy
+// of the dataset is ever made.
 func ClassifyDatasetParallel(ds *workload.Dataset) classify.Counts {
-	byCollector := make(map[string][]classify.Event)
-	for _, e := range ds.Events {
-		byCollector[e.Collector] = append(byCollector[e.Collector], e)
-	}
-	results := make(chan classify.Counts, len(byCollector))
-	var wg sync.WaitGroup
-	for _, events := range byCollector {
-		wg.Add(1)
-		go func(events []classify.Event) {
-			defer wg.Done()
-			cl := classify.New()
-			var counts classify.Counts
-			for _, e := range events {
-				res, ok := cl.Observe(e)
-				if !ds.CountingWindow(e) {
-					continue
-				}
-				if !ok {
-					counts.Withdrawals++
-					continue
-				}
-				counts.Add(res)
-			}
-			results <- counts
-		}(events)
-	}
-	wg.Wait()
-	close(results)
-	var total classify.Counts
-	for c := range results {
-		total.Merge(c)
-	}
-	return total
+	return stream.ParallelClassify(ds.Source(), ds.CountingWindow)
 }
 
 // GeoBreakdown categorizes the distinct geo communities observed for one
@@ -63,13 +29,13 @@ type GeoBreakdown struct {
 	Other     int
 }
 
-// GeoBreakdownFor scans the dataset for the route's announcements.
-func GeoBreakdownFor(ds *workload.Dataset, session classify.SessionKey, prefix string, pathStr string) GeoBreakdown {
+// GeoBreakdownStream scans a source for the route's announcements.
+func GeoBreakdownStream(src stream.EventSource, session classify.SessionKey, prefix string, pathStr string) GeoBreakdown {
 	cities := map[uint32]struct{}{}
 	countries := map[uint32]struct{}{}
 	regions := map[uint32]struct{}{}
 	other := map[uint32]struct{}{}
-	for _, e := range ds.Events {
+	for e := range src {
 		if e.Withdraw || e.Session() != session || e.Prefix.String() != prefix || e.ASPath.String() != pathStr {
 			continue
 		}
@@ -93,4 +59,9 @@ func GeoBreakdownFor(ds *workload.Dataset, session classify.SessionKey, prefix s
 		Regions:   len(regions),
 		Other:     len(other),
 	}
+}
+
+// GeoBreakdownFor scans the dataset for the route's announcements.
+func GeoBreakdownFor(ds *workload.Dataset, session classify.SessionKey, prefix string, pathStr string) GeoBreakdown {
+	return GeoBreakdownStream(ds.Source(), session, prefix, pathStr)
 }

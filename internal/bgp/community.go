@@ -81,10 +81,23 @@ func ParseCommunity(s string) (Community, error) {
 // ascending with duplicates removed; most operations assume canonical input.
 type Communities []Community
 
-// Canonical returns a sorted, de-duplicated copy of cs.
+// Canonical returns cs in sorted, de-duplicated form. Already-canonical
+// input (the common case on the classification hot path: generators and
+// the pipeline canonicalize once at the edge) is returned as-is without
+// copying; otherwise a canonical copy is built.
 func (cs Communities) Canonical() Communities {
 	if len(cs) == 0 {
 		return nil
+	}
+	canonical := true
+	for i := 1; i < len(cs); i++ {
+		if cs[i] <= cs[i-1] {
+			canonical = false
+			break
+		}
+	}
+	if canonical {
+		return cs
 	}
 	out := make(Communities, len(cs))
 	copy(out, cs)

@@ -119,12 +119,12 @@ type Result struct {
 // Classifier assigns announcement types over per-(session, prefix) streams
 // in arrival order. It is not safe for concurrent use.
 type Classifier struct {
-	state map[streamKey]*prevState
+	state map[streamKey]prevState
 }
 
 // New returns an empty classifier.
 func New() *Classifier {
-	return &Classifier{state: make(map[streamKey]*prevState)}
+	return &Classifier{state: make(map[streamKey]prevState)}
 }
 
 // Observe processes one event. Announcements yield a classification;
@@ -144,7 +144,7 @@ func (c *Classifier) Observe(e Event) (Result, bool) {
 		med:    e.MED,
 	}
 	prev, seen := c.state[key]
-	c.state[key] = &cur
+	c.state[key] = cur
 	if !seen {
 		res := Result{First: true}
 		if len(cur.comms) > 0 {

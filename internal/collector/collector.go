@@ -17,6 +17,7 @@ import (
 	"repro/internal/classify"
 	"repro/internal/mrt"
 	"repro/internal/router"
+	"repro/internal/stream"
 	"repro/internal/workload"
 )
 
@@ -98,7 +99,13 @@ func EventRecord(e classify.Event, routeServers map[uint32]bool) (*mrt.BGP4MPMes
 
 // WriteEvents streams events (already time-ordered) into an MRT writer.
 func WriteEvents(w *mrt.Writer, events []classify.Event, routeServers map[uint32]bool) error {
-	for _, e := range events {
+	return WriteEventSource(w, stream.FromSlice(events), routeServers)
+}
+
+// WriteEventSource drains an event source (already time-ordered) into an
+// MRT writer, one record at a time.
+func WriteEventSource(w *mrt.Writer, src stream.EventSource, routeServers map[uint32]bool) error {
+	for e := range src {
 		rec, err := EventRecord(e, routeServers)
 		if err != nil {
 			return err
@@ -108,6 +115,52 @@ func WriteEvents(w *mrt.Writer, events []classify.Event, routeServers map[uint32
 		}
 	}
 	return w.Flush()
+}
+
+// WriteSourcesDir writes one MRT archive per collector from per-session
+// event sources (as returned by workload.DaySources / BeaconSources)
+// without ever materializing the dataset: each collector's archive is a
+// time-ordered merge of just that collector's sessions, so the peak
+// working set is one collector's events rather than the whole day.
+func WriteSourcesDir(peers []workload.Peer, sources []stream.EventSource, dir string) (map[string]string, error) {
+	if len(peers) != len(sources) {
+		return nil, fmt.Errorf("collector: %d peers but %d sources", len(peers), len(sources))
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	byCollector := make(map[string][]stream.EventSource)
+	routeServers := make(map[uint32]bool)
+	for i, p := range peers {
+		byCollector[p.Collector] = append(byCollector[p.Collector], sources[i])
+		if p.RouteServer {
+			routeServers[p.AS] = true
+		}
+	}
+	names := make([]string, 0, len(byCollector))
+	for name := range byCollector {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	files := make(map[string]string, len(names))
+	for _, name := range names {
+		path := filepath.Join(dir, name+".updates.mrt")
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		w := mrt.NewWriter(f)
+		w.ExtendedTime = true
+		if err := WriteEventSource(w, stream.Merge(byCollector[name]...), routeServers); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("collector %s: %w", name, err)
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		files[name] = path
+	}
+	return files, nil
 }
 
 // WriteDatasetDir writes one MRT archive per collector into dir, returning

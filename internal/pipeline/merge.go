@@ -1,62 +1,25 @@
 package pipeline
 
 import (
-	"container/heap"
-
 	"repro/internal/classify"
+	"repro/internal/stream"
 )
 
-// MergeEvents merges multiple time-sorted event streams (one per
-// collector archive) into one globally time-ordered stream, as analyses
-// spanning collectors require. Ties keep the input-stream order, so the
-// merge is stable and deterministic.
+// MergeEvents merges multiple time-sorted event slices (one per collector
+// archive) into one globally time-ordered slice, as analyses spanning
+// collectors require. Ties keep the input-stream order, so the merge is
+// stable and deterministic. It is the materialized wrapper over
+// stream.Merge; streaming consumers should merge sources directly.
 func MergeEvents(streams ...[]classify.Event) []classify.Event {
+	sources := make([]stream.EventSource, len(streams))
 	total := 0
-	for _, s := range streams {
+	for i, s := range streams {
+		sources[i] = stream.FromSlice(s)
 		total += len(s)
 	}
 	out := make([]classify.Event, 0, total)
-	h := make(mergeHeap, 0, len(streams))
-	for i, s := range streams {
-		if len(s) > 0 {
-			h = append(h, mergeCursor{stream: i, events: s})
-		}
-	}
-	heap.Init(&h)
-	for h.Len() > 0 {
-		cur := h[0]
-		out = append(out, cur.events[0])
-		if len(cur.events) > 1 {
-			h[0].events = cur.events[1:]
-			heap.Fix(&h, 0)
-		} else {
-			heap.Pop(&h)
-		}
+	for e := range stream.Merge(sources...) {
+		out = append(out, e)
 	}
 	return out
-}
-
-type mergeCursor struct {
-	stream int
-	events []classify.Event
-}
-
-type mergeHeap []mergeCursor
-
-func (h mergeHeap) Len() int { return len(h) }
-func (h mergeHeap) Less(i, j int) bool {
-	ti, tj := h[i].events[0].Time, h[j].events[0].Time
-	if !ti.Equal(tj) {
-		return ti.Before(tj)
-	}
-	return h[i].stream < h[j].stream
-}
-func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeCursor)) }
-func (h *mergeHeap) Pop() any {
-	old := *h
-	n := len(old)
-	item := old[n-1]
-	*h = old[:n-1]
-	return item
 }

@@ -159,6 +159,9 @@ func TestGracefulClose(t *testing.T) {
 }
 
 func TestHoldTimerExpiry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("waits out a real 3s hold timer; skipped in -short mode")
+	}
 	// B never runs its keepalive loop; A's hold timer must fire.
 	a := cfg(65001, "10.0.0.1")
 	a.HoldTime = 3 * time.Second // minimum acceptable
@@ -188,6 +191,9 @@ func TestHoldTimerExpiry(t *testing.T) {
 }
 
 func TestKeepalivesSustainSession(t *testing.T) {
+	if testing.Short() {
+		t.Skip("holds a live session across several hold periods; skipped in -short mode")
+	}
 	a := cfg(65001, "10.0.0.1")
 	a.HoldTime = 3 * time.Second
 	b := cfg(65002, "10.0.0.2")

@@ -1,0 +1,74 @@
+package stream
+
+import (
+	"repro/internal/classify"
+)
+
+// classifyBatchLen sizes the event batches handed to collector workers,
+// amortizing channel synchronization without buffering whole collectors.
+const classifyBatchLen = 512
+
+// collectorWorker is one collector's classification shard.
+type collectorWorker struct {
+	ch  chan []classify.Event
+	buf []classify.Event
+}
+
+// ParallelClassify is Classify fanned out per collector in a single pass
+// over the source. Announcement streams are keyed by (session, prefix),
+// so collectors are independent classification domains; events are routed
+// to one worker goroutine per collector in small batches, and the merged
+// counts are identical to the sequential result. Unlike grouping the
+// events per collector up front, only the in-flight batches are buffered.
+func ParallelClassify(src EventSource, inWindow func(classify.Event) bool) classify.Counts {
+	workers := make(map[string]*collectorWorker)
+	results := make(chan classify.Counts)
+	for e := range src {
+		w := workers[e.Collector]
+		if w == nil {
+			w = &collectorWorker{
+				ch:  make(chan []classify.Event, 4),
+				buf: make([]classify.Event, 0, classifyBatchLen),
+			}
+			workers[e.Collector] = w
+			go classifyShard(w.ch, inWindow, results)
+		}
+		w.buf = append(w.buf, e)
+		if len(w.buf) == classifyBatchLen {
+			w.ch <- w.buf
+			w.buf = make([]classify.Event, 0, classifyBatchLen)
+		}
+	}
+	for _, w := range workers {
+		if len(w.buf) > 0 {
+			w.ch <- w.buf
+		}
+		close(w.ch)
+	}
+	var total classify.Counts
+	for range workers {
+		total.Merge(<-results)
+	}
+	return total
+}
+
+// classifyShard drains one collector's batches through a classifier and
+// reports its counts.
+func classifyShard(ch <-chan []classify.Event, inWindow func(classify.Event) bool, results chan<- classify.Counts) {
+	cl := classify.New()
+	var counts classify.Counts
+	for batch := range ch {
+		for _, e := range batch {
+			res, ok := cl.Observe(e)
+			if inWindow != nil && !inWindow(e) {
+				continue
+			}
+			if !ok {
+				counts.Withdrawals++
+				continue
+			}
+			counts.Add(res)
+		}
+	}
+	results <- counts
+}

@@ -1,0 +1,219 @@
+package stream_test
+
+import (
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/pipeline"
+	"repro/internal/stream"
+)
+
+var ts0 = time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC)
+
+func mkEvents(collector string, times ...int) []classify.Event {
+	out := make([]classify.Event, len(times))
+	for i, s := range times {
+		out[i] = classify.Event{
+			Time:      ts0.Add(time.Duration(s) * time.Second),
+			Collector: collector,
+			PeerAddr:  netip.MustParseAddr("10.0.0.1"),
+			Prefix:    netip.MustParsePrefix("84.205.64.0/24"),
+		}
+	}
+	return out
+}
+
+func TestFromSliceCollectRoundTrip(t *testing.T) {
+	evs := mkEvents("rrc00", 1, 2, 3)
+	got := stream.Collect(stream.FromSlice(evs))
+	if !reflect.DeepEqual(got, evs) {
+		t.Errorf("round trip mismatch: %v vs %v", got, evs)
+	}
+	if out := stream.Collect(stream.Empty()); len(out) != 0 {
+		t.Errorf("empty source collected %d events", len(out))
+	}
+	if n := stream.Count(stream.FromSlice(evs)); n != 3 {
+		t.Errorf("Count = %d", n)
+	}
+}
+
+func TestFilterAndWindow(t *testing.T) {
+	evs := mkEvents("rrc00", 0, 10, 20, 30)
+	odd := stream.Collect(stream.Filter(stream.FromSlice(evs), func(e classify.Event) bool {
+		return e.Time.Second()%20 == 10
+	}))
+	if len(odd) != 2 || odd[0].Time.Second() != 10 || odd[1].Time.Second() != 30 {
+		t.Errorf("filter: %v", odd)
+	}
+	// Window is [from, to).
+	win := stream.Collect(stream.Window(stream.FromSlice(evs), ts0.Add(10*time.Second), ts0.Add(30*time.Second)))
+	if len(win) != 2 {
+		t.Fatalf("window kept %d events", len(win))
+	}
+	if win[0].Time.Second() != 10 || win[1].Time.Second() != 20 {
+		t.Errorf("window boundaries: %v", win)
+	}
+}
+
+func TestConcatOrderAndEarlyExit(t *testing.T) {
+	a := mkEvents("rrc00", 5, 6)
+	b := mkEvents("rrc01", 1, 2)
+	got := stream.Collect(stream.Concat(stream.FromSlice(a), stream.FromSlice(b)))
+	if len(got) != 4 || got[0].Collector != "rrc00" || got[3].Collector != "rrc01" {
+		t.Errorf("concat order: %v", got)
+	}
+	// Early exit must not touch the second source.
+	touchedB := false
+	src := stream.Concat(stream.FromSlice(a), func(yield func(classify.Event) bool) {
+		touchedB = true
+	})
+	for range src {
+		break
+	}
+	if touchedB {
+		t.Error("early exit leaked into the second source")
+	}
+}
+
+// TestMergeMatchesMergeEvents is the streaming/slice equivalence property:
+// on random seeded inputs, stream.Merge must produce byte-identical output
+// to the materialized pipeline.MergeEvents.
+func TestMergeMatchesMergeEvents(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nstreams := rng.Intn(8)
+		slices := make([][]classify.Event, nstreams)
+		sources := make([]stream.EventSource, nstreams)
+		for i := range slices {
+			n := rng.Intn(60)
+			times := make([]int, n)
+			for j := range times {
+				times[j] = rng.Intn(40) // dense: plenty of cross-stream ties
+			}
+			sort.Ints(times)
+			slices[i] = mkEvents("c"+string(rune('0'+i)), times...)
+			sources[i] = stream.FromSlice(slices[i])
+		}
+		want := pipeline.MergeEvents(slices...)
+		got := stream.Collect(stream.Merge(sources...))
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: merge mismatch (%d vs %d events)", seed, len(got), len(want))
+		}
+	}
+}
+
+func TestMergeStableTies(t *testing.T) {
+	a := stream.FromSlice(mkEvents("rrc00", 5))
+	b := stream.FromSlice(mkEvents("rrc01", 5))
+	got := stream.Collect(stream.Merge(a, b))
+	if got[0].Collector != "rrc00" || got[1].Collector != "rrc01" {
+		t.Errorf("tie order: %s, %s (want input-source order)", got[0].Collector, got[1].Collector)
+	}
+	got = stream.Collect(stream.Merge(b, a))
+	if got[0].Collector != "rrc01" {
+		t.Errorf("tie order after swap: %s", got[0].Collector)
+	}
+}
+
+func TestMergeEdgeCases(t *testing.T) {
+	if out := stream.Collect(stream.Merge()); len(out) != 0 {
+		t.Error("no sources should merge to empty")
+	}
+	if out := stream.Collect(stream.Merge(stream.Empty(), stream.Empty())); len(out) != 0 {
+		t.Error("empty sources should merge to empty")
+	}
+	single := mkEvents("rrc00", 1, 2, 3)
+	if out := stream.Collect(stream.Merge(stream.FromSlice(single))); len(out) != 3 {
+		t.Errorf("single source: %d", len(out))
+	}
+	// Early exit mid-merge must terminate cleanly and release the pulls.
+	n := 0
+	for range stream.Merge(stream.FromSlice(mkEvents("a", 1, 3, 5)), stream.FromSlice(mkEvents("b", 2, 4, 6))) {
+		n++
+		if n == 3 {
+			break
+		}
+	}
+	if n != 3 {
+		t.Errorf("early exit consumed %d", n)
+	}
+}
+
+// classifySeq is the reference sequential classification.
+func classifySeq(evs []classify.Event, inWindow func(classify.Event) bool) classify.Counts {
+	cl := classify.New()
+	var counts classify.Counts
+	for _, e := range evs {
+		res, ok := cl.Observe(e)
+		if inWindow != nil && !inWindow(e) {
+			continue
+		}
+		if !ok {
+			counts.Withdrawals++
+			continue
+		}
+		counts.Add(res)
+	}
+	return counts
+}
+
+// randomDayEvents builds a multi-collector, multi-prefix event soup with
+// withdrawals, community and path churn — adversarial input for the
+// classification equivalence properties.
+func randomDayEvents(seed int64) []classify.Event {
+	rng := rand.New(rand.NewSource(seed))
+	var evs []classify.Event
+	collectors := []string{"rrc00", "rrc01", "route-views2"}
+	n := 200 + rng.Intn(600)
+	for i := 0; i < n; i++ {
+		e := classify.Event{
+			Time:      ts0.Add(time.Duration(rng.Intn(86400)) * time.Second),
+			Collector: collectors[rng.Intn(len(collectors))],
+			PeerAS:    uint32(20000 + rng.Intn(4)),
+			PeerAddr:  netip.AddrFrom4([4]byte{10, 0, 0, byte(rng.Intn(4))}),
+			Prefix:    netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(rng.Intn(4)), 0, 0}), 16),
+			Withdraw:  rng.Float64() < 0.1,
+		}
+		evs = append(evs, e)
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Time.Before(evs[j].Time) })
+	return evs
+}
+
+// TestParallelClassifyMatchesSequential is the second equivalence
+// property: the sharded streaming classification must reproduce the
+// sequential counts exactly, including tie-break-sensitive inputs,
+// windowing, and the empty stream.
+func TestParallelClassifyMatchesSequential(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		evs := randomDayEvents(seed)
+		window := func(e classify.Event) bool { return e.Time.After(ts0.Add(6 * time.Hour)) }
+		for _, inWindow := range []func(classify.Event) bool{nil, window} {
+			want := classifySeq(evs, inWindow)
+			got := stream.ParallelClassify(stream.FromSlice(evs), inWindow)
+			if want != got {
+				t.Fatalf("seed %d: parallel %+v != sequential %+v", seed, got, want)
+			}
+		}
+	}
+	var zero classify.Counts
+	if got := stream.ParallelClassify(stream.Empty(), nil); got != zero {
+		t.Errorf("empty stream: %+v", got)
+	}
+}
+
+func TestClassifyMatchesReference(t *testing.T) {
+	evs := randomDayEvents(99)
+	want := classifySeq(evs, nil)
+	if got := stream.Classify(stream.FromSlice(evs), nil); got != want {
+		t.Errorf("Classify %+v != reference %+v", got, want)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/beacon"
 	"repro/internal/bgp"
 	"repro/internal/classify"
+	"repro/internal/stream"
 )
 
 // BeaconConfig parameterizes the d_beacon generator: updates for the RIPE
@@ -160,36 +161,47 @@ func (s *beaconStream) comms(rng *rand.Rand, loc int) bgp.Communities {
 	}
 }
 
-// GenerateBeacon synthesizes one day of beacon updates.
+// GenerateBeacon synthesizes one day of beacon updates, materialized and
+// globally time-ordered — the compatibility wrapper over BeaconSources.
+// As in GenerateDay, collect-then-stable-sort costs one session slice of
+// extra peak memory and matches stream.Merge's output exactly.
 func GenerateBeacon(cfg BeaconConfig) *Dataset {
-	peers := buildPeers(cfg.Seed, cfg.Collectors, cfg.PeersPerCollector,
-		cfg.CleanEgressFrac, cfg.CleanIngressFrac, cfg.TaggedFrac)
-	ds := &Dataset{Day: cfg.Day, Peers: peers}
-	beacons := beacon.RIPEBeacons()
-	events := cfg.Schedule.EventsBetween(cfg.Day, cfg.Day.Add(24*time.Hour))
-	transitAlt := []uint32{701, 7018, 3320, 6762, 9002}
+	peers, sources := BeaconSources(cfg)
+	events := stream.Collect(stream.Concat(sources...))
+	sortEvents(events)
+	return &Dataset{Day: cfg.Day, Peers: peers, Events: events}
+}
 
+// InWindow reports whether an event falls inside the configured measured
+// day, mirroring DayConfig.InWindow for streaming consumers.
+func (c BeaconConfig) InWindow(e classify.Event) bool {
+	return inDay(c.Day, e)
+}
+
+// beaconPeerEvents generates one peer session's day across all beacon
+// prefixes, time-sorted. As with dayPeerEvents, per-stream RNGs are keyed
+// by (beacon, peer) indices so generation order never affects results.
+func beaconPeerEvents(cfg BeaconConfig, peer Peer, peerIdx int, beacons []beacon.Beacon, schedule []beacon.ScheduledEvent) []classify.Event {
+	transitAlt := []uint32{701, 7018, 3320, 6762, 9002}
+	var events []classify.Event
 	for bi, bcn := range beacons {
-		for peerIdx := range peers {
-			peer := peers[peerIdx]
-			rng := streamRNG(cfg.Seed, uint64(bi), uint64(peerIdx), 0xBEAC)
-			s := &beaconStream{
-				cfg:       cfg,
-				peer:      peer,
-				bcn:       bcn,
-				tagged:    peer.TaggedUpstream,
-				steadyLoc: rng.Intn(cfg.SteadyLocations),
-				out:       &ds.Events,
-			}
-			up2 := transitAlt[rng.Intn(len(transitAlt))]
-			mid := uint32(30000 + rng.Intn(3000))
-			s.primary = bgp.NewASPath(peer.AS, peer.UpstreamAS, mid, bcn.OriginAS)
-			s.backup = bgp.NewASPath(peer.AS, up2, peer.UpstreamAS, bcn.OriginAS)
-			s.run(rng, events)
+		rng := streamRNG(cfg.Seed, uint64(bi), uint64(peerIdx), 0xBEAC)
+		s := &beaconStream{
+			cfg:       cfg,
+			peer:      peer,
+			bcn:       bcn,
+			tagged:    peer.TaggedUpstream,
+			steadyLoc: rng.Intn(cfg.SteadyLocations),
+			out:       &events,
 		}
+		up2 := transitAlt[rng.Intn(len(transitAlt))]
+		mid := uint32(30000 + rng.Intn(3000))
+		s.primary = bgp.NewASPath(peer.AS, peer.UpstreamAS, mid, bcn.OriginAS)
+		s.backup = bgp.NewASPath(peer.AS, up2, peer.UpstreamAS, bcn.OriginAS)
+		s.run(rng, schedule)
 	}
-	sortEvents(ds.Events)
-	return ds
+	sortEvents(events)
+	return events
 }
 
 // run walks the schedule: each announcement phase re-announces the beacon;

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/bgp"
 	"repro/internal/classify"
+	"repro/internal/stream"
 )
 
 // DayConfig parameterizes the full-day dataset generator (d_mar20 and the
@@ -41,6 +42,13 @@ type DayConfig struct {
 	PDup           float64 // duplicate re-announcement
 	PPrepend       float64 // prepending toggle
 	PWithdrawCycle float64 // explicit withdraw + re-announce
+}
+
+// InWindow reports whether an event falls inside the configured measured
+// day — the streaming analogue of Dataset.CountingWindow, usable before
+// (or without) materializing a Dataset.
+func (c DayConfig) InWindow(e classify.Event) bool {
+	return inDay(c.Day, e)
 }
 
 // normalizedMenu returns cumulative menu thresholds.
@@ -176,13 +184,23 @@ func (s *streamScript) emitWithdraw(t time.Time) {
 	})
 }
 
-// GenerateDay synthesizes one full day of collector updates.
+// GenerateDay synthesizes one full day of collector updates, materialized
+// and globally time-ordered. It is the compatibility wrapper over
+// DaySources; streaming consumers should merge or concatenate the
+// per-session sources directly instead of holding the whole day.
+// Collect-then-sort keeps only one session slice live beyond the output
+// (a k-way Merge would hold every session's slice concurrently), and the
+// stable sort reproduces Merge's tie-break exactly: per-session order is
+// preserved and cross-session ties keep source (session) order.
 func GenerateDay(cfg DayConfig) *Dataset {
-	peers := buildPeers(cfg.Seed, cfg.Collectors, cfg.PeersPerCollector,
-		cfg.CleanEgressFrac, cfg.CleanIngressFrac, cfg.TaggedFrac)
-	ds := &Dataset{Day: cfg.Day, Peers: peers}
-	menu := cfg.normalizedMenu()
+	peers, sources := DaySources(cfg)
+	events := stream.Collect(stream.Concat(sources...))
+	sortEvents(events)
+	return &Dataset{Day: cfg.Day, Peers: peers, Events: events}
+}
 
+// dayPrefixes builds the day's announced prefix universe.
+func dayPrefixes(cfg DayConfig) []netip.Prefix {
 	prefixes := make([]netip.Prefix, 0, cfg.PrefixesV4+cfg.PrefixesV6)
 	for i := 0; i < cfg.PrefixesV4; i++ {
 		addr := netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 0})
@@ -194,44 +212,48 @@ func GenerateDay(cfg DayConfig) *Dataset {
 		p, _ := addr.Prefix(48)
 		prefixes = append(prefixes, p)
 	}
+	return prefixes
+}
 
+// dayPeerEvents generates one peer session's full day across all prefixes,
+// time-sorted. Per-stream RNGs are derived from (prefix, peer) indices, so
+// the events are identical whether generation is driven prefix-major (the
+// old materialized path) or peer-major (the streaming path).
+func dayPeerEvents(cfg DayConfig, peer Peer, peerIdx int, prefixes []netip.Prefix, menu [5]float64) []classify.Event {
 	transitAlt := []uint32{701, 7018, 3320, 6762, 9002, 4637, 7473, 12956}
-
+	var events []classify.Event
 	for pi, prefix := range prefixes {
 		originAS := uint32(1000 + pi%45000)
-		for peerIdx := range peers {
-			peer := peers[peerIdx]
-			rng := streamRNG(cfg.Seed, uint64(pi), uint64(peerIdx), 0xDA7A)
-			if rng.Float64() >= cfg.VisibleFrac {
-				continue
-			}
-			s := &streamScript{
-				cfg:      cfg,
-				peer:     peer,
-				prefix:   prefix,
-				originAS: originAS,
-				loc:      rng.Intn(64),
-				tagged:   peer.TaggedUpstream,
-				out:      &ds.Events,
-			}
-			up2 := transitAlt[rng.Intn(len(transitAlt))]
-			if rng.Float64() < 0.5 {
-				// Longer primary path through a middle hop.
-				mid := uint32(30000 + rng.Intn(5000))
-				s.primary = bgp.NewASPath(peer.AS, peer.UpstreamAS, mid, originAS)
-			} else {
-				s.primary = bgp.NewASPath(peer.AS, peer.UpstreamAS, originAS)
-			}
-			s.backup = bgp.NewASPath(peer.AS, up2, peer.UpstreamAS, originAS)
-			if rng.Float64() < 0.3 {
-				s.hasMED = true
-				s.med = uint32(rng.Intn(100))
-			}
-			s.run(rng, menu)
+		rng := streamRNG(cfg.Seed, uint64(pi), uint64(peerIdx), 0xDA7A)
+		if rng.Float64() >= cfg.VisibleFrac {
+			continue
 		}
+		s := &streamScript{
+			cfg:      cfg,
+			peer:     peer,
+			prefix:   prefix,
+			originAS: originAS,
+			loc:      rng.Intn(64),
+			tagged:   peer.TaggedUpstream,
+			out:      &events,
+		}
+		up2 := transitAlt[rng.Intn(len(transitAlt))]
+		if rng.Float64() < 0.5 {
+			// Longer primary path through a middle hop.
+			mid := uint32(30000 + rng.Intn(5000))
+			s.primary = bgp.NewASPath(peer.AS, peer.UpstreamAS, mid, originAS)
+		} else {
+			s.primary = bgp.NewASPath(peer.AS, peer.UpstreamAS, originAS)
+		}
+		s.backup = bgp.NewASPath(peer.AS, up2, peer.UpstreamAS, originAS)
+		if rng.Float64() < 0.3 {
+			s.hasMED = true
+			s.med = uint32(rng.Intn(100))
+		}
+		s.run(rng, menu)
 	}
-	sortEvents(ds.Events)
-	return ds
+	sortEvents(events)
+	return events
 }
 
 // run generates the stream's warm-up announcement plus its day of events.

@@ -66,9 +66,17 @@ type Dataset struct {
 	Peers []Peer
 }
 
+// inDay is the single definition of the counting-window convention:
+// [day, day+24h), half-open. Dataset.CountingWindow and the config
+// InWindow predicates all share it so streaming and materialized
+// analyses can never disagree on the boundary.
+func inDay(day time.Time, e classify.Event) bool {
+	return !e.Time.Before(day) && e.Time.Before(day.Add(24*time.Hour))
+}
+
 // CountingWindow reports whether an event falls inside the measured day.
 func (d *Dataset) CountingWindow(e classify.Event) bool {
-	return !e.Time.Before(d.Day) && e.Time.Before(d.Day.Add(24*time.Hour))
+	return inDay(d.Day, e)
 }
 
 // RouteServerASNs returns the ASNs of peers flagged as IXP route servers,

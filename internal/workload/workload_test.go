@@ -109,6 +109,9 @@ func TestGenerateDayWarmup(t *testing.T) {
 }
 
 func TestDayTypeSharesMatchTable2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a full-scale synthetic day; skipped in -short mode")
+	}
 	// Paper Table 2 (d_mar20): pc 33.7, pn 15.1, nc 24.5, nn 25.7,
 	// xc 0.3, xn 0.7. The synthetic mechanisms should land near these.
 	ds := GenerateDay(DefaultDayConfig(day))
@@ -144,6 +147,9 @@ func TestDayTypeSharesMatchTable2(t *testing.T) {
 }
 
 func TestDayCommunityPrevalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a full-scale synthetic day; skipped in -short mode")
+	}
 	// ~73% of announcements carried communities in d_mar20.
 	ds := GenerateDay(DefaultDayConfig(day))
 	var withComm, total int
