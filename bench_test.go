@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"net/netip"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -12,14 +13,29 @@ import (
 	"repro/internal/beacon"
 	"repro/internal/bgp"
 	"repro/internal/classify"
+	"repro/internal/collector"
 	"repro/internal/dampening"
+	"repro/internal/evstore"
 	"repro/internal/labexp"
 	"repro/internal/mrt"
+	"repro/internal/pipeline"
+	"repro/internal/registry"
 	"repro/internal/router"
 	"repro/internal/session"
 	"repro/internal/stream"
 	"repro/internal/workload"
 )
+
+// TestMain cleans up the store/MRT fixtures shared across benchmarks.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	for _, dir := range []string{storeFixtureDir, mrtFixtureDir} {
+		if dir != "" {
+			os.RemoveAll(dir)
+		}
+	}
+	os.Exit(code)
+}
 
 var benchDay = time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC)
 
@@ -514,6 +530,140 @@ func BenchmarkAblationDampening(b *testing.B) {
 			b.ReportMetric(float64(msgs), "downstream_msgs")
 		})
 	}
+}
+
+// --- Columnar event store (internal/evstore) --------------------------------
+
+var (
+	storeFixtureOnce sync.Once
+	storeFixtureDir  string
+	mrtFixtureDir    string
+	storeFixtureErr  error
+)
+
+// benchStoreFixture ingests the shared benchmark day into an event
+// store once and writes the same events as per-collector MRT archives —
+// the two on-disk forms whose repeat-analysis costs the Store benchmarks
+// compare.
+func benchStoreFixture(b *testing.B) (storeDir, mrtDir string) {
+	storeFixtureOnce.Do(func() {
+		ds := benchDayDataset()
+		if storeFixtureDir, storeFixtureErr = os.MkdirTemp("", "repro-bench-store-"); storeFixtureErr != nil {
+			return
+		}
+		if mrtFixtureDir, storeFixtureErr = os.MkdirTemp("", "repro-bench-mrt-"); storeFixtureErr != nil {
+			return
+		}
+		if _, storeFixtureErr = collector.WriteDatasetDir(ds, mrtFixtureDir); storeFixtureErr != nil {
+			return
+		}
+		_, storeFixtureErr = evstore.Ingest(storeFixtureDir, ds.Source())
+	})
+	if storeFixtureErr != nil {
+		b.Fatal(storeFixtureErr)
+	}
+	return storeFixtureDir, mrtFixtureDir
+}
+
+// BenchmarkStoreIngest measures one-pass columnar ingest of the full
+// benchmark day into a fresh store.
+func BenchmarkStoreIngest(b *testing.B) {
+	ds := benchDayDataset()
+	b.ResetTimer()
+	b.ReportAllocs()
+	var st evstore.WriterStats
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir, err := os.MkdirTemp("", "repro-bench-ingest-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		st, err = evstore.Ingest(dir, ds.Source())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		os.RemoveAll(dir)
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(st.Events), "events")
+	b.ReportMetric(float64(st.Bytes), "store_bytes")
+}
+
+// BenchmarkStoreScan runs the combined Table 1 + Table 2 report off a
+// full store scan — the repeat-analysis cost after ingest-once.
+// Compare with BenchmarkStoreMRTReparse, the path it replaces.
+func BenchmarkStoreScan(b *testing.B) {
+	storeDir, _ := benchStoreFixture(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	var counts classify.Counts
+	for i := 0; i < b.N; i++ {
+		var scanErr error
+		t1, c := analysis.Report(evstore.Scan(storeDir, evstore.Query{}, &scanErr), nil)
+		if scanErr != nil {
+			b.Fatal(scanErr)
+		}
+		if t1.Announcements == 0 {
+			b.Fatal("empty report")
+		}
+		counts = c
+	}
+	b.ReportMetric(float64(counts.Announcements()), "announcements")
+}
+
+// BenchmarkStoreMRTReparse re-runs the same report by re-parsing the
+// equivalent MRT archives through the §4 normalizer — what every
+// analysis run cost before the store existed.
+func BenchmarkStoreMRTReparse(b *testing.B) {
+	_, mrtDir := benchStoreFixture(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		norm := pipeline.NewNormalizer(registry.Synthetic(time.Date(2009, 1, 1, 0, 0, 0, 0, time.UTC)))
+		var srcErr error
+		_, sources, err := pipeline.DirSources(norm, mrtDir, &srcErr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t1, _ := analysis.Report(stream.Concat(sources...), nil)
+		if srcErr != nil {
+			b.Fatal(srcErr)
+		}
+		if t1.Announcements == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// BenchmarkStoreScanWindow classifies a two-hour, one-collector slice:
+// predicate pushdown prunes the other collectors' partitions and
+// non-overlapping blocks before any decoding.
+func BenchmarkStoreScanWindow(b *testing.B) {
+	storeDir, _ := benchStoreFixture(b)
+	q := evstore.Query{
+		Window: evstore.TimeRange{
+			From: benchDay.Add(6 * time.Hour),
+			To:   benchDay.Add(8 * time.Hour),
+		},
+		Collectors: []string{"rrc00"},
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	var st evstore.ScanStats
+	for i := 0; i < b.N; i++ {
+		var scanErr error
+		counts := stream.Classify(evstore.ScanWithStats(storeDir, q, &scanErr, &st), nil)
+		if scanErr != nil {
+			b.Fatal(scanErr)
+		}
+		if counts.Announcements() == 0 {
+			b.Fatal("empty window")
+		}
+	}
+	b.ReportMetric(float64(st.Events), "events")
+	b.ReportMetric(float64(st.BlocksPruned+st.PartitionsPruned), "pruned")
 }
 
 // BenchmarkTable2Parallel classifies the day fanned out per collector via

@@ -7,24 +7,32 @@
 // Usage:
 //
 //	commclean [-in DIR] [-year 2020] [-days N] [-routeservers AS1,AS2,...]
+//	          [-store DIR]
 //
 // Without -in, a synthetic d_mar20-like day is generated on the fly;
 // -days N streams N consecutive synthetic days back to back (a range far
 // larger than would fit in memory materialized).
+//
+// With -store DIR, the input is ingested into a columnar event store
+// once (skipped when the store already has partitions) and the analyses
+// run off a store scan instead of the producers — so re-running the
+// measurement re-reads compact columnar blocks rather than re-parsing
+// MRT archives or regenerating synthetic days.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/classify"
+	"repro/internal/evstore"
 	"repro/internal/pipeline"
-	"repro/internal/registry"
 	"repro/internal/stream"
 	"repro/internal/textplot"
 	"repro/internal/workload"
@@ -35,20 +43,25 @@ func main() {
 	year := flag.Int("year", 2020, "year for the synthetic dataset")
 	days := flag.Int("days", 1, "number of consecutive synthetic days to stream")
 	rsList := flag.String("routeservers", "", "comma-separated route-server peer ASNs (for -in mode)")
+	store := flag.String("store", "", "columnar event store directory: ingest once, then analyze off scans")
 	flag.Parse()
 
 	var counts classify.Counts
 	var table1 analysis.Table1
-	if *in == "" {
+	if *store != "" {
+		var err error
+		table1, counts, err = runStore(*store, *in, *rsList, *year, *days)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "commclean: %v\n", err)
+			os.Exit(1)
+		}
+	} else if *in == "" {
 		cfg := workload.HistoricalDayConfig(*year)
 		if *days > 1 {
 			// Multi-day: day k+1 is generated only after day k has been
 			// consumed, so the footprint stays one session-day.
 			src := workload.MultiDaySource(cfg, *days)
-			from, to := cfg.Day, cfg.Day.Add(time.Duration(*days)*24*time.Hour)
-			table1, counts = analysis.Report(src, func(e classify.Event) bool {
-				return !e.Time.Before(from) && e.Time.Before(to)
-			})
+			table1, counts = analysis.Report(src, cfg.MultiDayInWindow(*days))
 		} else {
 			_, sources := workload.DaySources(cfg)
 			table1, counts = analysis.Report(stream.Concat(sources...), cfg.InWindow)
@@ -90,33 +103,177 @@ func main() {
 		100*counts.NoPathChangeShare())
 }
 
-// runPipeline streams real MRT archives from dir through the normalizer
-// and both analyses in one combined pass.
-func runPipeline(dir, rsList string) (classify.Counts, analysis.Table1, error) {
+// runStore implements -store: ingest the selected input into the event
+// store unless it already holds partitions, then run the combined
+// Table 1 + Table 2 report off a store scan. The classifier still sees
+// warm-up events (the scan covers them); only the counting window is
+// tallied, exactly like the direct paths. The window used at ingest is
+// persisted next to the partitions, so a repeat run reports over the
+// same window even when the flags differ from the ingesting run.
+func runStore(dir, in, rsList string, year, days int) (analysis.Table1, classify.Counts, error) {
+	var win storeWindow
+	if evstore.IsStoreDir(dir) {
+		var err error
+		if win, err = loadStoreWindow(dir); err != nil {
+			// A store built by other tools (cmd/evstore) carries no
+			// window; count everything rather than guess from flags.
+			fmt.Fprintf(os.Stderr, "store: no counting-window metadata (%v); counting every stored event\n", err)
+			win = storeWindow{All: true}
+		}
+		fmt.Fprintf(os.Stderr, "store: reusing %s, window %s (delete the store to re-ingest)\n", dir, win)
+	} else {
+		if in == "" {
+			cfg := workload.HistoricalDayConfig(year)
+			win.From, win.To = cfg.MultiDayWindow(days)
+		} else {
+			win.All = true
+		}
+		src, err := ingestSource(in, rsList, year, days)
+		if err != nil {
+			return analysis.Table1{}, classify.Counts{}, err
+		}
+		start := time.Now()
+		// A failed ingest rolls back, so a later run re-ingests instead
+		// of silently reusing a partial store.
+		st, err := evstore.Ingest(dir, src.source, src.err)
+		if err != nil {
+			return analysis.Table1{}, classify.Counts{}, err
+		}
+		if err := saveStoreWindow(dir, win); err != nil {
+			return analysis.Table1{}, classify.Counts{}, err
+		}
+		fmt.Fprintf(os.Stderr, "store: ingested %d events into %d partitions (%d blocks) in %v\n",
+			st.Events, st.Partitions, st.Blocks, time.Since(start).Round(time.Millisecond))
+	}
+	inWindow := win.Predicate()
+
+	var scanErr error
+	var scanStats evstore.ScanStats
+	start := time.Now()
+	t1, counts := analysis.Report(evstore.ScanWithStats(dir, evstore.Query{}, &scanErr, &scanStats), inWindow)
+	if scanErr != nil {
+		return t1, counts, scanErr
+	}
+	fmt.Fprintf(os.Stderr, "store: scanned %d events (%d blocks) in %v\n",
+		scanStats.Events, scanStats.BlocksDecoded, time.Since(start).Round(time.Millisecond))
+	return t1, counts, nil
+}
+
+// storeWindow is the counting window a store was ingested for,
+// persisted as a sidecar file so repeat runs stay self-consistent.
+type storeWindow struct {
+	All      bool // count every stored event (MRT-archive ingests)
+	From, To time.Time
+}
+
+// windowFileName sits next to the partitions inside the store dir.
+const windowFileName = "commclean.window"
+
+func (w storeWindow) String() string {
+	if w.All {
+		return "all events"
+	}
+	return fmt.Sprintf("[%s, %s)", w.From.Format(time.RFC3339), w.To.Format(time.RFC3339))
+}
+
+// Predicate returns the tally filter: nil counts everything.
+func (w storeWindow) Predicate() func(classify.Event) bool {
+	if w.All {
+		return nil
+	}
+	from, to := w.From, w.To
+	return func(e classify.Event) bool {
+		return !e.Time.Before(from) && e.Time.Before(to)
+	}
+}
+
+func saveStoreWindow(dir string, w storeWindow) error {
+	content := "all\n"
+	if !w.All {
+		content = w.From.Format(time.RFC3339) + "\n" + w.To.Format(time.RFC3339) + "\n"
+	}
+	return os.WriteFile(filepath.Join(dir, windowFileName), []byte(content), 0o644)
+}
+
+func loadStoreWindow(dir string) (storeWindow, error) {
+	b, err := os.ReadFile(filepath.Join(dir, windowFileName))
+	if err != nil {
+		return storeWindow{}, err
+	}
+	lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+	if len(lines) == 1 && lines[0] == "all" {
+		return storeWindow{All: true}, nil
+	}
+	if len(lines) != 2 {
+		return storeWindow{}, fmt.Errorf("malformed %s", windowFileName)
+	}
+	var w storeWindow
+	if w.From, err = time.Parse(time.RFC3339, lines[0]); err != nil {
+		return storeWindow{}, err
+	}
+	if w.To, err = time.Parse(time.RFC3339, lines[1]); err != nil {
+		return storeWindow{}, err
+	}
+	return w, nil
+}
+
+// ingestSrc bundles a source with its deferred error check (archive
+// sources report errors only once consumed) and, for archive inputs,
+// the normalizer for stats reporting.
+type ingestSrc struct {
+	source stream.EventSource
+	err    func() error
+	norm   *pipeline.Normalizer
+}
+
+// ingestSource selects the store's input: MRT archives through the §4
+// normalizer, or lazily generated synthetic days.
+func ingestSource(in, rsList string, year, days int) (ingestSrc, error) {
+	if in == "" {
+		cfg := workload.HistoricalDayConfig(year)
+		return ingestSrc{
+			source: workload.MultiDaySource(cfg, days),
+			err:    func() error { return nil },
+		}, nil
+	}
+	routeServers, err := parseRouteServers(rsList)
+	if err != nil {
+		return ingestSrc{}, err
+	}
+	source, norm, check, err := pipeline.ArchiveSource(in, routeServers)
+	if err != nil {
+		return ingestSrc{}, err
+	}
+	return ingestSrc{source: source, err: check, norm: norm}, nil
+}
+
+func parseRouteServers(rsList string) (map[uint32]bool, error) {
 	routeServers := make(map[uint32]bool)
 	if rsList != "" {
 		for _, tok := range strings.Split(rsList, ",") {
 			asn, err := strconv.ParseUint(strings.TrimSpace(tok), 10, 32)
 			if err != nil {
-				return classify.Counts{}, analysis.Table1{}, fmt.Errorf("bad route server ASN %q: %w", tok, err)
+				return nil, fmt.Errorf("bad route server ASN %q: %w", tok, err)
 			}
 			routeServers[uint32(asn)] = true
 		}
 	}
-	norm := pipeline.NewNormalizer(registry.Synthetic(time.Date(2009, 1, 1, 0, 0, 0, 0, time.UTC)))
-	norm.RouteServers = routeServers
+	return routeServers, nil
+}
 
-	var srcErr error
-	_, sources, err := pipeline.DirSources(norm, dir, &srcErr)
+// runPipeline streams real MRT archives from dir through the normalizer
+// and both analyses in one combined pass.
+func runPipeline(dir, rsList string) (classify.Counts, analysis.Table1, error) {
+	src, err := ingestSource(dir, rsList, 0, 0)
 	if err != nil {
 		return classify.Counts{}, analysis.Table1{}, err
 	}
 	// The archive directory is self-contained: derive Table 1 and Table 2
 	// over every event it yields, one archive at a time.
-	t1, counts := analysis.Report(stream.Concat(sources...), nil)
-	if srcErr != nil {
-		return counts, t1, srcErr
+	t1, counts := analysis.Report(src.source, nil)
+	if err := src.err(); err != nil {
+		return counts, t1, err
 	}
-	fmt.Fprintf(os.Stderr, "pipeline stats: %+v\n", norm.Stats)
+	fmt.Fprintf(os.Stderr, "pipeline stats: %+v\n", src.norm.Stats)
 	return counts, t1, nil
 }

@@ -1,0 +1,314 @@
+// Command evstore manages the columnar event store: ingest normalized
+// update streams once, then answer windowed/filtered analyses off
+// predicate-pushdown scans without re-parsing MRT archives or
+// regenerating synthetic days.
+//
+// Usage:
+//
+//	evstore ingest -store DIR [-in MRTDIR | -year 2020 -days N] [-block N]
+//	evstore stat   -store DIR [-blocks] [-sample N]
+//	evstore query  -store DIR [-from T] [-to T] [-collectors a,b]
+//	               [-peeras 1,2] [-prefix P] [-count-only]
+//
+// ingest consumes MRT archives (through the §4 normalizer) or lazily
+// generated synthetic days in constant memory. stat prints the
+// partition/block layout. query scans with pushdown and prints the
+// Table 1 overview plus Table 2 type shares of the selected events;
+// times are RFC 3339 ("2020-03-15T00:00:00Z").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/classify"
+	"repro/internal/evstore"
+	"repro/internal/pipeline"
+	"repro/internal/stream"
+	"repro/internal/textplot"
+	"repro/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "ingest":
+		err = runIngest(os.Args[2:])
+	case "stat":
+		err = runStat(os.Args[2:])
+	case "query":
+		err = runQuery(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "evstore %s: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: evstore {ingest|stat|query} -store DIR [flags]")
+	os.Exit(2)
+}
+
+func runIngest(args []string) error {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	store := fs.String("store", "", "store directory (created if missing)")
+	in := fs.String("in", "", "directory of *.mrt archives; empty generates synthetic days")
+	year := fs.Int("year", 2020, "year for the synthetic dataset")
+	days := fs.Int("days", 1, "number of consecutive synthetic days")
+	block := fs.Int("block", evstore.DefaultBlockEvents, "events per block")
+	fs.Parse(args)
+	if *store == "" {
+		return fmt.Errorf("-store is required")
+	}
+
+	w, err := evstore.Open(*store)
+	if err != nil {
+		return err
+	}
+	w.BlockEvents = *block
+
+	var src stream.EventSource
+	srcCheck := func() error { return nil }
+	if *in == "" {
+		src = workload.MultiDaySource(workload.HistoricalDayConfig(*year), *days)
+	} else {
+		var err error
+		src, _, srcCheck, err = pipeline.ArchiveSource(*in, nil)
+		if err != nil {
+			return err
+		}
+	}
+	// Tee a progress counter onto the stream: ingest is one pass, so
+	// this is the only place the event count can be observed live.
+	n := 0
+	start := time.Now()
+	src = stream.Tee(src, func(classify.Event) {
+		n++
+		if n%500000 == 0 {
+			fmt.Fprintf(os.Stderr, "ingested %d events...\n", n)
+		}
+	})
+	// Abort on any failure: sealing a partial ingest would leave a
+	// valid-looking but incomplete store for later runs to trust.
+	if err := w.Ingest(src); err != nil {
+		w.Abort()
+		return err
+	}
+	if err := srcCheck(); err != nil {
+		w.Abort()
+		return err
+	}
+	if err := w.Close(); err != nil {
+		w.Abort()
+		return err
+	}
+	st := w.Stats()
+	fmt.Printf("ingested %d events into %d partitions (%d blocks, %s on disk) in %v\n",
+		st.Events, st.Partitions, st.Blocks, byteSize(st.Bytes), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("peak open partitions: %d\n", st.PeakActive)
+	return nil
+}
+
+func runStat(args []string) error {
+	fs := flag.NewFlagSet("stat", flag.ExitOnError)
+	store := fs.String("store", "", "store directory")
+	blocks := fs.Bool("blocks", false, "also list per-block stats")
+	sample := fs.Int("sample", 0, "print the first N events of the store")
+	fs.Parse(args)
+	if *store == "" {
+		return fmt.Errorf("-store is required")
+	}
+	infos, err := evstore.Stat(*store)
+	if err != nil {
+		return err
+	}
+	printStoreStat(os.Stdout, infos, *blocks)
+	if *sample > 0 {
+		fmt.Printf("\nfirst %d events:\n", *sample)
+		var scanErr error
+		// Take stops the scan after N events: only the first block(s)
+		// of the first partition are ever decoded.
+		for e := range stream.Take(evstore.Scan(*store, evstore.Query{}, &scanErr), *sample) {
+			fmt.Println(evstore.FormatEvent(e))
+		}
+		if scanErr != nil {
+			return scanErr
+		}
+	}
+	return nil
+}
+
+// printStoreStat renders partition (and optionally block) tables; it is
+// shared with cmd/mrtdump via copy of formatting conventions only.
+func printStoreStat(w *os.File, infos []evstore.PartitionInfo, blocks bool) {
+	var rows [][]string
+	events, bytes, nblocks := 0, int64(0), 0
+	for _, info := range infos {
+		events += info.Events
+		bytes += info.SizeBytes
+		nblocks += len(info.Blocks)
+		rows = append(rows, []string{
+			info.Collector,
+			info.Day.Format("2006-01-02"),
+			strconv.Itoa(info.Seq),
+			strconv.Itoa(len(info.Blocks)),
+			strconv.Itoa(info.Events),
+			strconv.Itoa(len(info.PeerAS)),
+			byteSize(info.SizeBytes),
+			info.TimeMin.Format("15:04:05"),
+			info.TimeMax.Format("15:04:05"),
+		})
+	}
+	fmt.Fprintf(w, "%d partitions, %d blocks, %d events, %s\n", len(infos), nblocks, events, byteSize(bytes))
+	fmt.Fprint(w, textplot.Table(
+		[]string{"collector", "day", "seq", "blocks", "events", "peers", "size", "first", "last"}, rows))
+	if blocks {
+		for _, info := range infos {
+			fmt.Fprintf(w, "\n%s:\n", info.Path)
+			var brows [][]string
+			for i, b := range info.Blocks {
+				brows = append(brows, []string{
+					strconv.Itoa(i),
+					strconv.Itoa(b.Events),
+					byteSize(int64(b.Compressed)),
+					byteSize(int64(b.Uncompressed)),
+					strconv.Itoa(len(b.PeerAS)),
+					byteSize(int64(b.FilterBytes)),
+					b.TimeMin.Format("15:04:05"),
+					b.TimeMax.Format("15:04:05"),
+				})
+			}
+			fmt.Fprint(w, textplot.Table(
+				[]string{"block", "events", "compressed", "raw", "peers", "filter", "first", "last"}, brows))
+		}
+	}
+}
+
+func runQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	store := fs.String("store", "", "store directory")
+	from := fs.String("from", "", "window start (RFC 3339, inclusive)")
+	to := fs.String("to", "", "window end (RFC 3339, exclusive)")
+	collectors := fs.String("collectors", "", "comma-separated collector names")
+	peerAS := fs.String("peeras", "", "comma-separated peer ASNs")
+	prefix := fs.String("prefix", "", "address block (events whose prefix lies within it)")
+	countOnly := fs.Bool("count-only", false, "print only the matching event count and scan stats")
+	fs.Parse(args)
+	if *store == "" {
+		return fmt.Errorf("-store is required")
+	}
+	q, err := buildQuery(*from, *to, *collectors, *peerAS, *prefix)
+	if err != nil {
+		return err
+	}
+
+	var scanErr error
+	var st evstore.ScanStats
+	src := evstore.ScanWithStats(*store, q, &scanErr, &st)
+	start := time.Now()
+	if *countOnly {
+		n := stream.Count(src)
+		if scanErr != nil {
+			return scanErr
+		}
+		fmt.Printf("%d events in %v\n", n, time.Since(start).Round(time.Millisecond))
+		printScanStats(st)
+		return nil
+	}
+	t1, counts := analysis.Report(src, nil)
+	if scanErr != nil {
+		return scanErr
+	}
+	elapsed := time.Since(start).Round(time.Millisecond)
+
+	fmt.Println("Table 1 — selection overview:")
+	fmt.Print(textplot.Table([]string{"metric", "value"}, [][]string{
+		{"IPv4 prefixes", strconv.Itoa(t1.PrefixesV4)},
+		{"IPv6 prefixes", strconv.Itoa(t1.PrefixesV6)},
+		{"ASes", strconv.Itoa(t1.ASes)},
+		{"Sessions", strconv.Itoa(t1.Sessions)},
+		{"Peers", strconv.Itoa(t1.Peers)},
+		{"Announcements", strconv.Itoa(t1.Announcements)},
+		{"Withdrawals", strconv.Itoa(t1.Withdrawals)},
+	}))
+	fmt.Println("\nTable 2 — announcement types:")
+	var rows [][]string
+	for _, ty := range classify.Types() {
+		rows = append(rows, []string{
+			ty.String(),
+			strconv.Itoa(counts.Of(ty)),
+			fmt.Sprintf("%.1f%%", 100*counts.Share(ty)),
+		})
+	}
+	fmt.Print(textplot.Table([]string{"type", "count", "share"}, rows))
+	fmt.Printf("\nscan took %v\n", elapsed)
+	printScanStats(st)
+	return nil
+}
+
+func printScanStats(st evstore.ScanStats) {
+	fmt.Printf("pushdown: %d/%d partitions pruned, %d/%d blocks pruned, %s decompressed\n",
+		st.PartitionsPruned, st.Partitions, st.BlocksPruned, st.Blocks,
+		byteSize(st.BytesDecompressed))
+}
+
+func buildQuery(from, to, collectors, peerAS, prefix string) (evstore.Query, error) {
+	var q evstore.Query
+	var err error
+	if from != "" {
+		if q.Window.From, err = time.Parse(time.RFC3339, from); err != nil {
+			return q, fmt.Errorf("-from: %w", err)
+		}
+	}
+	if to != "" {
+		if q.Window.To, err = time.Parse(time.RFC3339, to); err != nil {
+			return q, fmt.Errorf("-to: %w", err)
+		}
+	}
+	if collectors != "" {
+		q.Collectors = strings.Split(collectors, ",")
+	}
+	if peerAS != "" {
+		for _, tok := range strings.Split(peerAS, ",") {
+			as, err := strconv.ParseUint(strings.TrimSpace(tok), 10, 32)
+			if err != nil {
+				return q, fmt.Errorf("-peeras %q: %w", tok, err)
+			}
+			q.PeerAS = append(q.PeerAS, uint32(as))
+		}
+	}
+	if prefix != "" {
+		if q.PrefixRange, err = parsePrefix(prefix); err != nil {
+			return q, fmt.Errorf("-prefix: %w", err)
+		}
+	}
+	return q, nil
+}
+
+func parsePrefix(s string) (netip.Prefix, error) {
+	return netip.ParsePrefix(s)
+}
+
+func byteSize(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}

@@ -1,38 +1,156 @@
-// Command mrtdump prints MRT archives in a bgpdump-like line format:
-// one line per announced/withdrawn prefix with timestamp, peer, AS path,
-// origin, and communities.
+// Command mrtdump inspects both on-disk formats of the pipeline: MRT
+// archives and columnar event-store partitions. By default it prints
+// events in a bgpdump-like line format — one line per announced or
+// withdrawn prefix; with -stats it prints per-file record counts, time
+// ranges, and (for store partitions) the block layout instead.
 //
 // Usage:
 //
-//	mrtdump file.mrt [file2.mrt ...]
+//	mrtdump [-stats] path [path ...]
+//
+// A path may be an MRT archive, a single .evp store partition, or a
+// store directory (scanned partition by partition). The format is
+// detected per path, so mixed invocations work.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"repro/internal/evstore"
 	"repro/internal/mrt"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: mrtdump file.mrt [...]")
+	stats := flag.Bool("stats", false, "print per-file statistics instead of records")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: mrtdump [-stats] path [...]")
 		os.Exit(2)
 	}
-	for _, path := range os.Args[1:] {
-		f, err := os.Open(path)
-		if err != nil {
+	for _, path := range flag.Args() {
+		if err := dump(path, *stats); err != nil {
 			fmt.Fprintf(os.Stderr, "mrtdump: %v\n", err)
 			os.Exit(1)
 		}
-		err = mrt.NewReader(f).Walk(func(h mrt.Header, rec mrt.Record) error {
+	}
+}
+
+// dump dispatches on the on-disk format of path.
+func dump(path string, stats bool) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	switch {
+	case fi.IsDir():
+		if !evstore.IsStoreDir(path) {
+			return fmt.Errorf("%s: directory holds no %s partitions", path, evstore.Extension)
+		}
+		return dumpStore(path, stats)
+	case strings.HasSuffix(path, evstore.Extension):
+		return dumpPartition(path, stats)
+	default:
+		return dumpMRT(path, stats)
+	}
+}
+
+// dumpMRT prints one MRT archive, as records or as a summary line.
+func dumpMRT(path string, stats bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if !stats {
+		return wrapPath(path, mrt.NewReader(f).Walk(func(h mrt.Header, rec mrt.Record) error {
 			fmt.Println(mrt.Format(h, rec))
 			return nil
-		})
-		f.Close()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mrtdump: %s: %v\n", path, err)
-			os.Exit(1)
-		}
+		}))
 	}
+	var first, last mrt.Header
+	records := 0
+	err = mrt.NewReader(f).Walk(func(h mrt.Header, rec mrt.Record) error {
+		if records == 0 {
+			first = h
+		}
+		last = h
+		records++
+		return nil
+	})
+	if err != nil {
+		return wrapPath(path, err)
+	}
+	fmt.Printf("%s: MRT archive, %d records", path, records)
+	if records > 0 {
+		fmt.Printf(", %s .. %s",
+			first.Time().UTC().Format("2006-01-02 15:04:05"),
+			last.Time().UTC().Format("2006-01-02 15:04:05"))
+	}
+	fmt.Println()
+	return nil
+}
+
+// dumpPartition prints one store partition, as events or block stats.
+func dumpPartition(path string, stats bool) error {
+	if stats {
+		info, err := evstore.StatPartition(path)
+		if err != nil {
+			return err
+		}
+		printPartitionStats(info)
+		return nil
+	}
+	var scanErr error
+	for e := range evstore.PartitionSource(path, evstore.Query{}, &scanErr) {
+		fmt.Println(evstore.FormatEvent(e))
+	}
+	return scanErr
+}
+
+// dumpStore prints a whole store directory.
+func dumpStore(dir string, stats bool) error {
+	if stats {
+		infos, err := evstore.Stat(dir)
+		if err != nil {
+			return err
+		}
+		events, blocks := 0, 0
+		for _, info := range infos {
+			events += info.Events
+			blocks += len(info.Blocks)
+		}
+		fmt.Printf("%s: event store, %d partitions, %d blocks, %d events\n",
+			dir, len(infos), blocks, events)
+		for _, info := range infos {
+			printPartitionStats(info)
+		}
+		return nil
+	}
+	var scanErr error
+	for e := range evstore.Scan(dir, evstore.Query{}, &scanErr) {
+		fmt.Println(evstore.FormatEvent(e))
+	}
+	return scanErr
+}
+
+func printPartitionStats(info evstore.PartitionInfo) {
+	fmt.Printf("%s: partition %s day %s seq %d, %d blocks, %d events, %d peers, %s .. %s\n",
+		info.Path, info.Collector, info.Day.Format("2006-01-02"), info.Seq,
+		len(info.Blocks), info.Events, len(info.PeerAS),
+		info.TimeMin.Format("15:04:05"), info.TimeMax.Format("15:04:05"))
+	for i, b := range info.Blocks {
+		fmt.Printf("  block %d: %d events, %d -> %d bytes, %d peers, filter %dB, %s .. %s\n",
+			i, b.Events, b.Uncompressed, b.Compressed, len(b.PeerAS), b.FilterBytes,
+			b.TimeMin.Format("15:04:05"), b.TimeMax.Format("15:04:05"))
+	}
+}
+
+func wrapPath(path string, err error) error {
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
 }

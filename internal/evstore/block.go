@@ -1,0 +1,721 @@
+package evstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"net/netip"
+	"sort"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/classify"
+)
+
+// ---------------------------------------------------------------------------
+// Varint helpers
+// ---------------------------------------------------------------------------
+
+// zigzag maps signed to unsigned so small-magnitude deltas stay short.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+func appendVarint(dst []byte, v int64) []byte {
+	return binary.AppendUvarint(dst, zigzag(v))
+}
+
+// creader decodes the columnar byte stream with sticky error handling:
+// after the first malformed field every accessor returns zero values,
+// so decode loops need a single error check at the end.
+type creader struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (r *creader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("evstore: "+format, args...)
+	}
+}
+
+func (r *creader) remaining() int { return len(r.b) - r.pos }
+
+func (r *creader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.pos:])
+	if n <= 0 {
+		r.fail("truncated varint at offset %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *creader) varint() int64 { return unzigzag(r.uvarint()) }
+
+// count reads a uvarint and validates it as an element count where each
+// element occupies at least min bytes of the remaining input, bounding
+// allocations on corrupt data.
+func (r *creader) count(min int) int {
+	v := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if min < 1 {
+		min = 1
+	}
+	if v > uint64(r.remaining()/min) {
+		r.fail("implausible count %d at offset %d", v, r.pos)
+		return 0
+	}
+	return int(v)
+}
+
+func (r *creader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > r.remaining() {
+		r.fail("truncated: need %d bytes at offset %d, have %d", n, r.pos, r.remaining())
+		return nil
+	}
+	out := r.b[r.pos : r.pos+n]
+	r.pos += n
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Prefix membership filter
+// ---------------------------------------------------------------------------
+
+// prefixFilter is a bloom filter over prefix keys. Each stored prefix
+// inserts one key per /8 ancestor level up to its own length, so a
+// containment query at bits b probes the filter at level b - b%8 > 0
+// and prunes blocks that hold nothing under the queried range.
+type prefixFilter struct {
+	keys map[string]struct{}
+}
+
+const filterHashes = 3
+
+// prefixKey builds the filter key for addr masked at level bits.
+func prefixKey(addr netip.Addr, bits int) string {
+	masked := netip.PrefixFrom(addr, bits).Masked().Addr()
+	b16 := masked.As16()
+	key := make([]byte, 0, 18)
+	key = append(key, b16[:]...)
+	key = append(key, byte(bits))
+	if masked.Is4() {
+		key = append(key, 4)
+	} else {
+		key = append(key, 6)
+	}
+	return string(key)
+}
+
+// add inserts a stored prefix's keys: every /8 multiple level up to and
+// including its own length.
+func (f *prefixFilter) add(p netip.Prefix) {
+	if !p.IsValid() {
+		return
+	}
+	if f.keys == nil {
+		f.keys = make(map[string]struct{})
+	}
+	for l := 8; l <= p.Bits(); l += 8 {
+		f.keys[prefixKey(p.Addr(), l)] = struct{}{}
+	}
+	if b := p.Bits(); b%8 != 0 || b == 0 {
+		f.keys[prefixKey(p.Addr(), b)] = struct{}{}
+	}
+}
+
+// filterPositions derives the bit positions of key in a filter of mbits
+// bits (mbits must be a power of two).
+func filterPositions(key string, mbits uint32) [filterHashes]uint32 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	sum := h.Sum64()
+	h1, h2 := uint32(sum>>32), uint32(sum)|1
+	var pos [filterHashes]uint32
+	for i := range pos {
+		pos[i] = (h1 + uint32(i)*h2) & (mbits - 1)
+	}
+	return pos
+}
+
+// bits renders the accumulated keys as a bloom bit array sized to the
+// key count (~10 bits/key, clamped to [256, 32768] bits).
+func (f *prefixFilter) bits() []byte {
+	if len(f.keys) == 0 {
+		return nil
+	}
+	want := 10 * len(f.keys)
+	mbits := uint32(256)
+	for mbits < uint32(want) && mbits < 32768 {
+		mbits *= 2
+	}
+	out := make([]byte, mbits/8)
+	for key := range f.keys {
+		for _, p := range filterPositions(key, mbits) {
+			out[p/8] |= 1 << (p % 8)
+		}
+	}
+	return out
+}
+
+// filterMaybeContains probes a serialized filter for key; an empty or
+// invalid-size filter conservatively reports true.
+func filterMaybeContains(filter []byte, key string) bool {
+	n := uint32(len(filter))
+	if n == 0 || n&(n-1) != 0 {
+		return true
+	}
+	mbits := n * 8
+	for _, p := range filterPositions(key, mbits) {
+		if filter[p/8]&(1<<(p%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Block summary
+// ---------------------------------------------------------------------------
+
+// blockSummary is the footer-resident pushdown metadata of one block.
+type blockSummary struct {
+	count      int
+	tmin, tmax int64 // unix nanoseconds, inclusive
+	peerAS     []uint32
+	// minAddr/maxAddr bound the prefix addresses (netip.Addr.Compare
+	// order); invalid when the block has no valid prefixes.
+	minAddr, maxAddr netip.Addr
+	filter           []byte
+}
+
+// merge widens s to also cover o — the partition-level aggregate. The
+// bloom filters are not merged (they may differ in size); partition
+// pruning relies on the other dimensions.
+func (s *blockSummary) merge(o blockSummary) {
+	if s.count == 0 {
+		peerAS := append([]uint32(nil), o.peerAS...)
+		*s = o
+		s.peerAS = peerAS
+		s.filter = nil
+		return
+	}
+	s.count += o.count
+	if o.tmin < s.tmin {
+		s.tmin = o.tmin
+	}
+	if o.tmax > s.tmax {
+		s.tmax = o.tmax
+	}
+	s.peerAS = unionSorted(s.peerAS, o.peerAS)
+	if o.minAddr.IsValid() && (!s.minAddr.IsValid() || o.minAddr.Compare(s.minAddr) < 0) {
+		s.minAddr = o.minAddr
+	}
+	if o.maxAddr.IsValid() && (!s.maxAddr.IsValid() || o.maxAddr.Compare(s.maxAddr) > 0) {
+		s.maxAddr = o.maxAddr
+	}
+	s.filter = nil
+}
+
+// unionSorted merges two ascending uint32 slices without duplicates.
+func unionSorted(a, b []uint32) []uint32 {
+	out := make([]uint32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j == len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i == len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func appendAddr(dst []byte, a netip.Addr) []byte {
+	if !a.IsValid() {
+		return append(dst, 0)
+	}
+	if a.Is4() {
+		b := a.As4()
+		dst = append(dst, 4)
+		return append(dst, b[:]...)
+	}
+	b := a.As16()
+	dst = append(dst, 16)
+	return append(dst, b[:]...)
+}
+
+func (r *creader) addr() netip.Addr {
+	n := r.bytes(1)
+	if r.err != nil {
+		return netip.Addr{}
+	}
+	switch n[0] {
+	case 0:
+		return netip.Addr{}
+	case 4:
+		b := r.bytes(4)
+		if r.err != nil {
+			return netip.Addr{}
+		}
+		return netip.AddrFrom4([4]byte(b))
+	case 16:
+		b := r.bytes(16)
+		if r.err != nil {
+			return netip.Addr{}
+		}
+		return netip.AddrFrom16([16]byte(b))
+	default:
+		r.fail("bad address length %d", n[0])
+		return netip.Addr{}
+	}
+}
+
+func (s blockSummary) append(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(s.count))
+	dst = appendVarint(dst, s.tmin)
+	dst = binary.AppendUvarint(dst, uint64(s.tmax-s.tmin))
+	dst = binary.AppendUvarint(dst, uint64(len(s.peerAS)))
+	prev := uint32(0)
+	for i, as := range s.peerAS {
+		if i == 0 {
+			dst = binary.AppendUvarint(dst, uint64(as))
+		} else {
+			dst = binary.AppendUvarint(dst, uint64(as-prev))
+		}
+		prev = as
+	}
+	dst = appendAddr(dst, s.minAddr)
+	dst = appendAddr(dst, s.maxAddr)
+	dst = binary.AppendUvarint(dst, uint64(len(s.filter)))
+	return append(dst, s.filter...)
+}
+
+func (r *creader) summary() blockSummary {
+	var s blockSummary
+	s.count = int(r.uvarint())
+	s.tmin = r.varint()
+	span := r.uvarint()
+	if span > math.MaxInt64 {
+		r.fail("bad time span")
+		return s
+	}
+	s.tmax = s.tmin + int64(span)
+	nas := r.count(1)
+	s.peerAS = make([]uint32, 0, nas)
+	prev := uint64(0)
+	for i := 0; i < nas; i++ {
+		d := r.uvarint()
+		if i == 0 {
+			prev = d
+		} else {
+			prev += d
+		}
+		if prev > math.MaxUint32 {
+			r.fail("peer AS overflow")
+			return s
+		}
+		s.peerAS = append(s.peerAS, uint32(prev))
+	}
+	s.minAddr = r.addr()
+	s.maxAddr = r.addr()
+	s.filter = r.bytes(r.count(1))
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Columnar block codec
+// ---------------------------------------------------------------------------
+
+// dict accumulates a per-block dictionary keyed by the encoded form.
+type dict struct {
+	index map[string]uint32
+	keys  []string
+}
+
+func (d *dict) id(key string) uint32 {
+	if d.index == nil {
+		d.index = make(map[string]uint32)
+	}
+	if id, ok := d.index[key]; ok {
+		return id
+	}
+	id := uint32(len(d.keys))
+	d.index[key] = id
+	d.keys = append(d.keys, key)
+	return id
+}
+
+// pathKey serializes an AS path for dictionary keying and storage:
+// uvarint segment count, then per segment type, length, and ASNs.
+func pathKey(p bgp.ASPath) string {
+	buf := make([]byte, 0, 8+8*len(p))
+	buf = binary.AppendUvarint(buf, uint64(len(p)))
+	for _, seg := range p {
+		buf = binary.AppendUvarint(buf, uint64(seg.Type))
+		buf = binary.AppendUvarint(buf, uint64(len(seg.ASNs)))
+		for _, as := range seg.ASNs {
+			buf = binary.AppendUvarint(buf, uint64(as))
+		}
+	}
+	return string(buf)
+}
+
+func (r *creader) path() bgp.ASPath {
+	nseg := r.count(2)
+	if nseg == 0 || r.err != nil {
+		return nil
+	}
+	path := make(bgp.ASPath, 0, nseg)
+	for i := 0; i < nseg; i++ {
+		typ := r.uvarint()
+		nasn := r.count(1)
+		if r.err != nil {
+			return nil
+		}
+		seg := bgp.ASPathSegment{Type: uint8(typ), ASNs: make([]uint32, 0, nasn)}
+		for j := 0; j < nasn; j++ {
+			as := r.uvarint()
+			if as > math.MaxUint32 {
+				r.fail("ASN overflow")
+				return nil
+			}
+			seg.ASNs = append(seg.ASNs, uint32(as))
+		}
+		path = append(path, seg)
+	}
+	return path
+}
+
+// commsKey serializes a community set: uvarint count then zigzag deltas
+// (canonical sets are ascending, so deltas are small and positive).
+func commsKey(cs bgp.Communities) string {
+	buf := make([]byte, 0, 2+5*len(cs))
+	buf = binary.AppendUvarint(buf, uint64(len(cs)))
+	prev := int64(0)
+	for _, c := range cs {
+		buf = appendVarint(buf, int64(c)-prev)
+		prev = int64(c)
+	}
+	return string(buf)
+}
+
+func (r *creader) comms() bgp.Communities {
+	n := r.count(1)
+	if n == 0 || r.err != nil {
+		return nil
+	}
+	cs := make(bgp.Communities, 0, n)
+	prev := int64(0)
+	for i := 0; i < n; i++ {
+		prev += r.varint()
+		if prev < 0 || prev > math.MaxUint32 {
+			r.fail("community overflow")
+			return nil
+		}
+		cs = append(cs, bgp.Community(prev))
+	}
+	return cs
+}
+
+// prefixKeyEnc serializes a prefix for the dictionary: address length
+// (0 for the invalid prefix), address bytes, prefix length.
+func prefixKeyEnc(p netip.Prefix) string {
+	if !p.IsValid() {
+		return "\x00"
+	}
+	buf := appendAddr(nil, p.Addr())
+	buf = binary.AppendUvarint(buf, uint64(p.Bits()))
+	return string(buf)
+}
+
+func (r *creader) prefix() netip.Prefix {
+	a := r.addr()
+	if r.err != nil || !a.IsValid() {
+		return netip.Prefix{}
+	}
+	bits := r.uvarint()
+	if bits > uint64(a.BitLen()) {
+		r.fail("bad prefix length %d", bits)
+		return netip.Prefix{}
+	}
+	return netip.PrefixFrom(a, int(bits))
+}
+
+// addrKey serializes a peer address for the dictionary.
+func addrKey(a netip.Addr) string { return string(appendAddr(nil, a)) }
+
+// bitset packs one bit per event.
+type bitset []byte
+
+func newBitset(n int) bitset { return make(bitset, (n+7)/8) }
+
+func (b bitset) set(i int)      { b[i/8] |= 1 << (i % 8) }
+func (b bitset) get(i int) bool { return b[i/8]&(1<<(i%8)) != 0 }
+
+// encodeBlock renders events into the columnar payload (uncompressed)
+// and the block's pushdown summary. Layout, in order: event count;
+// zigzag-delta timestamps; then per column a dictionary followed by one
+// uvarint index per event (collector, peer AS, peer address, prefix,
+// AS path, communities); withdraw and has-MED bitsets; and a uvarint
+// MED per has-MED event.
+func encodeBlock(events []classify.Event, dst []byte) ([]byte, blockSummary) {
+	n := len(events)
+	sum := blockSummary{count: n, tmin: math.MaxInt64, tmax: math.MinInt64}
+	var filter prefixFilter
+
+	dst = binary.AppendUvarint(dst, uint64(n))
+
+	// Times: zigzag deltas from the previous event.
+	prev := int64(0)
+	for _, e := range events {
+		t := e.Time.UnixNano()
+		dst = appendVarint(dst, t-prev)
+		prev = t
+		if t < sum.tmin {
+			sum.tmin = t
+		}
+		if t > sum.tmax {
+			sum.tmax = t
+		}
+	}
+	if n == 0 {
+		sum.tmin, sum.tmax = 0, 0
+	}
+
+	// Dictionary columns.
+	var collectors, peerAS, peerAddrs, prefixes, paths, comms dict
+	ids := make([]uint32, n)
+
+	writeDict := func(d *dict) {
+		dst = binary.AppendUvarint(dst, uint64(len(d.keys)))
+		for _, key := range d.keys {
+			dst = append(dst, key...)
+		}
+		for _, id := range ids {
+			dst = binary.AppendUvarint(dst, uint64(id))
+		}
+	}
+	writeStringDict := func(d *dict) {
+		dst = binary.AppendUvarint(dst, uint64(len(d.keys)))
+		for _, key := range d.keys {
+			dst = binary.AppendUvarint(dst, uint64(len(key)))
+			dst = append(dst, key...)
+		}
+		for _, id := range ids {
+			dst = binary.AppendUvarint(dst, uint64(id))
+		}
+	}
+
+	for i, e := range events {
+		ids[i] = collectors.id(e.Collector)
+	}
+	writeStringDict(&collectors)
+
+	for i, e := range events {
+		var buf [5]byte
+		k := binary.PutUvarint(buf[:], uint64(e.PeerAS))
+		ids[i] = peerAS.id(string(buf[:k]))
+	}
+	writeDict(&peerAS)
+	for _, key := range peerAS.keys {
+		as, _ := binary.Uvarint([]byte(key))
+		sum.peerAS = append(sum.peerAS, uint32(as))
+	}
+	sort.Slice(sum.peerAS, func(i, j int) bool { return sum.peerAS[i] < sum.peerAS[j] })
+
+	for i, e := range events {
+		ids[i] = peerAddrs.id(addrKey(e.PeerAddr))
+	}
+	writeDict(&peerAddrs)
+
+	for i, e := range events {
+		ids[i] = prefixes.id(prefixKeyEnc(e.Prefix))
+		if e.Prefix.IsValid() {
+			a := e.Prefix.Addr()
+			if !sum.minAddr.IsValid() || a.Compare(sum.minAddr) < 0 {
+				sum.minAddr = a
+			}
+			if !sum.maxAddr.IsValid() || a.Compare(sum.maxAddr) > 0 {
+				sum.maxAddr = a
+			}
+			filter.add(e.Prefix)
+		}
+	}
+	writeDict(&prefixes)
+
+	for i, e := range events {
+		ids[i] = paths.id(pathKey(e.ASPath))
+	}
+	writeDict(&paths)
+
+	for i, e := range events {
+		ids[i] = comms.id(commsKey(e.Communities))
+	}
+	writeDict(&comms)
+
+	// Flag bitsets and MED values.
+	withdraw, hasMED := newBitset(n), newBitset(n)
+	for i, e := range events {
+		if e.Withdraw {
+			withdraw.set(i)
+		}
+		if e.HasMED {
+			hasMED.set(i)
+		}
+	}
+	dst = append(dst, withdraw...)
+	dst = append(dst, hasMED...)
+	for _, e := range events {
+		if e.HasMED {
+			dst = binary.AppendUvarint(dst, uint64(e.MED))
+		}
+	}
+
+	sum.filter = filter.bits()
+	return dst, sum
+}
+
+// decodeBlock parses a columnar payload back into events. Dictionary
+// entries are decoded once and shared by the events referencing them;
+// consumers must treat event slice fields as immutable (the pipeline
+// already does).
+func decodeBlock(payload []byte) ([]classify.Event, error) {
+	r := &creader{b: payload}
+	rawN := r.uvarint()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if rawN > maxBlockEvents || rawN > uint64(r.remaining()) {
+		return nil, fmt.Errorf("evstore: implausible block event count %d", rawN)
+	}
+	n := int(rawN)
+	events := make([]classify.Event, n)
+
+	prev := int64(0)
+	for i := range events {
+		prev += r.varint()
+		events[i].Time = time.Unix(0, prev).UTC()
+	}
+
+	readIDs := func(dictLen int) []uint32 {
+		if r.err != nil {
+			return nil
+		}
+		out := make([]uint32, n)
+		for i := range out {
+			id := r.uvarint()
+			if id >= uint64(dictLen) {
+				r.fail("dictionary index %d out of range (dict size %d)", id, dictLen)
+				return nil
+			}
+			out[i] = uint32(id)
+		}
+		return out
+	}
+
+	// Collectors.
+	nc := r.count(1)
+	collectors := make([]string, nc)
+	for i := range collectors {
+		collectors[i] = string(r.bytes(r.count(1)))
+	}
+	for i, id := range readIDs(nc) {
+		events[i].Collector = collectors[id]
+	}
+
+	// Peer ASNs.
+	na := r.count(1)
+	peerAS := make([]uint32, na)
+	for i := range peerAS {
+		as := r.uvarint()
+		if as > math.MaxUint32 {
+			r.fail("peer ASN overflow")
+		}
+		peerAS[i] = uint32(as)
+	}
+	for i, id := range readIDs(na) {
+		events[i].PeerAS = peerAS[id]
+	}
+
+	// Peer addresses.
+	nr := r.count(1)
+	peerAddrs := make([]netip.Addr, nr)
+	for i := range peerAddrs {
+		peerAddrs[i] = r.addr()
+	}
+	for i, id := range readIDs(nr) {
+		events[i].PeerAddr = peerAddrs[id]
+	}
+
+	// Prefixes.
+	np := r.count(1)
+	prefixes := make([]netip.Prefix, np)
+	for i := range prefixes {
+		prefixes[i] = r.prefix()
+	}
+	for i, id := range readIDs(np) {
+		events[i].Prefix = prefixes[id]
+	}
+
+	// AS paths.
+	npth := r.count(1)
+	paths := make([]bgp.ASPath, npth)
+	for i := range paths {
+		paths[i] = r.path()
+	}
+	for i, id := range readIDs(npth) {
+		events[i].ASPath = paths[id]
+	}
+
+	// Communities.
+	ncs := r.count(1)
+	comms := make([]bgp.Communities, ncs)
+	for i := range comms {
+		comms[i] = r.comms()
+	}
+	for i, id := range readIDs(ncs) {
+		events[i].Communities = comms[id]
+	}
+
+	// Flags and MED.
+	withdraw := bitset(r.bytes((n + 7) / 8))
+	hasMED := bitset(r.bytes((n + 7) / 8))
+	if r.err != nil {
+		return nil, r.err
+	}
+	for i := range events {
+		events[i].Withdraw = withdraw.get(i)
+		if hasMED.get(i) {
+			events[i].HasMED = true
+			med := r.uvarint()
+			if med > math.MaxUint32 {
+				r.fail("MED overflow")
+			}
+			events[i].MED = uint32(med)
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return events, nil
+}

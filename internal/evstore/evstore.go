@@ -1,0 +1,155 @@
+// Package evstore is a persistent, append-only, time-partitioned
+// columnar store for normalized classify.Event streams — the
+// ingest-once / analyze-many layer between producers (workload
+// generators, MRT archives) and the stream analyses.
+//
+// A store is a directory of partition files, one per (collector, day,
+// ingest sequence), named "<collector>__<YYYYMMDD>__<seq>.evp". Each
+// partition is a header followed by a sequence of independently
+// decodable compressed blocks and a footer index. Blocks hold up to
+// Writer.BlockEvents events in columnar layout — zigzag-delta-encoded
+// timestamps and per-block dictionaries for collectors, peer ASNs,
+// peer addresses, prefixes, AS paths, and community sets — and are
+// deflate-compressed. The footer records, per block, its file offset
+// and a summary: event count, time min/max, the distinct peer-AS set,
+// the prefix network-address range, and a bloom membership filter over
+// the prefixes (keyed at every /8 ancestor level, so "/16 contains"
+// queries prune blocks, not just exact-prefix lookups).
+//
+// Writer consumes any stream.EventSource in constant memory: events
+// are routed to per-(collector, day) partition writers whose only
+// state is one pending block, and a collector's partitions are sealed
+// eagerly once they fall more than two days behind that collector's
+// newest event (about a three-day open window), so multi-day ingests
+// hold a bounded set of open partitions regardless of day count.
+// Ingesting into an existing store appends new partition files (higher
+// seq); it never rewrites sealed ones.
+//
+// Scan evaluates a Query with predicate pushdown: partitions are
+// pruned by file name (collector, day) without being opened, then by
+// their footer summary without decoding any block, then block by
+// block; only blocks whose summary matches are read and decoded, and
+// a final exact Query.Match filter handles summary false positives.
+// The result is a stream.EventSource ordered by (collector, day, seq,
+// ingest order), which preserves per-session event order — exactly
+// what classification and every *Stream analysis require — so a scan
+// plugs into the existing pipeline unchanged.
+package evstore
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"repro/internal/classify"
+)
+
+// Format constants. Bump the magic version on incompatible changes; a
+// store never mixes versions because partitions are self-describing.
+const (
+	partitionMagic = "EVP1" // file header
+	footerMagic    = "EVF1" // footer and trailer
+
+	// DefaultBlockEvents is the default number of events per block: large
+	// enough that dictionaries and delta encoding pay off, small enough
+	// that a windowed scan decodes little beyond what it needs.
+	DefaultBlockEvents = 4096
+
+	// maxBlockEvents bounds the per-block event count accepted by the
+	// decoder, protecting against corrupt or hostile inputs.
+	maxBlockEvents = 1 << 21
+)
+
+// Extension is the partition file suffix.
+const Extension = ".evp"
+
+// TimeRange is a half-open [From, To) event-time window; a zero bound
+// is unbounded on that side, matching the counting-window convention.
+type TimeRange struct {
+	From, To time.Time
+}
+
+// Contains reports whether t falls inside the window.
+func (r TimeRange) Contains(t time.Time) bool {
+	if !r.From.IsZero() && t.Before(r.From) {
+		return false
+	}
+	if !r.To.IsZero() && !t.Before(r.To) {
+		return false
+	}
+	return true
+}
+
+// Query selects a subset of a store's events. Zero-valued fields do
+// not constrain; the zero Query matches everything.
+type Query struct {
+	// Window restricts event times to [From, To).
+	Window TimeRange
+	// Collectors restricts to the named collectors (nil = all).
+	Collectors []string
+	// PeerAS restricts to events from the given peer ASNs (nil = all).
+	PeerAS []uint32
+	// PrefixRange restricts to events whose prefix lies within this
+	// address block: e.Prefix is a subnet of (or equal to) PrefixRange.
+	// The invalid zero Prefix matches all.
+	PrefixRange netip.Prefix
+}
+
+// Match reports whether one event satisfies the query — the exact
+// predicate the summary-based pushdown conservatively approximates.
+// stream.Filter(src, q.Match) over the unfiltered stream is the
+// reference semantics of Scan(dir, q).
+func (q Query) Match(e classify.Event) bool {
+	if !q.Window.Contains(e.Time) {
+		return false
+	}
+	if len(q.Collectors) > 0 {
+		ok := false
+		for _, c := range q.Collectors {
+			if c == e.Collector {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if len(q.PeerAS) > 0 {
+		ok := false
+		for _, as := range q.PeerAS {
+			if as == e.PeerAS {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if q.PrefixRange.IsValid() {
+		if !e.Prefix.IsValid() ||
+			e.Prefix.Bits() < q.PrefixRange.Bits() ||
+			!q.PrefixRange.Contains(e.Prefix.Addr()) {
+			return false
+		}
+	}
+	return true
+}
+
+// dayStart truncates t to its UTC day, the partitioning key.
+func dayStart(t time.Time) time.Time {
+	return t.UTC().Truncate(24 * time.Hour)
+}
+
+// FormatEvent renders a store event in the mrt.Format line convention
+// with the collector appended (a store interleaves collectors) — the
+// shared dump format of cmd/mrtdump and cmd/evstore.
+func FormatEvent(e classify.Event) string {
+	ts := e.Time.UTC().Format("2006-01-02 15:04:05.000000")
+	if e.Withdraw {
+		return fmt.Sprintf("%s|W|%v|AS%d|%v|%s", ts, e.Prefix, e.PeerAS, e.PeerAddr, e.Collector)
+	}
+	return fmt.Sprintf("%s|A|%v|AS%d|%v|%s|%s|%s",
+		ts, e.Prefix, e.PeerAS, e.PeerAddr, e.Collector, e.ASPath, e.Communities)
+}

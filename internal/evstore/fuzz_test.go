@@ -1,0 +1,166 @@
+package evstore
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/classify"
+)
+
+// fuzzReader doles out fuzzer bytes; exhausted input yields zeros, so
+// every input prefix defines a complete event list deterministically.
+type fuzzReader struct {
+	b   []byte
+	pos int
+}
+
+func (r *fuzzReader) byte() byte {
+	if r.pos >= len(r.b) {
+		return 0
+	}
+	v := r.b[r.pos]
+	r.pos++
+	return v
+}
+
+func (r *fuzzReader) uint32() uint32 {
+	return uint32(r.byte())<<24 | uint32(r.byte())<<16 | uint32(r.byte())<<8 | uint32(r.byte())
+}
+
+func (r *fuzzReader) int64() int64 {
+	return int64(r.uint32())<<32 | int64(r.uint32())
+}
+
+// fuzzEvents derives an event list from raw fuzzer input, covering the
+// full field space: both address families, invalid addresses and
+// prefixes, AS sets, empty and unsorted community lists, withdrawals,
+// MEDs, and arbitrary timestamps (including negative).
+func fuzzEvents(data []byte) []classify.Event {
+	r := &fuzzReader{b: data}
+	n := int(r.byte()%16) + 1
+	events := make([]classify.Event, n)
+	for i := range events {
+		e := &events[i]
+		e.Time = time.Unix(0, r.int64()).UTC()
+		e.Collector = string(data[:int(r.byte())%(len(data)+1)])
+		e.PeerAS = r.uint32()
+		switch r.byte() % 3 {
+		case 0:
+			e.PeerAddr = netip.AddrFrom4([4]byte{r.byte(), r.byte(), r.byte(), r.byte()})
+		case 1:
+			var b [16]byte
+			for j := range b {
+				b[j] = r.byte()
+			}
+			e.PeerAddr = netip.AddrFrom16(b)
+		}
+		switch r.byte() % 4 {
+		case 0, 1:
+			a := netip.AddrFrom4([4]byte{r.byte(), r.byte(), r.byte(), r.byte()})
+			e.Prefix = netip.PrefixFrom(a, int(r.byte())%33)
+		case 2:
+			var b [16]byte
+			for j := range b {
+				b[j] = r.byte()
+			}
+			e.Prefix = netip.PrefixFrom(netip.AddrFrom16(b), int(r.byte())%129)
+		}
+		e.Withdraw = r.byte()%4 == 0
+		if !e.Withdraw {
+			nseg := int(r.byte() % 3)
+			for s := 0; s < nseg; s++ {
+				seg := bgp.ASPathSegment{Type: r.byte()}
+				for a := int(r.byte() % 5); a > 0; a-- {
+					seg.ASNs = append(seg.ASNs, r.uint32())
+				}
+				e.ASPath = append(e.ASPath, seg)
+			}
+			for c := int(r.byte() % 6); c > 0; c-- {
+				e.Communities = append(e.Communities, bgp.Community(r.uint32()))
+			}
+			if r.byte()%2 == 0 {
+				e.HasMED = true
+				e.MED = r.uint32()
+			}
+		}
+	}
+	return events
+}
+
+func fuzzEventsEqual(a, b classify.Event) bool {
+	return a.Time.Equal(b.Time) &&
+		a.Collector == b.Collector &&
+		a.PeerAS == b.PeerAS &&
+		a.PeerAddr == b.PeerAddr &&
+		a.Prefix == b.Prefix &&
+		a.Withdraw == b.Withdraw &&
+		a.ASPath.Equal(b.ASPath) &&
+		a.Communities.Equal(b.Communities) &&
+		a.HasMED == b.HasMED &&
+		a.MED == b.MED
+}
+
+// FuzzBlockRoundTrip: encode/decode must be the identity on every
+// event list the fuzzer can construct, and the summary must cover it.
+func FuzzBlockRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+	f.Add([]byte{0xff, 0x00, 0x80, 0x7f, 0x01, 0x02, 0x03, 0x04, 0x05})
+	f.Add(bytes.Repeat([]byte{0xa5, 0x3c, 0x07}, 40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events := fuzzEvents(data)
+		payload, sum := encodeBlock(events, nil)
+		decoded, err := decodeBlock(payload)
+		if err != nil {
+			t.Fatalf("decode of a fresh encode failed: %v", err)
+		}
+		if len(decoded) != len(events) {
+			t.Fatalf("decoded %d of %d events", len(decoded), len(events))
+		}
+		for i := range events {
+			if !fuzzEventsEqual(events[i], decoded[i]) {
+				t.Fatalf("event %d:\n in  %+v\n out %+v", i, events[i], decoded[i])
+			}
+		}
+		if sum.count != len(events) {
+			t.Fatalf("summary count %d != %d", sum.count, len(events))
+		}
+		for _, e := range events {
+			n := e.Time.UnixNano()
+			if n < sum.tmin || n > sum.tmax {
+				t.Fatalf("summary window [%d,%d] misses %d", sum.tmin, sum.tmax, n)
+			}
+			found := false
+			for _, as := range sum.peerAS {
+				if as == e.PeerAS {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("summary peer-AS set misses %d", e.PeerAS)
+			}
+		}
+	})
+}
+
+// FuzzBlockDecode: arbitrary bytes must never panic or over-allocate —
+// corrupt stores fail with an error, not a crash.
+func FuzzBlockDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	// A valid payload as a seed so mutations explore near-valid inputs.
+	valid, _ := encodeBlock(fuzzEvents([]byte{9, 1, 2, 3, 4, 5, 6, 7, 8}), nil)
+	f.Add(valid)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := decodeBlock(data)
+		if err == nil {
+			// Whatever decoded must re-encode without panicking.
+			encodeBlock(events, nil)
+		}
+	})
+}

@@ -1,0 +1,567 @@
+package evstore
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/stream"
+)
+
+// ScanStats counts what a scan read versus what pushdown skipped.
+type ScanStats struct {
+	Partitions        int // partition files considered
+	PartitionsPruned  int // skipped by name or footer summary, no block decoded
+	Blocks            int // blocks in scanned partitions
+	BlocksPruned      int // skipped by block summary
+	BlocksDecoded     int
+	BytesDecompressed int64 // uncompressed payload bytes inflated and decoded
+	Events            int   // events yielded after the residual filter
+}
+
+// compiledQuery precomputes the pushdown predicates of a Query.
+type compiledQuery struct {
+	q                Query
+	fromNano, toNano int64 // inclusive lower, exclusive upper
+	collectors       map[string]bool
+	sanitized        map[string]bool // sanitized collector names, for filename pruning
+	peerAS           map[uint32]bool
+	hasPrefix        bool
+	loAddr, hiAddr   netip.Addr // address span of PrefixRange
+	filterKey        string     // bloom probe, "" when unusable
+}
+
+func compileQuery(q Query) *compiledQuery {
+	cq := &compiledQuery{q: q, fromNano: math.MinInt64, toNano: math.MaxInt64}
+	if !q.Window.From.IsZero() {
+		cq.fromNano = q.Window.From.UnixNano()
+	}
+	if !q.Window.To.IsZero() {
+		cq.toNano = q.Window.To.UnixNano()
+	}
+	if len(q.Collectors) > 0 {
+		cq.collectors = make(map[string]bool, len(q.Collectors))
+		cq.sanitized = make(map[string]bool, len(q.Collectors))
+		for _, c := range q.Collectors {
+			cq.collectors[c] = true
+			cq.sanitized[sanitizeCollector(c)] = true
+		}
+	}
+	if len(q.PeerAS) > 0 {
+		cq.peerAS = make(map[uint32]bool, len(q.PeerAS))
+		for _, as := range q.PeerAS {
+			cq.peerAS[as] = true
+		}
+	}
+	if p := q.PrefixRange; p.IsValid() {
+		cq.hasPrefix = true
+		masked := p.Masked()
+		cq.loAddr = masked.Addr()
+		cq.hiAddr = lastAddr(masked)
+		if fl := p.Bits() - p.Bits()%8; fl > 0 {
+			cq.filterKey = prefixKey(p.Addr(), fl)
+		}
+	}
+	return cq
+}
+
+// match is the per-event residual filter — Query.Match semantics over
+// the precomputed nano bounds and collector/peer-AS sets, O(1) per
+// event where the exported method scans the raw slices.
+func (cq *compiledQuery) match(e classify.Event) bool {
+	if n := e.Time.UnixNano(); n < cq.fromNano || n >= cq.toNano {
+		return false
+	}
+	if cq.collectors != nil && !cq.collectors[e.Collector] {
+		return false
+	}
+	if cq.peerAS != nil && !cq.peerAS[e.PeerAS] {
+		return false
+	}
+	if cq.hasPrefix {
+		if !e.Prefix.IsValid() ||
+			e.Prefix.Bits() < cq.q.PrefixRange.Bits() ||
+			!cq.q.PrefixRange.Contains(e.Prefix.Addr()) {
+			return false
+		}
+	}
+	return true
+}
+
+// lastAddr returns the highest address covered by a masked prefix.
+func lastAddr(p netip.Prefix) netip.Addr {
+	if p.Addr().Is4() {
+		b := p.Addr().As4()
+		for i := p.Bits(); i < 32; i++ {
+			b[i/8] |= 1 << (7 - i%8)
+		}
+		return netip.AddrFrom4(b)
+	}
+	b := p.Addr().As16()
+	for i := p.Bits(); i < 128; i++ {
+		b[i/8] |= 1 << (7 - i%8)
+	}
+	return netip.AddrFrom16(b)
+}
+
+// matchSummary reports whether a block (or partition aggregate) summary
+// may contain matching events. useFilter selects the bloom probe, which
+// is only meaningful at block granularity.
+func (cq *compiledQuery) matchSummary(s blockSummary, useFilter bool) bool {
+	if s.count == 0 {
+		return false
+	}
+	if s.tmax < cq.fromNano || s.tmin >= cq.toNano {
+		return false
+	}
+	if cq.peerAS != nil {
+		ok := false
+		for _, as := range s.peerAS {
+			if cq.peerAS[as] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if cq.hasPrefix {
+		if !s.minAddr.IsValid() {
+			return false // no valid prefixes in the block
+		}
+		if s.maxAddr.Compare(cq.loAddr) < 0 || s.minAddr.Compare(cq.hiAddr) > 0 {
+			return false
+		}
+		if useFilter && cq.filterKey != "" && len(s.filter) > 0 &&
+			!filterMaybeContains(s.filter, cq.filterKey) {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Partition reading
+// ---------------------------------------------------------------------------
+
+// partition is one decoded partition index: header fields plus the
+// footer's block directory. No block payload has been read.
+type partition struct {
+	path      string
+	size      int64
+	collector string
+	day       time.Time
+	blocks    []blockMeta
+	agg       blockSummary
+}
+
+// readPartition opens a partition file and parses its header and
+// footer index.
+func readPartition(path string) (*partition, *os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := parsePartition(f, path)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return p, f, nil
+}
+
+func parsePartition(f *os.File, path string) (*partition, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size < int64(len(partitionMagic))+8 {
+		return nil, fmt.Errorf("evstore: %s: too short for a partition", path)
+	}
+
+	var head [4 + 1 + 255 + binary.MaxVarintLen64]byte
+	hn, err := f.ReadAt(head[:min(int64(len(head)), size)], 0)
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	hr := &creader{b: head[:hn]}
+	if string(hr.bytes(4)) != partitionMagic {
+		return nil, fmt.Errorf("evstore: %s: bad partition magic", path)
+	}
+	nameLen := hr.bytes(1)
+	var collector string
+	if hr.err == nil {
+		collector = string(hr.bytes(int(nameLen[0])))
+	}
+	dayUnix := hr.varint()
+	if hr.err != nil {
+		return nil, fmt.Errorf("evstore: %s: %w", path, hr.err)
+	}
+
+	var trailer [8]byte
+	if _, err := f.ReadAt(trailer[:], size-8); err != nil {
+		return nil, err
+	}
+	if string(trailer[4:]) != footerMagic {
+		return nil, fmt.Errorf("evstore: %s: bad footer magic", path)
+	}
+	flen := int64(binary.LittleEndian.Uint32(trailer[:4]))
+	if flen < int64(len(footerMagic)) || flen > size-8 {
+		return nil, fmt.Errorf("evstore: %s: bad footer length %d", path, flen)
+	}
+	footer := make([]byte, flen)
+	if _, err := f.ReadAt(footer, size-8-flen); err != nil {
+		return nil, err
+	}
+	fr := &creader{b: footer}
+	if string(fr.bytes(4)) != footerMagic {
+		return nil, fmt.Errorf("evstore: %s: bad footer header", path)
+	}
+	nblocks := fr.count(1)
+	p := &partition{
+		path:      path,
+		size:      size,
+		collector: collector,
+		day:       time.Unix(dayUnix, 0).UTC(),
+		blocks:    make([]blockMeta, 0, nblocks),
+	}
+	for i := 0; i < nblocks; i++ {
+		var b blockMeta
+		b.offset = int64(fr.uvarint())
+		b.ulen = int(fr.uvarint())
+		b.clen = int(fr.uvarint())
+		b.sum = fr.summary()
+		if fr.err != nil {
+			break
+		}
+		if b.offset < 0 || b.clen < 0 || b.offset+int64(b.clen) > size ||
+			b.ulen < 0 || b.ulen > maxBlockEvents*64 {
+			return nil, fmt.Errorf("evstore: %s: block %d out of bounds", path, i)
+		}
+		p.blocks = append(p.blocks, b)
+		p.agg.merge(b.sum)
+	}
+	if fr.err != nil {
+		return nil, fmt.Errorf("evstore: %s: %w", path, fr.err)
+	}
+	return p, nil
+}
+
+// blockReader inflates and decodes blocks, reusing its buffers and the
+// flate decompressor state across calls.
+type blockReader struct {
+	cbuf, ubuf []byte
+	src        bytes.Reader
+	inflate    io.ReadCloser
+}
+
+func (br *blockReader) read(f *os.File, b blockMeta) ([]classify.Event, error) {
+	if cap(br.cbuf) < b.clen {
+		br.cbuf = make([]byte, b.clen)
+	}
+	cbuf := br.cbuf[:b.clen]
+	if _, err := f.ReadAt(cbuf, b.offset); err != nil {
+		return nil, err
+	}
+	if cap(br.ubuf) < b.ulen {
+		br.ubuf = make([]byte, b.ulen)
+	}
+	ubuf := br.ubuf[:b.ulen]
+	br.src.Reset(cbuf)
+	if br.inflate == nil {
+		br.inflate = flate.NewReader(&br.src)
+	} else if err := br.inflate.(flate.Resetter).Reset(&br.src, nil); err != nil {
+		return nil, fmt.Errorf("evstore: inflate reset: %w", err)
+	}
+	if _, err := io.ReadFull(br.inflate, ubuf); err != nil {
+		return nil, fmt.Errorf("evstore: inflate: %w", err)
+	}
+	return decodeBlock(ubuf)
+}
+
+// ---------------------------------------------------------------------------
+// Store listing and scanning
+// ---------------------------------------------------------------------------
+
+// storeEntry is one partition file with its filename-derived sort and
+// prune keys (zero values when the name is foreign).
+type storeEntry struct {
+	path      string
+	collector string // sanitized, from the filename
+	dayUnix   int64
+	seq       int
+	parsed    bool
+}
+
+// listPartitions enumerates a store's partition files sorted by
+// (collector, day, seq) — the order that keeps each collector's
+// timeline contiguous and per-session event order intact.
+func listPartitions(dir string) ([]storeEntry, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*"+Extension))
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]storeEntry, 0, len(paths))
+	for _, p := range paths {
+		e := storeEntry{path: p}
+		if collector, day, seq, ok := parsePartitionName(filepath.Base(p)); ok {
+			e.collector, e.dayUnix, e.seq, e.parsed = collector, day.Unix(), seq, true
+		}
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.collector != b.collector {
+			return a.collector < b.collector
+		}
+		if a.dayUnix != b.dayUnix {
+			return a.dayUnix < b.dayUnix
+		}
+		if a.seq != b.seq {
+			return a.seq < b.seq
+		}
+		return a.path < b.path
+	})
+	return entries, nil
+}
+
+// pruneByName applies the filename-level pushdown: collector and
+// day-window checks that skip a partition without opening it.
+func (cq *compiledQuery) pruneByName(e storeEntry) bool {
+	if !e.parsed {
+		return false
+	}
+	if cq.sanitized != nil && !cq.sanitized[e.collector] {
+		return true
+	}
+	dayStartNano := e.dayUnix * int64(time.Second)
+	dayEndNano := dayStartNano + int64(24*time.Hour)
+	if dayEndNano <= cq.fromNano || dayStartNano >= cq.toNano {
+		return true
+	}
+	return false
+}
+
+// Scan returns a source over the store's events matching q, in
+// (collector, day, seq, ingest) order. Pushdown skips partitions and
+// blocks whose summaries cannot match; a final Query.Match filter makes
+// the result exact. Errors are reported via *errp (first error wins,
+// may be nil to ignore) and end the stream, like pipeline sources. The
+// source is replayable: each range re-reads the store.
+func Scan(dir string, q Query, errp *error) stream.EventSource {
+	return ScanWithStats(dir, q, errp, nil)
+}
+
+// ScanWithStats is Scan with pushdown accounting: if st is non-nil it
+// is reset and filled while the returned source is consumed.
+func ScanWithStats(dir string, q Query, errp *error, st *ScanStats) stream.EventSource {
+	return func(yield func(classify.Event) bool) {
+		if st != nil {
+			*st = ScanStats{}
+		}
+		fail := func(err error) {
+			if errp != nil && *errp == nil {
+				*errp = err
+			}
+		}
+		entries, err := listPartitions(dir)
+		if err != nil {
+			fail(err)
+			return
+		}
+		if len(entries) == 0 {
+			fail(fmt.Errorf("evstore: no partitions in %s", dir))
+			return
+		}
+		cq := compileQuery(q)
+		var br blockReader
+		for _, e := range entries {
+			if st != nil {
+				st.Partitions++
+			}
+			if cq.pruneByName(e) {
+				if st != nil {
+					st.PartitionsPruned++
+				}
+				continue
+			}
+			more, err := scanPartition(e.path, cq, &br, st, yield)
+			if err != nil {
+				fail(err)
+				return
+			}
+			if !more {
+				return
+			}
+		}
+	}
+}
+
+// scanPartition streams one partition's matching events; more reports
+// whether the consumer wants to continue.
+func scanPartition(path string, cq *compiledQuery, br *blockReader, st *ScanStats, yield func(classify.Event) bool) (more bool, err error) {
+	p, f, err := readPartition(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	if cq.collectors != nil && !cq.collectors[p.collector] {
+		if st != nil {
+			st.PartitionsPruned++
+		}
+		return true, nil
+	}
+	if !cq.matchSummary(p.agg, false) {
+		if st != nil {
+			st.PartitionsPruned++
+		}
+		return true, nil
+	}
+	if st != nil {
+		st.Blocks += len(p.blocks)
+	}
+	for _, b := range p.blocks {
+		if !cq.matchSummary(b.sum, true) {
+			if st != nil {
+				st.BlocksPruned++
+			}
+			continue
+		}
+		events, err := br.read(f, b)
+		if err != nil {
+			return false, fmt.Errorf("%s: %w", path, err)
+		}
+		if st != nil {
+			st.BlocksDecoded++
+			st.BytesDecompressed += int64(b.ulen)
+		}
+		for _, e := range events {
+			if !cq.match(e) {
+				continue
+			}
+			if st != nil {
+				st.Events++
+			}
+			if !yield(e) {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// ---------------------------------------------------------------------------
+// Store inspection
+// ---------------------------------------------------------------------------
+
+// BlockInfo describes one block for inspection tools.
+type BlockInfo struct {
+	Offset           int64
+	Compressed       int
+	Uncompressed     int
+	Events           int
+	TimeMin, TimeMax time.Time
+	PeerAS           []uint32
+	FilterBytes      int
+}
+
+// PartitionInfo describes one partition file.
+type PartitionInfo struct {
+	Path      string
+	Collector string
+	Day       time.Time
+	Seq       int
+	SizeBytes int64
+	Events    int
+	TimeMin   time.Time
+	TimeMax   time.Time
+	PeerAS    []uint32 // distinct, ascending
+	Blocks    []BlockInfo
+}
+
+// StatPartition reads one partition's index without decoding blocks.
+func StatPartition(path string) (PartitionInfo, error) {
+	p, f, err := readPartition(path)
+	if err != nil {
+		return PartitionInfo{}, err
+	}
+	f.Close()
+	_, _, seq, _ := parsePartitionName(filepath.Base(path))
+	info := PartitionInfo{
+		Path:      path,
+		Collector: p.collector,
+		Day:       p.day,
+		Seq:       seq,
+		SizeBytes: p.size,
+		Events:    p.agg.count,
+		PeerAS:    p.agg.peerAS,
+	}
+	if p.agg.count > 0 {
+		info.TimeMin = time.Unix(0, p.agg.tmin).UTC()
+		info.TimeMax = time.Unix(0, p.agg.tmax).UTC()
+	}
+	for _, b := range p.blocks {
+		info.Blocks = append(info.Blocks, BlockInfo{
+			Offset:       b.offset,
+			Compressed:   b.clen,
+			Uncompressed: b.ulen,
+			Events:       b.sum.count,
+			TimeMin:      time.Unix(0, b.sum.tmin).UTC(),
+			TimeMax:      time.Unix(0, b.sum.tmax).UTC(),
+			PeerAS:       b.sum.peerAS,
+			FilterBytes:  len(b.sum.filter),
+		})
+	}
+	return info, nil
+}
+
+// Stat reads every partition index in the store, sorted like Scan.
+func Stat(dir string) ([]PartitionInfo, error) {
+	entries, err := listPartitions(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("evstore: no partitions in %s", dir)
+	}
+	infos := make([]PartitionInfo, 0, len(entries))
+	for _, e := range entries {
+		info, err := StatPartition(e.path)
+		if err != nil {
+			return nil, err
+		}
+		infos = append(infos, info)
+	}
+	return infos, nil
+}
+
+// IsStoreDir reports whether dir contains at least one partition file.
+func IsStoreDir(dir string) bool {
+	paths, err := filepath.Glob(filepath.Join(dir, "*"+Extension))
+	return err == nil && len(paths) > 0
+}
+
+// PartitionSource streams one partition file's events matching q, for
+// inspectors that take explicit file arguments (cmd/mrtdump).
+func PartitionSource(path string, q Query, errp *error) stream.EventSource {
+	return func(yield func(classify.Event) bool) {
+		cq := compileQuery(q)
+		var br blockReader
+		if _, err := scanPartition(path, cq, &br, nil, yield); err != nil {
+			if errp != nil && *errp == nil {
+				*errp = err
+			}
+		}
+	}
+}

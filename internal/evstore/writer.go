@@ -1,0 +1,410 @@
+package evstore
+
+import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/stream"
+)
+
+// WriterStats summarizes one writer's lifetime for reporting.
+type WriterStats struct {
+	Events     int // events ingested
+	Blocks     int // blocks written
+	Partitions int // partition files created
+	// PeakActive is the maximum number of simultaneously open
+	// partitions — the writer's memory footprint is PeakActive pending
+	// blocks, independent of how many days are ingested.
+	PeakActive int
+	// Bytes is the total compressed bytes written to sealed partitions.
+	Bytes int64
+}
+
+// Writer appends event streams to a store directory. It routes each
+// event to the partition for its (collector, UTC day), sealing a
+// collector's partitions once they fall more than two days behind that
+// collector's newest event (an open window of about three days per
+// collector), so the open set — and with it memory — stays bounded
+// during multi-day ingests. Not safe for concurrent use.
+type Writer struct {
+	// BlockEvents is the number of events per block; set before the
+	// first Ingest (default DefaultBlockEvents).
+	BlockEvents int
+
+	dir     string
+	active  map[partKey]*partWriter
+	nextSeq map[partKey]int
+	// maxDay tracks each collector's newest event day. Sealing is
+	// per-collector because concatenated inputs (one archive per
+	// collector) restart the clock at each collector boundary.
+	maxDay map[string]int64
+	// sealed lists the partition files this writer renamed into place,
+	// so Abort can roll back a failed ingest completely.
+	sealed []string
+	stats  WriterStats
+
+	// Shared encode scratch: flushes are sequential, so one payload
+	// buffer and one deflate writer serve every partition.
+	payload  []byte
+	compress *flate.Writer
+	cbuf     bytes.Buffer
+}
+
+type partKey struct {
+	collector string
+	day       int64 // unix seconds of the UTC day start
+}
+
+// Open creates (or opens for append) a store directory. Existing
+// partitions are never modified; new ingests allocate fresh sequence
+// numbers per (collector, day).
+func Open(dir string) (*Writer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	w := &Writer{
+		BlockEvents: DefaultBlockEvents,
+		dir:         dir,
+		active:      make(map[partKey]*partWriter),
+		nextSeq:     make(map[partKey]int),
+		maxDay:      make(map[string]int64),
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "*"+Extension))
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range paths {
+		collector, day, seq, ok := parsePartitionName(filepath.Base(p))
+		if !ok {
+			continue
+		}
+		key := partKey{sanitizeCollector(collector), day.Unix()}
+		if seq >= w.nextSeq[key] {
+			w.nextSeq[key] = seq + 1
+		}
+	}
+	return w, nil
+}
+
+// Stats returns the writer's cumulative statistics.
+func (w *Writer) Stats() WriterStats { return w.stats }
+
+// Ingest drains a source into the store. It may be called repeatedly;
+// each event lands in its (collector, day) partition in arrival order,
+// so per-session event order is preserved as long as the source itself
+// preserves it (all pipeline sources do).
+func (w *Writer) Ingest(src stream.EventSource) error {
+	var err error
+	for e := range src {
+		if err = w.add(e); err != nil {
+			break
+		}
+	}
+	return err
+}
+
+func (w *Writer) add(e classify.Event) error {
+	if len(e.Collector) > 255 {
+		return fmt.Errorf("evstore: collector name %q too long", e.Collector)
+	}
+	day := dayStart(e.Time)
+	key := partKey{e.Collector, day.Unix()}
+	if maxDay, seen := w.maxDay[e.Collector]; !seen || key.day > maxDay {
+		w.maxDay[e.Collector] = key.day
+		// Seal this collector's partitions more than two days behind.
+		// Producers emit at most the previous day's warm-up plus a few
+		// minutes of next-day spillover alongside a day, so a two-day
+		// window keeps every still-growing partition open while
+		// bounding the open set to a few days × collectors,
+		// independent of day count. A straggler past the window simply
+		// opens a new sequence file — appends stay correct, just less
+		// compact.
+		for k, pw := range w.active {
+			if k.collector == e.Collector && k.day < key.day-2*24*60*60 {
+				if err := w.seal(k, pw); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	pw := w.active[key]
+	if pw == nil {
+		var err error
+		pw, err = w.openPartition(e.Collector, day, key)
+		if err != nil {
+			return err
+		}
+		w.active[key] = pw
+		w.stats.Partitions++
+		if len(w.active) > w.stats.PeakActive {
+			w.stats.PeakActive = len(w.active)
+		}
+	}
+	pw.pending = append(pw.pending, e)
+	w.stats.Events++
+	if len(pw.pending) >= w.blockEvents() {
+		return w.flushBlock(pw)
+	}
+	return nil
+}
+
+func (w *Writer) blockEvents() int {
+	if w.BlockEvents <= 0 {
+		return DefaultBlockEvents
+	}
+	// Clamp to what the decoder accepts: a larger block would be
+	// written successfully but refuse to scan.
+	if w.BlockEvents > maxBlockEvents {
+		return maxBlockEvents
+	}
+	return w.BlockEvents
+}
+
+// Close seals every open partition. The writer is unusable afterwards.
+func (w *Writer) Close() error {
+	keys := make([]partKey, 0, len(w.active))
+	for k := range w.active {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].collector != keys[j].collector {
+			return keys[i].collector < keys[j].collector
+		}
+		return keys[i].day < keys[j].day
+	})
+	var firstErr error
+	for _, k := range keys {
+		if err := w.seal(k, w.active[k]); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// ---------------------------------------------------------------------------
+// Partition files
+// ---------------------------------------------------------------------------
+
+type blockMeta struct {
+	offset     int64 // file offset of the compressed payload
+	ulen, clen int
+	sum        blockSummary
+}
+
+type partWriter struct {
+	path, tmpPath string
+	f             *os.File
+	bw            *bufio.Writer
+	off           int64
+	pending       []classify.Event
+	blocks        []blockMeta
+}
+
+// sanitizeCollector maps a collector name onto the filename-safe
+// alphabet used in partition names. The header keeps the exact name;
+// the filename is only a pushdown hint.
+func sanitizeCollector(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+// partitionName renders "<collector>__<YYYYMMDD>__<seq>.evp".
+func partitionName(collector string, day time.Time, seq int) string {
+	return fmt.Sprintf("%s__%s__%04d%s",
+		sanitizeCollector(collector), day.UTC().Format("20060102"), seq, Extension)
+}
+
+// parsePartitionName inverts partitionName; ok is false for foreign
+// file names (callers then fall back to reading the header).
+func parsePartitionName(base string) (collector string, day time.Time, seq int, ok bool) {
+	name, found := strings.CutSuffix(base, Extension)
+	if !found {
+		return "", time.Time{}, 0, false
+	}
+	i := strings.LastIndex(name, "__")
+	if i < 0 {
+		return "", time.Time{}, 0, false
+	}
+	if _, err := fmt.Sscanf(name[i+2:], "%d", &seq); err != nil {
+		return "", time.Time{}, 0, false
+	}
+	name = name[:i]
+	i = strings.LastIndex(name, "__")
+	if i < 0 {
+		return "", time.Time{}, 0, false
+	}
+	day, err := time.ParseInLocation("20060102", name[i+2:], time.UTC)
+	if err != nil {
+		return "", time.Time{}, 0, false
+	}
+	return name[:i], day, seq, true
+}
+
+func (w *Writer) openPartition(collector string, day time.Time, key partKey) (*partWriter, error) {
+	seqKey := partKey{sanitizeCollector(collector), key.day}
+	seq := w.nextSeq[seqKey]
+	w.nextSeq[seqKey] = seq + 1
+	path := filepath.Join(w.dir, partitionName(collector, day, seq))
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, err
+	}
+	pw := &partWriter{path: path, tmpPath: tmp, f: f, bw: bufio.NewWriter(f)}
+	header := append([]byte(partitionMagic), byte(len(collector)))
+	header = append(header, collector...)
+	header = appendVarint(header, day.Unix())
+	if _, err := pw.bw.Write(header); err != nil {
+		f.Close()
+		return nil, err
+	}
+	pw.off = int64(len(header))
+	return pw, nil
+}
+
+// flushBlock encodes, compresses, and appends the pending events as one
+// block, recording its footer metadata.
+func (w *Writer) flushBlock(pw *partWriter) error {
+	if len(pw.pending) == 0 {
+		return nil
+	}
+	w.payload = w.payload[:0]
+	var sum blockSummary
+	w.payload, sum = encodeBlock(pw.pending, w.payload)
+	pw.pending = pw.pending[:0]
+
+	w.cbuf.Reset()
+	if w.compress == nil {
+		w.compress, _ = flate.NewWriter(&w.cbuf, flate.BestSpeed)
+	} else {
+		w.compress.Reset(&w.cbuf)
+	}
+	if _, err := w.compress.Write(w.payload); err != nil {
+		return err
+	}
+	if err := w.compress.Close(); err != nil {
+		return err
+	}
+
+	var frame [2 * binary.MaxVarintLen64]byte
+	k := binary.PutUvarint(frame[:], uint64(len(w.payload)))
+	k += binary.PutUvarint(frame[k:], uint64(w.cbuf.Len()))
+	if _, err := pw.bw.Write(frame[:k]); err != nil {
+		return err
+	}
+	meta := blockMeta{offset: pw.off + int64(k), ulen: len(w.payload), clen: w.cbuf.Len(), sum: sum}
+	if _, err := pw.bw.Write(w.cbuf.Bytes()); err != nil {
+		return err
+	}
+	pw.off = meta.offset + int64(meta.clen)
+	pw.blocks = append(pw.blocks, meta)
+	w.stats.Blocks++
+	return nil
+}
+
+// seal flushes the final block, writes the footer index, and renames
+// the partition into place.
+func (w *Writer) seal(key partKey, pw *partWriter) error {
+	delete(w.active, key)
+	if err := w.flushBlock(pw); err != nil {
+		pw.f.Close()
+		os.Remove(pw.tmpPath)
+		return err
+	}
+	footer := []byte(footerMagic)
+	footer = binary.AppendUvarint(footer, uint64(len(pw.blocks)))
+	for _, b := range pw.blocks {
+		footer = binary.AppendUvarint(footer, uint64(b.offset))
+		footer = binary.AppendUvarint(footer, uint64(b.ulen))
+		footer = binary.AppendUvarint(footer, uint64(b.clen))
+		footer = b.sum.append(footer)
+	}
+	if _, err := pw.bw.Write(footer); err != nil {
+		pw.f.Close()
+		os.Remove(pw.tmpPath)
+		return err
+	}
+	var trailer [8]byte
+	binary.LittleEndian.PutUint32(trailer[:4], uint32(len(footer)))
+	copy(trailer[4:], footerMagic)
+	if _, err := pw.bw.Write(trailer[:]); err != nil {
+		pw.f.Close()
+		os.Remove(pw.tmpPath)
+		return err
+	}
+	if err := pw.bw.Flush(); err != nil {
+		pw.f.Close()
+		os.Remove(pw.tmpPath)
+		return err
+	}
+	if err := pw.f.Close(); err != nil {
+		os.Remove(pw.tmpPath)
+		return err
+	}
+	w.stats.Bytes += pw.off + int64(len(footer)) + 8
+	if err := os.Rename(pw.tmpPath, pw.path); err != nil {
+		os.Remove(pw.tmpPath)
+		return err
+	}
+	w.sealed = append(w.sealed, pw.path)
+	return nil
+}
+
+// Abort discards everything this writer wrote — open partitions and
+// already-sealed ones alike — leaving the store as it was before the
+// writer was opened. Use it instead of Close when an ingest fails
+// part-way: sealing the partial output would create a valid-looking
+// but incomplete store that later scans would silently trust.
+func (w *Writer) Abort() {
+	for k, pw := range w.active {
+		delete(w.active, k)
+		pw.f.Close()
+		os.Remove(pw.tmpPath)
+	}
+	for _, path := range w.sealed {
+		os.Remove(path)
+	}
+	w.sealed = nil
+}
+
+// Ingest is the one-shot convenience: open, drain src, close. A failed
+// ingest is rolled back (Abort), leaving the store unchanged. errCheck
+// hooks let deferred error reporters (the *errp of archive-backed
+// sources) veto the commit after the stream is drained.
+func Ingest(dir string, src stream.EventSource, errCheck ...func() error) (WriterStats, error) {
+	w, err := Open(dir)
+	if err != nil {
+		return WriterStats{}, err
+	}
+	if err := w.Ingest(src); err != nil {
+		w.Abort()
+		return w.Stats(), err
+	}
+	for _, check := range errCheck {
+		if err := check(); err != nil {
+			w.Abort()
+			return w.Stats(), err
+		}
+	}
+	if err := w.Close(); err != nil {
+		w.Abort()
+		return w.Stats(), err
+	}
+	return w.Stats(), nil
+}

@@ -7,9 +7,11 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/classify"
 	"repro/internal/mrt"
+	"repro/internal/registry"
 	"repro/internal/stream"
 )
 
@@ -73,6 +75,25 @@ func FileSource(norm *Normalizer, collector, path string, errp *error) stream.Ev
 func CollectorName(path string) string {
 	name := strings.TrimSuffix(filepath.Base(path), ".mrt")
 	return strings.TrimSuffix(name, ".updates")
+}
+
+// ArchiveSource opens dir's MRT archives behind one concatenated source
+// running through a fresh normalizer seeded with the standard synthetic
+// registry (allocations backdated to 2009) — the default §4
+// configuration shared by the cmd tools. routeServers (may be nil)
+// configures the route-server ASN fixup. Archive errors surface through
+// check, which reports the first one once the source has been drained;
+// the normalizer is returned for Stats inspection. Like all archive
+// sources, the result is single-use.
+func ArchiveSource(dir string, routeServers map[uint32]bool) (src stream.EventSource, norm *Normalizer, check func() error, err error) {
+	norm = NewNormalizer(registry.Synthetic(time.Date(2009, 1, 1, 0, 0, 0, 0, time.UTC)))
+	norm.RouteServers = routeServers
+	errp := new(error)
+	_, sources, err := DirSources(norm, dir, errp)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return stream.Concat(sources...), norm, func() error { return *errp }, nil
 }
 
 // DirSources returns one lazily opened FileSource per "*.mrt" archive in

@@ -74,6 +74,41 @@ func Window(src EventSource, from, to time.Time) EventSource {
 	})
 }
 
+// Take yields at most n events from src; early exit propagates back to
+// the producer, so a Take over an expensive source (an archive read, a
+// store scan) stops generating as soon as the quota is reached.
+func Take(src EventSource, n int) EventSource {
+	return func(yield func(classify.Event) bool) {
+		if n <= 0 {
+			return
+		}
+		left := n
+		for e := range src {
+			if !yield(e) {
+				return
+			}
+			left--
+			if left == 0 {
+				return
+			}
+		}
+	}
+}
+
+// Tee invokes fn on every event flowing through and yields the stream
+// unchanged — progress counters and probes without a second pass. fn
+// runs before the event is yielded downstream.
+func Tee(src EventSource, fn func(classify.Event)) EventSource {
+	return func(yield func(classify.Event) bool) {
+		for e := range src {
+			fn(e)
+			if !yield(e) {
+				return
+			}
+		}
+	}
+}
+
 // Concat yields each source in turn, exhausting one before starting the
 // next. The result is ordered per input source but not globally
 // time-ordered; it suits session-local analyses (classification state is

@@ -80,6 +80,58 @@ func TestConcatOrderAndEarlyExit(t *testing.T) {
 	}
 }
 
+func TestTake(t *testing.T) {
+	evs := mkEvents("rrc00", 1, 2, 3, 4, 5)
+	got := stream.Collect(stream.Take(stream.FromSlice(evs), 3))
+	if len(got) != 3 || got[2].Time.Second() != 3 {
+		t.Errorf("Take(3): %v", got)
+	}
+	// Quota beyond the source length drains it; zero takes nothing.
+	if n := stream.Count(stream.Take(stream.FromSlice(evs), 10)); n != 5 {
+		t.Errorf("Take(10) yielded %d", n)
+	}
+	if n := stream.Count(stream.Take(stream.FromSlice(evs), 0)); n != 0 {
+		t.Errorf("Take(0) yielded %d", n)
+	}
+	// Reaching the quota stops the producer rather than draining it.
+	produced := 0
+	counting := func(yield func(classify.Event) bool) {
+		for _, e := range evs {
+			produced++
+			if !yield(e) {
+				return
+			}
+		}
+	}
+	if n := stream.Count(stream.Take(counting, 2)); n != 2 {
+		t.Fatalf("Take(2) yielded %d", n)
+	}
+	if produced != 2 {
+		t.Errorf("producer generated %d events past the quota", produced)
+	}
+}
+
+func TestTee(t *testing.T) {
+	evs := mkEvents("rrc00", 1, 2, 3)
+	seen := 0
+	got := stream.Collect(stream.Tee(stream.FromSlice(evs), func(classify.Event) { seen++ }))
+	if !reflect.DeepEqual(got, evs) {
+		t.Errorf("Tee altered the stream: %v", got)
+	}
+	if seen != 3 {
+		t.Errorf("Tee observed %d of 3 events", seen)
+	}
+	// fn sees events even when the consumer stops early, but only the
+	// ones that flowed.
+	seen = 0
+	for range stream.Tee(stream.FromSlice(evs), func(classify.Event) { seen++ }) {
+		break
+	}
+	if seen != 1 {
+		t.Errorf("Tee observed %d events after early exit", seen)
+	}
+}
+
 // TestMergeMatchesMergeEvents is the streaming/slice equivalence property:
 // on random seeded inputs, stream.Merge must produce byte-identical output
 // to the materialized pipeline.MergeEvents.

@@ -51,6 +51,23 @@ func (c DayConfig) InWindow(e classify.Event) bool {
 	return inDay(c.Day, e)
 }
 
+// MultiDayWindow returns the half-open [Day, Day+days*24h) counting
+// window of a MultiDaySource range — the multi-day extension of the
+// single-day convention, kept here so the analyses and tools never
+// hand-roll the boundary.
+func (c DayConfig) MultiDayWindow(days int) (from, to time.Time) {
+	return c.Day, c.Day.Add(time.Duration(days) * 24 * time.Hour)
+}
+
+// MultiDayInWindow returns the counting-window predicate for a days-long
+// range, the multi-day analogue of InWindow.
+func (c DayConfig) MultiDayInWindow(days int) func(classify.Event) bool {
+	from, to := c.MultiDayWindow(days)
+	return func(e classify.Event) bool {
+		return !e.Time.Before(from) && e.Time.Before(to)
+	}
+}
+
 // normalizedMenu returns cumulative menu thresholds.
 func (c DayConfig) normalizedMenu() [5]float64 {
 	w := [5]float64{c.PFlap, c.PComm, c.PDup, c.PPrepend, c.PWithdrawCycle}
