@@ -22,6 +22,7 @@ import (
 	"repro/internal/registry"
 	"repro/internal/router"
 	"repro/internal/session"
+	"repro/internal/simnet"
 	"repro/internal/stream"
 	"repro/internal/workload"
 )
@@ -423,7 +424,7 @@ func BenchmarkAblationMRAI(b *testing.B) {
 		a.Originate(p, bgp.Communities{bgp.NewCommunity(65001, 1)})
 		n.Run()
 		n.Engine.RunUntil(n.Engine.Now().Add(time.Minute))
-		n.ClearTrace()
+		n.EnableTrace()
 		for i := uint16(2); i <= 6; i++ {
 			a.Originate(p, bgp.Communities{bgp.NewCommunity(65001, i)})
 			n.Engine.RunUntil(n.Engine.Now().Add(2 * time.Second))
@@ -509,6 +510,7 @@ func BenchmarkAblationDampening(b *testing.B) {
 		n.Connect(m, c, router.SessionConfig{
 			AAddr: netip.MustParseAddr("10.0.2.2"), BAddr: netip.MustParseAddr("10.0.2.3"),
 		})
+		n.EnableTrace()
 		p := netip.MustParsePrefix("192.0.2.0/24")
 		for i := 0; i < 8; i++ {
 			a.Originate(p, nil)
@@ -744,4 +746,63 @@ func BenchmarkMultiDayStream(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(counts.Announcements()), "announcements")
+}
+
+// BenchmarkSweepSequential and BenchmarkSweepParallel run the default
+// scenario matrix back to back vs concurrently (one goroutine per
+// scenario engine). Engines share nothing, so the parallel/sequential
+// ratio approaches min(cores, scenarios) on multi-core machines; on a
+// single core the two coincide.
+func benchmarkSweep(b *testing.B, parallel bool) {
+	matrix := simnet.DefaultMatrix(benchDay, 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events int
+	for i := 0; i < b.N; i++ {
+		var results []*simnet.Result
+		if parallel {
+			results = simnet.Sweep(matrix, 0)
+		} else {
+			results = simnet.SweepSequential(matrix)
+		}
+		events = 0
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+			events += r.Capture.Events()
+		}
+	}
+	b.ReportMetric(float64(len(matrix)), "scenarios/op")
+	b.ReportMetric(float64(events), "events/op")
+}
+
+func BenchmarkSweepSequential(b *testing.B) { benchmarkSweep(b, false) }
+func BenchmarkSweepParallel(b *testing.B)   { benchmarkSweep(b, true) }
+
+// BenchmarkSweepStoreRoundTrip measures the simulate → ingest → scan →
+// classify loop for one Internet churn scenario — the path simsweep
+// -store exercises per matrix cell.
+func BenchmarkSweepStoreRoundTrip(b *testing.B) {
+	s := simnet.Scenario{Topology: simnet.TopoInternet, Policy: simnet.PolicyMixed,
+		Vendor: router.CiscoIOS, Workload: simnet.WorkChurn, Hours: 12, Start: benchDay}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := simnet.Run(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dir := b.TempDir()
+		if _, err := evstore.Ingest(dir, res.Capture.Source()); err != nil {
+			b.Fatal(err)
+		}
+		var scanErr error
+		counts := stream.Classify(evstore.Scan(dir, evstore.Query{}, &scanErr), nil)
+		if scanErr != nil {
+			b.Fatal(scanErr)
+		}
+		if counts != res.Counts {
+			b.Fatalf("round-trip counts diverged: %+v != %+v", counts, res.Counts)
+		}
+	}
 }

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/classify"
+	"repro/internal/evstore"
 	"repro/internal/router"
 	"repro/internal/simstudy"
 	"repro/internal/textplot"
@@ -28,6 +29,7 @@ func main() {
 	beacons := flag.Int("beacons", 1, "number of beacon prefixes")
 	stubs := flag.Int("stubs", 8, "stub ASes in the topology")
 	noGeo := flag.Bool("no-geo", false, "disable geo tagging (ablation)")
+	storeDir := flag.String("store", "", "ingest the simulated day into this columnar store directory")
 	flag.Parse()
 
 	var behavior *router.Behavior
@@ -66,6 +68,16 @@ func main() {
 			fmt.Sprintf("%.1f%%", 100*res.Counts.Share(ty))})
 	}
 	fmt.Print(textplot.Table([]string{"type", "count", "share"}, rows))
+
+	if *storeDir != "" {
+		stats, err := evstore.Ingest(*storeDir, res.Source())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simbeacon: store ingest: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ningested into %s: %d events, %d blocks, %d partition(s), %d bytes\n",
+			*storeDir, stats.Events, stats.Blocks, stats.Partitions, stats.Bytes)
+	}
 
 	fmt.Println("\nrevealed community attributes (protocol-level Figure 6):")
 	fmt.Printf("  total %d — withdrawal-only %d (%.0f%%), announcement-only %d (%.0f%%), ambiguous %d\n",

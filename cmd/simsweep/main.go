@@ -1,0 +1,160 @@
+// Command simsweep runs a matrix of protocol-level simulator scenarios —
+// topology shape × community-hygiene policy × vendor profile × timers ×
+// workload — in parallel, one single-threaded engine per scenario, and
+// prints a per-scenario Table-2-style grid of what each context's
+// collector would report. Every capture is a set of per-(collector, peer)
+// event sources, so scenarios can be ingested into the columnar store as
+// their own collector-days (-store) or cross-checked against the
+// materialized-trace and store-scan paths (-check).
+//
+// Usage:
+//
+//	simsweep [-hours 24] [-parallel N] [-seq] [-store DIR] [-check]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/evstore"
+	"repro/internal/router"
+	"repro/internal/simnet"
+	"repro/internal/stream"
+	"repro/internal/textplot"
+)
+
+func main() {
+	hours := flag.Int("hours", 24, "simulated duration per scenario")
+	parallel := flag.Int("parallel", 0, "concurrent scenarios (0 = GOMAXPROCS)")
+	seq := flag.Bool("seq", false, "also run the matrix sequentially and report the speedup")
+	storeDir := flag.String("store", "", "ingest every scenario as its own collector-day into this store")
+	check := flag.Bool("check", false, "verify streaming, materialized, and store round-trip paths classify identically")
+	flag.Parse()
+
+	day := time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC)
+	matrix := simnet.DefaultMatrix(day, *hours)
+
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	t0 := time.Now()
+	results := simnet.Sweep(matrix, workers)
+	parElapsed := time.Since(t0)
+
+	var rows [][]string
+	var engineTime time.Duration
+	failed := false
+	for _, r := range results {
+		if r.Err != nil {
+			failed = true
+			rows = append(rows, []string{r.Scenario.Name, "ERROR", r.Err.Error(), "", "", "", "", "", "", ""})
+			continue
+		}
+		engineTime += r.Elapsed
+		row := []string{r.Scenario.Name, strconv.Itoa(r.Messages)}
+		for _, ty := range classify.Types() {
+			row = append(row, strconv.Itoa(r.Counts.Of(ty)))
+		}
+		row = append(row, strconv.Itoa(r.Counts.Withdrawals),
+			fmt.Sprintf("%.0f%%", 100*r.Counts.NoPathChangeShare()))
+		rows = append(rows, row)
+	}
+	fmt.Printf("scenario matrix: %d scenarios × %dh, %d workers\n\n", len(matrix), *hours, workers)
+	fmt.Print(textplot.Table(
+		[]string{"scenario", "msgs", "pc", "pn", "nc", "nn", "xc", "xn", "wdr", "nc+nn"}, rows))
+	fmt.Printf("\nwall clock %v parallel (scenario engine time summed: %v)\n",
+		parElapsed.Round(time.Millisecond), engineTime.Round(time.Millisecond))
+
+	if *seq {
+		t1 := time.Now()
+		simnet.SweepSequential(matrix)
+		seqElapsed := time.Since(t1)
+		fmt.Printf("sequential rerun: %v — parallel speedup %.1fx\n",
+			seqElapsed.Round(time.Millisecond), float64(seqElapsed)/float64(parElapsed))
+	}
+
+	if *storeDir != "" {
+		var total evstore.WriterStats
+		for _, r := range results {
+			if r.Err != nil {
+				continue
+			}
+			stats, err := evstore.Ingest(*storeDir, r.Capture.Source())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "simsweep: ingest %s: %v\n", r.Scenario.Name, err)
+				os.Exit(1)
+			}
+			total.Events += stats.Events
+			total.Blocks += stats.Blocks
+			total.Partitions += stats.Partitions
+			total.Bytes += stats.Bytes
+		}
+		fmt.Printf("ingested into %s: %d events, %d blocks, %d partitions, %d bytes\n",
+			*storeDir, total.Events, total.Blocks, total.Partitions, total.Bytes)
+	}
+
+	if *check {
+		if err := verifyPaths(matrix, results); err != nil {
+			fmt.Fprintf(os.Stderr, "simsweep: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("check: streaming, materialized, and store round-trip paths classify identically")
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// verifyPaths confirms all three analysis paths agree for every
+// scenario: the streaming capture (reference counts from the sweep that
+// already ran), the materialized trace replayed through normalization
+// (which requires one observed re-run per scenario — engines are
+// deterministic, so the rerun reproduces the sweep's day exactly), and
+// a store ingest-then-scan round trip off the sweep's own captures.
+func verifyPaths(matrix []simnet.Scenario, results []*simnet.Result) error {
+	dir, err := os.MkdirTemp("", "simsweep-check-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	for i, s := range matrix {
+		ref := results[i]
+		if ref.Err != nil {
+			return ref.Err
+		}
+		buf := router.NewTraceBuffer()
+		res, err := simnet.RunObserved(s, buf)
+		if err != nil {
+			return err
+		}
+		if res.Counts != ref.Counts {
+			return fmt.Errorf("%s: rerun counts %+v != sweep counts %+v (determinism broken)",
+				ref.Scenario.Name, res.Counts, ref.Counts)
+		}
+		replayed := stream.Classify(res.Capture.ReplayTrace(buf.Messages()).Source(), nil)
+		if replayed != ref.Counts {
+			return fmt.Errorf("%s: materialized-trace counts %+v != streaming %+v",
+				ref.Scenario.Name, replayed, ref.Counts)
+		}
+		if _, err := evstore.Ingest(dir, ref.Capture.Source()); err != nil {
+			return fmt.Errorf("%s: ingest: %w", ref.Scenario.Name, err)
+		}
+		var scanErr error
+		scanned := stream.Classify(
+			evstore.Scan(dir, evstore.Query{Collectors: []string{ref.Scenario.Name}}, &scanErr), nil)
+		if scanErr != nil {
+			return fmt.Errorf("%s: scan: %w", ref.Scenario.Name, scanErr)
+		}
+		if scanned != ref.Counts {
+			return fmt.Errorf("%s: store round-trip counts %+v != streaming %+v",
+				ref.Scenario.Name, scanned, ref.Counts)
+		}
+	}
+	return nil
+}

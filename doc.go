@@ -2,8 +2,10 @@
 // Routing Message Impact of BGP Communities" (Krenc, Beverly, Smaragdakis —
 // CoNEXT 2020) as a Go library: a BGP-4 wire codec, an MRT archive codec,
 // a vendor-faithful BGP speaker simulator, the paper's lab experiments,
-// synthetic collector workloads, a columnar event store for
-// ingest-once/analyze-many measurement (internal/evstore), and the
+// synthetic collector workloads, a scenario-sweep engine that runs whole
+// matrices of simulated collector days in parallel (internal/simnet over
+// internal/topo's line/star/lab/Internet shapes), a columnar event store
+// for ingest-once/analyze-many measurement (internal/evstore), and the
 // analyses behind every table and figure. See README.md for the layout
 // and EXPERIMENTS.md for paper-versus-measured results; bench_test.go
 // regenerates each table and figure.

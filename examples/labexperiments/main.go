@@ -9,9 +9,12 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
+	"repro/internal/classify"
 	"repro/internal/labexp"
 	"repro/internal/router"
+	"repro/internal/simnet"
 )
 
 func main() {
@@ -50,4 +53,36 @@ func main() {
 	fmt.Println("Summary (paper §3): all tested implementations except Junos send")
 	fmt.Println("updates with no visible change by default; a community change alone")
 	fmt.Println("propagates transitively; only ingress cleaning stops the cascade.")
+
+	// The same four policy contexts, rerun as streaming collector days:
+	// each experiment becomes a simnet scenario whose collector feed is
+	// classified through the standard pipeline — link flaps every 15
+	// minutes for six hours instead of a single failure.
+	fmt.Println("\nAs streaming collector days (6h of Y1–Y2 churn, classified):")
+	policies := map[labexp.Experiment]simnet.PolicyMode{
+		labexp.Exp1: simnet.PolicyPropagate,
+		labexp.Exp2: simnet.PolicyTagOnly,
+		labexp.Exp3: simnet.PolicyCleanEgress,
+		labexp.Exp4: simnet.PolicyCleanIngress,
+	}
+	for _, exp := range []labexp.Experiment{labexp.Exp1, labexp.Exp2, labexp.Exp3, labexp.Exp4} {
+		res, err := simnet.Run(simnet.Scenario{
+			Topology: simnet.TopoLab,
+			Policy:   policies[exp],
+			Vendor:   router.CiscoIOS,
+			Workload: simnet.WorkChurn,
+			Hours:    6,
+			Start:    time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %v (%s): %d messages —", exp, policies[exp], res.Messages)
+		for _, ty := range classify.Types() {
+			if n := res.Counts.Of(ty); n > 0 {
+				fmt.Printf(" %s=%d", ty, n)
+			}
+		}
+		fmt.Printf(" withdrawals=%d\n", res.Counts.Withdrawals)
+	}
 }

@@ -124,16 +124,23 @@ type Beacon struct {
 	OriginAS  uint32
 }
 
+// PrefixN returns the i-th RIS beacon prefix, 84.205.(64+i).0/24 — the
+// single definition the simulators' beacon origins share with the
+// analyses.
+func PrefixN(i int) netip.Prefix {
+	addr := netip.AddrFrom4([4]byte{84, 205, byte(64 + i), 0})
+	p, _ := addr.Prefix(24)
+	return p
+}
+
 // RIPEBeacons returns the 15 IPv4 beacon prefixes the paper selects
 // (84.205.64.0/24 … 84.205.78.0/24, one per rrc collector), all originated
 // by RIPE's AS12654 (the RIS beacon AS).
 func RIPEBeacons() []Beacon {
 	out := make([]Beacon, 0, 15)
 	for i := 0; i < 15; i++ {
-		addr := netip.AddrFrom4([4]byte{84, 205, byte(64 + i), 0})
-		p, _ := addr.Prefix(24)
 		out = append(out, Beacon{
-			Prefix:    p,
+			Prefix:    PrefixN(i),
 			Collector: fmt.Sprintf("rrc%02d", i),
 			OriginAS:  12654,
 		})

@@ -85,6 +85,12 @@ type Communities []Community
 // input (the common case on the classification hot path: generators and
 // the pipeline canonicalize once at the edge) is returned as-is without
 // copying; otherwise a canonical copy is built.
+//
+// Contract: the result MAY ALIAS the input slice, so callers must treat
+// it as immutable — appending to it, sorting it, or writing elements can
+// corrupt attribute state shared with whoever owns the input (RIB
+// routes, Adj-RIB-Out records, classifier state). Call Clone() on the
+// result wherever it escapes into state that is later mutated.
 func (cs Communities) Canonical() Communities {
 	if len(cs) == 0 {
 		return nil
@@ -238,10 +244,24 @@ func (lc LargeCommunity) Less(other LargeCommunity) bool {
 // with duplicates removed.
 type LargeCommunities []LargeCommunity
 
-// Canonical returns a sorted, de-duplicated copy.
+// Canonical returns ls in sorted, de-duplicated form, under the same
+// contract as Communities.Canonical: already-canonical input is returned
+// as-is (the result may alias the input), so callers must treat the
+// result as immutable and Clone() it wherever it escapes into mutable
+// state.
 func (ls LargeCommunities) Canonical() LargeCommunities {
 	if len(ls) == 0 {
 		return nil
+	}
+	canonical := true
+	for i := 1; i < len(ls); i++ {
+		if !ls[i-1].Less(ls[i]) {
+			canonical = false
+			break
+		}
+	}
+	if canonical {
+		return ls
 	}
 	out := make(LargeCommunities, len(ls))
 	copy(out, ls)

@@ -269,3 +269,46 @@ func TestLargeCommunityLessTotalOrder(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestCommunitiesCanonicalAliasingContract(t *testing.T) {
+	// Canonical documents that already-canonical input is returned as-is,
+	// ALIASING the input — the result must be treated as immutable. Pin
+	// the aliasing (so the doc stays honest) and that Clone decouples.
+	cs := Communities{1, 3, 5}
+	got := cs.Canonical()
+	if &got[0] != &cs[0] {
+		t.Error("Canonical on canonical input should alias (doc contract changed?)")
+	}
+	cl := got.Clone()
+	if &cl[0] == &cs[0] {
+		t.Error("Clone did not copy")
+	}
+	cl[0] = 99
+	if cs[0] != 1 {
+		t.Error("mutating the Clone reached the original")
+	}
+	// Non-canonical input yields a fresh slice: safe to mutate.
+	messy := Communities{5, 3, 5, 1}
+	fresh := messy.Canonical()
+	fresh[0] = 77
+	if messy[0] != 5 || messy[3] != 1 {
+		t.Errorf("Canonical of messy input aliased it: %v", messy)
+	}
+}
+
+func TestLargeCommunitiesCanonicalAliasingContract(t *testing.T) {
+	ls := LargeCommunities{{1, 1, 1}, {2, 2, 2}}
+	got := ls.Canonical()
+	if &got[0] != &ls[0] {
+		t.Error("Canonical on canonical input should alias, matching Communities")
+	}
+	messy := LargeCommunities{{2, 2, 2}, {1, 1, 1}, {2, 2, 2}}
+	fresh := messy.Canonical()
+	if len(fresh) != 2 || !fresh[0].Less(fresh[1]) {
+		t.Errorf("Canonical(%v) = %v, want sorted unique", messy, fresh)
+	}
+	fresh[0] = LargeCommunity{9, 9, 9}
+	if messy[1] != (LargeCommunity{1, 1, 1}) {
+		t.Errorf("Canonical of messy input aliased it: %v", messy)
+	}
+}

@@ -138,7 +138,10 @@ func (c *Classifier) Observe(e Event) (Result, bool) {
 		return Result{}, false
 	}
 	cur := prevState{
-		path:   e.ASPath,
+		path: e.ASPath,
+		// Canonical may alias the event's slice; classifier state is
+		// private and only ever compared, never mutated, so the aliasing
+		// contract holds without a copy on this hot path.
 		comms:  e.Communities.Canonical(),
 		hasMED: e.HasMED,
 		med:    e.MED,

@@ -63,28 +63,41 @@ func (r Result) CollectorCommunities() []bgp.Communities {
 	var out []bgp.Communities
 	for _, m := range r.X1toC1 {
 		if !m.Withdraw {
-			out = append(out, m.Update.Attrs.Communities.Canonical())
+			// Canonical may alias the captured update's attrs, which the
+			// sender's Adj-RIB-Out still holds; Clone so callers may sort
+			// or append freely.
+			out = append(out, m.Update.Attrs.Communities.Canonical().Clone())
 		}
 	}
 	return out
 }
 
 // Run executes one experiment with one vendor profile: build the converged
-// topology, fail Y1–Y2, and capture the induced messages.
+// topology, fail Y1–Y2, and capture the induced messages. Only the two
+// observation points the paper instruments are recorded — the builder's
+// full-trace buffer is replaced by filtered sinks, so nothing else is
+// retained.
 func Run(e Experiment, b router.Behavior) (Result, error) {
 	start := time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC)
 	lab, err := topo.BuildLab(start, e.Config(b))
 	if err != nil {
 		return Result{}, fmt.Errorf("labexp: build: %w", err)
 	}
+	link := func(from, to string, buf *router.TraceBuffer) router.Sink {
+		return router.FilterSink(func(m router.TracedMessage) bool {
+			return m.From == from && m.To == to
+		}, buf)
+	}
+	y1x1, x1c1 := router.NewTraceBuffer(), router.NewTraceBuffer()
+	lab.Net.SetSink(router.MultiSink(link("Y1", "X1", y1x1), link("X1", "C1", x1c1)))
 	if err := lab.FailY1Y2(); err != nil {
 		return Result{}, fmt.Errorf("labexp: fail link: %w", err)
 	}
 	return Result{
 		Experiment: e,
 		Behavior:   b,
-		Y1toX1:     lab.Net.TraceBetween("Y1", "X1"),
-		X1toC1:     lab.Net.TraceBetween("X1", "C1"),
+		Y1toX1:     y1x1.Messages(),
+		X1toC1:     x1c1.Messages(),
 	}, nil
 }
 

@@ -58,12 +58,16 @@ type Peer struct {
 	// must observe every flap).
 	Dampening *dampening.Config
 
-	adjIn        *rib.AdjIn
-	adjOut       *rib.AdjOut
-	up           bool
-	delay        time.Duration
-	lastAdv      map[netip.Prefix]time.Time
-	pendingFlush map[netip.Prefix]bool
+	adjIn   *rib.AdjIn
+	adjOut  *rib.AdjOut
+	up      bool
+	delay   time.Duration
+	lastAdv map[netip.Prefix]time.Time
+	// pendingFlush maps a deferred prefix to its scheduled flush instant.
+	// The scheduled closure only acts when its own expiry is still the
+	// recorded one, so flushes cancelled by a session reset (or
+	// superseded after re-establishment) can never fire stale.
+	pendingFlush map[netip.Prefix]time.Time
 	dampeners    map[netip.Prefix]*dampening.Dampener
 	held         map[netip.Prefix]*rib.Route
 }
@@ -74,13 +78,16 @@ func (p *Peer) Up() bool { return p.up }
 // AdjInLen exposes the number of routes held from this peer (for tests).
 func (p *Peer) AdjInLen() int { return p.adjIn.Len() }
 
-// Network owns the simulated routers, their sessions, and the message
-// trace.
+// Network owns the simulated routers, their sessions, and the installed
+// message sink. Message observation is off by default: nothing is
+// retained unless a Sink is installed, so long or large runs do not grow
+// memory with traffic (the full-trace behaviour of early versions is
+// available as TraceBuffer).
 type Network struct {
 	Engine *netsim.Engine
 
 	routers map[string]*Router
-	trace   []TracedMessage
+	sink    Sink
 	// Delay is the default propagation delay applied to new sessions.
 	Delay time.Duration
 }
@@ -124,23 +131,53 @@ func (n *Network) AddRouter(name string, as uint32, id netip.Addr, b Behavior) *
 // Router returns a registered router by name, or nil.
 func (n *Network) Router(name string) *Router { return n.routers[name] }
 
-// Trace returns all messages captured so far, in delivery order.
-func (n *Network) Trace() []TracedMessage { return n.trace }
+// SetSink installs the message sink (nil turns observation off). The
+// sink sees every message from the next delivery on; already-recorded
+// state in a previous sink is untouched.
+func (n *Network) SetSink(s Sink) { n.sink = s }
 
-// ClearTrace discards captured messages; experiments call this after
-// convergence so only event-induced messages are counted.
-func (n *Network) ClearTrace() { n.trace = nil }
-
-// TraceBetween filters the trace to messages sent from one router to
-// another.
-func (n *Network) TraceBetween(from, to string) []TracedMessage {
-	var out []TracedMessage
-	for _, m := range n.trace {
-		if m.From == from && m.To == to {
-			out = append(out, m)
-		}
+// EnableTrace installs (or returns the already-installed) full
+// TraceBuffer sink, restoring the classic capture-everything behaviour.
+func (n *Network) EnableTrace() *TraceBuffer {
+	if b, ok := n.sink.(*TraceBuffer); ok {
+		return b
 	}
-	return out
+	b := NewTraceBuffer()
+	n.sink = b
+	return b
+}
+
+// traceBuffer returns the installed TraceBuffer, or nil when none (or a
+// different sink) is installed.
+func (n *Network) traceBuffer() *TraceBuffer {
+	b, _ := n.sink.(*TraceBuffer)
+	return b
+}
+
+// Trace returns all messages captured by the installed TraceBuffer, in
+// delivery order; nil when no TraceBuffer is installed.
+func (n *Network) Trace() []TracedMessage {
+	if b := n.traceBuffer(); b != nil {
+		return b.Messages()
+	}
+	return nil
+}
+
+// ClearTrace discards the installed TraceBuffer's messages; experiments
+// call this after convergence so only event-induced messages are counted.
+func (n *Network) ClearTrace() {
+	if b := n.traceBuffer(); b != nil {
+		b.Clear()
+	}
+}
+
+// TraceBetween filters the installed TraceBuffer to messages sent from
+// one router to another.
+func (n *Network) TraceBetween(from, to string) []TracedMessage {
+	if b := n.traceBuffer(); b != nil {
+		return b.Between(from, to)
+	}
+	return nil
 }
 
 // SessionConfig parameterizes Connect.
@@ -170,7 +207,7 @@ func (n *Network) Connect(a, b *Router, cfg SessionConfig) (*Peer, *Peer) {
 		IBGP: ibgp, Import: cfg.AImport, Export: cfg.AExport,
 		NextHopSelf: cfg.ANextHopSelf, MRAI: cfg.AMRAI, Dampening: cfg.ADampening,
 		adjIn: rib.NewAdjIn(), adjOut: rib.NewAdjOut(), up: true, delay: cfg.Delay,
-		lastAdv: make(map[netip.Prefix]time.Time), pendingFlush: make(map[netip.Prefix]bool),
+		lastAdv: make(map[netip.Prefix]time.Time), pendingFlush: make(map[netip.Prefix]time.Time),
 		dampeners: make(map[netip.Prefix]*dampening.Dampener), held: make(map[netip.Prefix]*rib.Route),
 	}
 	pb := &Peer{
@@ -178,7 +215,7 @@ func (n *Network) Connect(a, b *Router, cfg SessionConfig) (*Peer, *Peer) {
 		IBGP: ibgp, Import: cfg.BImport, Export: cfg.BExport,
 		NextHopSelf: cfg.BNextHopSelf, MRAI: cfg.BMRAI, Dampening: cfg.BDampening,
 		adjIn: rib.NewAdjIn(), adjOut: rib.NewAdjOut(), up: true, delay: cfg.Delay,
-		lastAdv: make(map[netip.Prefix]time.Time), pendingFlush: make(map[netip.Prefix]bool),
+		lastAdv: make(map[netip.Prefix]time.Time), pendingFlush: make(map[netip.Prefix]time.Time),
 		dampeners: make(map[netip.Prefix]*dampening.Dampener), held: make(map[netip.Prefix]*rib.Route),
 	}
 	pa.Remote, pb.Remote = pb, pa
@@ -227,6 +264,14 @@ func (n *Network) SetSession(aName, bName string, up bool) error {
 		for _, p := range pb.adjOut.Prefixes() {
 			pb.adjOut.RemoveRecord(p)
 		}
+		// MRAI state dies with the session: a pending deferred flush must
+		// not fire a stale (re-)advertisement after re-establishment, and
+		// the re-established session's initial table exchange must not be
+		// rate-limited by pre-reset advertisement times.
+		clear(pa.pendingFlush)
+		clear(pb.pendingFlush)
+		clear(pa.lastAdv)
+		clear(pb.lastAdv)
 		for _, p := range affectedA {
 			pa.Router.recompute(p)
 		}
@@ -251,8 +296,10 @@ func (r *Router) Originate(prefix netip.Prefix, communities bgp.Communities) {
 	route := &rib.Route{
 		Prefix: prefix,
 		Attrs: bgp.PathAttrs{
-			Origin:      bgp.OriginIGP,
-			Communities: communities.Canonical(),
+			Origin: bgp.OriginIGP,
+			// Canonical may alias the caller's slice; the route lives on
+			// in the RIB, so decouple it from later caller mutation.
+			Communities: communities.Canonical().Clone(),
 		},
 		Local:        true,
 		PeerRouterID: r.ID,
@@ -370,13 +417,14 @@ func (r *Router) exportPrefix(p *Peer, prefix netip.Prefix) {
 	if p.MRAI > 0 {
 		now := r.net.Engine.Now()
 		if last, ok := p.lastAdv[prefix]; ok && now.Sub(last) < p.MRAI {
-			if !p.pendingFlush[prefix] {
-				p.pendingFlush[prefix] = true
-				r.net.Engine.ScheduleAt(last.Add(p.MRAI), func() {
-					if !p.pendingFlush[prefix] {
-						return
+			if _, pending := p.pendingFlush[prefix]; !pending {
+				expiry := last.Add(p.MRAI)
+				p.pendingFlush[prefix] = expiry
+				r.net.Engine.ScheduleAt(expiry, func() {
+					if at, ok := p.pendingFlush[prefix]; !ok || !at.Equal(expiry) {
+						return // cancelled by a session reset, or superseded
 					}
-					p.pendingFlush[prefix] = false
+					delete(p.pendingFlush, prefix)
 					r.exportPrefix(p, prefix)
 				})
 			}
@@ -396,13 +444,15 @@ func (r *Router) send(p *Peer, u *bgp.Update) {
 		if !remote.up {
 			return // session died in flight
 		}
-		r.net.trace = append(r.net.trace, TracedMessage{
-			Time:     r.net.Engine.Now(),
-			From:     r.Name,
-			To:       remote.Router.Name,
-			Update:   u,
-			Withdraw: u.IsWithdrawOnly(),
-		})
+		if sink := r.net.sink; sink != nil {
+			sink.Record(TracedMessage{
+				Time:     r.net.Engine.Now(),
+				From:     r.Name,
+				To:       remote.Router.Name,
+				Update:   u,
+				Withdraw: u.IsWithdrawOnly(),
+			})
+		}
 		remote.Router.receive(remote, u)
 	})
 }

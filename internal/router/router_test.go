@@ -74,7 +74,7 @@ func TestWithdrawPropagation(t *testing.T) {
 		t.Error("withdrawal did not propagate")
 	}
 	// Re-withdrawing a missing prefix is a no-op.
-	n.ClearTrace()
+	n.EnableTrace()
 	a.WithdrawOriginated(p)
 	n.Run()
 	if len(n.Trace()) != 0 {
@@ -285,7 +285,7 @@ func TestDuplicateSuppressionUnit(t *testing.T) {
 		p := pfx("192.0.2.0/24")
 		origin.Originate(p, nil)
 		n.Run()
-		n.ClearTrace()
+		n.EnableTrace()
 		n.SetSession("B1", "B2", false)
 		n.Run()
 		return len(n.TraceBetween("B1", "C"))
@@ -300,6 +300,7 @@ func TestDuplicateSuppressionUnit(t *testing.T) {
 
 func TestTraceBetweenAndClear(t *testing.T) {
 	n, a, _ := pair(t, CiscoIOS, CiscoIOS, SessionConfig{})
+	n.EnableTrace()
 	a.Originate(pfx("192.0.2.0/24"), nil)
 	n.Run()
 	if len(n.TraceBetween("A", "B")) != 1 {
@@ -311,6 +312,55 @@ func TestTraceBetweenAndClear(t *testing.T) {
 	n.ClearTrace()
 	if len(n.Trace()) != 0 {
 		t.Error("ClearTrace left messages")
+	}
+}
+
+func TestTracingOffByDefault(t *testing.T) {
+	// No sink installed: messages are delivered but nothing is retained.
+	n, a, b := pair(t, CiscoIOS, CiscoIOS, SessionConfig{})
+	p := pfx("192.0.2.0/24")
+	a.Originate(p, nil)
+	n.Run()
+	if b.Best(p) == nil {
+		t.Fatal("route did not propagate without a sink")
+	}
+	if got := n.Trace(); got != nil {
+		t.Errorf("Trace() = %d messages without a sink, want none", len(got))
+	}
+	if got := n.TraceBetween("A", "B"); got != nil {
+		t.Errorf("TraceBetween = %d messages without a sink", len(got))
+	}
+	// Installing a sink mid-run captures from the next delivery on.
+	buf := n.EnableTrace()
+	a.Originate(p, bgp.Communities{bgp.NewCommunity(65001, 1)})
+	n.Run()
+	if len(buf.Messages()) != 1 {
+		t.Errorf("buffer saw %d messages after install, want 1", len(buf.Messages()))
+	}
+	if n.EnableTrace() != buf {
+		t.Error("EnableTrace replaced the already-installed buffer")
+	}
+}
+
+func TestFilterAndMultiSink(t *testing.T) {
+	n := NewNetwork(start)
+	a := n.AddRouter("A", 65001, addr("10.255.0.1"), CiscoIOS)
+	b := n.AddRouter("B", 65002, addr("10.255.0.2"), CiscoIOS)
+	c := n.AddRouter("C", 65003, addr("10.255.0.3"), CiscoIOS)
+	n.Connect(a, b, SessionConfig{AAddr: addr("10.0.1.1"), BAddr: addr("10.0.1.2")})
+	n.Connect(b, c, SessionConfig{AAddr: addr("10.0.2.2"), BAddr: addr("10.0.2.3")})
+	all := NewTraceBuffer()
+	bc := NewTraceBuffer()
+	n.SetSink(MultiSink(nil, all, FilterSink(func(m TracedMessage) bool {
+		return m.From == "B" && m.To == "C"
+	}, bc)))
+	a.Originate(pfx("192.0.2.0/24"), nil)
+	n.Run()
+	if len(all.Messages()) != 2 {
+		t.Errorf("full buffer = %d messages, want 2", len(all.Messages()))
+	}
+	if len(bc.Messages()) != 1 || bc.Messages()[0].From != "B" {
+		t.Errorf("filtered buffer = %+v, want exactly the B→C message", bc.Messages())
 	}
 }
 
@@ -413,7 +463,7 @@ func TestMRAICoalescesAnnouncements(t *testing.T) {
 	// Let the initial advertisement's MRAI interval lapse, then flip the
 	// communities three times in quick succession.
 	n.Engine.RunUntil(n.Engine.Now().Add(time.Minute))
-	n.ClearTrace()
+	n.EnableTrace()
 
 	for i := uint16(2); i <= 4; i++ {
 		a.Originate(p, bgp.Communities{bgp.NewCommunity(65001, i)})
@@ -483,6 +533,102 @@ func TestMRAIFlushAfterWithdrawReannounce(t *testing.T) {
 	}
 	if !best.Attrs.Communities.Contains(bgp.NewCommunity(65001, 2)) {
 		t.Errorf("B holds %v, want the re-announced 65001:2", best.Attrs.Communities)
+	}
+}
+
+func TestMRAIWithdrawDuringPendingFlush(t *testing.T) {
+	// Announce, change attributes inside the MRAI window (flush deferred),
+	// then withdraw for good. The withdrawal goes out immediately, and the
+	// deferred flush must NOT re-advertise anything when it expires.
+	n := NewNetwork(start)
+	a := n.AddRouter("A", 65001, addr("10.255.0.1"), CiscoIOS)
+	b := n.AddRouter("B", 65002, addr("10.255.0.2"), CiscoIOS)
+	n.Connect(a, b, SessionConfig{
+		AAddr: addr("10.0.1.1"), BAddr: addr("10.0.1.2"),
+		AMRAI: 30 * time.Second,
+	})
+	buf := n.EnableTrace()
+	p := pfx("192.0.2.0/24")
+	a.Originate(p, bgp.Communities{bgp.NewCommunity(65001, 1)})
+	n.Run()
+	a.Originate(p, bgp.Communities{bgp.NewCommunity(65001, 2)}) // deferred
+	n.Engine.RunUntil(n.Engine.Now().Add(time.Second))
+	a.WithdrawOriginated(p)
+	n.Run() // drains past the flush expiry
+	msgs := buf.Between("A", "B")
+	if len(msgs) != 2 {
+		t.Fatalf("A→B messages = %d, want announce + withdraw only", len(msgs))
+	}
+	if !msgs[len(msgs)-1].Withdraw {
+		t.Errorf("last message = %v, want the withdrawal", msgs[len(msgs)-1].Update)
+	}
+	if b.Best(p) != nil {
+		t.Error("B still holds the route")
+	}
+}
+
+func TestMRAISessionResetDuringPendingFlush(t *testing.T) {
+	// Reset the session while a flush is pending: the stale closure must
+	// not fire after re-establishment, the initial table exchange must not
+	// be rate-limited by pre-reset advertisement times, and no duplicate
+	// beyond the table exchange may appear.
+	n := NewNetwork(start)
+	a := n.AddRouter("A", 65001, addr("10.255.0.1"), CiscoIOS)
+	b := n.AddRouter("B", 65002, addr("10.255.0.2"), CiscoIOS)
+	n.Connect(a, b, SessionConfig{
+		AAddr: addr("10.0.1.1"), BAddr: addr("10.0.1.2"),
+		AMRAI: 30 * time.Second,
+	})
+	p := pfx("192.0.2.0/24")
+	a.Originate(p, bgp.Communities{bgp.NewCommunity(65001, 1)})
+	n.Run()
+	a.Originate(p, bgp.Communities{bgp.NewCommunity(65001, 2)}) // deferred
+	n.Engine.RunUntil(n.Engine.Now().Add(time.Second))
+	if err := n.SetSession("A", "B", false); err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	buf := n.EnableTrace()
+	if err := n.SetSession("A", "B", true); err != nil {
+		t.Fatal(err)
+	}
+	// Re-establishment resends the table immediately: lastAdv must have
+	// been cleared, or the exchange would be deferred ~29s.
+	n.Engine.RunUntil(n.Engine.Now().Add(5 * time.Second))
+	msgs := buf.Between("A", "B")
+	if len(msgs) != 1 {
+		t.Fatalf("A→B after re-establish = %d messages, want the immediate table exchange only", len(msgs))
+	}
+	if !msgs[0].Update.Attrs.Communities.Contains(bgp.NewCommunity(65001, 2)) {
+		t.Errorf("table exchange carries %v, want current state 65001:2",
+			msgs[0].Update.Attrs.Communities)
+	}
+	// Run past the stale flush expiry: nothing further may be sent.
+	n.Run()
+	n.Engine.RunUntil(n.Engine.Now().Add(2 * time.Minute))
+	if got := len(buf.Between("A", "B")); got != 1 {
+		t.Errorf("stale pending flush fired: %d messages total, want 1", got)
+	}
+}
+
+func TestOriginateDoesNotAliasCallerCommunities(t *testing.T) {
+	// Canonical() may return the caller's own slice; Originate must
+	// decouple the RIB from it so later caller mutation cannot corrupt
+	// routing state.
+	n, a, b := pair(t, CiscoIOS, CiscoIOS, SessionConfig{})
+	p := pfx("192.0.2.0/24")
+	comms := bgp.Communities{bgp.NewCommunity(65001, 1), bgp.NewCommunity(65001, 2)}
+	a.Originate(p, comms)
+	n.Run()
+	comms[0] = bgp.NewCommunity(65001, 999) // caller scribbles on its slice
+	best := a.Best(p)
+	if best == nil || !best.Attrs.Communities.Equal(bgp.Communities{
+		bgp.NewCommunity(65001, 1), bgp.NewCommunity(65001, 2),
+	}) {
+		t.Errorf("locRIB communities corrupted by caller mutation: %v", best.Attrs.Communities)
+	}
+	if got := b.Best(p); got == nil || got.Attrs.Communities.Contains(bgp.NewCommunity(65001, 999)) {
+		t.Errorf("peer saw mutated communities: %+v", got)
 	}
 }
 
@@ -557,6 +703,7 @@ func TestDampeningReducesDownstreamMessages(t *testing.T) {
 		}
 		n.Connect(a, b, scfg)
 		n.Connect(b, c, SessionConfig{AAddr: addr("10.0.2.2"), BAddr: addr("10.0.2.3")})
+		n.EnableTrace()
 		p := pfx("192.0.2.0/24")
 		// Flap faster than the penalty can decay; advance time in bounded
 		// steps so scheduled reuse events stay in the future.

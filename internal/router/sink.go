@@ -1,0 +1,89 @@
+package router
+
+// Sink receives every BGP message the instant it is delivered over a
+// session. Installing a sink (Network.SetSink) is what turns message
+// observation on; without one the network delivers messages without
+// retaining anything, so long or large simulations run in memory bounded
+// by routing state alone. A sink must not mutate the message: the Update
+// aliases attribute state shared with the sender's Adj-RIB-Out.
+type Sink interface {
+	Record(TracedMessage)
+}
+
+// TraceBuffer is the full-trace Sink: it retains every recorded message
+// in delivery order, providing the classic packet-capture view the lab
+// experiments inspect. Memory grows with every message — install it only
+// for runs whose full trace is actually wanted; scenario-scale runs
+// should use a bounded sink (e.g. simnet.Capture) instead.
+type TraceBuffer struct {
+	msgs []TracedMessage
+}
+
+// NewTraceBuffer returns an empty buffer.
+func NewTraceBuffer() *TraceBuffer { return &TraceBuffer{} }
+
+// Record appends the message.
+func (b *TraceBuffer) Record(m TracedMessage) { b.msgs = append(b.msgs, m) }
+
+// Messages returns everything captured so far, in delivery order.
+func (b *TraceBuffer) Messages() []TracedMessage { return b.msgs }
+
+// Clear discards captured messages; experiments call this after
+// convergence so only event-induced messages are counted.
+func (b *TraceBuffer) Clear() { b.msgs = nil }
+
+// Between filters the capture to messages sent from one router to
+// another.
+func (b *TraceBuffer) Between(from, to string) []TracedMessage {
+	var out []TracedMessage
+	for _, m := range b.msgs {
+		if m.From == from && m.To == to {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// multiSink fans each message out to several sinks in order.
+type multiSink []Sink
+
+func (s multiSink) Record(m TracedMessage) {
+	for _, sink := range s {
+		sink.Record(m)
+	}
+}
+
+// MultiSink combines sinks: every message is recorded by each in turn.
+// Nil entries are dropped; a single survivor is returned unwrapped.
+func MultiSink(sinks ...Sink) Sink {
+	var out multiSink
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 1 {
+		return out[0]
+	}
+	return out
+}
+
+// filterSink forwards only messages matching a predicate.
+type filterSink struct {
+	keep func(TracedMessage) bool
+	next Sink
+}
+
+func (f filterSink) Record(m TracedMessage) {
+	if f.keep(m) {
+		f.next.Record(m)
+	}
+}
+
+// FilterSink forwards only the messages for which keep returns true —
+// the observation points of an experiment, rather than every link. A
+// TraceBuffer behind a FilterSink keeps memory proportional to the
+// observed links only.
+func FilterSink(keep func(TracedMessage) bool, next Sink) Sink {
+	return filterSink{keep: keep, next: next}
+}

@@ -1,0 +1,94 @@
+package simnet
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/dampening"
+	"repro/internal/router"
+)
+
+// Sweep executes every scenario, up to workers at a time (workers <= 0
+// uses GOMAXPROCS). Engines are single-threaded and share nothing, so
+// scenarios are embarrassingly parallel; results come back in input
+// order, with per-scenario failures recorded in Result.Err rather than
+// aborting the sweep.
+func Sweep(scenarios []Scenario, workers int) []*Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	results := make([]*Result, len(scenarios))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				res, err := Run(scenarios[i])
+				if err != nil {
+					res = &Result{Scenario: scenarios[i].withDefaults(), Err: err}
+				}
+				results[i] = res
+			}
+		}()
+	}
+	for i := range scenarios {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}
+
+// SweepSequential runs the scenarios one after another on the calling
+// goroutine — the baseline the parallel speedup is measured against.
+func SweepSequential(scenarios []Scenario) []*Result {
+	results := make([]*Result, len(scenarios))
+	for i, s := range scenarios {
+		res, err := Run(s)
+		if err != nil {
+			res = &Result{Scenario: s.withDefaults(), Err: err}
+		}
+		results[i] = res
+	}
+	return results
+}
+
+// defaultDampening returns the conventional RFC 2439 parameters for the
+// dampened matrix cell.
+func defaultDampening() *dampening.Config {
+	cfg := dampening.DefaultConfig()
+	return &cfg
+}
+
+// DefaultMatrix returns the standard scenario sweep: ten contexts
+// crossing topology shape (line, star, Figure-1 lab, tiered Internet),
+// hygiene policy (propagate, tag-only, clean-on-egress, clean-on-ingress,
+// mixed), vendor profile, MRAI/dampening, and beacon vs churn workloads.
+// hours scales every scenario's simulated duration (0 = full days).
+func DefaultMatrix(start time.Time, hours int) []Scenario {
+	base := func(s Scenario) Scenario {
+		s.Start = start
+		s.Hours = hours
+		return s
+	}
+	return []Scenario{
+		base(Scenario{Topology: TopoLine, Policy: PolicyTagOnly, Vendor: router.CiscoIOS, Workload: WorkBeacon}),
+		base(Scenario{Topology: TopoLine, Policy: PolicyCleanEgress, Vendor: router.Junos, Workload: WorkBeacon}),
+		base(Scenario{Topology: TopoStar, Policy: PolicyPropagate, Vendor: router.CiscoIOS, Workload: WorkBeacon}),
+		base(Scenario{Topology: TopoStar, Policy: PolicyTagOnly, Vendor: router.BIRD1, Workload: WorkChurn}),
+		base(Scenario{Topology: TopoLab, Policy: PolicyTagOnly, Vendor: router.CiscoIOS, Workload: WorkChurn}),
+		base(Scenario{Topology: TopoLab, Policy: PolicyCleanEgress, Vendor: router.Junos, Workload: WorkChurn}),
+		base(Scenario{Topology: TopoInternet, Policy: PolicyTagOnly, Vendor: router.CiscoIOS, Workload: WorkBeacon}),
+		base(Scenario{Topology: TopoInternet, Policy: PolicyCleanIngress, Vendor: router.Junos, Workload: WorkBeacon}),
+		base(Scenario{Topology: TopoInternet, Policy: PolicyMixed, Vendor: router.CiscoIOSXR, Workload: WorkChurn,
+			MRAI: 30 * time.Second}),
+		base(Scenario{Topology: TopoInternet, Policy: PolicyTagOnly, Vendor: router.BIRD2, Workload: WorkChurn,
+			Dampening: defaultDampening()}),
+	}
+}

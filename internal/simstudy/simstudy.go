@@ -10,13 +10,15 @@ package simstudy
 
 import (
 	"fmt"
-	"net/netip"
 	"time"
 
 	"repro/internal/beacon"
 	"repro/internal/classify"
 	"repro/internal/router"
+	"repro/internal/simnet"
+	"repro/internal/stream"
 	"repro/internal/topo"
+	"repro/internal/workload"
 )
 
 // Config parameterizes a simulated beacon day.
@@ -51,18 +53,24 @@ type Result struct {
 	Revealed beacon.RevealedSummary
 	// CollectorMessages is the raw number of messages the collector saw.
 	CollectorMessages int
-	// Events is the normalized collector view (for further analysis).
+	// Events is the normalized collector view in time order — the
+	// materialized compatibility view of Sources.
 	Events []classify.Event
+	// Peers and Sources expose the capture as per-(collector, peer)
+	// event sources, the shape collector.WriteSourcesDir and
+	// evstore ingestion consume directly.
+	Peers   []workload.Peer
+	Sources []stream.EventSource
 }
 
-// beaconPrefix returns the i-th simulated beacon prefix.
-func beaconPrefix(i int) netip.Prefix {
-	addr := netip.AddrFrom4([4]byte{84, 205, byte(64 + i), 0})
-	p, _ := addr.Prefix(24)
-	return p
-}
+// Source returns the merged, time-ordered collector view.
+func (r Result) Source() stream.EventSource { return stream.Merge(r.Sources...) }
 
-// Run simulates one beacon day and analyses the collector capture.
+// Run simulates one beacon day and analyses the collector capture. The
+// collector feed streams through a simnet.Capture — no full network
+// trace is retained — and every analysis (classification, revealed
+// attribution) is a single pass over the merged feed; Events is the
+// materialized compatibility view.
 func Run(cfg Config) (Result, error) {
 	if cfg.BeaconPrefixes <= 0 {
 		cfg.BeaconPrefixes = 1
@@ -72,15 +80,17 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("simstudy: %w", err)
 	}
 	n := inet.Net
+	capture := simnet.NewCapture(inet.Collector.Name, "COLLECTOR", inet.PeerAS, inet.PeerAddr)
+	n.SetSink(capture) // replaces the builder's full-trace buffer
 
 	events := cfg.Schedule.EventsBetween(cfg.Day, cfg.Day.Add(24*time.Hour))
 	for _, ev := range events {
 		n.Engine.RunUntil(ev.At)
 		for i := 0; i < cfg.BeaconPrefixes; i++ {
 			if ev.Withdraw {
-				inet.Origin.WithdrawOriginated(beaconPrefix(i))
+				inet.Origin.WithdrawOriginated(beacon.PrefixN(i))
 			} else {
-				inet.Origin.Originate(beaconPrefix(i), nil)
+				inet.Origin.Originate(beacon.PrefixN(i), nil)
 			}
 		}
 	}
@@ -88,37 +98,14 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("simstudy: final convergence: %w", err)
 	}
 
-	res := Result{}
+	res := Result{CollectorMessages: capture.Messages()}
+	res.Peers, res.Sources = capture.Sources()
 	cl := classify.New()
 	tracker := beacon.NewRevealedTracker(cfg.Schedule)
-	for _, m := range n.Trace() {
-		if m.To != "COLLECTOR" {
-			continue
-		}
-		res.CollectorMessages++
-		peerAS := inet.PeerAS[m.From]
-		peerAddr := inet.PeerAddr[m.From]
-		for _, prefix := range m.Update.AllWithdrawn() {
-			e := classify.Event{
-				Time: m.Time, Collector: "COLLECTOR",
-				PeerAS: peerAS, PeerAddr: peerAddr,
-				Prefix: prefix, Withdraw: true,
-			}
-			res.Events = append(res.Events, e)
-			res.Counts.Observe(cl, e)
-		}
-		for _, prefix := range m.Update.Announced() {
-			e := classify.Event{
-				Time: m.Time, Collector: "COLLECTOR",
-				PeerAS: peerAS, PeerAddr: peerAddr,
-				Prefix:      prefix,
-				ASPath:      m.Update.Attrs.ASPath,
-				Communities: m.Update.Attrs.Communities.Canonical(),
-				HasMED:      m.Update.Attrs.HasMED,
-				MED:         m.Update.Attrs.MED,
-			}
-			res.Events = append(res.Events, e)
-			res.Counts.Observe(cl, e)
+	for e := range res.Source() {
+		res.Events = append(res.Events, e)
+		res.Counts.Observe(cl, e)
+		if !e.Withdraw {
 			tracker.Observe(e.Time, e.Communities)
 		}
 	}

@@ -2,11 +2,10 @@ package topo
 
 import (
 	"fmt"
-	"math/rand"
 	"net/netip"
 	"time"
 
-	"repro/internal/bgp"
+	"repro/internal/dampening"
 	"repro/internal/router"
 )
 
@@ -34,6 +33,18 @@ type InternetConfig struct {
 	// CleanEgressPeers marks every n-th collector peer as cleaning
 	// communities toward the collector (0 disables).
 	CleanEgressPeers int
+	// CleanIngressPeers marks every n-th collector peer as cleaning
+	// communities on ingress from its transit sessions (0 disables) — the
+	// placement that stops the spurious-update cascade at the source
+	// (paper Exp4), as opposed to CleanEgressPeers' collector-side mask.
+	CleanIngressPeers int
+
+	// MRAI rate-limits each collector peer's advertisements toward the
+	// collector (zero disables, as the beacon experiments require).
+	MRAI time.Duration
+	// Dampening enables RFC 2439 flap dampening on the collector's
+	// ingress from every peer (nil disables).
+	Dampening *dampening.Config
 
 	// MaxLinkDelay bounds the random per-link propagation delay; the
 	// spread is what makes withdrawal waves explore paths.
@@ -68,6 +79,10 @@ type Internet struct {
 	// archiving.
 	PeerAS   map[string]uint32
 	PeerAddr map[string]netip.Addr
+	// FlapLinks lists sessions that can be taken down without
+	// disconnecting the origin (every endpoint keeps an alternate path) —
+	// the candidates churn workloads flap to induce path exploration.
+	FlapLinks [][2]string
 }
 
 // AS number blocks per tier.
@@ -88,31 +103,21 @@ func BuildInternet(start time.Time, cfg InternetConfig) (*Internet, error) {
 	if cfg.CollectorPeers > cfg.Mids {
 		cfg.CollectorPeers = cfg.Mids
 	}
-	if cfg.MaxLinkDelay <= 0 {
-		cfg.MaxLinkDelay = 50 * time.Millisecond
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	n := router.NewNetwork(start)
+	b := newShapeBuilder(start, cfg.Seed, cfg.MaxLinkDelay)
+	rng := b.rng
+	n := b.n
+	// Full trace for compatibility with the cycle helpers and tests;
+	// scenario-scale consumers (simnet, simstudy) replace this with a
+	// bounded capture sink before driving workloads.
+	n.EnableTrace()
 	inet := &Internet{
 		Net:      n,
 		PeerAS:   make(map[string]uint32),
 		PeerAddr: make(map[string]netip.Addr),
 	}
-
-	// Deterministic unique session addresses from a /8 pool.
-	var addrCounter uint32
-	nextAddrPair := func() (netip.Addr, netip.Addr) {
-		addrCounter++
-		a := netip.AddrFrom4([4]byte{10, byte(addrCounter >> 16), byte(addrCounter >> 8), byte(addrCounter<<1) + 1})
-		b := netip.AddrFrom4([4]byte{10, byte(addrCounter >> 16), byte(addrCounter >> 8), byte(addrCounter<<1) + 2})
-		return a, b
-	}
-	delay := func() time.Duration {
-		return time.Millisecond + time.Duration(rng.Int63n(int64(cfg.MaxLinkDelay)))
-	}
-	routerID := func(as uint32, i int) netip.Addr {
-		return netip.AddrFrom4([4]byte{172, byte(as >> 8), byte(as), byte(i)})
-	}
+	nextAddrPair := b.addrPair
+	delay := b.delay
+	routerID := shapeRouterID
 
 	// Tier-1 core.
 	tier1 := make([]*router.Router, cfg.Tier1)
@@ -123,12 +128,7 @@ func BuildInternet(start time.Time, cfg InternetConfig) (*Internet, error) {
 	// geoTag returns the ingress policy a tier-1 applies on one session.
 	sessionIdx := make(map[string]int)
 	geoTag := func(t *router.Router) router.Policy {
-		if !cfg.GeoTagging {
-			return nil
-		}
-		sessionIdx[t.Name]++
-		loc := uint16(2000 + sessionIdx[t.Name])
-		return router.Policy{router.AddCommunity(bgp.NewCommunity(uint16(t.AS), loc))}
+		return ingressTag(cfg.GeoTagging, sessionIdx, t)
 	}
 	// Full mesh among tier-1s, tagging on ingress both ways.
 	for i := 0; i < len(tier1); i++ {
@@ -150,6 +150,10 @@ func BuildInternet(start time.Time, cfg InternetConfig) (*Internet, error) {
 	// fails over to an AS-path-identical route whose geo tag differs —
 	// the multi-interconnection situation of §6.
 	mids := make([]*router.Router, cfg.Mids)
+	cleansIngress := func(i int) bool {
+		return cfg.CleanIngressPeers > 0 && i < cfg.CollectorPeers &&
+			i%cfg.CleanIngressPeers == cfg.CleanIngressPeers-1
+	}
 	for i := range mids {
 		as := midBase + uint32(i)
 		mids[i] = n.AddRouter(fmt.Sprintf("M%d", i), as, routerID(as, 1), cfg.Behavior)
@@ -160,12 +164,18 @@ func BuildInternet(start time.Time, cfg InternetConfig) (*Internet, error) {
 		}
 		for _, t := range []*router.Router{t1, t1, t2} {
 			a, b := nextAddrPair()
+			// The tier-1 tags what it hears from the mid, and the mid
+			// tags what it hears from the tier-1 with the tier-1's
+			// per-ingress location (the AS3356-style scheme of §6) — or,
+			// for ingress-cleaning collector peers, strips everything on
+			// the way in.
+			midImport := geoTag(t)
+			if cleansIngress(i) {
+				midImport = router.Policy{router.StripAllCommunities()}
+			}
 			n.Connect(mids[i], t, router.SessionConfig{
 				AAddr: a, BAddr: b,
-				// The tier-1 tags what it hears from the mid, and the mid
-				// tags what it hears from the tier-1 with the tier-1's
-				// per-ingress location (the AS3356-style scheme of §6).
-				AImport: geoTag(t),
+				AImport: midImport,
 				BImport: geoTag(t),
 				Delay:   delay(),
 			})
@@ -191,6 +201,8 @@ func BuildInternet(start time.Time, cfg InternetConfig) (*Internet, error) {
 		}
 		if i == 0 {
 			inet.Origin = stub
+			// The origin is dual-homed; losing m1 just fails it over to m2.
+			inet.FlapLinks = append(inet.FlapLinks, [2]string{stub.Name, m1.Name})
 		}
 	}
 
@@ -200,7 +212,11 @@ func BuildInternet(start time.Time, cfg InternetConfig) (*Internet, error) {
 	for i := 0; i < cfg.CollectorPeers; i++ {
 		m := mids[i]
 		a, b := nextAddrPair()
-		scfg := router.SessionConfig{AAddr: a, BAddr: b, Delay: delay()}
+		scfg := router.SessionConfig{
+			AAddr: a, BAddr: b, Delay: delay(),
+			AMRAI:      cfg.MRAI,
+			BDampening: cfg.Dampening,
+		}
 		if cfg.CleanEgressPeers > 0 && i%cfg.CleanEgressPeers == cfg.CleanEgressPeers-1 {
 			scfg.AExport = router.Policy{router.StripAllCommunities()}
 		}
@@ -208,6 +224,10 @@ func BuildInternet(start time.Time, cfg InternetConfig) (*Internet, error) {
 		inet.CollectorPeerNames = append(inet.CollectorPeerNames, m.Name)
 		inet.PeerAS[m.Name] = m.AS
 		inet.PeerAddr[m.Name] = a
+		// Each collector-peer mid has a parallel second session to its
+		// primary tier-1, so flapping the first is an AS-path-identical
+		// failover whose geo tag differs — the nc mechanism of §6.
+		inet.FlapLinks = append(inet.FlapLinks, [2]string{m.Name, tier1[i%len(tier1)].Name})
 	}
 
 	if _, err := n.Run(); err != nil {

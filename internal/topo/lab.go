@@ -55,6 +55,9 @@ type Lab struct {
 // converged with an empty trace.
 func BuildLab(start time.Time, cfg LabConfig) (*Lab, error) {
 	n := router.NewNetwork(start)
+	// The lab is tiny and its experiments inspect individual messages, so
+	// the full-trace sink is the right default here.
+	n.EnableTrace()
 	lab := &Lab{
 		Net:    n,
 		Prefix: netip.MustParsePrefix("84.205.64.0/24"),
@@ -121,6 +124,15 @@ func BuildLab(start time.Time, cfg LabConfig) (*Lab, error) {
 	}
 	n.ClearTrace()
 	return lab, nil
+}
+
+// CollectorFeedIdentity describes C1's single collector feed — the
+// session X1 announces over — in the map shape the capture sinks and MRT
+// archivers expect.
+func (l *Lab) CollectorFeedIdentity() (collectorRouter string, peerAS map[string]uint32, peerAddr map[string]netip.Addr) {
+	return "C1",
+		map[string]uint32{"X1": ASX},
+		map[string]netip.Addr{"X1": netip.MustParseAddr("10.0.41.1")}
 }
 
 // FailY1Y2 disables the Y1–Y2 link, the event every lab experiment uses to

@@ -1,0 +1,292 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/dampening"
+	"repro/internal/router"
+)
+
+// LineConfig parameterizes a transit chain: the origin stub dual-homed
+// into the head of a line of transit ASes, with the collector peering at
+// the tail. The shape isolates hygiene-at-a-distance: every community
+// decision between origin and collector happens on one path.
+type LineConfig struct {
+	Seed     int64
+	Behavior router.Behavior
+
+	// ASes is the chain length (≥ 2). The origin connects to both A0 and
+	// A1, so failing the A0 link fails traffic over to the shorter path —
+	// the path-exploration event of a line.
+	ASes int
+
+	// Tagging makes every transit AS tag routes on ingress with a
+	// per-session location community.
+	Tagging bool
+	// CleanEgress strips communities on the tail AS's export to the
+	// collector (Exp3 placement); CleanIngress strips on the tail AS's
+	// ingress from its upstream (Exp4 placement).
+	CleanEgress  bool
+	CleanIngress bool
+
+	// MRAI rate-limits the tail's advertisements toward the collector;
+	// Dampening enables flap dampening on the collector's ingress.
+	MRAI      time.Duration
+	Dampening *dampening.Config
+
+	// MaxLinkDelay bounds the random per-link propagation delay.
+	MaxLinkDelay time.Duration
+}
+
+// StarConfig parameterizes a hub-and-spoke topology: leaves around one
+// transit hub, the origin dual-homed to two leaves, and the collector
+// peering with several others. Every collector path crosses the hub, so
+// hub-side tagging policy dominates what collectors see.
+type StarConfig struct {
+	Seed     int64
+	Behavior router.Behavior
+
+	// Leaves is the number of spoke ASes (≥ 4): the origin attaches to
+	// the first two, the collector to the last CollectorPeers.
+	Leaves         int
+	CollectorPeers int
+
+	// Tagging makes the hub tag routes on ingress with a per-session
+	// location community — failover between the origin's two leaves then
+	// changes the tag every collector sees.
+	Tagging bool
+	// CleanEgressPeers / CleanIngressPeers mark every n-th collector peer
+	// as cleaning toward the collector / on ingress from the hub
+	// (0 disables), mirroring InternetConfig.
+	CleanEgressPeers  int
+	CleanIngressPeers int
+
+	MRAI      time.Duration
+	Dampening *dampening.Config
+
+	MaxLinkDelay time.Duration
+}
+
+// shapeBuilder carries the shared construction helpers of the simple
+// shapes (deterministic session addresses, jittered delays, router IDs).
+type shapeBuilder struct {
+	n           *router.Network
+	rng         *rand.Rand
+	addrCounter uint32
+	maxDelay    time.Duration
+}
+
+func newShapeBuilder(start time.Time, seed int64, maxDelay time.Duration) *shapeBuilder {
+	if maxDelay <= 0 {
+		maxDelay = 50 * time.Millisecond
+	}
+	return &shapeBuilder{
+		n:        router.NewNetwork(start),
+		rng:      rand.New(rand.NewSource(seed)),
+		maxDelay: maxDelay,
+	}
+}
+
+func (b *shapeBuilder) addrPair() (netip.Addr, netip.Addr) {
+	b.addrCounter++
+	a := netip.AddrFrom4([4]byte{10, byte(b.addrCounter >> 16), byte(b.addrCounter >> 8), byte(b.addrCounter<<1) + 1})
+	c := netip.AddrFrom4([4]byte{10, byte(b.addrCounter >> 16), byte(b.addrCounter >> 8), byte(b.addrCounter<<1) + 2})
+	return a, c
+}
+
+func (b *shapeBuilder) delay() time.Duration {
+	return time.Millisecond + time.Duration(b.rng.Int63n(int64(b.maxDelay)))
+}
+
+func shapeRouterID(as uint32, i int) netip.Addr {
+	return netip.AddrFrom4([4]byte{172, byte(as >> 8), byte(as), byte(i)})
+}
+
+// ingressTag returns a per-session location-community import policy for a
+// tagging AS, advancing its session counter.
+func ingressTag(enabled bool, sessionIdx map[string]int, r *router.Router) router.Policy {
+	if !enabled {
+		return nil
+	}
+	sessionIdx[r.Name]++
+	loc := uint16(2000 + sessionIdx[r.Name])
+	return router.Policy{router.AddCommunity(bgp.NewCommunity(uint16(r.AS), loc))}
+}
+
+// BuildLine constructs and converges the line topology:
+//
+//	S0 ─ A0 ─ A1 ─ ⋯ ─ A(n-1) ─ COLLECTOR
+//	 └───────┘ (S0 is also homed to A1)
+//
+// The returned Internet has the origin at S0, the collector peering with
+// the tail AS, and the S0–A0 session as the flap candidate.
+func BuildLine(start time.Time, cfg LineConfig) (*Internet, error) {
+	if cfg.ASes < 2 {
+		return nil, fmt.Errorf("topo: line needs at least 2 ASes")
+	}
+	b := newShapeBuilder(start, cfg.Seed, cfg.MaxLinkDelay)
+	n := b.n
+	n.EnableTrace()
+	inet := &Internet{
+		Net:      n,
+		PeerAS:   make(map[string]uint32),
+		PeerAddr: make(map[string]netip.Addr),
+	}
+	sessionIdx := make(map[string]int)
+
+	chain := make([]*router.Router, cfg.ASes)
+	for i := range chain {
+		as := midBase + uint32(i)
+		chain[i] = n.AddRouter(fmt.Sprintf("A%d", i), as, shapeRouterID(as, 1), cfg.Behavior)
+	}
+	for i := 1; i < len(chain); i++ {
+		a, c := b.addrPair()
+		// Downstream AS's import from its upstream neighbor.
+		var up router.Policy
+		if cfg.CleanIngress && i == len(chain)-1 {
+			up = router.Policy{router.StripAllCommunities()}
+		} else {
+			up = ingressTag(cfg.Tagging, sessionIdx, chain[i])
+		}
+		n.Connect(chain[i], chain[i-1], router.SessionConfig{
+			AAddr: a, BAddr: c,
+			AImport: up,
+			BImport: ingressTag(cfg.Tagging, sessionIdx, chain[i-1]),
+			Delay:   b.delay(),
+		})
+	}
+
+	// Origin stub, dual-homed to the head pair.
+	origin := n.AddRouter("S0", stubBase, shapeRouterID(stubBase, 1), cfg.Behavior)
+	inet.Origin = origin
+	for _, head := range chain[:2] {
+		a, c := b.addrPair()
+		n.Connect(origin, head, router.SessionConfig{
+			AAddr: a, BAddr: c,
+			BImport: ingressTag(cfg.Tagging, sessionIdx, head),
+			Delay:   b.delay(),
+		})
+	}
+	inet.FlapLinks = append(inet.FlapLinks, [2]string{"S0", chain[0].Name})
+
+	// Collector peering at the tail.
+	collector := n.AddRouter("COLLECTOR", CollectorAS, shapeRouterID(CollectorAS, 1), cfg.Behavior)
+	inet.Collector = collector
+	tail := chain[len(chain)-1]
+	a, c := b.addrPair()
+	scfg := router.SessionConfig{
+		AAddr: a, BAddr: c, Delay: b.delay(),
+		AMRAI:      cfg.MRAI,
+		BDampening: cfg.Dampening,
+	}
+	if cfg.CleanEgress {
+		scfg.AExport = router.Policy{router.StripAllCommunities()}
+	}
+	n.Connect(tail, collector, scfg)
+	inet.CollectorPeerNames = append(inet.CollectorPeerNames, tail.Name)
+	inet.PeerAS[tail.Name] = tail.AS
+	inet.PeerAddr[tail.Name] = a
+
+	if _, err := n.Run(); err != nil {
+		return nil, fmt.Errorf("topo: line convergence: %w", err)
+	}
+	n.ClearTrace()
+	return inet, nil
+}
+
+// BuildStar constructs and converges the star topology:
+//
+//	    L0 ─ S0 ─ L1
+//	      \      /
+//	L2 ──── HUB ──── L3 ⋯ L(n-1)
+//	 \        ⋯       /
+//	  COLLECTOR peers with the last CollectorPeers leaves
+//
+// The origin's S0–L0 session is the flap candidate: failing it moves
+// every collector path from S0,L0,HUB,⋯ to S0,L1,HUB,⋯, changing the
+// hub's ingress tag along with the path.
+func BuildStar(start time.Time, cfg StarConfig) (*Internet, error) {
+	if cfg.Leaves < 4 {
+		return nil, fmt.Errorf("topo: star needs at least 4 leaves")
+	}
+	if cfg.CollectorPeers <= 0 || cfg.CollectorPeers > cfg.Leaves-2 {
+		cfg.CollectorPeers = cfg.Leaves - 2
+	}
+	b := newShapeBuilder(start, cfg.Seed, cfg.MaxLinkDelay)
+	n := b.n
+	n.EnableTrace()
+	inet := &Internet{
+		Net:      n,
+		PeerAS:   make(map[string]uint32),
+		PeerAddr: make(map[string]netip.Addr),
+	}
+	sessionIdx := make(map[string]int)
+
+	hub := n.AddRouter("HUB", tier1Base, shapeRouterID(tier1Base, 1), cfg.Behavior)
+	leaves := make([]*router.Router, cfg.Leaves)
+	collectorLeaf := func(i int) bool { return i >= cfg.Leaves-cfg.CollectorPeers }
+	cleansIngress := func(i int) bool {
+		k := i - (cfg.Leaves - cfg.CollectorPeers) // index among collector peers
+		return cfg.CleanIngressPeers > 0 && collectorLeaf(i) &&
+			k%cfg.CleanIngressPeers == cfg.CleanIngressPeers-1
+	}
+	for i := range leaves {
+		as := midBase + uint32(i)
+		leaves[i] = n.AddRouter(fmt.Sprintf("L%d", i), as, shapeRouterID(as, 1), cfg.Behavior)
+		a, c := b.addrPair()
+		leafImport := ingressTag(cfg.Tagging, sessionIdx, leaves[i])
+		if cleansIngress(i) {
+			leafImport = router.Policy{router.StripAllCommunities()}
+		}
+		n.Connect(leaves[i], hub, router.SessionConfig{
+			AAddr: a, BAddr: c,
+			AImport: leafImport,
+			BImport: ingressTag(cfg.Tagging, sessionIdx, hub),
+			Delay:   b.delay(),
+		})
+	}
+
+	origin := n.AddRouter("S0", stubBase, shapeRouterID(stubBase, 1), cfg.Behavior)
+	inet.Origin = origin
+	for _, l := range leaves[:2] {
+		a, c := b.addrPair()
+		n.Connect(origin, l, router.SessionConfig{
+			AAddr: a, BAddr: c,
+			BImport: ingressTag(cfg.Tagging, sessionIdx, l),
+			Delay:   b.delay(),
+		})
+	}
+	inet.FlapLinks = append(inet.FlapLinks, [2]string{"S0", leaves[0].Name})
+
+	collector := n.AddRouter("COLLECTOR", CollectorAS, shapeRouterID(CollectorAS, 1), cfg.Behavior)
+	inet.Collector = collector
+	for i := range leaves {
+		if !collectorLeaf(i) {
+			continue
+		}
+		k := i - (cfg.Leaves - cfg.CollectorPeers)
+		a, c := b.addrPair()
+		scfg := router.SessionConfig{
+			AAddr: a, BAddr: c, Delay: b.delay(),
+			AMRAI:      cfg.MRAI,
+			BDampening: cfg.Dampening,
+		}
+		if cfg.CleanEgressPeers > 0 && k%cfg.CleanEgressPeers == cfg.CleanEgressPeers-1 {
+			scfg.AExport = router.Policy{router.StripAllCommunities()}
+		}
+		n.Connect(leaves[i], collector, scfg)
+		inet.CollectorPeerNames = append(inet.CollectorPeerNames, leaves[i].Name)
+		inet.PeerAS[leaves[i].Name] = leaves[i].AS
+		inet.PeerAddr[leaves[i].Name] = a
+	}
+
+	if _, err := n.Run(); err != nil {
+		return nil, fmt.Errorf("topo: star convergence: %w", err)
+	}
+	n.ClearTrace()
+	return inet, nil
+}
