@@ -668,6 +668,91 @@ func BenchmarkStoreScanWindow(b *testing.B) {
 	b.ReportMetric(float64(st.BlocksPruned+st.PartitionsPruned), "pruned")
 }
 
+// BenchmarkScanParallel runs the combined Table 1 + Table 2 + peer
+// inference analysis off shard-parallel store scans at 1/2/4 workers —
+// compare with BenchmarkStoreScan, the sequential single-analyzer scan
+// it generalizes. Workers beyond the core count still pay merge and
+// pool overhead, so the 1-worker row is the engine's overhead floor.
+func BenchmarkScanParallel(b *testing.B) {
+	storeDir, _ := benchStoreFixture(b)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var events int
+			for i := 0; i < b.N; i++ {
+				t1a := analysis.NewTable1()
+				counts := analysis.NewCounts()
+				peers := analysis.NewPeerBehavior()
+				ps, err := evstore.ScanParallel(storeDir, evstore.Query{}, nil, workers, t1a, counts, peers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if t1a.Table1().Announcements == 0 || counts.Counts.Announcements() == 0 {
+					b.Fatal("empty report")
+				}
+				events = ps.Total.Events
+			}
+			b.ReportMetric(float64(events), "events")
+		})
+	}
+}
+
+// BenchmarkRunAll quantifies the engine's headline property: N
+// classifier-bound analyzers in one classification pass cost barely
+// more than one, where N separate passes cost ~N× (each rebuilds the
+// classifier state map and re-reads the stream). The fleet is the five
+// per-question analyses whose own work is small next to classification
+// (type counts, Figure 3 mix, Figure 4/5 cumulative route, §7 peer
+// behaviour, §7 ingress locations); Table 1 is the exception — its
+// distinct-value set inserts rival the classifier itself — and is
+// measured separately (BenchmarkScanParallel runs it in fleet).
+// Sub-benchmarks: a single-analyzer pass (the baseline), five
+// analyzers in one pass, and the same five as five separate passes.
+func BenchmarkRunAll(b *testing.B) {
+	ds := benchDayDataset()
+	prefix := ds.Events[0].Prefix
+	collector := ds.Events[0].Collector
+	session := ds.Events[0].Session()
+	path := ds.Events[0].ASPath.String()
+	fleet := func() []analysis.Analyzer {
+		return []analysis.Analyzer{
+			analysis.NewCounts(),
+			analysis.NewSessionMix(collector, prefix),
+			analysis.NewCumulative(session, prefix, path),
+			analysis.NewPeerBehavior(),
+			analysis.NewIngress(),
+		}
+	}
+	b.Run("single-pass-1-analyzer", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			counts := analysis.NewCounts()
+			analysis.RunAll(ds.Source(), ds.CountingWindow, counts)
+			if counts.Counts.Announcements() == 0 {
+				b.Fatal("empty")
+			}
+		}
+	})
+	b.Run("single-pass-5-analyzers", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			analyzers := fleet()
+			analysis.RunAll(ds.Source(), ds.CountingWindow, analyzers...)
+			if analyzers[0].(*classify.CountsAnalyzer).Counts.Announcements() == 0 {
+				b.Fatal("empty")
+			}
+		}
+	})
+	b.Run("5-separate-passes", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, a := range fleet() {
+				analysis.RunAll(ds.Source(), ds.CountingWindow, a)
+			}
+		}
+	})
+}
+
 // BenchmarkTable2Parallel classifies the day fanned out per collector via
 // stream.ParallelClassify: events are routed to per-collector workers in
 // batches, with no up-front grouping copy of the dataset.

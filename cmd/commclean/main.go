@@ -7,17 +7,25 @@
 // Usage:
 //
 //	commclean [-in DIR] [-year 2020] [-days N] [-routeservers AS1,AS2,...]
-//	          [-store DIR]
+//	          [-store DIR] [-workers N]
 //
 // Without -in, a synthetic d_mar20-like day is generated on the fly;
 // -days N streams N consecutive synthetic days back to back (a range far
 // larger than would fit in memory materialized).
 //
+// Every mode answers all three questions — the Table 1 overview, the
+// Table 2 type shares, and the §7 per-peer behaviour inference — from
+// ONE classification pass: three analyzers observing the same stream
+// (analysis.RunAll).
+//
 // With -store DIR, the input is ingested into a columnar event store
 // once (skipped when the store already has partitions) and the analyses
 // run off a store scan instead of the producers — so re-running the
 // measurement re-reads compact columnar blocks rather than re-parsing
-// MRT archives or regenerating synthetic days.
+// MRT archives or regenerating synthetic days. Store scans decode and
+// classify per-collector shards on a worker pool (-workers, default
+// GOMAXPROCS) and merge the analyzer accumulators; results are
+// bit-identical to a sequential scan.
 package main
 
 import (
@@ -44,14 +52,15 @@ func main() {
 	days := flag.Int("days", 1, "number of consecutive synthetic days to stream")
 	rsList := flag.String("routeservers", "", "comma-separated route-server peer ASNs (for -in mode)")
 	store := flag.String("store", "", "columnar event store directory: ingest once, then analyze off scans")
+	workers := flag.Int("workers", 0, "shard-parallel scan workers for -store (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	var counts classify.Counts
-	var table1 analysis.Table1
+	// The three questions of every mode, answered in one pass.
+	t1a := analysis.NewTable1()
+	counter := analysis.NewCounts()
+	peers := analysis.NewPeerBehavior()
 	if *store != "" {
-		var err error
-		table1, counts, err = runStore(*store, *in, *rsList, *year, *days)
-		if err != nil {
+		if err := runStore(*store, *in, *rsList, *year, *days, *workers, t1a, counter, peers); err != nil {
 			fmt.Fprintf(os.Stderr, "commclean: %v\n", err)
 			os.Exit(1)
 		}
@@ -61,19 +70,18 @@ func main() {
 			// Multi-day: day k+1 is generated only after day k has been
 			// consumed, so the footprint stays one session-day.
 			src := workload.MultiDaySource(cfg, *days)
-			table1, counts = analysis.Report(src, cfg.MultiDayInWindow(*days))
+			analysis.RunAll(src, cfg.MultiDayInWindow(*days), t1a, counter, peers)
 		} else {
 			_, sources := workload.DaySources(cfg)
-			table1, counts = analysis.Report(stream.Concat(sources...), cfg.InWindow)
+			analysis.RunAll(stream.Concat(sources...), cfg.InWindow, t1a, counter, peers)
 		}
 	} else {
-		var err error
-		counts, table1, err = runPipeline(*in, *rsList)
-		if err != nil {
+		if err := runPipeline(*in, *rsList, t1a, counter, peers); err != nil {
 			fmt.Fprintf(os.Stderr, "commclean: %v\n", err)
 			os.Exit(1)
 		}
 	}
+	table1, counts := t1a.Table1(), counter.Counts
 
 	fmt.Println("Table 1 — dataset overview:")
 	fmt.Print(textplot.Table([]string{"metric", "value"}, [][]string{
@@ -101,16 +109,37 @@ func main() {
 	fmt.Print(textplot.Table([]string{"type", "count", "share"}, rows))
 	fmt.Printf("\nno-path-change (nc+nn) share: %.1f%% (paper: ~50%%)\n",
 		100*counts.NoPathChangeShare())
+
+	printPeerBehavior(peers.Inferences())
+}
+
+// printPeerBehavior summarizes the §7 per-session community-handling
+// inference that rode along in the same pass.
+func printPeerBehavior(infs []analysis.PeerInference) {
+	byBehavior := map[analysis.PeerBehavior]int{}
+	for _, inf := range infs {
+		byBehavior[inf.Behavior]++
+	}
+	fmt.Printf("\nPeer behavior inference (§7, %d sessions from the same pass):\n", len(infs))
+	var rows [][]string
+	for _, b := range []analysis.PeerBehavior{analysis.BehaviorPropagates, analysis.BehaviorCleansEgress, analysis.BehaviorQuiet} {
+		share := 0.0
+		if len(infs) > 0 {
+			share = float64(byBehavior[b]) / float64(len(infs))
+		}
+		rows = append(rows, []string{b.String(), strconv.Itoa(byBehavior[b]), fmt.Sprintf("%.1f%%", 100*share)})
+	}
+	fmt.Print(textplot.Table([]string{"behavior", "sessions", "share"}, rows))
 }
 
 // runStore implements -store: ingest the selected input into the event
-// store unless it already holds partitions, then run the combined
-// Table 1 + Table 2 report off a store scan. The classifier still sees
-// warm-up events (the scan covers them); only the counting window is
-// tallied, exactly like the direct paths. The window used at ingest is
+// store unless it already holds partitions, then run every analyzer in
+// one shard-parallel scan pass. The classifier still sees warm-up
+// events (the scan covers them); only the counting window is tallied,
+// exactly like the direct paths. The window used at ingest is
 // persisted next to the partitions, so a repeat run reports over the
 // same window even when the flags differ from the ingesting run.
-func runStore(dir, in, rsList string, year, days int) (analysis.Table1, classify.Counts, error) {
+func runStore(dir, in, rsList string, year, days, workers int, analyzers ...analysis.Analyzer) error {
 	var win storeWindow
 	if evstore.IsStoreDir(dir) {
 		var err error
@@ -130,33 +159,30 @@ func runStore(dir, in, rsList string, year, days int) (analysis.Table1, classify
 		}
 		src, err := ingestSource(in, rsList, year, days)
 		if err != nil {
-			return analysis.Table1{}, classify.Counts{}, err
+			return err
 		}
 		start := time.Now()
 		// A failed ingest rolls back, so a later run re-ingests instead
 		// of silently reusing a partial store.
 		st, err := evstore.Ingest(dir, src.source, src.err)
 		if err != nil {
-			return analysis.Table1{}, classify.Counts{}, err
+			return err
 		}
 		if err := saveStoreWindow(dir, win); err != nil {
-			return analysis.Table1{}, classify.Counts{}, err
+			return err
 		}
 		fmt.Fprintf(os.Stderr, "store: ingested %d events into %d partitions (%d blocks) in %v\n",
 			st.Events, st.Partitions, st.Blocks, time.Since(start).Round(time.Millisecond))
 	}
-	inWindow := win.Predicate()
 
-	var scanErr error
-	var scanStats evstore.ScanStats
-	start := time.Now()
-	t1, counts := analysis.Report(evstore.ScanWithStats(dir, evstore.Query{}, &scanErr, &scanStats), inWindow)
-	if scanErr != nil {
-		return t1, counts, scanErr
+	ps, err := evstore.ScanParallel(dir, evstore.Query{}, win.Predicate(), workers, analyzers...)
+	if err != nil {
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "store: scanned %d events (%d blocks) in %v\n",
-		scanStats.Events, scanStats.BlocksDecoded, time.Since(start).Round(time.Millisecond))
-	return t1, counts, nil
+	fmt.Fprintf(os.Stderr, "store: scanned %d events (%d blocks) across %d shards on %d workers in %v (%d analyzer merges, %v)\n",
+		ps.Total.Events, ps.Total.BlocksDecoded, len(ps.Shards), ps.Workers,
+		ps.Elapsed.Round(time.Millisecond), ps.Merges, ps.MergeElapsed.Round(time.Microsecond))
+	return nil
 }
 
 // storeWindow is the counting window a store was ingested for,
@@ -262,18 +288,18 @@ func parseRouteServers(rsList string) (map[uint32]bool, error) {
 }
 
 // runPipeline streams real MRT archives from dir through the normalizer
-// and both analyses in one combined pass.
-func runPipeline(dir, rsList string) (classify.Counts, analysis.Table1, error) {
+// and every analyzer in one combined pass.
+func runPipeline(dir, rsList string, analyzers ...analysis.Analyzer) error {
 	src, err := ingestSource(dir, rsList, 0, 0)
 	if err != nil {
-		return classify.Counts{}, analysis.Table1{}, err
+		return err
 	}
-	// The archive directory is self-contained: derive Table 1 and Table 2
-	// over every event it yields, one archive at a time.
-	t1, counts := analysis.Report(src.source, nil)
+	// The archive directory is self-contained: analyze every event it
+	// yields, one archive at a time.
+	analysis.RunAll(src.source, nil, analyzers...)
 	if err := src.err(); err != nil {
-		return counts, t1, err
+		return err
 	}
 	fmt.Fprintf(os.Stderr, "pipeline stats: %+v\n", src.norm.Stats)
-	return counts, t1, nil
+	return nil
 }

@@ -9,12 +9,17 @@
 //	evstore stat   -store DIR [-blocks] [-sample N]
 //	evstore query  -store DIR [-from T] [-to T] [-collectors a,b]
 //	               [-peeras 1,2] [-prefix P] [-count-only]
+//	               [-analyze] [-workers N]
 //
 // ingest consumes MRT archives (through the §4 normalizer) or lazily
 // generated synthetic days in constant memory. stat prints the
 // partition/block layout. query scans with pushdown and prints the
 // Table 1 overview plus Table 2 type shares of the selected events;
-// times are RFC 3339 ("2020-03-15T00:00:00Z").
+// times are RFC 3339 ("2020-03-15T00:00:00Z"). With -analyze the
+// analyses additionally include the §7 peer-behaviour inference and
+// run shard-parallel (one shard per collector, -workers pool, default
+// GOMAXPROCS), reporting per-shard pushdown and merge stats; results
+// are bit-identical to the sequential scan.
 package main
 
 import (
@@ -205,6 +210,8 @@ func runQuery(args []string) error {
 	peerAS := fs.String("peeras", "", "comma-separated peer ASNs")
 	prefix := fs.String("prefix", "", "address block (events whose prefix lies within it)")
 	countOnly := fs.Bool("count-only", false, "print only the matching event count and scan stats")
+	analyze := fs.Bool("analyze", false, "run the analyses shard-parallel (adds the §7 peer inference and per-shard stats)")
+	workers := fs.Int("workers", 0, "worker pool size for -analyze (0 = GOMAXPROCS)")
 	fs.Parse(args)
 	if *store == "" {
 		return fmt.Errorf("-store is required")
@@ -212,6 +219,9 @@ func runQuery(args []string) error {
 	q, err := buildQuery(*from, *to, *collectors, *peerAS, *prefix)
 	if err != nil {
 		return err
+	}
+	if *analyze {
+		return runAnalyze(*store, q, *workers)
 	}
 
 	var scanErr error
@@ -255,6 +265,74 @@ func runQuery(args []string) error {
 	fmt.Print(textplot.Table([]string{"type", "count", "share"}, rows))
 	fmt.Printf("\nscan took %v\n", elapsed)
 	printScanStats(st)
+	return nil
+}
+
+// runAnalyze answers the query with the analyzer engine: Table 1,
+// Table 2, and the §7 peer-behaviour inference accumulate in ONE
+// shard-parallel pass (evstore.ScanParallel), and the per-shard
+// pushdown/merge stats show where the scan spent its effort.
+func runAnalyze(store string, q evstore.Query, workers int) error {
+	t1a := analysis.NewTable1()
+	counter := analysis.NewCounts()
+	peers := analysis.NewPeerBehavior()
+	ps, err := evstore.ScanParallel(store, q, nil, workers, t1a, counter, peers)
+	if err != nil {
+		return err
+	}
+	t1, counts := t1a.Table1(), counter.Counts
+
+	fmt.Println("Table 1 — selection overview:")
+	fmt.Print(textplot.Table([]string{"metric", "value"}, [][]string{
+		{"IPv4 prefixes", strconv.Itoa(t1.PrefixesV4)},
+		{"IPv6 prefixes", strconv.Itoa(t1.PrefixesV6)},
+		{"ASes", strconv.Itoa(t1.ASes)},
+		{"Sessions", strconv.Itoa(t1.Sessions)},
+		{"Peers", strconv.Itoa(t1.Peers)},
+		{"Announcements", strconv.Itoa(t1.Announcements)},
+		{"Withdrawals", strconv.Itoa(t1.Withdrawals)},
+	}))
+	fmt.Println("\nTable 2 — announcement types:")
+	var rows [][]string
+	for _, ty := range classify.Types() {
+		rows = append(rows, []string{
+			ty.String(),
+			strconv.Itoa(counts.Of(ty)),
+			fmt.Sprintf("%.1f%%", 100*counts.Share(ty)),
+		})
+	}
+	fmt.Print(textplot.Table([]string{"type", "count", "share"}, rows))
+
+	byBehavior := map[analysis.PeerBehavior]int{}
+	for _, inf := range peers.Inferences() {
+		byBehavior[inf.Behavior]++
+	}
+	fmt.Printf("\npeer behavior (§7): %d propagate, %d clean-egress, %d quiet\n",
+		byBehavior[analysis.BehaviorPropagates], byBehavior[analysis.BehaviorCleansEgress],
+		byBehavior[analysis.BehaviorQuiet])
+
+	fmt.Printf("\nshard-parallel scan: %d shards on %d workers in %v (%d analyzer merges, %v merging)\n",
+		len(ps.Shards), ps.Workers, ps.Elapsed.Round(time.Millisecond),
+		ps.Merges, ps.MergeElapsed.Round(time.Microsecond))
+	var srows [][]string
+	for _, ss := range ps.Shards {
+		name := ss.Collector
+		if name == "" {
+			name = "(unnamed)"
+		}
+		srows = append(srows, []string{
+			name,
+			fmt.Sprintf("%d/%d", ss.Scan.PartitionsPruned, ss.Scan.Partitions),
+			fmt.Sprintf("%d/%d", ss.Scan.BlocksPruned, ss.Scan.Blocks),
+			strconv.Itoa(ss.Scan.BlocksDecoded),
+			byteSize(ss.Scan.BytesDecompressed),
+			strconv.Itoa(ss.Scan.Events),
+			ss.Elapsed.Round(time.Microsecond).String(),
+		})
+	}
+	fmt.Print(textplot.Table(
+		[]string{"shard", "parts pruned", "blocks pruned", "decoded", "inflated", "events", "time"}, srows))
+	printScanStats(ps.Total)
 	return nil
 }
 

@@ -5,7 +5,8 @@
 // collector would report. Every capture is a set of per-(collector, peer)
 // event sources, so scenarios can be ingested into the columnar store as
 // their own collector-days (-store) or cross-checked against the
-// materialized-trace and store-scan paths (-check).
+// materialized-trace, store-scan, and sharded-parallel-scan paths
+// (-check).
 //
 // Usage:
 //
@@ -20,6 +21,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/classify"
 	"repro/internal/evstore"
 	"repro/internal/router"
@@ -33,7 +35,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "concurrent scenarios (0 = GOMAXPROCS)")
 	seq := flag.Bool("seq", false, "also run the matrix sequentially and report the speedup")
 	storeDir := flag.String("store", "", "ingest every scenario as its own collector-day into this store")
-	check := flag.Bool("check", false, "verify streaming, materialized, and store round-trip paths classify identically")
+	check := flag.Bool("check", false, "verify streaming, materialized, store round-trip, and sharded-parallel paths classify identically")
 	flag.Parse()
 
 	day := time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC)
@@ -104,19 +106,21 @@ func main() {
 			fmt.Fprintf(os.Stderr, "simsweep: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Println("check: streaming, materialized, and store round-trip paths classify identically")
+		fmt.Println("check: streaming, materialized, store round-trip, and sharded-parallel paths classify identically")
 	}
 	if failed {
 		os.Exit(1)
 	}
 }
 
-// verifyPaths confirms all three analysis paths agree for every
+// verifyPaths confirms all four analysis paths agree for every
 // scenario: the streaming capture (reference counts from the sweep that
 // already ran), the materialized trace replayed through normalization
 // (which requires one observed re-run per scenario — engines are
-// deterministic, so the rerun reproduces the sweep's day exactly), and
-// a store ingest-then-scan round trip off the sweep's own captures.
+// deterministic, so the rerun reproduces the sweep's day exactly), a
+// store ingest-then-scan round trip off the sweep's own captures, and
+// a sharded-parallel scan (evstore.ScanParallel) of the same store,
+// which must be bit-identical to the sequential scan.
 func verifyPaths(matrix []simnet.Scenario, results []*simnet.Result) error {
 	dir, err := os.MkdirTemp("", "simsweep-check-*")
 	if err != nil {
@@ -154,6 +158,15 @@ func verifyPaths(matrix []simnet.Scenario, results []*simnet.Result) error {
 		if scanned != ref.Counts {
 			return fmt.Errorf("%s: store round-trip counts %+v != streaming %+v",
 				ref.Scenario.Name, scanned, ref.Counts)
+		}
+		parCounts := analysis.NewCounts()
+		if _, err := evstore.ScanParallel(dir,
+			evstore.Query{Collectors: []string{ref.Scenario.Name}}, nil, 4, parCounts); err != nil {
+			return fmt.Errorf("%s: parallel scan: %w", ref.Scenario.Name, err)
+		}
+		if parCounts.Counts != ref.Counts {
+			return fmt.Errorf("%s: sharded-parallel counts %+v != sequential %+v",
+				ref.Scenario.Name, parCounts.Counts, ref.Counts)
 		}
 	}
 	return nil

@@ -5,8 +5,12 @@
 // synthetic collector workloads, a scenario-sweep engine that runs whole
 // matrices of simulated collector days in parallel (internal/simnet over
 // internal/topo's line/star/lab/Internet shapes), a columnar event store
-// for ingest-once/analyze-many measurement (internal/evstore), and the
-// analyses behind every table and figure. See README.md for the layout
+// for ingest-once/analyze-many measurement (internal/evstore), and a
+// mergeable-analyzer engine behind every table and figure: each analysis
+// is an accumulator (Observe/Merge/Finish/Fresh), so N questions run in
+// one classification pass (analysis.RunAll) and shard-parallel over
+// collectors (stream.ParallelRun, evstore.ScanParallel) with results
+// bit-identical to the sequential pass. See README.md for the layout
 // and EXPERIMENTS.md for paper-versus-measured results; bench_test.go
 // regenerates each table and figure.
 package repro

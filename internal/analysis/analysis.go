@@ -4,16 +4,19 @@
 // mixes (Figure 3), per-path cumulative series (Figures 4/5), and the
 // revealed-community attribution (Figure 6).
 //
-// Every analysis is a single pass over a stream.EventSource; the
-// *Dataset-taking functions are thin wrappers that stream a materialized
-// workload.Dataset. MRT-archive-backed sources (pipeline.DirSources) and
-// lazily generated sources (workload.DaySources) drive the same analyses
-// without ever holding a full event slice.
+// Every analysis is a mergeable accumulator (Analyzer, see engine.go):
+// Observe folds classified events in, Merge combines shard accumulators,
+// Finish produces the table or figure. RunAll answers any number of
+// questions in ONE classification pass over a stream.EventSource, and the
+// same analyzers run shard-parallel via stream.ParallelRun or
+// evstore.ScanParallel. The historical *Stream functions are thin
+// wrappers (one analyzer, one pass); the *Dataset-taking functions
+// stream a materialized workload.Dataset.
 package analysis
 
 import (
 	"net/netip"
-	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/beacon"
@@ -49,6 +52,18 @@ type table1Accum struct {
 	peers    map[uint32]struct{}
 	comms    map[bgp.Community]struct{}
 	paths    map[string]struct{}
+	// pathKey is the reusable scratch for the paths-set key: the exact
+	// ASPath.String() bytes, rebuilt per event without allocating (the
+	// map only copies the key when a NEW unique path is inserted).
+	pathKey []byte
+	// lastSession/lastPrefix short-circuit the set inserts for the
+	// common per-session-ordered inputs (stream.Concat producers, store
+	// scans), where long runs of events share a session.
+	lastSession classify.SessionKey
+	haveSession bool
+	lastPeer    uint32
+	lastPrefix  netip.Prefix
+	havePrefix  bool
 }
 
 func newTable1Accum() *table1Accum {
@@ -64,12 +79,21 @@ func newTable1Accum() *table1Accum {
 }
 
 func (a *table1Accum) observe(e classify.Event) {
-	a.sessions[e.Session()] = struct{}{}
-	a.peers[e.PeerAS] = struct{}{}
-	if e.Prefix.Addr().Is4() {
-		a.v4[e.Prefix] = struct{}{}
-	} else {
-		a.v6[e.Prefix] = struct{}{}
+	if session := e.Session(); !a.haveSession || session != a.lastSession {
+		a.sessions[session] = struct{}{}
+		a.peers[e.PeerAS] = struct{}{}
+		a.lastSession, a.lastPeer, a.haveSession = session, e.PeerAS, true
+	} else if e.PeerAS != a.lastPeer {
+		a.peers[e.PeerAS] = struct{}{}
+		a.lastPeer = e.PeerAS
+	}
+	if !a.havePrefix || e.Prefix != a.lastPrefix {
+		if e.Prefix.Addr().Is4() {
+			a.v4[e.Prefix] = struct{}{}
+		} else {
+			a.v6[e.Prefix] = struct{}{}
+		}
+		a.lastPrefix, a.havePrefix = e.Prefix, true
 	}
 	if e.Withdraw {
 		a.t1.Withdrawals++
@@ -82,10 +106,45 @@ func (a *table1Accum) observe(e classify.Event) {
 			a.comms[c] = struct{}{}
 		}
 	}
-	for _, as := range e.ASPath.Flatten() {
-		a.ases[as] = struct{}{}
+	a.pathKey = appendPathKey(a.pathKey[:0], e.ASPath)
+	if _, ok := a.paths[string(a.pathKey)]; !ok {
+		a.paths[string(a.pathKey)] = struct{}{}
+		// A path-set miss is the only time this path's ASNs can be new:
+		// a known path already contributed its ASes.
+		for _, seg := range e.ASPath {
+			for _, as := range seg.ASNs {
+				a.ases[as] = struct{}{}
+			}
+		}
 	}
-	a.paths[e.ASPath.String()] = struct{}{}
+}
+
+// appendPathKey renders p exactly like bgp.ASPath.String into dst —
+// the hot-path form that reuses the caller's buffer instead of
+// allocating a string per event.
+func appendPathKey(dst []byte, p bgp.ASPath) []byte {
+	for i, s := range p {
+		if i > 0 {
+			dst = append(dst, ' ')
+		}
+		if s.Type == bgp.SegmentSet {
+			dst = append(dst, '{')
+		}
+		for j, a := range s.ASNs {
+			if j > 0 {
+				if s.Type == bgp.SegmentSet {
+					dst = append(dst, ',')
+				} else {
+					dst = append(dst, ' ')
+				}
+			}
+			dst = strconv.AppendUint(dst, uint64(a), 10)
+		}
+		if s.Type == bgp.SegmentSet {
+			dst = append(dst, '}')
+		}
+	}
+	return dst
 }
 
 func (a *table1Accum) finish() Table1 {
@@ -99,17 +158,27 @@ func (a *table1Accum) finish() Table1 {
 	return a.t1
 }
 
-// ComputeTable1Stream scans a source's in-window events in one pass
-// (inWindow nil counts everything).
-func ComputeTable1Stream(src stream.EventSource, inWindow func(classify.Event) bool) Table1 {
-	acc := newTable1Accum()
+// runPlain drives analyzers that ignore the classification result
+// (Table 1, Figure 6, the ingress/geo inferences) without paying for a
+// classifier state map: every in-window event is observed with the zero
+// Result.
+func runPlain(src stream.EventSource, inWindow func(classify.Event) bool, analyzers ...Analyzer) {
 	for e := range src {
 		if inWindow != nil && !inWindow(e) {
 			continue
 		}
-		acc.observe(e)
+		for _, a := range analyzers {
+			a.Observe(classify.Result{}, e)
+		}
 	}
-	return acc.finish()
+}
+
+// ComputeTable1Stream scans a source's in-window events in one pass
+// (inWindow nil counts everything).
+func ComputeTable1Stream(src stream.EventSource, inWindow func(classify.Event) bool) Table1 {
+	a := NewTable1()
+	runPlain(src, inWindow, a)
+	return a.Table1()
 }
 
 // ComputeTable1 scans the dataset's in-window events.
@@ -121,22 +190,10 @@ func ComputeTable1(ds *workload.Dataset) Table1 {
 // pass over the stream — the full §4–§5 measurement on archive-backed
 // sources that can only be read once.
 func Report(src stream.EventSource, inWindow func(classify.Event) bool) (Table1, classify.Counts) {
-	acc := newTable1Accum()
-	cl := classify.New()
-	var counts classify.Counts
-	for e := range src {
-		res, ok := cl.Observe(e)
-		if inWindow != nil && !inWindow(e) {
-			continue
-		}
-		acc.observe(e)
-		if !ok {
-			counts.Withdrawals++
-			continue
-		}
-		counts.Add(res)
-	}
-	return acc.finish(), counts
+	t1 := NewTable1()
+	counts := NewCounts()
+	RunAll(src, inWindow, t1, counts)
+	return t1.Table1(), counts.Counts
 }
 
 // ClassifyDataset runs the classifier over all events in order (warm-up
@@ -154,16 +211,28 @@ type Figure2Row struct {
 
 // Figure2Series generates and classifies one synthetic day per year over
 // [fromYear, toYear], the scaled-down analogue of Figure 2's quarterly
-// series. Each day streams session by session through the classifier
-// without being materialized or globally sorted.
+// series. Years are independent (each has its own generators and
+// classifier), so they run on a bounded worker pool; rows come back in
+// year order regardless of completion order.
 func Figure2Series(fromYear, toYear int) []Figure2Row {
-	var rows []Figure2Row
-	for y := fromYear; y <= toYear; y++ {
+	return Figure2SeriesWorkers(fromYear, toYear, 0)
+}
+
+// Figure2SeriesWorkers is Figure2Series with an explicit pool size
+// (<= 0 uses GOMAXPROCS; 1 is strictly sequential).
+func Figure2SeriesWorkers(fromYear, toYear, workers int) []Figure2Row {
+	n := toYear - fromYear + 1
+	if n <= 0 {
+		return nil
+	}
+	rows := make([]Figure2Row, n)
+	stream.ForEachIndexed(n, workers, func(i int) {
+		y := fromYear + i
 		cfg := workload.HistoricalDayConfig(y)
 		_, sources := workload.DaySources(cfg)
 		counts := stream.Classify(stream.Concat(sources...), cfg.InWindow)
-		rows = append(rows, Figure2Row{Year: y, Counts: counts})
-	}
+		rows[i] = Figure2Row{Year: y, Counts: counts}
+	})
 	return rows
 }
 
@@ -183,36 +252,9 @@ func (s SessionMix) Total() int { return s.Counts.Announcements() }
 // announcement count (the paper's stacked bars for 84.205.64.0/24 at
 // rrc00). The source must preserve per-session event order.
 func Figure3PerSessionStream(src stream.EventSource, inWindow func(classify.Event) bool, collector string, prefix netip.Prefix) []SessionMix {
-	cl := classify.New()
-	mixes := make(map[classify.SessionKey]*SessionMix)
-	for e := range src {
-		res, ok := cl.Observe(e)
-		if (inWindow != nil && !inWindow(e)) || e.Collector != collector || e.Prefix != prefix {
-			continue
-		}
-		key := e.Session()
-		m := mixes[key]
-		if m == nil {
-			m = &SessionMix{Session: key, PeerAS: e.PeerAS}
-			mixes[key] = m
-		}
-		if !ok {
-			m.Counts.Withdrawals++
-			continue
-		}
-		m.Counts.Add(res)
-	}
-	out := make([]SessionMix, 0, len(mixes))
-	for _, m := range mixes {
-		out = append(out, *m)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Total() != out[j].Total() {
-			return out[i].Total() > out[j].Total()
-		}
-		return out[i].Session.PeerAddr.Compare(out[j].Session.PeerAddr) < 0
-	})
-	return out
+	a := NewSessionMix(collector, prefix)
+	RunAll(src, inWindow, a)
+	return a.Mixes()
 }
 
 // Figure3PerSession is Figure3PerSessionStream over a materialized dataset.
@@ -238,23 +280,9 @@ type CumSeries struct {
 // CumulativeByPathStream classifies a source and extracts the
 // announcements of one session and prefix whose AS path matches pathStr.
 func CumulativeByPathStream(src stream.EventSource, inWindow func(classify.Event) bool, session classify.SessionKey, prefix netip.Prefix, pathStr string) CumSeries {
-	cl := classify.New()
-	var out CumSeries
-	for e := range src {
-		res, ok := cl.Observe(e)
-		if (inWindow != nil && !inWindow(e)) || e.Session() != session || e.Prefix != prefix {
-			continue
-		}
-		if !ok {
-			out.Withdrawals = append(out.Withdrawals, e.Time)
-			continue
-		}
-		if e.ASPath.String() != pathStr {
-			continue
-		}
-		out.Points = append(out.Points, CumPoint{Time: e.Time, Type: res.Type})
-	}
-	return out
+	a := NewCumulative(session, prefix, pathStr)
+	RunAll(src, inWindow, a)
+	return a.Series()
 }
 
 // CumulativeByPath is CumulativeByPathStream over a materialized dataset.
@@ -273,14 +301,9 @@ func (c CumSeries) TypeCounts() classify.Counts {
 
 // RevealedForStream runs the Figure 6 attribution over a beacon source.
 func RevealedForStream(src stream.EventSource, inWindow func(classify.Event) bool, sched beacon.Schedule) beacon.RevealedSummary {
-	tracker := beacon.NewRevealedTracker(sched)
-	for e := range src {
-		if (inWindow != nil && !inWindow(e)) || e.Withdraw {
-			continue
-		}
-		tracker.Observe(e.Time, e.Communities)
-	}
-	return tracker.Summary()
+	a := NewRevealed(sched)
+	runPlain(src, inWindow, a)
+	return a.Summary()
 }
 
 // RevealedForDataset runs the Figure 6 attribution over a beacon dataset.
@@ -295,15 +318,26 @@ type Figure6Row struct {
 }
 
 // Figure6Series generates beacon update streams per year and attributes
-// their community reveals, session by session without materializing.
+// their community reveals, one independent year per pool worker.
 func Figure6Series(fromYear, toYear int) []Figure6Row {
-	var rows []Figure6Row
-	for y := fromYear; y <= toYear; y++ {
+	return Figure6SeriesWorkers(fromYear, toYear, 0)
+}
+
+// Figure6SeriesWorkers is Figure6Series with an explicit pool size
+// (<= 0 uses GOMAXPROCS; 1 is strictly sequential).
+func Figure6SeriesWorkers(fromYear, toYear, workers int) []Figure6Row {
+	n := toYear - fromYear + 1
+	if n <= 0 {
+		return nil
+	}
+	rows := make([]Figure6Row, n)
+	stream.ForEachIndexed(n, workers, func(i int) {
+		y := fromYear + i
 		cfg := workload.HistoricalBeaconConfig(y)
 		_, sources := workload.BeaconSources(cfg)
 		summary := RevealedForStream(stream.Concat(sources...), cfg.InWindow, cfg.Schedule)
-		rows = append(rows, Figure6Row{Year: y, Summary: summary})
-	}
+		rows[i] = Figure6Row{Year: y, Summary: summary}
+	})
 	return rows
 }
 
@@ -332,16 +366,26 @@ type Figure2QuarterRow struct {
 }
 
 // Figure2SeriesQuarterly reproduces the paper's actual §4 sampling: one
-// day every three months across the year range (Figure 2's x axis).
+// day every three months across the year range (Figure 2's x axis),
+// each sampled day generated and classified on a bounded worker pool.
 func Figure2SeriesQuarterly(fromYear, toYear int) []Figure2QuarterRow {
-	var rows []Figure2QuarterRow
-	for y := fromYear; y <= toYear; y++ {
-		for q := 0; q < 4; q++ {
-			cfg := workload.HistoricalQuarterConfig(y, q)
-			_, sources := workload.DaySources(cfg)
-			counts := stream.Classify(stream.Concat(sources...), cfg.InWindow)
-			rows = append(rows, Figure2QuarterRow{Year: y, Quarter: q, Counts: counts})
-		}
+	return Figure2SeriesQuarterlyWorkers(fromYear, toYear, 0)
+}
+
+// Figure2SeriesQuarterlyWorkers is Figure2SeriesQuarterly with an
+// explicit pool size (<= 0 uses GOMAXPROCS; 1 is strictly sequential).
+func Figure2SeriesQuarterlyWorkers(fromYear, toYear, workers int) []Figure2QuarterRow {
+	n := 4 * (toYear - fromYear + 1)
+	if n <= 0 {
+		return nil
 	}
+	rows := make([]Figure2QuarterRow, n)
+	stream.ForEachIndexed(n, workers, func(i int) {
+		y, q := fromYear+i/4, i%4
+		cfg := workload.HistoricalQuarterConfig(y, q)
+		_, sources := workload.DaySources(cfg)
+		counts := stream.Classify(stream.Concat(sources...), cfg.InWindow)
+		rows[i] = Figure2QuarterRow{Year: y, Quarter: q, Counts: counts}
+	})
 	return rows
 }

@@ -2,9 +2,7 @@ package analysis
 
 import (
 	"fmt"
-	"sort"
 
-	"repro/internal/bgp"
 	"repro/internal/classify"
 	"repro/internal/stream"
 	"repro/internal/workload"
@@ -70,59 +68,9 @@ const (
 // InferPeerBehaviorStream classifies every session observed on a source
 // in one pass (inWindow nil considers everything).
 func InferPeerBehaviorStream(src stream.EventSource, inWindow func(classify.Event) bool) []PeerInference {
-	cl := classify.New()
-	type acc struct {
-		peerAS   uint32
-		total    int
-		withComm int
-		counts   classify.Counts
-	}
-	accs := make(map[classify.SessionKey]*acc)
-	for e := range src {
-		res, ok := cl.Observe(e)
-		if (inWindow != nil && !inWindow(e)) || !ok {
-			continue
-		}
-		key := e.Session()
-		a := accs[key]
-		if a == nil {
-			a = &acc{peerAS: e.PeerAS}
-			accs[key] = a
-		}
-		a.total++
-		if len(e.Communities) > 0 {
-			a.withComm++
-		}
-		a.counts.Add(res)
-	}
-
-	out := make([]PeerInference, 0, len(accs))
-	for key, a := range accs {
-		inf := PeerInference{
-			Session:       key,
-			PeerAS:        a.peerAS,
-			Announcements: a.total,
-			CommShare:     float64(a.withComm) / float64(a.total),
-			NCShare:       a.counts.Share(classify.NC),
-			NNShare:       a.counts.Share(classify.NN),
-		}
-		switch {
-		case inf.CommShare > commShareThreshold:
-			inf.Behavior = BehaviorPropagates
-		case inf.NNShare > nnShareThreshold:
-			inf.Behavior = BehaviorCleansEgress
-		default:
-			inf.Behavior = BehaviorQuiet
-		}
-		out = append(out, inf)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Session.Collector != out[j].Session.Collector {
-			return out[i].Session.Collector < out[j].Session.Collector
-		}
-		return out[i].Session.PeerAddr.Compare(out[j].Session.PeerAddr) < 0
-	})
-	return out
+	a := NewPeerBehavior()
+	RunAll(src, inWindow, a)
+	return a.Inferences()
 }
 
 // InferPeerBehavior classifies every session in the dataset.
@@ -180,43 +128,9 @@ type IngressInference struct {
 // (the generator's 2000-2999 value convention, mirroring real geo schemes
 // like AS3356's) per (peer, tagger) pair, in one pass over a source.
 func InferIngressLocationsStream(src stream.EventSource) []IngressInference {
-	type pairKey struct {
-		peerAS uint32
-		tagger uint16
-	}
-	locs := make(map[pairKey]map[bgp.Community]struct{})
-	for e := range src {
-		if e.Withdraw {
-			continue
-		}
-		for _, c := range e.Communities {
-			if c.Value() < 2000 || c.Value() > 2999 {
-				continue // not a city-level geo community
-			}
-			key := pairKey{peerAS: e.PeerAS, tagger: c.ASN()}
-			set := locs[key]
-			if set == nil {
-				set = make(map[bgp.Community]struct{})
-				locs[key] = set
-			}
-			set[c] = struct{}{}
-		}
-	}
-	out := make([]IngressInference, 0, len(locs))
-	for key, set := range locs {
-		out = append(out, IngressInference{
-			PeerAS:    key.peerAS,
-			TaggerAS:  key.tagger,
-			Locations: len(set),
-		})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].PeerAS != out[j].PeerAS {
-			return out[i].PeerAS < out[j].PeerAS
-		}
-		return out[i].TaggerAS < out[j].TaggerAS
-	})
-	return out
+	a := NewIngress()
+	runPlain(src, nil, a)
+	return a.Locations()
 }
 
 // InferIngressLocations is InferIngressLocationsStream over a dataset.

@@ -31,34 +31,9 @@ type GeoBreakdown struct {
 
 // GeoBreakdownStream scans a source for the route's announcements.
 func GeoBreakdownStream(src stream.EventSource, session classify.SessionKey, prefix string, pathStr string) GeoBreakdown {
-	cities := map[uint32]struct{}{}
-	countries := map[uint32]struct{}{}
-	regions := map[uint32]struct{}{}
-	other := map[uint32]struct{}{}
-	for e := range src {
-		if e.Withdraw || e.Session() != session || e.Prefix.String() != prefix || e.ASPath.String() != pathStr {
-			continue
-		}
-		for _, c := range e.Communities {
-			v := uint32(c)
-			switch {
-			case c.Value() >= 2000 && c.Value() <= 2999:
-				cities[v] = struct{}{}
-			case c.Value() >= 1000 && c.Value() <= 1999:
-				countries[v] = struct{}{}
-			case c.Value() >= 100 && c.Value() <= 199:
-				regions[v] = struct{}{}
-			default:
-				other[v] = struct{}{}
-			}
-		}
-	}
-	return GeoBreakdown{
-		Cities:    len(cities),
-		Countries: len(countries),
-		Regions:   len(regions),
-		Other:     len(other),
-	}
+	a := NewGeoBreakdown(session, prefix, pathStr)
+	runPlain(src, nil, a)
+	return a.Breakdown()
 }
 
 // GeoBreakdownFor scans the dataset for the route's announcements.

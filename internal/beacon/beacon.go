@@ -201,6 +201,16 @@ func (r *RevealedTracker) Observe(t time.Time, comms bgp.Communities) {
 	r.seen[key] |= m
 }
 
+// Merge absorbs another tracker's observations: each community
+// attribute's phase mask is OR-ed in. Observing a stream split across
+// two trackers and merging yields the same summary as one tracker
+// observing everything — the property behind shard-parallel Figure 6.
+func (r *RevealedTracker) Merge(other *RevealedTracker) {
+	for key, m := range other.seen {
+		r.seen[key] |= m
+	}
+}
+
 // RevealedSummary is the Figure 6 breakdown.
 type RevealedSummary struct {
 	Total             int // unique community attributes observed

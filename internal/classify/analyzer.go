@@ -1,0 +1,99 @@
+package classify
+
+import "iter"
+
+// Analyzer is a mergeable accumulator over a classified event stream —
+// the unit of the ask-many-questions-of-one-pass analysis engine. An
+// analyzer observes (classification, event) pairs, can absorb another
+// instance of its own type, and produces its result once the stream is
+// exhausted. N analyzers answer N questions in ONE classification pass
+// (RunAll), and shard-parallel runs (stream.ParallelRun,
+// evstore.ScanParallel) run a Fresh instance per shard and Merge.
+//
+// Contract:
+//
+//   - Observe is called for every tallied event. For withdrawals the
+//     Result is the zero value; analyzers must branch on e.Withdraw,
+//     not on the Result.
+//   - Merge(other) absorbs an accumulator of the same concrete type;
+//     implementations type-assert and may panic on a mismatch (it is a
+//     programming error, never a data condition). After the merge,
+//     other must not be used again.
+//   - Merge must be commutative and associative for any split of the
+//     event stream at (session, prefix)-stream-respecting boundaries:
+//     running Fresh analyzers over the shards and merging yields a
+//     state with results identical to one sequential pass. Shard
+//     boundaries that cut through a stream change classification
+//     itself (a fresh classifier re-Firsts the stream), so no analyzer
+//     can repair that; the engines only ever shard per collector.
+//   - Finish computes the result; it may sort internal state, so call
+//     it once, after all Observe/Merge calls.
+type Analyzer interface {
+	Observe(res Result, e Event)
+	Merge(other Analyzer)
+	Finish() any
+	Fresh() Analyzer
+}
+
+// RunAll drives one classifier over the events and fans every tallied
+// (result, event) pair out to all analyzers — N questions, one pass,
+// one classifier state map. Events outside inWindow (nil = everything)
+// still feed classifier state, matching the warm-up convention of the
+// day datasets; only in-window events reach the analyzers.
+func RunAll(events iter.Seq[Event], inWindow func(Event) bool, analyzers ...Analyzer) {
+	cl := New()
+	for e := range events {
+		res, _ := cl.Observe(e)
+		if inWindow != nil && !inWindow(e) {
+			continue
+		}
+		for _, a := range analyzers {
+			a.Observe(res, e)
+		}
+	}
+}
+
+// FreshAll returns a Fresh instance of each analyzer, in order — the
+// per-shard accumulator set of the parallel engines.
+func FreshAll(analyzers []Analyzer) []Analyzer {
+	fresh := make([]Analyzer, len(analyzers))
+	for i, a := range analyzers {
+		fresh[i] = a.Fresh()
+	}
+	return fresh
+}
+
+// MergeAll merges each shard accumulator into its prototype, pairwise
+// by position. The caller serializes concurrent MergeAll calls.
+func MergeAll(into, from []Analyzer) {
+	for i, a := range into {
+		a.Merge(from[i])
+	}
+}
+
+// CountsAnalyzer accumulates the Table 2 type counts — the Analyzer
+// form of stream.Classify, and the accumulator the parallel engines
+// merge per shard.
+type CountsAnalyzer struct {
+	Counts Counts
+}
+
+// Observe tallies one classified event.
+func (a *CountsAnalyzer) Observe(res Result, e Event) {
+	if e.Withdraw {
+		a.Counts.Withdrawals++
+		return
+	}
+	a.Counts.Add(res)
+}
+
+// Merge absorbs another CountsAnalyzer.
+func (a *CountsAnalyzer) Merge(other Analyzer) {
+	a.Counts.Merge(other.(*CountsAnalyzer).Counts)
+}
+
+// Finish returns the Counts.
+func (a *CountsAnalyzer) Finish() any { return a.Counts }
+
+// Fresh returns an empty CountsAnalyzer.
+func (a *CountsAnalyzer) Fresh() Analyzer { return &CountsAnalyzer{} }

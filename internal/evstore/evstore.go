@@ -34,6 +34,13 @@
 // ingest order), which preserves per-session event order — exactly
 // what classification and every *Stream analysis require — so a scan
 // plugs into the existing pipeline unchanged.
+//
+// ScanShards splits the same scan into independent per-collector
+// shards (a collector's full timeline stays in one shard, so
+// classifier state never crosses a shard boundary), and ScanParallel
+// decodes, classifies, and analyzes shards on a worker pool, merging
+// classify.Analyzer accumulators into results bit-identical to the
+// sequential scan.
 package evstore
 
 import (

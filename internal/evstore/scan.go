@@ -28,6 +28,18 @@ type ScanStats struct {
 	Events            int   // events yielded after the residual filter
 }
 
+// Add accumulates another scan's stats — per-shard stats summed over a
+// parallel run equal the sequential scan's.
+func (s *ScanStats) Add(o ScanStats) {
+	s.Partitions += o.Partitions
+	s.PartitionsPruned += o.PartitionsPruned
+	s.Blocks += o.Blocks
+	s.BlocksPruned += o.BlocksPruned
+	s.BlocksDecoded += o.BlocksDecoded
+	s.BytesDecompressed += o.BytesDecompressed
+	s.Events += o.Events
+}
+
 // compiledQuery precomputes the pushdown predicates of a Query.
 type compiledQuery struct {
 	q                Query
@@ -336,6 +348,12 @@ func listPartitions(dir string) ([]storeEntry, error) {
 	return entries, nil
 }
 
+// noPartitionsError is the shared empty-store error of Scan, Stat, and
+// ScanShards.
+func noPartitionsError(dir string) error {
+	return fmt.Errorf("evstore: no partitions in %s", dir)
+}
+
 // pruneByName applies the filename-level pushdown: collector and
 // day-window checks that skip a partition without opening it.
 func (cq *compiledQuery) pruneByName(e storeEntry) bool {
@@ -381,31 +399,40 @@ func ScanWithStats(dir string, q Query, errp *error, st *ScanStats) stream.Event
 			return
 		}
 		if len(entries) == 0 {
-			fail(fmt.Errorf("evstore: no partitions in %s", dir))
+			fail(noPartitionsError(dir))
 			return
 		}
 		cq := compileQuery(q)
 		var br blockReader
-		for _, e := range entries {
-			if st != nil {
-				st.Partitions++
-			}
-			if cq.pruneByName(e) {
-				if st != nil {
-					st.PartitionsPruned++
-				}
-				continue
-			}
-			more, err := scanPartition(e.path, cq, &br, st, yield)
-			if err != nil {
-				fail(err)
-				return
-			}
-			if !more {
-				return
-			}
+		if _, err := scanEntries(entries, cq, &br, st, yield); err != nil {
+			fail(err)
 		}
 	}
+}
+
+// scanEntries streams the matching events of a partition list through
+// one blockReader, applying the name-level prune and per-partition
+// scan; more reports whether the consumer wants to continue.
+func scanEntries(entries []storeEntry, cq *compiledQuery, br *blockReader, st *ScanStats, yield func(classify.Event) bool) (more bool, err error) {
+	for _, e := range entries {
+		if st != nil {
+			st.Partitions++
+		}
+		if cq.pruneByName(e) {
+			if st != nil {
+				st.PartitionsPruned++
+			}
+			continue
+		}
+		more, err := scanPartition(e.path, cq, br, st, yield)
+		if err != nil {
+			return false, err
+		}
+		if !more {
+			return false, nil
+		}
+	}
+	return true, nil
 }
 
 // scanPartition streams one partition's matching events; more reports
@@ -533,7 +560,7 @@ func Stat(dir string) ([]PartitionInfo, error) {
 		return nil, err
 	}
 	if len(entries) == 0 {
-		return nil, fmt.Errorf("evstore: no partitions in %s", dir)
+		return nil, noPartitionsError(dir)
 	}
 	infos := make([]PartitionInfo, 0, len(entries))
 	for _, e := range entries {

@@ -1,6 +1,9 @@
 package stream
 
 import (
+	"runtime"
+	"sync"
+
 	"repro/internal/classify"
 )
 
@@ -8,30 +11,52 @@ import (
 // amortizing channel synchronization without buffering whole collectors.
 const classifyBatchLen = 512
 
-// collectorWorker is one collector's classification shard.
-type collectorWorker struct {
-	ch  chan []classify.Event
-	buf []classify.Event
-}
-
-// ParallelClassify is Classify fanned out per collector in a single pass
-// over the source. Announcement streams are keyed by (session, prefix),
-// so collectors are independent classification domains; events are routed
-// to one worker goroutine per collector in small batches, and the merged
-// counts are identical to the sequential result. Unlike grouping the
-// events per collector up front, only the in-flight batches are buffered.
-func ParallelClassify(src EventSource, inWindow func(classify.Event) bool) classify.Counts {
-	workers := make(map[string]*collectorWorker)
-	results := make(chan classify.Counts)
+// ParallelRun fans a single mixed stream out per collector and runs any
+// analyzer set shard-parallel in one pass over the source. Announcement
+// streams are keyed by (session, prefix) and sessions never span
+// collectors, so collectors are independent classification domains:
+// each gets one worker goroutine with its own classifier and a Fresh
+// copy of every analyzer, fed in small batches as events stream by
+// (only the in-flight batches are ever buffered). When the source is
+// drained each worker merges its accumulators into the prototypes, so
+// results land in the analyzers the caller passed — identical to a
+// sequential RunAll for any analyzer with a commutative Merge.
+func ParallelRun(src EventSource, inWindow func(classify.Event) bool, analyzers ...classify.Analyzer) {
+	type worker struct {
+		ch  chan []classify.Event
+		buf []classify.Event
+	}
+	workers := make(map[string]*worker)
+	var wg sync.WaitGroup
+	var mu sync.Mutex // serializes merges into the prototypes
 	for e := range src {
 		w := workers[e.Collector]
 		if w == nil {
-			w = &collectorWorker{
+			w = &worker{
 				ch:  make(chan []classify.Event, 4),
 				buf: make([]classify.Event, 0, classifyBatchLen),
 			}
 			workers[e.Collector] = w
-			go classifyShard(w.ch, inWindow, results)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				locals := classify.FreshAll(analyzers)
+				cl := classify.New()
+				for batch := range w.ch {
+					for _, e := range batch {
+						res, _ := cl.Observe(e)
+						if inWindow != nil && !inWindow(e) {
+							continue
+						}
+						for _, a := range locals {
+							a.Observe(res, e)
+						}
+					}
+				}
+				mu.Lock()
+				classify.MergeAll(analyzers, locals)
+				mu.Unlock()
+			}()
 		}
 		w.buf = append(w.buf, e)
 		if len(w.buf) == classifyBatchLen {
@@ -45,30 +70,51 @@ func ParallelClassify(src EventSource, inWindow func(classify.Event) bool) class
 		}
 		close(w.ch)
 	}
-	var total classify.Counts
-	for range workers {
-		total.Merge(<-results)
-	}
-	return total
+	wg.Wait()
 }
 
-// classifyShard drains one collector's batches through a classifier and
-// reports its counts.
-func classifyShard(ch <-chan []classify.Event, inWindow func(classify.Event) bool, results chan<- classify.Counts) {
-	cl := classify.New()
-	var counts classify.Counts
-	for batch := range ch {
-		for _, e := range batch {
-			res, ok := cl.Observe(e)
-			if inWindow != nil && !inWindow(e) {
-				continue
-			}
-			if !ok {
-				counts.Withdrawals++
-				continue
-			}
-			counts.Add(res)
-		}
+// ParallelClassify is Classify fanned out per collector — a thin
+// wrapper running one CountsAnalyzer through ParallelRun. The merged
+// counts are identical to the sequential result.
+func ParallelClassify(src EventSource, inWindow func(classify.Event) bool) classify.Counts {
+	a := &classify.CountsAnalyzer{}
+	ParallelRun(src, inWindow, a)
+	return a.Counts
+}
+
+// ForEachIndexed runs n independent jobs on a bounded worker pool
+// (workers <= 0 uses GOMAXPROCS). Each job writes only its own result
+// slot, so output order is deterministic — parallel runs produce
+// results identical to sequential ones. The per-year figure series
+// (analysis.Figure2Series et al.) and concurrent windowed store
+// queries (examples/longitudinal) run on it.
+func ForEachIndexed(n, workers int, job func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	results <- counts
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				job(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
 }

@@ -262,6 +262,23 @@ func TestParallelClassifyMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestParallelRunMultipleAnalyzers checks the generic engine beneath
+// ParallelClassify: several analyzers fed from one parallel pass must
+// each match their sequential single-pass result.
+func TestParallelRunMultipleAnalyzers(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		evs := randomDayEvents(seed)
+		want := classifySeq(evs, nil)
+		a1, a2 := &classify.CountsAnalyzer{}, &classify.CountsAnalyzer{}
+		stream.ParallelRun(stream.FromSlice(evs), nil, a1, a2)
+		if a1.Counts != want || a2.Counts != want {
+			t.Fatalf("seed %d: parallel analyzers %+v / %+v != sequential %+v", seed, a1.Counts, a2.Counts, want)
+		}
+	}
+	// No analyzers at all must still drain the stream without hanging.
+	stream.ParallelRun(stream.FromSlice(randomDayEvents(3)), nil)
+}
+
 func TestClassifyMatchesReference(t *testing.T) {
 	evs := randomDayEvents(99)
 	want := classifySeq(evs, nil)
