@@ -2,6 +2,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net/netip"
 	"os"
@@ -683,7 +684,7 @@ func BenchmarkScanParallel(b *testing.B) {
 				t1a := analysis.NewTable1()
 				counts := analysis.NewCounts()
 				peers := analysis.NewPeerBehavior()
-				ps, err := evstore.ScanParallel(storeDir, evstore.Query{}, nil, workers, t1a, counts, peers)
+				ps, err := evstore.ScanParallel(context.Background(), storeDir, evstore.Query{}, nil, workers, t1a, counts, peers)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -29,6 +29,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -175,7 +176,7 @@ func runStore(dir, in, rsList string, year, days, workers int, analyzers ...anal
 			st.Events, st.Partitions, st.Blocks, time.Since(start).Round(time.Millisecond))
 	}
 
-	ps, err := evstore.ScanParallel(dir, evstore.Query{}, win.Predicate(), workers, analyzers...)
+	ps, err := evstore.ScanParallel(context.Background(), dir, evstore.Query{}, win.Predicate(), workers, analyzers...)
 	if err != nil {
 		return err
 	}

@@ -23,10 +23,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/netip"
 	"os"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -35,6 +38,7 @@ import (
 	"repro/internal/classify"
 	"repro/internal/evstore"
 	"repro/internal/pipeline"
+	"repro/internal/serve"
 	"repro/internal/stream"
 	"repro/internal/textplot"
 	"repro/internal/workload"
@@ -52,6 +56,8 @@ func main() {
 		err = runStat(os.Args[2:])
 	case "query":
 		err = runQuery(os.Args[2:])
+	case "snap":
+		err = runSnap(os.Args[2:])
 	default:
 		usage()
 	}
@@ -62,8 +68,73 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: evstore {ingest|stat|query} -store DIR [flags]")
+	fmt.Fprintln(os.Stderr, "usage: evstore {ingest|stat|query|snap} -store DIR [flags]")
 	os.Exit(2)
+}
+
+// runSnap builds or inspects the snapshot sidecars the serving daemon
+// (cmd/commservd) answers from: per sealed partition, the serialized
+// accumulator state of every registered analyzer plus the classifier
+// end state. Building is incremental — partitions with up-to-date
+// sidecars are not decoded.
+func runSnap(args []string) error {
+	fs := flag.NewFlagSet("snap", flag.ExitOnError)
+	store := fs.String("store", "", "store directory")
+	stat := fs.Bool("stat", false, "list sidecar coverage instead of building")
+	fs.Parse(args)
+	if *store == "" {
+		return fmt.Errorf("-store is required")
+	}
+	if *stat {
+		return snapStat(*store)
+	}
+	start := time.Now()
+	bs, err := evstore.BuildSnapshots(context.Background(), *store, serve.DefaultRegistry())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("snapshots: %d partitions, %d built, %d reused (%d events decoded) in %v\n",
+		bs.Partitions, bs.Built, bs.Reused, bs.Events, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// snapStat prints each partition's sidecar state.
+func snapStat(store string) error {
+	m, err := evstore.LoadManifest(store)
+	if err != nil {
+		return err
+	}
+	if len(m.Partitions) == 0 {
+		return fmt.Errorf("no partitions in %s", store)
+	}
+	var rows [][]string
+	covered := 0
+	for _, p := range m.Partitions {
+		snap, err := evstore.ReadSnapshot(p.Path)
+		switch {
+		case err != nil:
+			rows = append(rows, []string{filepath.Base(p.Path), "-", "-", "-", "missing"})
+		case snap.Size != p.Size:
+			rows = append(rows, []string{filepath.Base(p.Path), "-", "-", "-", "stale"})
+		default:
+			covered++
+			keys := make([]string, 0, len(snap.States))
+			for k := range snap.States {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			rows = append(rows, []string{
+				filepath.Base(p.Path),
+				strconv.Itoa(snap.Events),
+				byteSize(int64(len(snap.Classifier))),
+				strconv.Itoa(len(snap.States)),
+				strings.Join(keys, ","),
+			})
+		}
+	}
+	fmt.Printf("%d/%d partitions snapshotted\n", covered, len(m.Partitions))
+	fmt.Print(textplot.Table([]string{"partition", "events", "classifier", "states", "keys"}, rows))
+	return nil
 }
 
 func runIngest(args []string) error {
@@ -276,7 +347,7 @@ func runAnalyze(store string, q evstore.Query, workers int) error {
 	t1a := analysis.NewTable1()
 	counter := analysis.NewCounts()
 	peers := analysis.NewPeerBehavior()
-	ps, err := evstore.ScanParallel(store, q, nil, workers, t1a, counter, peers)
+	ps, err := evstore.ScanParallel(context.Background(), store, q, nil, workers, t1a, counter, peers)
 	if err != nil {
 		return err
 	}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -160,7 +161,7 @@ func verifyPaths(matrix []simnet.Scenario, results []*simnet.Result) error {
 				ref.Scenario.Name, scanned, ref.Counts)
 		}
 		parCounts := analysis.NewCounts()
-		if _, err := evstore.ScanParallel(dir,
+		if _, err := evstore.ScanParallel(context.Background(), dir,
 			evstore.Query{Collectors: []string{ref.Scenario.Name}}, nil, 4, parCounts); err != nil {
 			return fmt.Errorf("%s: parallel scan: %w", ref.Scenario.Name, err)
 		}

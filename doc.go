@@ -7,10 +7,16 @@
 // internal/topo's line/star/lab/Internet shapes), a columnar event store
 // for ingest-once/analyze-many measurement (internal/evstore), and a
 // mergeable-analyzer engine behind every table and figure: each analysis
-// is an accumulator (Observe/Merge/Finish/Fresh), so N questions run in
-// one classification pass (analysis.RunAll) and shard-parallel over
-// collectors (stream.ParallelRun, evstore.ScanParallel) with results
-// bit-identical to the sequential pass. See README.md for the layout
-// and EXPERIMENTS.md for paper-versus-measured results; bench_test.go
-// regenerates each table and figure.
+// is an accumulator (Observe/Merge/Finish/Fresh plus Snapshot/Restore
+// codecs), so N questions run in one classification pass
+// (analysis.RunAll), shard-parallel over collectors (stream.ParallelRun,
+// evstore.ScanParallel), or incrementally from persisted per-partition
+// snapshot sidecars — the serving layer (internal/serve, cmd/commservd)
+// keeps those snapshots warm as live ingest seals partitions and answers
+// windowed HTTP queries by merging precomputed states, scanning only the
+// partitions a window cuts through, behind an LRU result cache with
+// singleflight dedup. All paths produce results bit-identical to the
+// sequential pass. See README.md for the layout and EXPERIMENTS.md for
+// paper-versus-measured results; bench_test.go regenerates each table
+// and figure.
 package repro

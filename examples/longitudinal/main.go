@@ -1,157 +1,212 @@
-// Longitudinal regenerates the paper's ten-year series: the per-type
-// announcement counts of Figure 2 and the revealed-community ratio of
-// Figure 6, both over synthetic quarterly-style days from 2010 to 2020.
-// It then ingests the decade into a columnar event store and answers
-// the same per-year questions as windowed store queries — the paper's
-// ingest-once / analyze-many workflow, where predicate pushdown skips
-// every partition outside the queried year. Both passes exploit the
-// years' independence: regeneration runs on the analysis package's
-// figure-series worker pool, and the 11 windowed queries run
-// concurrently against the read-only store.
+// Longitudinal serves the paper's ten-year series (Figure 2) from a
+// warm query daemon instead of batch rescans. It ingests one synthetic
+// day per year from 2010 to 2020 into a columnar event store, starts
+// the serving layer in-process (snapshot sidecars per partition, LRU
+// cache, HTTP API — the same stack as cmd/commservd), and answers each
+// year's announcement-type counts as one windowed API query:
+//
+//	GET /v1/figure/2?year=Y
+//
+// Every answer merges precomputed per-partition analyzer snapshots —
+// no event is decoded for fully covered partitions — and is verified
+// bit-identical to a cold shard-parallel rescan of the full store
+// tallying the same calendar-year window. A second pass of the same 11
+// queries is absorbed by the result cache.
 //
 // Run with: go run ./examples/longitudinal
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
-	"runtime"
 	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/classify"
 	"repro/internal/evstore"
+	"repro/internal/serve"
 	"repro/internal/stream"
 	"repro/internal/textplot"
 	"repro/internal/workload"
 )
 
+const fromYear, toYear = 2010, 2020
+
 func main() {
-	fmt.Println("Figure 2 — announcements per type per synthetic day, 2010-2020:")
-	regenStart := time.Now()
-	rows := analysis.Figure2Series(2010, 2020)
-	regenElapsed := time.Since(regenStart)
-	var series []textplot.Series
-	for _, ty := range classify.Types() {
-		s := textplot.Series{Name: ty.String()}
-		for _, r := range rows {
-			s.Points = append(s.Points, float64(r.Counts.Of(ty)))
-		}
-		series = append(series, s)
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "longitudinal:", err)
+		os.Exit(1)
 	}
-	fmt.Print(textplot.Lines(series, 8))
-	fmt.Println("\nper-year type shares (the mix stays stable while volume grows):")
-	var tbl [][]string
-	for _, r := range rows {
-		row := []string{fmt.Sprint(r.Year), fmt.Sprint(r.Counts.Announcements())}
-		for _, ty := range classify.Types() {
-			row = append(row, fmt.Sprintf("%.1f%%", 100*r.Counts.Share(ty)))
-		}
-		tbl = append(tbl, row)
-	}
-	fmt.Print(textplot.Table([]string{"year", "total", "pc", "pn", "nc", "nn", "xc", "xn"}, tbl))
-
-	fmt.Println("\nFigure 6 — revealed community attributes during withdrawal phases:")
-	f6 := analysis.Figure6Series(2010, 2020)
-	var f6tbl [][]string
-	for _, r := range f6 {
-		f6tbl = append(f6tbl, []string{
-			fmt.Sprint(r.Year),
-			fmt.Sprint(r.Summary.Total),
-			fmt.Sprint(r.Summary.WithdrawalOnly),
-			fmt.Sprintf("%.2f", r.Summary.WithdrawalRatio),
-		})
-	}
-	fmt.Print(textplot.Table([]string{"year", "total attrs", "withdrawal-only", "ratio"}, f6tbl))
-	fmt.Println("\nthe ratio stays near 0.6 across the decade, as in the paper.")
-
-	storeVariant(rows, regenElapsed)
 }
 
-// storeVariant ingests the decade of synthetic days into an event store
-// once, then answers each year's Figure 2 row as a windowed store query.
-// Pushdown prunes the other years' partitions by file name alone, so a
-// one-year question reads roughly a tenth of the store — and none of the
-// generators re-run.
-func storeVariant(want []analysis.Figure2Row, regenElapsed time.Duration) {
-	fmt.Println("\nStore-backed variant — ingest once, answer windowed queries:")
+func run() error {
 	dir, err := os.MkdirTemp("", "longitudinal-store-")
 	if err != nil {
-		fmt.Println("  skipped:", err)
-		return
+		return err
 	}
 	defer os.RemoveAll(dir)
 
+	// Ingest the decade: one synthetic day per year, one pass each.
 	ingestStart := time.Now()
 	w, err := evstore.Open(dir)
 	if err != nil {
-		fmt.Println("  skipped:", err)
-		return
+		return err
 	}
-	for y := 2010; y <= 2020; y++ {
+	for y := fromYear; y <= toYear; y++ {
 		cfg := workload.HistoricalDayConfig(y)
 		_, sources := workload.DaySources(cfg)
 		if err := w.Ingest(stream.Concat(sources...)); err != nil {
-			fmt.Println("  ingest failed:", err)
-			return
+			return err
 		}
 	}
 	if err := w.Close(); err != nil {
-		fmt.Println("  ingest failed:", err)
-		return
+		return err
 	}
 	st := w.Stats()
-	fmt.Printf("  ingested %d events into %d partitions (%d blocks) in %v\n",
+	fmt.Printf("ingested %d events into %d partitions (%d blocks) in %v\n",
 		st.Events, st.Partitions, st.Blocks, time.Since(ingestStart).Round(time.Millisecond))
 
-	// The 11 yearly questions are independent windowed queries over a
-	// read-only store, so they run concurrently on the analysis
-	// package's bounded pool — each writes only its own result slot,
-	// keeping the printed table in year order regardless of completion
-	// order.
-	queryStart := time.Now()
-	const years = 11
-	type yearResult struct {
-		counts classify.Counts
-		stats  evstore.ScanStats
-		err    error
+	// Warm the daemon: build the snapshot index and serve over HTTP.
+	warmStart := time.Now()
+	s, bs, err := serve.New(context.Background(), serve.Config{Dir: dir})
+	if err != nil {
+		return err
 	}
-	results := make([]yearResult, years)
-	workers := min(runtime.GOMAXPROCS(0), years)
-	stream.ForEachIndexed(years, workers, func(i int) {
-		cfg := workload.HistoricalDayConfig(2010 + i)
-		// The window covers the day plus its warm-up eve and spillover
-		// morning, so the classifier sees exactly the events the direct
-		// path generated; cfg.InWindow still picks what is tallied.
-		q := evstore.Query{Window: evstore.TimeRange{
-			From: cfg.Day.Add(-24 * time.Hour),
-			To:   cfg.Day.Add(48 * time.Hour),
-		}}
-		r := &results[i]
-		r.counts = stream.Classify(evstore.ScanWithStats(dir, q, &r.err, &r.stats), cfg.InWindow)
-	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("daemon warm: %d sidecars built (%d events decoded once) in %v, serving on %s\n\n",
+		bs.Built, bs.Events, time.Since(warmStart).Round(time.Millisecond), base)
 
-	var tbl [][]string
-	var totalStats evstore.ScanStats
-	for i, r := range results {
-		if r.err != nil {
-			fmt.Println("  query failed:", r.err)
-			return
+	// The 11 yearly questions as API queries against the warm daemon.
+	type yearAnswer struct {
+		total   int
+		byType  map[string]int
+		source  string
+		elapsed time.Duration
+	}
+	queryYear := func(y int) (yearAnswer, error) {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/figure/2?year=%d", base, y))
+		if err != nil {
+			return yearAnswer{}, err
 		}
+		defer resp.Body.Close()
+		var env struct {
+			Source  string        `json:"source"`
+			Elapsed time.Duration `json:"elapsed_ns"`
+			Data    []struct {
+				Year   int `json:"year"`
+				Total  int `json:"total"`
+				Counts struct {
+					ByType      map[string]int `json:"by_type"`
+					Withdrawals int            `json:"withdrawals"`
+				} `json:"counts"`
+			} `json:"data"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			return yearAnswer{}, err
+		}
+		if resp.StatusCode != http.StatusOK || len(env.Data) != 1 {
+			return yearAnswer{}, fmt.Errorf("year %d: HTTP %d", y, resp.StatusCode)
+		}
+		return yearAnswer{
+			total:   env.Data[0].Total,
+			byType:  env.Data[0].Counts.ByType,
+			source:  env.Source,
+			elapsed: env.Elapsed,
+		}, nil
+	}
+
+	const years = toYear - fromYear + 1
+	apiStart := time.Now()
+	answers := make([]yearAnswer, years)
+	for i := range answers {
+		if answers[i], err = queryYear(fromYear + i); err != nil {
+			return err
+		}
+	}
+	apiElapsed := time.Since(apiStart)
+
+	// Full-rescan baseline: the same 11 questions each answered by a
+	// cold shard-parallel scan of the ENTIRE store (decode + classify
+	// everything, tally the year) — the pre-daemon cost of a question.
+	rescanStart := time.Now()
+	refs := make([]classify.Counts, years)
+	for i := range refs {
+		y := fromYear + i
+		win := evstore.TimeRange{
+			From: time.Date(y, 1, 1, 0, 0, 0, 0, time.UTC),
+			To:   time.Date(y+1, 1, 1, 0, 0, 0, 0, time.UTC),
+		}
+		counts := analysis.NewCounts()
+		if _, err := evstore.ScanParallel(context.Background(), dir, evstore.Query{},
+			func(e classify.Event) bool { return win.Contains(e.Time) }, 0, counts); err != nil {
+			return err
+		}
+		refs[i] = counts.Counts
+	}
+	rescanElapsed := time.Since(rescanStart)
+
+	fmt.Println("Figure 2 — per-year counts served from partition snapshots:")
+	var tbl [][]string
+	for i, a := range answers {
+		ref := refs[i]
 		match := "=="
-		if r.counts != want[i].Counts {
+		if a.total != ref.Announcements() || !typesEqual(a.byType, ref) {
 			match = "DIVERGES"
 		}
-		totalStats.Add(r.stats)
+		share := 0.0
+		if a.total > 0 {
+			share = float64(a.byType["nc"]+a.byType["nn"]) / float64(a.total)
+		}
 		tbl = append(tbl, []string{
-			fmt.Sprint(2010 + i),
-			fmt.Sprint(r.counts.Announcements()),
-			fmt.Sprintf("%.1f%%", 100*r.counts.NoPathChangeShare()),
+			fmt.Sprint(fromYear + i),
+			fmt.Sprint(a.total),
+			fmt.Sprintf("%.1f%%", 100*share),
+			a.source,
+			a.elapsed.Round(time.Microsecond).String(),
 			match,
 		})
 	}
-	fmt.Print(textplot.Table([]string{"year", "total", "nc+nn", "vs regenerated"}, tbl))
-	fmt.Printf("  11 windowed queries on %d workers in %v (regeneration pass: %v); pushdown pruned %d/%d partition reads\n",
-		workers, time.Since(queryStart).Round(time.Millisecond), regenElapsed.Round(time.Millisecond),
-		totalStats.PartitionsPruned, totalStats.Partitions)
+	fmt.Print(textplot.Table([]string{"year", "total", "nc+nn", "source", "compute", "vs full rescan"}, tbl))
+
+	// Second pass: the cache absorbs the identical queries.
+	cachedStart := time.Now()
+	for i := range answers {
+		a, err := queryYear(fromYear + i)
+		if err != nil {
+			return err
+		}
+		if a.source != "cache" {
+			return fmt.Errorf("repeat year %d served from %s, want cache", fromYear+i, a.source)
+		}
+	}
+	cachedElapsed := time.Since(cachedStart)
+
+	fmt.Printf("\n%d API queries warm: %v  |  full rescans: %v (%.0fx)  |  repeat pass (cached): %v\n",
+		years, apiElapsed.Round(time.Millisecond), rescanElapsed.Round(time.Millisecond),
+		float64(rescanElapsed)/float64(apiElapsed), cachedElapsed.Round(time.Millisecond))
+	stats := s.Stats()
+	fmt.Printf("daemon: %d queries, cache %d/%d hit, %d partitions fully snapshotted\n",
+		stats.Queries, stats.Cache.Hits, stats.Cache.Hits+stats.Cache.Misses, stats.Snapshotted)
+	return nil
+}
+
+// typesEqual compares the served per-type counts against the rescan's.
+func typesEqual(got map[string]int, want classify.Counts) bool {
+	for _, ty := range classify.Types() {
+		if got[ty.String()] != want.Of(ty) {
+			return false
+		}
+	}
+	return true
 }

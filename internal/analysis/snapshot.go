@@ -1,0 +1,312 @@
+package analysis
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/classify"
+	"repro/internal/wire"
+)
+
+// Snapshot/Restore implementations for every analyzer in this package.
+// A snapshot encodes accumulator STATE only; configuration (the
+// collector/prefix/route/schedule an analyzer was constructed for)
+// lives in the instance Restore is called on, so snapshots are only
+// meaningful restored into a same-configured analyzer — the snapshot
+// index keys sidecar entries by a name that includes the configuration
+// for exactly that reason. All codecs satisfy the Analyzer contract:
+// Restore(Snapshot(s)) reproduces s's results bit-identically, and
+// restored snapshots merge like live accumulators.
+
+func snapErr(what string, r *wire.Reader) error {
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("analysis: %s snapshot: %w", what, err)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Table 1
+// ---------------------------------------------------------------------------
+
+// Snapshot appends the overview counters and distinct-value sets.
+func (a *Table1Analyzer) Snapshot(dst []byte) []byte {
+	acc := a.acc
+	dst = wire.AppendVarint(dst, int64(acc.t1.Announcements))
+	dst = wire.AppendVarint(dst, int64(acc.t1.Withdrawals))
+	dst = wire.AppendVarint(dst, int64(acc.t1.WithCommunities))
+	dst = wire.AppendUvarint(dst, uint64(len(acc.v4)))
+	for p := range acc.v4 {
+		dst = wire.AppendPrefix(dst, p)
+	}
+	dst = wire.AppendUvarint(dst, uint64(len(acc.v6)))
+	for p := range acc.v6 {
+		dst = wire.AppendPrefix(dst, p)
+	}
+	dst = wire.AppendUvarint(dst, uint64(len(acc.ases)))
+	for as := range acc.ases {
+		dst = wire.AppendUvarint(dst, uint64(as))
+	}
+	dst = wire.AppendUvarint(dst, uint64(len(acc.sessions)))
+	for s := range acc.sessions {
+		dst = classify.AppendSessionKey(dst, s)
+	}
+	dst = wire.AppendUvarint(dst, uint64(len(acc.peers)))
+	for as := range acc.peers {
+		dst = wire.AppendUvarint(dst, uint64(as))
+	}
+	dst = wire.AppendUvarint(dst, uint64(len(acc.comms)))
+	for c := range acc.comms {
+		dst = wire.AppendUvarint(dst, uint64(c))
+	}
+	dst = wire.AppendUvarint(dst, uint64(len(acc.paths)))
+	for p := range acc.paths {
+		dst = wire.AppendString(dst, p)
+	}
+	return dst
+}
+
+// Restore replaces the accumulated overview with a snapshot's.
+func (a *Table1Analyzer) Restore(src []byte) error {
+	r := wire.NewReader(src)
+	acc := newTable1Accum()
+	acc.t1.Announcements = r.Int()
+	acc.t1.Withdrawals = r.Int()
+	acc.t1.WithCommunities = r.Int()
+	for i, n := 0, r.Count(1); i < n; i++ {
+		acc.v4[r.Prefix()] = struct{}{}
+	}
+	for i, n := 0, r.Count(1); i < n; i++ {
+		acc.v6[r.Prefix()] = struct{}{}
+	}
+	for i, n := 0, r.Count(1); i < n; i++ {
+		acc.ases[r.Uint32()] = struct{}{}
+	}
+	for i, n := 0, r.Count(1); i < n; i++ {
+		acc.sessions[classify.ReadSessionKey(r)] = struct{}{}
+	}
+	for i, n := 0, r.Count(1); i < n; i++ {
+		acc.peers[r.Uint32()] = struct{}{}
+	}
+	for i, n := 0, r.Count(1); i < n; i++ {
+		acc.comms[bgp.Community(r.Uint32())] = struct{}{}
+	}
+	for i, n := 0, r.Count(1); i < n; i++ {
+		acc.paths[r.String()] = struct{}{}
+	}
+	if err := snapErr("table1", r); err != nil {
+		return err
+	}
+	a.acc = acc
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3 — per-session type mix
+// ---------------------------------------------------------------------------
+
+// Snapshot appends the per-session mixes (configuration — collector and
+// prefix — is not encoded).
+func (a *SessionMixAnalyzer) Snapshot(dst []byte) []byte {
+	dst = wire.AppendUvarint(dst, uint64(len(a.mixes)))
+	for key, m := range a.mixes {
+		dst = classify.AppendSessionKey(dst, key)
+		dst = wire.AppendUvarint(dst, uint64(m.PeerAS))
+		dst = classify.AppendCounts(dst, m.Counts)
+	}
+	return dst
+}
+
+// Restore replaces the per-session mixes with a snapshot's.
+func (a *SessionMixAnalyzer) Restore(src []byte) error {
+	r := wire.NewReader(src)
+	n := r.Count(2)
+	mixes := make(map[classify.SessionKey]*SessionMix, n)
+	for i := 0; i < n; i++ {
+		key := classify.ReadSessionKey(r)
+		m := &SessionMix{Session: key, PeerAS: r.Uint32()}
+		m.Counts = classify.ReadCounts(r)
+		if r.Err() != nil {
+			break
+		}
+		mixes[key] = m
+	}
+	if err := snapErr("session mix", r); err != nil {
+		return err
+	}
+	a.mixes = mixes
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Figures 4/5 — cumulative announcements by path
+// ---------------------------------------------------------------------------
+
+// Snapshot appends the series points and withdrawal instants in order.
+func (a *CumulativeAnalyzer) Snapshot(dst []byte) []byte {
+	dst = wire.AppendUvarint(dst, uint64(len(a.series.Points)))
+	for _, p := range a.series.Points {
+		dst = wire.AppendTime(dst, p.Time)
+		dst = wire.AppendUvarint(dst, uint64(p.Type))
+	}
+	dst = wire.AppendUvarint(dst, uint64(len(a.series.Withdrawals)))
+	for _, t := range a.series.Withdrawals {
+		dst = wire.AppendTime(dst, t)
+	}
+	return dst
+}
+
+// Restore replaces the series with a snapshot's.
+func (a *CumulativeAnalyzer) Restore(src []byte) error {
+	r := wire.NewReader(src)
+	var series CumSeries
+	if n := r.Count(2); n > 0 {
+		series.Points = make([]CumPoint, 0, n)
+		for i := 0; i < n; i++ {
+			series.Points = append(series.Points, CumPoint{
+				Time: r.Time(),
+				Type: classify.Type(r.Uvarint()),
+			})
+		}
+	}
+	if n := r.Count(1); n > 0 {
+		series.Withdrawals = make([]time.Time, 0, n)
+		for i := 0; i < n; i++ {
+			series.Withdrawals = append(series.Withdrawals, r.Time())
+		}
+	}
+	if err := snapErr("cumulative", r); err != nil {
+		return err
+	}
+	a.series = series
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6 — revealed community attributes
+// ---------------------------------------------------------------------------
+
+// Snapshot appends the tracker state (the schedule is configuration).
+func (a *RevealedAnalyzer) Snapshot(dst []byte) []byte {
+	return a.tracker.Snapshot(dst)
+}
+
+// Restore replaces the tracker state with a snapshot's.
+func (a *RevealedAnalyzer) Restore(src []byte) error {
+	return a.tracker.Restore(src)
+}
+
+// ---------------------------------------------------------------------------
+// §7 — peer behaviour inference
+// ---------------------------------------------------------------------------
+
+// Snapshot appends the per-session evidence.
+func (a *PeerBehaviorAnalyzer) Snapshot(dst []byte) []byte {
+	dst = wire.AppendUvarint(dst, uint64(len(a.accs)))
+	for key, acc := range a.accs {
+		dst = classify.AppendSessionKey(dst, key)
+		dst = wire.AppendUvarint(dst, uint64(acc.peerAS))
+		dst = wire.AppendVarint(dst, int64(acc.total))
+		dst = wire.AppendVarint(dst, int64(acc.withComm))
+		dst = classify.AppendCounts(dst, acc.counts)
+	}
+	return dst
+}
+
+// Restore replaces the per-session evidence with a snapshot's.
+func (a *PeerBehaviorAnalyzer) Restore(src []byte) error {
+	r := wire.NewReader(src)
+	n := r.Count(2)
+	accs := make(map[classify.SessionKey]*peerAcc, n)
+	for i := 0; i < n; i++ {
+		key := classify.ReadSessionKey(r)
+		acc := &peerAcc{peerAS: r.Uint32(), total: r.Int(), withComm: r.Int()}
+		acc.counts = classify.ReadCounts(r)
+		if r.Err() != nil {
+			break
+		}
+		accs[key] = acc
+	}
+	if err := snapErr("peer behavior", r); err != nil {
+		return err
+	}
+	a.accs = accs
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// §7 — ingress location inference
+// ---------------------------------------------------------------------------
+
+// Snapshot appends the per-(peer, tagger) community sets.
+func (a *IngressAnalyzer) Snapshot(dst []byte) []byte {
+	dst = wire.AppendUvarint(dst, uint64(len(a.locs)))
+	for key, set := range a.locs {
+		dst = wire.AppendUvarint(dst, uint64(key.peerAS))
+		dst = wire.AppendUvarint(dst, uint64(key.tagger))
+		dst = wire.AppendUvarint(dst, uint64(len(set)))
+		for c := range set {
+			dst = wire.AppendUvarint(dst, uint64(c))
+		}
+	}
+	return dst
+}
+
+// Restore replaces the location sets with a snapshot's.
+func (a *IngressAnalyzer) Restore(src []byte) error {
+	r := wire.NewReader(src)
+	n := r.Count(2)
+	locs := make(map[ingressKey]map[bgp.Community]struct{}, n)
+	for i := 0; i < n; i++ {
+		key := ingressKey{peerAS: r.Uint32(), tagger: uint16(r.Uvarint())}
+		m := r.Count(1)
+		set := make(map[bgp.Community]struct{}, m)
+		for j := 0; j < m; j++ {
+			set[bgp.Community(r.Uint32())] = struct{}{}
+		}
+		if r.Err() != nil {
+			break
+		}
+		locs[key] = set
+	}
+	if err := snapErr("ingress", r); err != nil {
+		return err
+	}
+	a.locs = locs
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// §6 — geo community breakdown
+// ---------------------------------------------------------------------------
+
+// Snapshot appends the four category sets (the route configuration is
+// not encoded).
+func (a *GeoBreakdownAnalyzer) Snapshot(dst []byte) []byte {
+	for i := range a.sets {
+		dst = wire.AppendUvarint(dst, uint64(len(a.sets[i])))
+		for v := range a.sets[i] {
+			dst = wire.AppendUvarint(dst, uint64(v))
+		}
+	}
+	return dst
+}
+
+// Restore replaces the category sets with a snapshot's.
+func (a *GeoBreakdownAnalyzer) Restore(src []byte) error {
+	r := wire.NewReader(src)
+	var sets [4]map[uint32]struct{}
+	for i := range sets {
+		n := r.Count(1)
+		sets[i] = make(map[uint32]struct{}, n)
+		for j := 0; j < n; j++ {
+			sets[i][r.Uint32()] = struct{}{}
+		}
+	}
+	if err := snapErr("geo breakdown", r); err != nil {
+		return err
+	}
+	a.sets = sets
+	return nil
+}

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/stream"
+)
+
+// TestSnapshotRoundTrip pins the codec property behind the snapshot
+// index: for EVERY analyzer, Snapshot then Restore into a Fresh
+// instance reproduces Finish bit-identically — including the empty
+// accumulator, whose snapshot must restore cleanly too.
+func TestSnapshotRoundTrip(t *testing.T) {
+	sources, protos := mergeLawFixture(t)
+
+	// Empty round trip first: a partition with no in-window events
+	// still writes a snapshot.
+	for _, p := range protos {
+		empty := p.Fresh()
+		restored := p.Fresh()
+		if err := restored.Restore(empty.Snapshot(nil)); err != nil {
+			t.Fatalf("%T: empty restore: %v", p, err)
+		}
+		if got, want := restored.Finish(), p.Fresh().Finish(); !reflect.DeepEqual(got, want) {
+			t.Errorf("%T: empty round trip diverged: %+v != %+v", p, got, want)
+		}
+	}
+
+	run := classify.FreshAll(protos)
+	RunAll(stream.Concat(sources...), nil, run...)
+	for i, a := range run {
+		snap := a.Snapshot(nil)
+		restored := protos[i].Fresh()
+		if err := restored.Restore(snap); err != nil {
+			t.Fatalf("%T: restore: %v", a, err)
+		}
+		if got, want := restored.Finish(), a.Finish(); !reflect.DeepEqual(got, want) {
+			t.Errorf("%T: round trip diverged:\n got %+v\nwant %+v", a, got, want)
+		}
+	}
+}
+
+// TestSnapshotMergeEquivalence is the property the serving layer's
+// snapshot-merge answering rests on: restoring per-shard snapshots and
+// merging them (in any order) equals one sequential pass — i.e.
+// persisted accumulators behave exactly like live ones under Merge.
+func TestSnapshotMergeEquivalence(t *testing.T) {
+	sources, protos := mergeLawFixture(t)
+
+	want := make([]any, len(protos))
+	seq := classify.FreshAll(protos)
+	RunAll(stream.Concat(sources...), nil, seq...)
+	for i, a := range seq {
+		want[i] = a.Finish()
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 6; trial++ {
+		nshards := 1 + rng.Intn(len(sources)+2)
+		groups := make([][]stream.EventSource, nshards)
+		for _, src := range sources {
+			g := rng.Intn(nshards)
+			groups[g] = append(groups[g], src)
+		}
+
+		// Each shard's accumulators take a snapshot → restore detour
+		// before merging, as if they had crossed a process boundary.
+		snaps := make([][][]byte, nshards)
+		for g, group := range groups {
+			accs := classify.FreshAll(protos)
+			RunAll(stream.Concat(group...), nil, accs...)
+			snaps[g] = make([][]byte, len(accs))
+			for i, a := range accs {
+				snaps[g][i] = a.Snapshot(nil)
+			}
+		}
+
+		merged := classify.FreshAll(protos)
+		for _, g := range rng.Perm(nshards) {
+			restored := classify.FreshAll(protos)
+			for i, snap := range snaps[g] {
+				if err := restored[i].Restore(snap); err != nil {
+					t.Fatalf("trial %d: %T restore: %v", trial, protos[i], err)
+				}
+			}
+			classify.MergeAll(merged, restored)
+		}
+		for i, a := range merged {
+			if got := a.Finish(); !reflect.DeepEqual(got, want[i]) {
+				t.Errorf("trial %d (%d shards): %T snapshot-merge diverged:\n got %+v\nwant %+v",
+					trial, nshards, protos[i], got, want[i])
+			}
+		}
+	}
+}
+
+// TestSnapshotRestoreRejectsCorrupt pins the decoder's safety net: a
+// truncated snapshot must error, never panic or half-apply.
+func TestSnapshotRestoreRejectsCorrupt(t *testing.T) {
+	sources, protos := mergeLawFixture(t)
+	run := classify.FreshAll(protos)
+	RunAll(stream.Concat(sources...), nil, run...)
+	for i, a := range run {
+		snap := a.Snapshot(nil)
+		if len(snap) < 2 {
+			continue
+		}
+		before := protos[i].Fresh()
+		RunAll(stream.Concat(sources[:1]...), nil, before)
+		wantFinish := before.Finish()
+		if err := before.Restore(snap[:len(snap)/2]); err == nil {
+			// Some truncation points still parse (length-prefixed maps can
+			// cut cleanly between entries at degenerate sizes) — but the
+			// common case must error; check at least one byte-level cut does.
+			if err2 := before.Restore(snap[:1]); err2 == nil {
+				t.Errorf("%T: truncated snapshot restored without error", a)
+			}
+			continue
+		}
+		// A failed restore must leave the previous state intact.
+		if got := before.Finish(); !reflect.DeepEqual(got, wantFinish) {
+			t.Errorf("%T: failed restore mutated state", a)
+		}
+	}
+}

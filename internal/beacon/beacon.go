@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/bgp"
+	"repro/internal/wire"
 )
 
 // Schedule describes a beacon's periodic announce/withdraw pattern. RIPE
@@ -209,6 +210,40 @@ func (r *RevealedTracker) Merge(other *RevealedTracker) {
 	for key, m := range other.seen {
 		r.seen[key] |= m
 	}
+}
+
+// Snapshot appends the tracker's state — each community attribute key
+// with its phase mask — so accumulated attributions can persist beside
+// the event partitions they came from.
+func (r *RevealedTracker) Snapshot(dst []byte) []byte {
+	dst = wire.AppendUvarint(dst, uint64(len(r.seen)))
+	for key, m := range r.seen {
+		dst = wire.AppendString(dst, key)
+		dst = append(dst, byte(m))
+	}
+	return dst
+}
+
+// Restore replaces the tracker's state with a snapshot's. The schedule
+// is configuration, not state: it must match the one the snapshot was
+// observed under.
+func (r *RevealedTracker) Restore(src []byte) error {
+	rd := wire.NewReader(src)
+	n := rd.Count(2)
+	seen := make(map[string]phaseMask, n)
+	for i := 0; i < n; i++ {
+		key := rd.String()
+		m := rd.Bytes(1)
+		if rd.Err() != nil {
+			break
+		}
+		seen[key] = phaseMask(m[0])
+	}
+	if err := rd.Err(); err != nil {
+		return fmt.Errorf("beacon: revealed snapshot: %w", err)
+	}
+	r.seen = seen
+	return nil
 }
 
 // RevealedSummary is the Figure 6 breakdown.

@@ -28,11 +28,22 @@ import "iter"
 //     can repair that; the engines only ever shard per collector.
 //   - Finish computes the result; it may sort internal state, so call
 //     it once, after all Observe/Merge calls.
+//   - Snapshot appends a serialized encoding of the accumulator state
+//     to dst; Restore replaces the state from a snapshot taken by the
+//     same concrete type with the same configuration (analyzers with
+//     constructor parameters encode only state, not configuration).
+//     Restore(Snapshot(s)) followed by Finish yields results identical
+//     to Finish on s, and restoring shard snapshots then merging equals
+//     the merge of the live accumulators — together these make
+//     accumulator state persistable (the evstore snapshot sidecars)
+//     and mergeable across process boundaries.
 type Analyzer interface {
 	Observe(res Result, e Event)
 	Merge(other Analyzer)
 	Finish() any
 	Fresh() Analyzer
+	Snapshot(dst []byte) []byte
+	Restore(src []byte) error
 }
 
 // RunAll drives one classifier over the events and fans every tallied

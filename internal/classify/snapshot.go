@@ -1,0 +1,111 @@
+package classify
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// This file holds the persistence codecs of the analysis engine: the
+// Counts and SessionKey wire forms shared by every analyzer snapshot,
+// the CountsAnalyzer Snapshot/Restore implementation, and the
+// Classifier state codec that lets a scan resume classification midway
+// through a collector's timeline (the evstore snapshot sidecars store
+// one classifier state per partition for exactly that).
+
+// AppendCounts appends the wire form of a Counts.
+func AppendCounts(dst []byte, c Counts) []byte {
+	for _, v := range c.ByType {
+		dst = wire.AppendVarint(dst, int64(v))
+	}
+	dst = wire.AppendVarint(dst, int64(c.Withdrawals))
+	return wire.AppendVarint(dst, int64(c.MEDOnlyNN))
+}
+
+// ReadCounts reads an AppendCounts encoding.
+func ReadCounts(r *wire.Reader) Counts {
+	var c Counts
+	for i := range c.ByType {
+		c.ByType[i] = r.Int()
+	}
+	c.Withdrawals = r.Int()
+	c.MEDOnlyNN = r.Int()
+	return c
+}
+
+// AppendSessionKey appends the wire form of a SessionKey.
+func AppendSessionKey(dst []byte, k SessionKey) []byte {
+	dst = wire.AppendString(dst, k.Collector)
+	return wire.AppendAddr(dst, k.PeerAddr)
+}
+
+// ReadSessionKey reads an AppendSessionKey encoding.
+func ReadSessionKey(r *wire.Reader) SessionKey {
+	return SessionKey{Collector: r.String(), PeerAddr: r.Addr()}
+}
+
+// Snapshot appends the serialized counts.
+func (a *CountsAnalyzer) Snapshot(dst []byte) []byte {
+	return AppendCounts(dst, a.Counts)
+}
+
+// Restore replaces the counts from a snapshot.
+func (a *CountsAnalyzer) Restore(src []byte) error {
+	r := wire.NewReader(src)
+	c := ReadCounts(r)
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("classify: counts snapshot: %w", err)
+	}
+	a.Counts = c
+	return nil
+}
+
+// Snapshot appends the classifier's per-stream state: stream count,
+// then per stream its session, prefix, and remembered previous
+// announcement. Restoring the snapshot into a fresh classifier and
+// continuing a scan classifies exactly as the uninterrupted classifier
+// would — the property that lets the serving layer jump over
+// already-summarized partitions instead of re-decoding them.
+func (c *Classifier) Snapshot(dst []byte) []byte {
+	dst = wire.AppendUvarint(dst, uint64(len(c.state)))
+	for key, prev := range c.state {
+		dst = AppendSessionKey(dst, key.session)
+		dst = wire.AppendPrefix(dst, key.prefix)
+		dst = wire.AppendPath(dst, prev.path)
+		dst = wire.AppendComms(dst, prev.comms)
+		flags := byte(0)
+		if prev.hasMED {
+			flags = 1
+		}
+		dst = append(dst, flags)
+		dst = wire.AppendUvarint(dst, uint64(prev.med))
+	}
+	return dst
+}
+
+// Restore replaces the classifier's stream state with a snapshot's.
+func (c *Classifier) Restore(src []byte) error {
+	r := wire.NewReader(src)
+	n := r.Count(1)
+	state := make(map[streamKey]prevState, n)
+	for i := 0; i < n; i++ {
+		key := streamKey{session: ReadSessionKey(r), prefix: r.Prefix()}
+		var prev prevState
+		prev.path = r.Path()
+		prev.comms = r.Comms()
+		flags := r.Bytes(1)
+		if len(flags) == 1 {
+			prev.hasMED = flags[0]&1 != 0
+		}
+		prev.med = r.Uint32()
+		if r.Err() != nil {
+			break
+		}
+		state[key] = prev
+	}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("classify: classifier snapshot: %w", err)
+	}
+	c.state = state
+	return nil
+}

@@ -11,84 +11,8 @@ import (
 
 	"repro/internal/bgp"
 	"repro/internal/classify"
+	"repro/internal/wire"
 )
-
-// ---------------------------------------------------------------------------
-// Varint helpers
-// ---------------------------------------------------------------------------
-
-// zigzag maps signed to unsigned so small-magnitude deltas stay short.
-func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
-
-// unzigzag inverts zigzag.
-func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
-
-func appendVarint(dst []byte, v int64) []byte {
-	return binary.AppendUvarint(dst, zigzag(v))
-}
-
-// creader decodes the columnar byte stream with sticky error handling:
-// after the first malformed field every accessor returns zero values,
-// so decode loops need a single error check at the end.
-type creader struct {
-	b   []byte
-	pos int
-	err error
-}
-
-func (r *creader) fail(format string, args ...any) {
-	if r.err == nil {
-		r.err = fmt.Errorf("evstore: "+format, args...)
-	}
-}
-
-func (r *creader) remaining() int { return len(r.b) - r.pos }
-
-func (r *creader) uvarint() uint64 {
-	if r.err != nil {
-		return 0
-	}
-	v, n := binary.Uvarint(r.b[r.pos:])
-	if n <= 0 {
-		r.fail("truncated varint at offset %d", r.pos)
-		return 0
-	}
-	r.pos += n
-	return v
-}
-
-func (r *creader) varint() int64 { return unzigzag(r.uvarint()) }
-
-// count reads a uvarint and validates it as an element count where each
-// element occupies at least min bytes of the remaining input, bounding
-// allocations on corrupt data.
-func (r *creader) count(min int) int {
-	v := r.uvarint()
-	if r.err != nil {
-		return 0
-	}
-	if min < 1 {
-		min = 1
-	}
-	if v > uint64(r.remaining()/min) {
-		r.fail("implausible count %d at offset %d", v, r.pos)
-		return 0
-	}
-	return int(v)
-}
-
-func (r *creader) bytes(n int) []byte {
-	if r.err != nil {
-		return nil
-	}
-	if n < 0 || n > r.remaining() {
-		r.fail("truncated: need %d bytes at offset %d, have %d", n, r.pos, r.remaining())
-		return nil
-	}
-	out := r.b[r.pos : r.pos+n]
-	r.pos += n
-	return out
-}
 
 // ---------------------------------------------------------------------------
 // Prefix membership filter
@@ -250,49 +174,9 @@ func unionSorted(a, b []uint32) []uint32 {
 	return out
 }
 
-func appendAddr(dst []byte, a netip.Addr) []byte {
-	if !a.IsValid() {
-		return append(dst, 0)
-	}
-	if a.Is4() {
-		b := a.As4()
-		dst = append(dst, 4)
-		return append(dst, b[:]...)
-	}
-	b := a.As16()
-	dst = append(dst, 16)
-	return append(dst, b[:]...)
-}
-
-func (r *creader) addr() netip.Addr {
-	n := r.bytes(1)
-	if r.err != nil {
-		return netip.Addr{}
-	}
-	switch n[0] {
-	case 0:
-		return netip.Addr{}
-	case 4:
-		b := r.bytes(4)
-		if r.err != nil {
-			return netip.Addr{}
-		}
-		return netip.AddrFrom4([4]byte(b))
-	case 16:
-		b := r.bytes(16)
-		if r.err != nil {
-			return netip.Addr{}
-		}
-		return netip.AddrFrom16([16]byte(b))
-	default:
-		r.fail("bad address length %d", n[0])
-		return netip.Addr{}
-	}
-}
-
 func (s blockSummary) append(dst []byte) []byte {
 	dst = binary.AppendUvarint(dst, uint64(s.count))
-	dst = appendVarint(dst, s.tmin)
+	dst = wire.AppendVarint(dst, s.tmin)
 	dst = binary.AppendUvarint(dst, uint64(s.tmax-s.tmin))
 	dst = binary.AppendUvarint(dst, uint64(len(s.peerAS)))
 	prev := uint32(0)
@@ -304,41 +188,41 @@ func (s blockSummary) append(dst []byte) []byte {
 		}
 		prev = as
 	}
-	dst = appendAddr(dst, s.minAddr)
-	dst = appendAddr(dst, s.maxAddr)
+	dst = wire.AppendAddr(dst, s.minAddr)
+	dst = wire.AppendAddr(dst, s.maxAddr)
 	dst = binary.AppendUvarint(dst, uint64(len(s.filter)))
 	return append(dst, s.filter...)
 }
 
-func (r *creader) summary() blockSummary {
+func readSummary(r *wire.Reader) blockSummary {
 	var s blockSummary
-	s.count = int(r.uvarint())
-	s.tmin = r.varint()
-	span := r.uvarint()
+	s.count = int(r.Uvarint())
+	s.tmin = r.Varint()
+	span := r.Uvarint()
 	if span > math.MaxInt64 {
-		r.fail("bad time span")
+		r.Fail("evstore: bad time span")
 		return s
 	}
 	s.tmax = s.tmin + int64(span)
-	nas := r.count(1)
+	nas := r.Count(1)
 	s.peerAS = make([]uint32, 0, nas)
 	prev := uint64(0)
 	for i := 0; i < nas; i++ {
-		d := r.uvarint()
+		d := r.Uvarint()
 		if i == 0 {
 			prev = d
 		} else {
 			prev += d
 		}
 		if prev > math.MaxUint32 {
-			r.fail("peer AS overflow")
+			r.Fail("evstore: peer AS overflow")
 			return s
 		}
 		s.peerAS = append(s.peerAS, uint32(prev))
 	}
-	s.minAddr = r.addr()
-	s.maxAddr = r.addr()
-	s.filter = r.bytes(r.count(1))
+	s.minAddr = r.Addr()
+	s.maxAddr = r.Addr()
+	s.filter = r.Bytes(r.Count(1))
 	return s
 }
 
@@ -365,104 +249,23 @@ func (d *dict) id(key string) uint32 {
 	return id
 }
 
-// pathKey serializes an AS path for dictionary keying and storage:
-// uvarint segment count, then per segment type, length, and ASNs.
+// pathKey serializes an AS path for dictionary keying and storage.
 func pathKey(p bgp.ASPath) string {
-	buf := make([]byte, 0, 8+8*len(p))
-	buf = binary.AppendUvarint(buf, uint64(len(p)))
-	for _, seg := range p {
-		buf = binary.AppendUvarint(buf, uint64(seg.Type))
-		buf = binary.AppendUvarint(buf, uint64(len(seg.ASNs)))
-		for _, as := range seg.ASNs {
-			buf = binary.AppendUvarint(buf, uint64(as))
-		}
-	}
-	return string(buf)
+	return string(wire.AppendPath(make([]byte, 0, 8+8*len(p)), p))
 }
 
-func (r *creader) path() bgp.ASPath {
-	nseg := r.count(2)
-	if nseg == 0 || r.err != nil {
-		return nil
-	}
-	path := make(bgp.ASPath, 0, nseg)
-	for i := 0; i < nseg; i++ {
-		typ := r.uvarint()
-		nasn := r.count(1)
-		if r.err != nil {
-			return nil
-		}
-		seg := bgp.ASPathSegment{Type: uint8(typ), ASNs: make([]uint32, 0, nasn)}
-		for j := 0; j < nasn; j++ {
-			as := r.uvarint()
-			if as > math.MaxUint32 {
-				r.fail("ASN overflow")
-				return nil
-			}
-			seg.ASNs = append(seg.ASNs, uint32(as))
-		}
-		path = append(path, seg)
-	}
-	return path
-}
-
-// commsKey serializes a community set: uvarint count then zigzag deltas
-// (canonical sets are ascending, so deltas are small and positive).
+// commsKey serializes a community set for the dictionary.
 func commsKey(cs bgp.Communities) string {
-	buf := make([]byte, 0, 2+5*len(cs))
-	buf = binary.AppendUvarint(buf, uint64(len(cs)))
-	prev := int64(0)
-	for _, c := range cs {
-		buf = appendVarint(buf, int64(c)-prev)
-		prev = int64(c)
-	}
-	return string(buf)
+	return string(wire.AppendComms(make([]byte, 0, 2+5*len(cs)), cs))
 }
 
-func (r *creader) comms() bgp.Communities {
-	n := r.count(1)
-	if n == 0 || r.err != nil {
-		return nil
-	}
-	cs := make(bgp.Communities, 0, n)
-	prev := int64(0)
-	for i := 0; i < n; i++ {
-		prev += r.varint()
-		if prev < 0 || prev > math.MaxUint32 {
-			r.fail("community overflow")
-			return nil
-		}
-		cs = append(cs, bgp.Community(prev))
-	}
-	return cs
-}
-
-// prefixKeyEnc serializes a prefix for the dictionary: address length
-// (0 for the invalid prefix), address bytes, prefix length.
+// prefixKeyEnc serializes a prefix for the dictionary.
 func prefixKeyEnc(p netip.Prefix) string {
-	if !p.IsValid() {
-		return "\x00"
-	}
-	buf := appendAddr(nil, p.Addr())
-	buf = binary.AppendUvarint(buf, uint64(p.Bits()))
-	return string(buf)
-}
-
-func (r *creader) prefix() netip.Prefix {
-	a := r.addr()
-	if r.err != nil || !a.IsValid() {
-		return netip.Prefix{}
-	}
-	bits := r.uvarint()
-	if bits > uint64(a.BitLen()) {
-		r.fail("bad prefix length %d", bits)
-		return netip.Prefix{}
-	}
-	return netip.PrefixFrom(a, int(bits))
+	return string(wire.AppendPrefix(make([]byte, 0, 19), p))
 }
 
 // addrKey serializes a peer address for the dictionary.
-func addrKey(a netip.Addr) string { return string(appendAddr(nil, a)) }
+func addrKey(a netip.Addr) string { return string(wire.AppendAddr(nil, a)) }
 
 // bitset packs one bit per event.
 type bitset []byte
@@ -489,7 +292,7 @@ func encodeBlock(events []classify.Event, dst []byte) ([]byte, blockSummary) {
 	prev := int64(0)
 	for _, e := range events {
 		t := e.Time.UnixNano()
-		dst = appendVarint(dst, t-prev)
+		dst = wire.AppendVarint(dst, t-prev)
 		prev = t
 		if t < sum.tmin {
 			sum.tmin = t
@@ -600,12 +403,12 @@ func encodeBlock(events []classify.Event, dst []byte) ([]byte, blockSummary) {
 // consumers must treat event slice fields as immutable (the pipeline
 // already does).
 func decodeBlock(payload []byte) ([]classify.Event, error) {
-	r := &creader{b: payload}
-	rawN := r.uvarint()
-	if r.err != nil {
-		return nil, r.err
+	r := wire.NewReader(payload)
+	rawN := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, err
 	}
-	if rawN > maxBlockEvents || rawN > uint64(r.remaining()) {
+	if rawN > maxBlockEvents || rawN > uint64(r.Remaining()) {
 		return nil, fmt.Errorf("evstore: implausible block event count %d", rawN)
 	}
 	n := int(rawN)
@@ -613,19 +416,19 @@ func decodeBlock(payload []byte) ([]classify.Event, error) {
 
 	prev := int64(0)
 	for i := range events {
-		prev += r.varint()
+		prev += r.Varint()
 		events[i].Time = time.Unix(0, prev).UTC()
 	}
 
 	readIDs := func(dictLen int) []uint32 {
-		if r.err != nil {
+		if r.Err() != nil {
 			return nil
 		}
 		out := make([]uint32, n)
 		for i := range out {
-			id := r.uvarint()
+			id := r.Uvarint()
 			if id >= uint64(dictLen) {
-				r.fail("dictionary index %d out of range (dict size %d)", id, dictLen)
+				r.Fail("evstore: dictionary index %d out of range (dict size %d)", id, dictLen)
 				return nil
 			}
 			out[i] = uint32(id)
@@ -634,88 +437,84 @@ func decodeBlock(payload []byte) ([]classify.Event, error) {
 	}
 
 	// Collectors.
-	nc := r.count(1)
+	nc := r.Count(1)
 	collectors := make([]string, nc)
 	for i := range collectors {
-		collectors[i] = string(r.bytes(r.count(1)))
+		collectors[i] = r.String()
 	}
 	for i, id := range readIDs(nc) {
 		events[i].Collector = collectors[id]
 	}
 
 	// Peer ASNs.
-	na := r.count(1)
+	na := r.Count(1)
 	peerAS := make([]uint32, na)
 	for i := range peerAS {
-		as := r.uvarint()
-		if as > math.MaxUint32 {
-			r.fail("peer ASN overflow")
-		}
-		peerAS[i] = uint32(as)
+		peerAS[i] = r.Uint32()
 	}
 	for i, id := range readIDs(na) {
 		events[i].PeerAS = peerAS[id]
 	}
 
 	// Peer addresses.
-	nr := r.count(1)
+	nr := r.Count(1)
 	peerAddrs := make([]netip.Addr, nr)
 	for i := range peerAddrs {
-		peerAddrs[i] = r.addr()
+		peerAddrs[i] = r.Addr()
 	}
 	for i, id := range readIDs(nr) {
 		events[i].PeerAddr = peerAddrs[id]
 	}
 
 	// Prefixes.
-	np := r.count(1)
+	np := r.Count(1)
 	prefixes := make([]netip.Prefix, np)
 	for i := range prefixes {
-		prefixes[i] = r.prefix()
+		prefixes[i] = r.Prefix()
 	}
 	for i, id := range readIDs(np) {
 		events[i].Prefix = prefixes[id]
 	}
 
 	// AS paths.
-	npth := r.count(1)
+	npth := r.Count(1)
 	paths := make([]bgp.ASPath, npth)
 	for i := range paths {
-		paths[i] = r.path()
+		paths[i] = r.Path()
 	}
 	for i, id := range readIDs(npth) {
 		events[i].ASPath = paths[id]
 	}
 
 	// Communities.
-	ncs := r.count(1)
+	ncs := r.Count(1)
 	comms := make([]bgp.Communities, ncs)
 	for i := range comms {
-		comms[i] = r.comms()
+		comms[i] = r.Comms()
 	}
 	for i, id := range readIDs(ncs) {
 		events[i].Communities = comms[id]
 	}
 
 	// Flags and MED.
-	withdraw := bitset(r.bytes((n + 7) / 8))
-	hasMED := bitset(r.bytes((n + 7) / 8))
-	if r.err != nil {
-		return nil, r.err
+	withdraw := bitset(r.Bytes((n + 7) / 8))
+	hasMED := bitset(r.Bytes((n + 7) / 8))
+	if err := r.Err(); err != nil {
+		return nil, err
 	}
 	for i := range events {
 		events[i].Withdraw = withdraw.get(i)
 		if hasMED.get(i) {
 			events[i].HasMED = true
-			med := r.uvarint()
+			med := r.Uvarint()
 			if med > math.MaxUint32 {
-				r.fail("MED overflow")
+				r.Fail("evstore: MED overflow")
 			}
 			events[i].MED = uint32(med)
 		}
 	}
-	if r.err != nil {
-		return nil, r.err
+	if err := r.Err(); err != nil {
+		return nil, err
 	}
 	return events, nil
 }

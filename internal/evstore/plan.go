@@ -1,0 +1,415 @@
+package evstore
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/classify"
+)
+
+// The residual-scan planner decides, per partition of each shard, how
+// a windowed query is answered:
+//
+//   - merge: the window covers every event and a sidecar holds all
+//     requested analyzer states → merge the precomputed accumulators
+//     and jump the classifier to the recorded end state. No decode.
+//   - jump: every event precedes the window → only the classifier
+//     end state matters; restore it. No decode.
+//   - scan: the window cuts through the partition (or no usable
+//     sidecar exists) → decode and classify it, tallying in-window
+//     events. This is the residual scan.
+//   - skip: the partition provably cannot influence the answer — it
+//     belongs to an excluded collector, or sits entirely at/after the
+//     window end in the shard's tail (later events feed no tallied
+//     classification).
+//
+// Executing the plan in shard order with classifier chaining yields
+// results bit-identical to RunAll over a full sequential scan with the
+// same tally window — pinned by TestQueryMatchesScanParallel across
+// window positions, producers, and snapshot coverage.
+
+// planAction is the per-partition decision.
+type planAction uint8
+
+const (
+	actionScan planAction = iota
+	actionMerge
+	actionJump
+	actionSkip
+)
+
+// PlanStats counts the planner's decisions for one query.
+type PlanStats struct {
+	Shards     int
+	Partitions int
+	Merged     int // answered from sidecar states
+	Jumped     int // classifier restore only
+	Scanned    int // residual decode+classify
+	Skipped    int // provably irrelevant
+}
+
+// ServeStats describes one planned query execution.
+type ServeStats struct {
+	Workers int
+	Plan    PlanStats
+	// Scan aggregates the residual scans' pushdown accounting.
+	Scan ScanStats
+	// Merges counts analyzer-state merges from sidecars.
+	Merges  int
+	Elapsed time.Duration
+}
+
+// shardPlan is one shard's partition list with per-partition actions.
+type shardPlan struct {
+	shard   Shard
+	actions []planAction
+	snaps   []*PartitionSnapshot // non-nil where actions use a sidecar
+}
+
+// SnapshotIndex is the in-memory sidecar inventory a serving process
+// keeps warm: which partitions exist, and for each, its parsed
+// snapshot (when valid). Refresh brings it up to date after new
+// partitions seal; Query plans and executes a windowed analysis
+// against it. All methods are safe for concurrent use.
+type SnapshotIndex struct {
+	dir   string
+	named []NamedAnalyzer
+
+	mu       sync.RWMutex
+	manifest Manifest
+	snaps    map[string]*PartitionSnapshot
+}
+
+// OpenSnapshotIndex builds any missing sidecars for the named
+// analyzers and loads the index.
+func OpenSnapshotIndex(ctx context.Context, dir string, named []NamedAnalyzer) (*SnapshotIndex, SnapshotBuildStats, error) {
+	ix := &SnapshotIndex{dir: dir, named: named, snaps: make(map[string]*PartitionSnapshot)}
+	bs, err := ix.Refresh(ctx)
+	if err != nil {
+		return nil, bs, err
+	}
+	return ix, bs, nil
+}
+
+// Dir returns the store directory the index serves.
+func (ix *SnapshotIndex) Dir() string { return ix.dir }
+
+// Named returns the registered analyzer set.
+func (ix *SnapshotIndex) Named() []NamedAnalyzer { return ix.named }
+
+// Coverage reports how many sealed partitions the index knows and how
+// many carry a usable sidecar.
+func (ix *SnapshotIndex) Coverage() (partitions, snapshotted int) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.manifest.Partitions), len(ix.snaps)
+}
+
+// Manifest returns the partition inventory the index currently
+// reflects — the baseline to Watch from.
+func (ix *SnapshotIndex) Manifest() Manifest {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.manifest
+}
+
+// Refresh incrementally rebuilds sidecars for newly sealed partitions
+// and reloads the index. Safe to call concurrently with Query: queries
+// in flight keep using the previous view until the swap.
+func (ix *SnapshotIndex) Refresh(ctx context.Context) (SnapshotBuildStats, error) {
+	bs, err := BuildSnapshots(ctx, ix.dir, ix.named)
+	if err != nil {
+		return bs, err
+	}
+	m, err := LoadManifest(ix.dir)
+	if err != nil {
+		return bs, err
+	}
+	ix.mu.RLock()
+	prev := ix.snaps
+	ix.mu.RUnlock()
+	snaps := make(map[string]*PartitionSnapshot, len(m.Partitions))
+	for _, p := range m.Partitions {
+		if old, ok := prev[p.Path]; ok && old.Size == p.Size {
+			snaps[p.Path] = old
+			continue
+		}
+		snap, err := ReadSnapshot(p.Path)
+		if err != nil || snap.Size != p.Size {
+			continue // no usable sidecar: queries will scan this partition
+		}
+		snaps[p.Path] = snap
+	}
+	ix.mu.Lock()
+	ix.manifest = m
+	ix.snaps = snaps
+	ix.mu.Unlock()
+	return bs, nil
+}
+
+// plan computes the per-shard actions for a window+collectors query.
+func (ix *SnapshotIndex) plan(q Query, keys []string) ([]shardPlan, PlanStats, error) {
+	shards, err := ScanShards(ix.dir, Query{Collectors: q.Collectors})
+	if err != nil {
+		return nil, PlanStats{}, err
+	}
+	cq := compileQuery(q) // window bounds for the plan decisions only
+
+	ix.mu.RLock()
+	snaps := ix.snaps
+	ix.mu.RUnlock()
+
+	var plans []shardPlan
+	var st PlanStats
+	for _, sh := range shards {
+		if cq.sanitized != nil && sh.Collector != "" && !cq.sanitized[sh.Collector] {
+			continue // whole shard excluded by collector
+		}
+		sp := shardPlan{
+			shard:   sh,
+			actions: make([]planAction, len(sh.entries)),
+			snaps:   make([]*PartitionSnapshot, len(sh.entries)),
+		}
+		// A sidecar is trustworthy only if it matches the partition file
+		// AND was built against this exact predecessor chain — a
+		// backfilled earlier day invalidates every later sidecar in the
+		// shard (their states embed classification against the old
+		// chain).
+		usable := make([]*PartitionSnapshot, len(sh.entries))
+		chain := uint64(0)
+		for i, e := range sh.entries {
+			size, ok := partitionSize(e.path)
+			if !ok {
+				break // listing/stat raced a rebuild; scan from here on
+			}
+			chain = chainHash(chain, filepath.Base(e.path), size)
+			if snap := snaps[e.path]; snap != nil && snap.Size == size && snap.Chain == chain {
+				usable[i] = snap
+			}
+		}
+		// Tail partitions entirely at/after the window end cannot
+		// influence any tallied classification (classifier state only
+		// flows forward); skip the longest provable suffix. Earlier
+		// out-of-order partitions must still be scanned.
+		afterStart := len(sh.entries)
+		for i := len(sh.entries) - 1; i >= 0; i-- {
+			e := sh.entries[i]
+			if snap := usable[i]; snap != nil && snap.Events > 0 {
+				if snap.TMin >= cq.toNano {
+					afterStart = i
+					continue
+				}
+			} else if e.parsed && e.dayUnix*int64(time.Second) >= cq.toNano {
+				// No trustworthy sidecar: the filename day is still a
+				// hard lower bound on every event time in the partition.
+				afterStart = i
+				continue
+			}
+			break
+		}
+		for i := range sh.entries {
+			if i >= afterStart {
+				sp.actions[i] = actionSkip
+				st.Skipped++
+				continue
+			}
+			snap := usable[i]
+			if snap == nil {
+				sp.actions[i] = actionScan
+				st.Scanned++
+				continue
+			}
+			sp.snaps[i] = snap
+			switch {
+			case snap.Events == 0 || snap.TMax < cq.fromNano:
+				sp.actions[i] = actionJump
+				st.Jumped++
+			case cq.collectors != nil && !cq.collectors[snap.Collector]:
+				// Sanitized-name collision: this partition's raw collector
+				// is excluded, so neither its events nor its classifier
+				// delta matter to the queried sessions.
+				sp.actions[i] = actionSkip
+				st.Skipped++
+			case snap.TMin >= cq.fromNano && snap.TMax < cq.toNano && snapshotCovers(snap, snap.Size, keys):
+				// Merging additionally needs every requested analyzer's
+				// state in the sidecar; jump/skip above do not — a query
+				// for an unregistered analyzer still jumps its prelude.
+				sp.actions[i] = actionMerge
+				st.Merged++
+			default:
+				sp.actions[i] = actionScan
+				st.Scanned++
+			}
+		}
+		st.Partitions += len(sh.entries)
+		plans = append(plans, sp)
+	}
+	st.Shards = len(plans)
+	return plans, st, nil
+}
+
+// partitionSize re-stats the partition — cheap insurance against a
+// store rebuilt between index refreshes.
+func partitionSize(path string) (int64, bool) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, false
+	}
+	return fi.Size(), true
+}
+
+// Query answers a windowed analysis from the index: merged sidecar
+// states where the window covers whole partitions, classifier jumps
+// over the prelude, and residual scans only where the window cuts
+// through — shard-parallel on a worker pool, merging into the passed
+// analyzers. Each analyzer is merged/restored under its NamedAnalyzer
+// key; an analyzer with an empty key (or one absent from a partition's
+// sidecar) forces that partition onto the residual-scan path, which is
+// always correct, just slower.
+//
+// Only Window and Collectors query dimensions are supported here —
+// per-event filters (PeerAS, PrefixRange) change which events feed
+// WHOLE sessions and compose fine with scans but not with precomputed
+// partition states; callers route such queries to ScanParallel.
+//
+// Results are bit-identical to
+// ScanParallel(ctx, dir, Query{Collectors: q.Collectors},
+// q.Window.Contains, ...) — a cold scan of the full collector
+// timelines tallying the same window.
+func (ix *SnapshotIndex) Query(ctx context.Context, q Query, workers int, named ...NamedAnalyzer) (ServeStats, error) {
+	if len(q.PeerAS) > 0 || q.PrefixRange.IsValid() {
+		return ServeStats{}, fmt.Errorf("evstore: snapshot queries support only window and collector dimensions; use ScanParallel")
+	}
+	keys := make([]string, len(named))
+	protos := make([]classify.Analyzer, len(named))
+	for i, na := range named {
+		keys[i] = na.Key
+		protos[i] = na.Proto
+	}
+	plans, pst, err := ix.plan(q, keys)
+	if err != nil {
+		return ServeStats{}, err
+	}
+	if workers <= 0 {
+		workers = len(plans)
+	}
+	if workers > len(plans) {
+		workers = len(plans)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ss := ServeStats{Workers: workers, Plan: pst}
+	start := time.Now()
+	inWindow := q.Window.Contains
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	var failed atomic.Bool
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var br blockReader
+			for idx := range jobs {
+				if failed.Load() {
+					continue
+				}
+				sp := plans[idx]
+				locals := classify.FreshAll(protos)
+				cl := classify.New()
+				var shardScan ScanStats
+				merges := 0
+				err := sp.run(ctx, &br, cl, locals, keys, protos, inWindow, &shardScan, &merges)
+				mu.Lock()
+				if err != nil {
+					failed.Store(true)
+					if firstErr == nil {
+						firstErr = err
+					}
+				} else {
+					classify.MergeAll(protos, locals)
+					ss.Scan.Add(shardScan)
+					ss.Merges += merges
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range plans {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	ss.Elapsed = time.Since(start)
+	return ss, firstErr
+}
+
+// run executes one shard's plan in partition order, maintaining the
+// classifier chain. The chain is restored lazily: a jump or merge only
+// decodes its recorded classifier state when a residual scan still
+// lies ahead in the shard — the common all-merge query never touches
+// classifier bytes at all, which is what makes warm windowed answers
+// microsecond-scale.
+func (sp shardPlan) run(ctx context.Context, br *blockReader, cl *classify.Classifier, locals []classify.Analyzer, keys []string, protos []classify.Analyzer, inWindow func(time.Time) bool, scan *ScanStats, merges *int) error {
+	lastScan := -1
+	for i, a := range sp.actions {
+		if a == actionScan {
+			lastScan = i
+		}
+	}
+	for i, entry := range sp.shard.entries {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		switch sp.actions[i] {
+		case actionSkip:
+			continue
+		case actionJump:
+			if i < lastScan {
+				if err := cl.Restore(sp.snaps[i].Classifier); err != nil {
+					return fmt.Errorf("%s: %w", SnapshotPath(entry.path), err)
+				}
+			}
+		case actionMerge:
+			snap := sp.snaps[i]
+			for j, key := range keys {
+				tmp := protos[j].Fresh()
+				if err := tmp.Restore(snap.States[key]); err != nil {
+					return fmt.Errorf("%s[%s]: %w", SnapshotPath(entry.path), key, err)
+				}
+				locals[j].Merge(tmp)
+				*merges++
+			}
+			if i < lastScan {
+				if err := cl.Restore(snap.Classifier); err != nil {
+					return fmt.Errorf("%s: %w", SnapshotPath(entry.path), err)
+				}
+			}
+		case actionScan:
+			var st ScanStats
+			_, err := scanPartition(ctx, entry.path, sp.shard.cq, br, &st, func(e classify.Event) bool {
+				res, _ := cl.Observe(e)
+				if !inWindow(e.Time) {
+					return true
+				}
+				for _, a := range locals {
+					a.Observe(res, e)
+				}
+				return true
+			})
+			scan.Add(st)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -3,6 +3,7 @@ package evstore
 import (
 	"bytes"
 	"compress/flate"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -15,6 +16,7 @@ import (
 
 	"repro/internal/classify"
 	"repro/internal/stream"
+	"repro/internal/wire"
 )
 
 // ScanStats counts what a scan read versus what pushdown skipped.
@@ -207,18 +209,18 @@ func parsePartition(f *os.File, path string) (*partition, error) {
 	if err != nil && err != io.EOF {
 		return nil, err
 	}
-	hr := &creader{b: head[:hn]}
-	if string(hr.bytes(4)) != partitionMagic {
+	hr := wire.NewReader(head[:hn])
+	if string(hr.Bytes(4)) != partitionMagic {
 		return nil, fmt.Errorf("evstore: %s: bad partition magic", path)
 	}
-	nameLen := hr.bytes(1)
+	nameLen := hr.Bytes(1)
 	var collector string
-	if hr.err == nil {
-		collector = string(hr.bytes(int(nameLen[0])))
+	if hr.Err() == nil {
+		collector = string(hr.Bytes(int(nameLen[0])))
 	}
-	dayUnix := hr.varint()
-	if hr.err != nil {
-		return nil, fmt.Errorf("evstore: %s: %w", path, hr.err)
+	dayUnix := hr.Varint()
+	if err := hr.Err(); err != nil {
+		return nil, fmt.Errorf("evstore: %s: %w", path, err)
 	}
 
 	var trailer [8]byte
@@ -236,11 +238,11 @@ func parsePartition(f *os.File, path string) (*partition, error) {
 	if _, err := f.ReadAt(footer, size-8-flen); err != nil {
 		return nil, err
 	}
-	fr := &creader{b: footer}
-	if string(fr.bytes(4)) != footerMagic {
+	fr := wire.NewReader(footer)
+	if string(fr.Bytes(4)) != footerMagic {
 		return nil, fmt.Errorf("evstore: %s: bad footer header", path)
 	}
-	nblocks := fr.count(1)
+	nblocks := fr.Count(1)
 	p := &partition{
 		path:      path,
 		size:      size,
@@ -250,11 +252,11 @@ func parsePartition(f *os.File, path string) (*partition, error) {
 	}
 	for i := 0; i < nblocks; i++ {
 		var b blockMeta
-		b.offset = int64(fr.uvarint())
-		b.ulen = int(fr.uvarint())
-		b.clen = int(fr.uvarint())
-		b.sum = fr.summary()
-		if fr.err != nil {
+		b.offset = int64(fr.Uvarint())
+		b.ulen = int(fr.Uvarint())
+		b.clen = int(fr.Uvarint())
+		b.sum = readSummary(fr)
+		if fr.Err() != nil {
 			break
 		}
 		if b.offset < 0 || b.clen < 0 || b.offset+int64(b.clen) > size ||
@@ -264,8 +266,8 @@ func parsePartition(f *os.File, path string) (*partition, error) {
 		p.blocks = append(p.blocks, b)
 		p.agg.merge(b.sum)
 	}
-	if fr.err != nil {
-		return nil, fmt.Errorf("evstore: %s: %w", path, fr.err)
+	if err := fr.Err(); err != nil {
+		return nil, fmt.Errorf("evstore: %s: %w", path, err)
 	}
 	return p, nil
 }
@@ -384,6 +386,14 @@ func Scan(dir string, q Query, errp *error) stream.EventSource {
 // ScanWithStats is Scan with pushdown accounting: if st is non-nil it
 // is reset and filled while the returned source is consumed.
 func ScanWithStats(dir string, q Query, errp *error, st *ScanStats) stream.EventSource {
+	return ScanContext(context.Background(), dir, q, errp, st)
+}
+
+// ScanContext is ScanWithStats with cancellation: when ctx is
+// cancelled the scan stops at the next block boundary and reports
+// ctx's error via *errp — how the serving daemon aborts scans whose
+// client has gone away.
+func ScanContext(ctx context.Context, dir string, q Query, errp *error, st *ScanStats) stream.EventSource {
 	return func(yield func(classify.Event) bool) {
 		if st != nil {
 			*st = ScanStats{}
@@ -404,7 +414,7 @@ func ScanWithStats(dir string, q Query, errp *error, st *ScanStats) stream.Event
 		}
 		cq := compileQuery(q)
 		var br blockReader
-		if _, err := scanEntries(entries, cq, &br, st, yield); err != nil {
+		if _, err := scanEntries(ctx, entries, cq, &br, st, yield); err != nil {
 			fail(err)
 		}
 	}
@@ -413,8 +423,11 @@ func ScanWithStats(dir string, q Query, errp *error, st *ScanStats) stream.Event
 // scanEntries streams the matching events of a partition list through
 // one blockReader, applying the name-level prune and per-partition
 // scan; more reports whether the consumer wants to continue.
-func scanEntries(entries []storeEntry, cq *compiledQuery, br *blockReader, st *ScanStats, yield func(classify.Event) bool) (more bool, err error) {
+func scanEntries(ctx context.Context, entries []storeEntry, cq *compiledQuery, br *blockReader, st *ScanStats, yield func(classify.Event) bool) (more bool, err error) {
 	for _, e := range entries {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
 		if st != nil {
 			st.Partitions++
 		}
@@ -424,7 +437,7 @@ func scanEntries(entries []storeEntry, cq *compiledQuery, br *blockReader, st *S
 			}
 			continue
 		}
-		more, err := scanPartition(e.path, cq, br, st, yield)
+		more, err := scanPartition(ctx, e.path, cq, br, st, yield)
 		if err != nil {
 			return false, err
 		}
@@ -436,8 +449,10 @@ func scanEntries(entries []storeEntry, cq *compiledQuery, br *blockReader, st *S
 }
 
 // scanPartition streams one partition's matching events; more reports
-// whether the consumer wants to continue.
-func scanPartition(path string, cq *compiledQuery, br *blockReader, st *ScanStats, yield func(classify.Event) bool) (more bool, err error) {
+// whether the consumer wants to continue. Cancellation is honoured at
+// block boundaries: a cancelled ctx never interrupts the decode of a
+// block already in flight.
+func scanPartition(ctx context.Context, path string, cq *compiledQuery, br *blockReader, st *ScanStats, yield func(classify.Event) bool) (more bool, err error) {
 	p, f, err := readPartition(path)
 	if err != nil {
 		return false, err
@@ -459,6 +474,9 @@ func scanPartition(path string, cq *compiledQuery, br *blockReader, st *ScanStat
 		st.Blocks += len(p.blocks)
 	}
 	for _, b := range p.blocks {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
 		if !cq.matchSummary(b.sum, true) {
 			if st != nil {
 				st.BlocksPruned++
@@ -585,7 +603,7 @@ func PartitionSource(path string, q Query, errp *error) stream.EventSource {
 	return func(yield func(classify.Event) bool) {
 		cq := compileQuery(q)
 		var br blockReader
-		if _, err := scanPartition(path, cq, &br, nil, yield); err != nil {
+		if _, err := scanPartition(context.Background(), path, cq, &br, nil, yield); err != nil {
 			if errp != nil && *errp == nil {
 				*errp = err
 			}

@@ -1,6 +1,7 @@
 package evstore
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -42,12 +43,17 @@ func (s Shard) Partitions() []string {
 // wins, may be nil) and end the stream; if st is non-nil it is reset
 // and filled while the source is consumed.
 func (s Shard) Events(errp *error, st *ScanStats) stream.EventSource {
+	return s.EventsContext(context.Background(), errp, st)
+}
+
+// EventsContext is Events with cancellation at block boundaries.
+func (s Shard) EventsContext(ctx context.Context, errp *error, st *ScanStats) stream.EventSource {
 	return func(yield func(classify.Event) bool) {
 		if st != nil {
 			*st = ScanStats{}
 		}
 		var br blockReader
-		if _, err := scanEntries(s.entries, s.cq, &br, st, yield); err != nil {
+		if _, err := scanEntries(ctx, s.entries, s.cq, &br, st, yield); err != nil {
 			if errp != nil && *errp == nil {
 				*errp = err
 			}
@@ -120,7 +126,11 @@ type ParallelStats struct {
 // Results are bit-identical to RunAll over Scan(dir, q) for every
 // analyzer whose Merge is commutative (all of internal/analysis — a
 // session never spans shards).
-func ScanParallel(dir string, q Query, inWindow func(classify.Event) bool, workers int, analyzers ...classify.Analyzer) (ParallelStats, error) {
+//
+// Cancelling ctx makes workers stop at the next block boundary; the
+// first error (ctx's) is returned and the analyzers hold partial
+// state the caller must discard.
+func ScanParallel(ctx context.Context, dir string, q Query, inWindow func(classify.Event) bool, workers int, analyzers ...classify.Analyzer) (ParallelStats, error) {
 	shards, err := ScanShards(dir, q)
 	if err != nil {
 		return ParallelStats{}, err
@@ -154,7 +164,7 @@ func ScanParallel(dir string, q Query, inWindow func(classify.Event) bool, worke
 				locals := classify.FreshAll(analyzers)
 				cl := classify.New()
 				shardStart := time.Now()
-				_, err := scanEntries(sh.entries, sh.cq, &br, &ss.Scan, func(e classify.Event) bool {
+				_, err := scanEntries(ctx, sh.entries, sh.cq, &br, &ss.Scan, func(e classify.Event) bool {
 					res, _ := cl.Observe(e)
 					if inWindow != nil && !inWindow(e) {
 						return true

@@ -1,6 +1,7 @@
 package evstore_test
 
 import (
+	"context"
 	"reflect"
 	"testing"
 	"time"
@@ -98,7 +99,7 @@ func TestScanParallelMatchesSequential(t *testing.T) {
 
 	for _, workers := range []int{1, 2, 4, 0} {
 		par := protos()
-		ps, err := evstore.ScanParallel(dir, evstore.Query{}, inWindow, workers, par...)
+		ps, err := evstore.ScanParallel(context.Background(), dir, evstore.Query{}, inWindow, workers, par...)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -143,7 +144,7 @@ func TestScanParallelMultiDay(t *testing.T) {
 		t.Fatal(seqErr)
 	}
 	counts := analysis.NewCounts()
-	if _, err := evstore.ScanParallel(dir, evstore.Query{}, nil, 4, counts); err != nil {
+	if _, err := evstore.ScanParallel(context.Background(), dir, evstore.Query{}, nil, 4, counts); err != nil {
 		t.Fatal(err)
 	}
 	if counts.Counts != want {
@@ -167,7 +168,7 @@ func corruptOnePartition(t *testing.T, dir string) {
 // TestScanParallelErrors covers the failure paths: an empty store and
 // a corrupt partition must surface an error, not a partial result.
 func TestScanParallelErrors(t *testing.T) {
-	if _, err := evstore.ScanParallel(t.TempDir(), evstore.Query{}, nil, 2, analysis.NewCounts()); err == nil {
+	if _, err := evstore.ScanParallel(context.Background(), t.TempDir(), evstore.Query{}, nil, 2, analysis.NewCounts()); err == nil {
 		t.Error("empty store: want error")
 	}
 
@@ -175,7 +176,7 @@ func TestScanParallelErrors(t *testing.T) {
 	_, sources := workload.DaySources(cfg)
 	dir := ingest(t, stream.Concat(sources...))
 	corruptOnePartition(t, dir)
-	if _, err := evstore.ScanParallel(dir, evstore.Query{}, nil, 2, analysis.NewCounts()); err == nil {
+	if _, err := evstore.ScanParallel(context.Background(), dir, evstore.Query{}, nil, 2, analysis.NewCounts()); err == nil {
 		t.Error("corrupt partition: want error")
 	}
 }

@@ -1,0 +1,319 @@
+package evstore
+
+import (
+	"bytes"
+	"compress/flate"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/wire"
+)
+
+// Snapshot sidecars persist analyzer accumulator state per partition:
+// for each sealed partition and each registered analyzer, the
+// serialized state that analyzer reaches after observing the
+// partition's events — with classification carried over from the
+// collector's earlier partitions, exactly as a sequential scan would
+// classify them. A sidecar also records the CLASSIFIER state at the
+// end of the partition, so a later pass can resume classification
+// after the partition without re-decoding it.
+//
+// Together these make windowed queries incremental: partitions fully
+// inside the window contribute their precomputed states (a Merge per
+// analyzer), partitions before the window contribute only their
+// classifier end-state (a Restore), and only partitions the window
+// cuts through are decoded and classified — the residual scan.
+//
+// Sidecars are derived data: they live beside the partitions as
+// "<partition>.evps", are rebuilt whenever missing or stale (the
+// recorded partition size no longer matches), and can be deleted at
+// any time without losing events.
+
+// SnapshotExtension is the sidecar file suffix, appended to the full
+// partition file name ("x.evp" → "x.evp.evps") so the *.evp partition
+// glob never matches a sidecar.
+const SnapshotExtension = ".evps"
+
+const snapshotMagic = "EVS1"
+
+// NamedAnalyzer pairs an analyzer prototype with the stable key its
+// state is stored under in snapshot sidecars. The key must capture the
+// analyzer's configuration (e.g. "sessionmix:rrc00:84.205.64.0/24"):
+// sidecar states are only restored into Fresh copies of a prototype
+// registered under the same key.
+type NamedAnalyzer struct {
+	Key   string
+	Proto classify.Analyzer
+}
+
+// PartitionSnapshot is one sidecar's content.
+type PartitionSnapshot struct {
+	// Partition is the partition file's base name; Size is the sealed
+	// partition's size when the snapshot was built (staleness check —
+	// sealed partitions only ever change by being replaced wholesale).
+	Partition string
+	Size      int64
+	// Collector is the raw collector name from the partition header
+	// (the filename holds only its sanitized form).
+	Collector string
+	// Events is the partition's event count; TMin/TMax bound the event
+	// times (unix nanoseconds, inclusive; both zero when Events is 0).
+	Events     int
+	TMin, TMax int64
+	// Chain fingerprints the partition's position in its shard's
+	// classifier chain: hash(predecessor's Chain, partition name, size).
+	// A partition INSERTED earlier in the shard (a backfilled day)
+	// changes the expected chain of every later partition, so their
+	// sidecars — whose states were computed against the old chain —
+	// stop validating and rebuild, instead of being silently reused
+	// with stale classification.
+	Chain uint64
+	// Classifier is the classifier state after the partition, given the
+	// state before it (the chain starts fresh at the collector's first
+	// partition).
+	Classifier []byte
+	// States maps analyzer keys to serialized accumulator state over
+	// exactly this partition's events.
+	States map[string][]byte
+}
+
+// chainHash folds one partition into its shard's chain fingerprint.
+func chainHash(prev uint64, base string, size int64) uint64 {
+	h := fnv.New64a()
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[:8], prev)
+	binary.LittleEndian.PutUint64(b[8:], uint64(size))
+	h.Write(b[:])
+	h.Write([]byte(base))
+	return h.Sum64()
+}
+
+// SnapshotPath returns the sidecar path for a partition path.
+func SnapshotPath(partPath string) string { return partPath + SnapshotExtension }
+
+// WriteSnapshot atomically writes the sidecar for the given partition
+// path.
+func WriteSnapshot(partPath string, snap *PartitionSnapshot) error {
+	body := wire.AppendString(nil, snap.Partition)
+	body = wire.AppendVarint(body, snap.Size)
+	body = wire.AppendUvarint(body, snap.Chain)
+	body = wire.AppendString(body, snap.Collector)
+	body = wire.AppendVarint(body, int64(snap.Events))
+	body = wire.AppendVarint(body, snap.TMin)
+	body = wire.AppendVarint(body, snap.TMax)
+	body = wire.AppendBytes(body, snap.Classifier)
+	body = wire.AppendUvarint(body, uint64(len(snap.States)))
+	for key, state := range snap.States {
+		body = wire.AppendString(body, key)
+		body = wire.AppendBytes(body, state)
+	}
+
+	var buf bytes.Buffer
+	buf.WriteString(snapshotMagic)
+	var lenPrefix []byte
+	lenPrefix = wire.AppendUvarint(lenPrefix, uint64(len(body)))
+	buf.Write(lenPrefix)
+	fw, _ := flate.NewWriter(&buf, flate.BestSpeed)
+	if _, err := fw.Write(body); err != nil {
+		return err
+	}
+	if err := fw.Close(); err != nil {
+		return err
+	}
+
+	path := SnapshotPath(partPath)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// ReadSnapshot reads the sidecar for the given partition path.
+func ReadSnapshot(partPath string) (*PartitionSnapshot, error) {
+	raw, err := os.ReadFile(SnapshotPath(partPath))
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < len(snapshotMagic) || string(raw[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, fmt.Errorf("evstore: %s: bad snapshot magic", SnapshotPath(partPath))
+	}
+	hr := wire.NewReader(raw[len(snapshotMagic):])
+	ulen := hr.Uvarint()
+	if err := hr.Err(); err != nil {
+		return nil, err
+	}
+	if ulen > uint64(maxBlockEvents)*256 {
+		return nil, fmt.Errorf("evstore: %s: implausible snapshot size %d", SnapshotPath(partPath), ulen)
+	}
+	body := make([]byte, ulen)
+	fr := flate.NewReader(bytes.NewReader(hr.Bytes(hr.Remaining())))
+	if _, err := io.ReadFull(fr, body); err != nil {
+		return nil, fmt.Errorf("evstore: %s: inflate: %w", SnapshotPath(partPath), err)
+	}
+
+	r := wire.NewReader(body)
+	snap := &PartitionSnapshot{Partition: r.String()}
+	snap.Size = r.Varint()
+	snap.Chain = r.Uvarint()
+	snap.Collector = r.String()
+	snap.Events = r.Int()
+	snap.TMin = r.Varint()
+	snap.TMax = r.Varint()
+	snap.Classifier = append([]byte{}, r.Bytes(r.Count(1))...)
+	n := r.Count(2)
+	snap.States = make(map[string][]byte, n)
+	for i := 0; i < n; i++ {
+		key := r.String()
+		state := append([]byte{}, r.Bytes(r.Count(1))...)
+		if r.Err() != nil {
+			break
+		}
+		snap.States[key] = state
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("evstore: %s: %w", SnapshotPath(partPath), err)
+	}
+	return snap, nil
+}
+
+// snapshotCovers reports whether an existing sidecar is usable for the
+// given partition file size and analyzer keys.
+func snapshotCovers(snap *PartitionSnapshot, size int64, keys []string) bool {
+	if snap == nil || snap.Size != size {
+		return false
+	}
+	for _, k := range keys {
+		if _, ok := snap.States[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// SnapshotBuildStats summarizes one BuildSnapshots pass.
+type SnapshotBuildStats struct {
+	Partitions int // sealed partitions considered
+	Built      int // sidecars (re)written this pass
+	Reused     int // up-to-date sidecars skipped
+	Events     int // events decoded to build
+	Elapsed    time.Duration
+}
+
+// BuildSnapshots brings the store's snapshot sidecars up to date for
+// the given analyzer set: every sealed partition missing a sidecar (or
+// whose sidecar is stale or lacks one of the keys) is scanned ONCE —
+// with classifier state carried over from the collector's earlier
+// partitions, restored from their sidecars when available — and its
+// per-analyzer states and end-of-partition classifier are written
+// beside it. Partitions with up-to-date sidecars are not decoded at
+// all, so a daemon watching a live store pays only for what ingest
+// just sealed: the incremental half of incremental snapshots.
+func BuildSnapshots(ctx context.Context, dir string, named []NamedAnalyzer) (SnapshotBuildStats, error) {
+	start := time.Now()
+	var bs SnapshotBuildStats
+	keys := make([]string, len(named))
+	protos := make([]classify.Analyzer, len(named))
+	for i, na := range named {
+		keys[i] = na.Key
+		protos[i] = na.Proto
+	}
+
+	shards, err := ScanShards(dir, Query{})
+	if err != nil {
+		if strings.HasPrefix(err.Error(), "evstore: no partitions") {
+			return bs, nil // empty store: nothing to snapshot yet
+		}
+		return bs, err
+	}
+	var br blockReader
+	zero := compileQuery(Query{})
+	for _, sh := range shards {
+		cl := classify.New()
+		chain := uint64(0)
+		for _, entry := range sh.entries {
+			if err := ctx.Err(); err != nil {
+				return bs, err
+			}
+			bs.Partitions++
+			fi, err := os.Stat(entry.path)
+			if err != nil {
+				return bs, err
+			}
+			chain = chainHash(chain, filepath.Base(entry.path), fi.Size())
+			old, _ := ReadSnapshot(entry.path) // missing/corrupt → rebuild
+			if old != nil && old.Chain == chain && snapshotCovers(old, fi.Size(), keys) {
+				// Up to date AND built against this exact chain of
+				// predecessors: just advance the classifier.
+				if err := cl.Restore(old.Classifier); err != nil {
+					return bs, fmt.Errorf("%s: %w", SnapshotPath(entry.path), err)
+				}
+				bs.Reused++
+				continue
+			}
+
+			locals := classify.FreshAll(protos)
+			snap := &PartitionSnapshot{Partition: filepath.Base(entry.path), Size: fi.Size(), Chain: chain}
+			first := true
+			_, err = scanPartition(ctx, entry.path, zero, &br, nil, func(e classify.Event) bool {
+				res, _ := cl.Observe(e)
+				for _, a := range locals {
+					a.Observe(res, e)
+				}
+				snap.Events++
+				t := e.Time.UnixNano()
+				if first {
+					snap.Collector = e.Collector
+					snap.TMin, snap.TMax = t, t
+					first = false
+				} else {
+					if t < snap.TMin {
+						snap.TMin = t
+					}
+					if t > snap.TMax {
+						snap.TMax = t
+					}
+				}
+				return true
+			})
+			if err != nil {
+				return bs, err
+			}
+			bs.Events += snap.Events
+			snap.Classifier = cl.Snapshot(nil)
+			snap.States = make(map[string][]byte, len(named))
+			for i, a := range locals {
+				snap.States[keys[i]] = a.Snapshot(nil)
+			}
+			if old != nil && old.Size == fi.Size() && old.Chain == chain {
+				// Carry forward states for keys other registries built:
+				// the partition AND its predecessor chain are unchanged,
+				// so they are still valid. (A stale chain invalidates
+				// them — classification depended on the old chain.)
+				for key, state := range old.States {
+					if _, ours := snap.States[key]; !ours {
+						snap.States[key] = state
+					}
+				}
+			}
+			if err := WriteSnapshot(entry.path, snap); err != nil {
+				return bs, err
+			}
+			bs.Built++
+		}
+	}
+	bs.Elapsed = time.Since(start)
+	return bs, nil
+}

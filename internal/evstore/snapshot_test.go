@@ -1,0 +1,352 @@
+package evstore_test
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/classify"
+	"repro/internal/evstore"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// snapNamed returns fresh named analyzer prototypes — the registry the
+// snapshot tests build and query with.
+func snapNamed() []evstore.NamedAnalyzer {
+	return []evstore.NamedAnalyzer{
+		{Key: "table1", Proto: analysis.NewTable1()},
+		{Key: "counts", Proto: analysis.NewCounts()},
+		{Key: "peers", Proto: analysis.NewPeerBehavior()},
+		{Key: "ingress", Proto: analysis.NewIngress()},
+	}
+}
+
+// TestSnapshotSidecarRoundTrip pins the sidecar codec.
+func TestSnapshotSidecarRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	part := filepath.Join(dir, "rrc00__20200315__0000.evp")
+	want := &evstore.PartitionSnapshot{
+		Partition:  "rrc00__20200315__0000.evp",
+		Size:       12345,
+		Collector:  "rrc00",
+		Events:     42,
+		TMin:       1584230400000000000,
+		TMax:       1584316799999999999,
+		Classifier: []byte{1, 2, 3, 4},
+		States: map[string][]byte{
+			"counts": {9, 8, 7},
+			"table1": {},
+		},
+	}
+	if err := evstore.WriteSnapshot(part, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := evstore.ReadSnapshot(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sidecar round trip diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestSnapshotQueryMatchesScanParallel is the tentpole equivalence: a
+// snapshot-merge query must be bit-identical to a cold shard-parallel
+// scan of the full collector timelines tallying the same window — for
+// unbounded, day-aligned, partition-cutting, collector-filtered, and
+// empty windows alike.
+func TestSnapshotQueryMatchesScanParallel(t *testing.T) {
+	cfg := smallDayConfig()
+	cfg.Collectors = 3
+	dir := ingest(t, workload.MultiDaySource(cfg, 2))
+
+	ix, bs, err := evstore.OpenSnapshotIndex(context.Background(), dir, snapNamed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Built == 0 {
+		t.Fatal("index build wrote no sidecars")
+	}
+	parts, snapped := ix.Coverage()
+	if parts == 0 || snapped != parts {
+		t.Fatalf("coverage %d/%d, want full", snapped, parts)
+	}
+
+	cases := []struct {
+		name string
+		q    evstore.Query
+		// wantResidual: <0 means "don't check"; otherwise the exact
+		// number of partitions the planner may scan.
+		wantResidual int
+	}{
+		{"unbounded", evstore.Query{}, 0},
+		{"full-day", evstore.Query{Window: evstore.TimeRange{
+			From: testDay, To: testDay.Add(24 * time.Hour)}}, 0},
+		{"cuts-partitions", evstore.Query{Window: evstore.TimeRange{
+			From: testDay.Add(3 * time.Hour), To: testDay.Add(27 * time.Hour)}}, -1},
+		{"one-collector", evstore.Query{Collectors: []string{"rrc00"},
+			Window: evstore.TimeRange{From: testDay, To: testDay.Add(24 * time.Hour)}}, 0},
+		{"before-data", evstore.Query{Window: evstore.TimeRange{
+			From: testDay.Add(-100 * 24 * time.Hour), To: testDay.Add(-99 * 24 * time.Hour)}}, -1},
+		{"after-data", evstore.Query{Window: evstore.TimeRange{
+			From: testDay.Add(99 * 24 * time.Hour), To: testDay.Add(100 * 24 * time.Hour)}}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := snapNamed()
+			refAnalyzers := make([]classify.Analyzer, len(ref))
+			for i, na := range ref {
+				refAnalyzers[i] = na.Proto
+			}
+			_, err := evstore.ScanParallel(context.Background(), dir,
+				evstore.Query{Collectors: tc.q.Collectors},
+				func(e classify.Event) bool { return tc.q.Window.Contains(e.Time) },
+				2, refAnalyzers...)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			got := snapNamed()
+			ss, err := ix.Query(context.Background(), tc.q, 2, got...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				g, w := got[i].Proto.Finish(), ref[i].Proto.Finish()
+				if !reflect.DeepEqual(g, w) {
+					t.Errorf("analyzer %q diverged:\n got %+v\nwant %+v", got[i].Key, g, w)
+				}
+			}
+			if tc.wantResidual >= 0 && ss.Plan.Scanned != tc.wantResidual {
+				t.Errorf("planner scanned %d partitions, want %d (plan %+v)",
+					ss.Plan.Scanned, tc.wantResidual, ss.Plan)
+			}
+		})
+	}
+}
+
+// TestSnapshotQueryRejectsPerEventDims pins the supported-dimension
+// contract: PeerAS / PrefixRange queries must be refused (callers fall
+// back to ScanParallel), not answered wrongly from whole-partition
+// states.
+func TestSnapshotQueryRejectsPerEventDims(t *testing.T) {
+	cfg := smallDayConfig()
+	_, sources := workload.DaySources(cfg)
+	dir := ingest(t, stream.Concat(sources...))
+	ix, _, err := evstore.OpenSnapshotIndex(context.Background(), dir, snapNamed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Query(context.Background(), evstore.Query{PeerAS: []uint32{64500}}, 1, snapNamed()...); err == nil {
+		t.Error("PeerAS query: want error")
+	}
+}
+
+// TestSnapshotIncrementalRefresh pins the incremental half: after live
+// ingest seals new partitions, Refresh builds sidecars for exactly
+// those, reuses the rest, and queries stay bit-identical to a cold
+// rescan of the grown store.
+func TestSnapshotIncrementalRefresh(t *testing.T) {
+	cfg := smallDayConfig()
+	cfg.Collectors = 2
+	_, sources := workload.DaySources(cfg)
+	dir := ingest(t, stream.Concat(sources...))
+
+	ix, bs0, err := evstore.OpenSnapshotIndex(context.Background(), dir, snapNamed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := ix.Coverage()
+	if bs0.Built != before {
+		t.Fatalf("initial build wrote %d sidecars for %d partitions", bs0.Built, before)
+	}
+
+	// Live append: a second day arrives while the index is open.
+	day2 := cfg
+	day2.Day = cfg.Day.Add(24 * time.Hour)
+	_, sources2 := workload.DaySources(day2)
+	w, err := evstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Ingest(stream.Concat(sources2...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	bs, err := ix.Refresh(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, snapped := ix.Coverage()
+	if after <= before {
+		t.Fatalf("no new partitions after second ingest (%d -> %d)", before, after)
+	}
+	if snapped != after {
+		t.Fatalf("coverage %d/%d after refresh", snapped, after)
+	}
+	if bs.Built != after-before || bs.Reused != before {
+		t.Errorf("refresh built %d reused %d, want %d built %d reused",
+			bs.Built, bs.Reused, after-before, before)
+	}
+
+	// Grown store still answers identically to a cold rescan.
+	q := evstore.Query{Window: evstore.TimeRange{From: day2.Day, To: day2.Day.Add(24 * time.Hour)}}
+	ref := snapNamed()
+	refAnalyzers := make([]classify.Analyzer, len(ref))
+	for i, na := range ref {
+		refAnalyzers[i] = na.Proto
+	}
+	if _, err := evstore.ScanParallel(context.Background(), dir, evstore.Query{},
+		func(e classify.Event) bool { return q.Window.Contains(e.Time) }, 2, refAnalyzers...); err != nil {
+		t.Fatal(err)
+	}
+	got := snapNamed()
+	if _, err := ix.Query(context.Background(), q, 2, got...); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if g, w := got[i].Proto.Finish(), ref[i].Proto.Finish(); !reflect.DeepEqual(g, w) {
+			t.Errorf("analyzer %q diverged after refresh", got[i].Key)
+		}
+	}
+}
+
+// TestSnapshotBackfillInvalidatesChain pins the chain fingerprint: a
+// partition ingested EARLIER in a shard's timeline (a backfilled day)
+// changes what every later partition's classifier should have seen, so
+// all downstream sidecars must rebuild — reusing them would serve
+// states classified against the old chain and break the
+// bit-identical-to-cold-scan contract.
+func TestSnapshotBackfillInvalidatesChain(t *testing.T) {
+	cfg := smallDayConfig()
+	cfg.Collectors = 1
+	day2 := cfg
+	day2.Day = cfg.Day.Add(24 * time.Hour)
+
+	// Ingest only the LATER day first and snapshot it.
+	_, sources2 := workload.DaySources(day2)
+	dir := ingest(t, stream.Concat(sources2...))
+	ix, _, err := evstore.OpenSnapshotIndex(context.Background(), dir, snapNamed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	laterParts, _ := ix.Coverage()
+
+	// Backfill the EARLIER day: its partitions sort before the existing
+	// ones, so the existing sidecars' classifier chains are now wrong.
+	_, sources1 := workload.DaySources(cfg)
+	w, err := evstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Ingest(stream.Concat(sources1...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	bs, err := ix.Refresh(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, snapped := ix.Coverage()
+	if snapped != total {
+		t.Fatalf("coverage %d/%d after backfill refresh", snapped, total)
+	}
+	// Every pre-existing sidecar sits downstream of the backfill and
+	// must have been rebuilt, not reused.
+	if bs.Built != total || bs.Reused != 0 {
+		t.Errorf("backfill refresh built %d reused %d over %d partitions; stale chains were reused (later-day partitions before backfill: %d)",
+			bs.Built, bs.Reused, total, laterParts)
+	}
+
+	// And the answers really match a cold rescan of the merged timeline.
+	ref := snapNamed()
+	refAnalyzers := make([]classify.Analyzer, len(ref))
+	for i, na := range ref {
+		refAnalyzers[i] = na.Proto
+	}
+	if _, err := evstore.ScanParallel(context.Background(), dir, evstore.Query{}, nil, 2, refAnalyzers...); err != nil {
+		t.Fatal(err)
+	}
+	got := snapNamed()
+	if _, err := ix.Query(context.Background(), evstore.Query{}, 2, got...); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if g, w := got[i].Proto.Finish(), ref[i].Proto.Finish(); !reflect.DeepEqual(g, w) {
+			t.Errorf("analyzer %q diverged after backfill", got[i].Key)
+		}
+	}
+}
+
+// TestManifestDiffAndWatch covers the change-detection API the daemon
+// hangs off: Diff reports newly sealed partitions, and Watch invokes
+// its callback when they appear.
+func TestManifestDiffAndWatch(t *testing.T) {
+	dir := t.TempDir()
+	m0, err := evstore.LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m0.Partitions) != 0 {
+		t.Fatalf("empty store manifest has %d partitions", len(m0.Partitions))
+	}
+
+	changes := make(chan []evstore.PartitionRef, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	watchDone := make(chan error, 1)
+	go func() {
+		watchDone <- evstore.Watch(ctx, m0, 10*time.Millisecond, func(m evstore.Manifest, added []evstore.PartitionRef) {
+			changes <- added
+		})
+	}()
+
+	cfg := smallDayConfig()
+	cfg.Collectors = 1
+	_, sources := workload.DaySources(cfg)
+	storeDir := dir // watcher watches this dir
+	w, err := evstore.Open(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Ingest(stream.Concat(sources...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m1, err := evstore.LoadManifest(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, changed := m1.Diff(m0)
+	if !changed || len(added) != len(m1.Partitions) {
+		t.Fatalf("Diff reported %d added (changed=%v), want %d", len(added), changed, len(m1.Partitions))
+	}
+	if added2, changed2 := m1.Diff(m1); changed2 || len(added2) != 0 {
+		t.Fatal("self-Diff reported changes")
+	}
+
+	select {
+	case got := <-changes:
+		if len(got) == 0 {
+			t.Fatal("watcher fired with no added partitions")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watcher never observed the sealed partitions")
+	}
+	cancel()
+	if err := <-watchDone; err != context.Canceled {
+		t.Fatalf("watcher exited with %v, want context.Canceled", err)
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/classify"
 	"repro/internal/stream"
+	"repro/internal/wire"
 )
 
 // WriterStats summarizes one writer's lifetime for reporting.
@@ -201,12 +202,15 @@ type blockMeta struct {
 }
 
 type partWriter struct {
-	path, tmpPath string
-	f             *os.File
-	bw            *bufio.Writer
-	off           int64
-	pending       []classify.Event
-	blocks        []blockMeta
+	collector string
+	day       time.Time
+	seq       int
+	tmpPath   string
+	f         *os.File
+	bw        *bufio.Writer
+	off       int64
+	pending   []classify.Event
+	blocks    []blockMeta
 }
 
 // sanitizeCollector maps a collector name onto the filename-safe
@@ -260,16 +264,18 @@ func (w *Writer) openPartition(collector string, day time.Time, key partKey) (*p
 	seqKey := partKey{sanitizeCollector(collector), key.day}
 	seq := w.nextSeq[seqKey]
 	w.nextSeq[seqKey] = seq + 1
-	path := filepath.Join(w.dir, partitionName(collector, day, seq))
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	// The block data goes to a private temp file; the final
+	// "<collector>__<day>__<seq>.evp" name is claimed exclusively at
+	// seal time, so the seq chosen here is only a starting guess and
+	// concurrent writers can never shadow each other's partitions.
+	f, err := os.CreateTemp(w.dir, "ingest-*.evp-tmp")
 	if err != nil {
 		return nil, err
 	}
-	pw := &partWriter{path: path, tmpPath: tmp, f: f, bw: bufio.NewWriter(f)}
+	pw := &partWriter{collector: collector, day: day, seq: seq, tmpPath: f.Name(), f: f, bw: bufio.NewWriter(f)}
 	header := append([]byte(partitionMagic), byte(len(collector)))
 	header = append(header, collector...)
-	header = appendVarint(header, day.Unix())
+	header = wire.AppendVarint(header, day.Unix())
 	if _, err := pw.bw.Write(header); err != nil {
 		f.Close()
 		return nil, err
@@ -318,8 +324,8 @@ func (w *Writer) flushBlock(pw *partWriter) error {
 	return nil
 }
 
-// seal flushes the final block, writes the footer index, and renames
-// the partition into place.
+// seal flushes the final block, writes the footer index, and links the
+// partition into place under an exclusively claimed name.
 func (w *Writer) seal(key partKey, pw *partWriter) error {
 	delete(w.active, key)
 	if err := w.flushBlock(pw); err != nil {
@@ -358,12 +364,54 @@ func (w *Writer) seal(key partKey, pw *partWriter) error {
 		return err
 	}
 	w.stats.Bytes += pw.off + int64(len(footer)) + 8
-	if err := os.Rename(pw.tmpPath, pw.path); err != nil {
+	path, err := w.commit(pw)
+	if err != nil {
 		os.Remove(pw.tmpPath)
 		return err
 	}
-	w.sealed = append(w.sealed, pw.path)
+	w.sealed = append(w.sealed, path)
 	return nil
+}
+
+// commit publishes a fully written temp file under the next free
+// "<collector>__<day>__<seq>.evp" name. os.Link refuses to replace an
+// existing target, so a name that appeared since Open — another
+// writer's partition, or one sealed by this writer earlier — bumps the
+// sequence number instead of being shadowed; live appends into a
+// non-empty store therefore always CONTINUE the partition sequence,
+// never collide with it. The link also makes the partition appear
+// atomically: concurrent scans see either no file or a complete one.
+func (w *Writer) commit(pw *partWriter) (string, error) {
+	seqKey := partKey{sanitizeCollector(pw.collector), dayStart(pw.day).Unix()}
+	for {
+		path := filepath.Join(w.dir, partitionName(pw.collector, pw.day, pw.seq))
+		err := os.Link(pw.tmpPath, path)
+		if err == nil {
+			os.Remove(pw.tmpPath)
+			if pw.seq+1 > w.nextSeq[seqKey] {
+				w.nextSeq[seqKey] = pw.seq + 1
+			}
+			return path, nil
+		}
+		if os.IsExist(err) {
+			pw.seq++
+			continue
+		}
+		// Filesystems without hard links: fall back to a stat-guarded
+		// rename. The guard closes most of the window; true atomicity
+		// needs link support.
+		if _, statErr := os.Lstat(path); statErr == nil {
+			pw.seq++
+			continue
+		}
+		if renameErr := os.Rename(pw.tmpPath, path); renameErr != nil {
+			return "", renameErr
+		}
+		if pw.seq+1 > w.nextSeq[seqKey] {
+			w.nextSeq[seqKey] = pw.seq + 1
+		}
+		return path, nil
+	}
 }
 
 // Abort discards everything this writer wrote — open partitions and

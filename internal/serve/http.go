@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/netip"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	GET /v1/table1        ?from&to&collectors&peeras&prefixrange
+//	GET /v1/table2        ?from&to&collectors&peeras&prefixrange
+//	GET /v1/figure/2      ?fromyear&toyear | ?year
+//	GET /v1/figure/3      ?collector&prefix&from&to
+//	GET /v1/figure/4      ?collector&peer&prefix&path&from&to
+//	GET /v1/figure/5      ?collector&peer&prefix&path&from&to
+//	GET /v1/figure/6      ?from&to
+//	GET /v1/infer/peers   ?from&to&collectors
+//	GET /v1/infer/ingress ?from&to&collectors
+//	GET /v1/stats
+//	GET /healthz
+//
+// Times are RFC 3339; collectors/peeras are comma-separated. Every
+// analysis answer is a JSON Answer envelope: the data plus provenance
+// (cache/snapshots/scan, plan and pushdown stats, compute time).
+// Request cancellation propagates into the residual scans, which stop
+// at the next block boundary.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	serveKind := func(kind string) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			spec, err := specFromRequest(kind, r)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+			s.serveAnswer(w, r, spec)
+		}
+	}
+	mux.HandleFunc("GET /v1/table1", serveKind(KindTable1))
+	mux.HandleFunc("GET /v1/table2", serveKind(KindTable2))
+	mux.HandleFunc("GET /v1/figure/{n}", func(w http.ResponseWriter, r *http.Request) {
+		kind, ok := map[string]string{
+			"2": KindFigure2, "3": KindFigure3, "4": KindFigure4,
+			"5": KindFigure5, "6": KindFigure6,
+		}[r.PathValue("n")]
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown figure %q (have 2-6)", r.PathValue("n")))
+			return
+		}
+		spec, err := specFromRequest(kind, r)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		s.serveAnswer(w, r, spec)
+	})
+	mux.HandleFunc("GET /v1/infer/peers", serveKind(KindPeers))
+	mux.HandleFunc("GET /v1/infer/ingress", serveKind(KindIngress))
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		parts, _ := s.ix.Coverage()
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "partitions": parts})
+	})
+	return mux
+}
+
+func (s *Server) serveAnswer(w http.ResponseWriter, r *http.Request, spec QuerySpec) {
+	ans, err := s.Answer(r.Context(), spec)
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, r.Context().Err()) && r.Context().Err() != nil:
+			// Client went away; the scan already aborted. 499-style.
+			status = http.StatusRequestTimeout
+		case strings.Contains(err.Error(), "no partitions"):
+			status = http.StatusServiceUnavailable // store not ingested yet
+		case strings.Contains(err.Error(), "needs"):
+			status = http.StatusBadRequest
+		}
+		httpError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ans)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// specFromRequest parses the query parameters shared by all kinds plus
+// the kind-specific ones.
+func specFromRequest(kind string, r *http.Request) (QuerySpec, error) {
+	q := r.URL.Query()
+	spec := QuerySpec{Kind: kind}
+	var err error
+	if v := q.Get("from"); v != "" {
+		if spec.Window.From, err = time.Parse(time.RFC3339, v); err != nil {
+			return spec, fmt.Errorf("from: %w", err)
+		}
+	}
+	if v := q.Get("to"); v != "" {
+		if spec.Window.To, err = time.Parse(time.RFC3339, v); err != nil {
+			return spec, fmt.Errorf("to: %w", err)
+		}
+	}
+	if v := q.Get("collectors"); v != "" {
+		spec.Collectors = strings.Split(v, ",")
+	}
+	if v := q.Get("peeras"); v != "" {
+		for _, tok := range strings.Split(v, ",") {
+			as, err := strconv.ParseUint(strings.TrimSpace(tok), 10, 32)
+			if err != nil {
+				return spec, fmt.Errorf("peeras %q: %w", tok, err)
+			}
+			spec.PeerAS = append(spec.PeerAS, uint32(as))
+		}
+	}
+	if v := q.Get("prefixrange"); v != "" {
+		if spec.PrefixRange, err = netip.ParsePrefix(v); err != nil {
+			return spec, fmt.Errorf("prefixrange: %w", err)
+		}
+	}
+	switch kind {
+	case KindFigure2:
+		if v := q.Get("year"); v != "" {
+			y, err := strconv.Atoi(v)
+			if err != nil {
+				return spec, fmt.Errorf("year: %w", err)
+			}
+			spec.FromYear, spec.ToYear = y, y
+		}
+		if v := q.Get("fromyear"); v != "" {
+			if spec.FromYear, err = strconv.Atoi(v); err != nil {
+				return spec, fmt.Errorf("fromyear: %w", err)
+			}
+		}
+		if v := q.Get("toyear"); v != "" {
+			if spec.ToYear, err = strconv.Atoi(v); err != nil {
+				return spec, fmt.Errorf("toyear: %w", err)
+			}
+		}
+	case KindFigure3, KindFigure4, KindFigure5:
+		spec.Collector = q.Get("collector")
+		if v := q.Get("prefix"); v != "" {
+			if spec.Prefix, err = netip.ParsePrefix(v); err != nil {
+				return spec, fmt.Errorf("prefix: %w", err)
+			}
+		}
+		if kind != KindFigure3 {
+			if v := q.Get("peer"); v != "" {
+				if spec.PeerAddr, err = netip.ParseAddr(v); err != nil {
+					return spec, fmt.Errorf("peer: %w", err)
+				}
+			}
+			spec.Path = q.Get("path")
+		}
+	}
+	return spec, nil
+}

@@ -1,0 +1,533 @@
+// Package serve is the query-serving layer over the columnar event
+// store: a long-running daemon answers the paper's tables, figures,
+// and §7 inferences as windowed queries, merging precomputed
+// per-partition analyzer snapshots instead of rescanning the store.
+//
+// The serving model: producers ingest normalized events into an
+// evstore directory; the server keeps a SnapshotIndex warm (one
+// sidecar per sealed partition per registered analyzer, maintained
+// incrementally by a manifest watcher as live ingest seals new
+// partitions) and answers each query with merged sidecar states plus
+// a residual scan over only the partitions the query window cuts
+// through. An LRU result cache absorbs repeats and a singleflight
+// group collapses concurrent identical queries to one computation.
+//
+// Query semantics are the live-collector convention: classification
+// state is warm from each collector's full stored timeline, and the
+// window selects which classified events are tallied. Every answer is
+// bit-identical to a cold ScanParallel of the same window — pinned by
+// equivalence tests across synthetic, MRT-archive, store, and
+// simulator-fleet producers.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/netip"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/beacon"
+	"repro/internal/classify"
+	"repro/internal/evstore"
+)
+
+// Query kinds — the analyses the daemon serves.
+const (
+	KindTable1  = "table1"
+	KindTable2  = "table2"
+	KindFigure2 = "figure2"
+	KindFigure3 = "figure3"
+	KindFigure4 = "figure4"
+	KindFigure5 = "figure5"
+	KindFigure6 = "figure6"
+	KindPeers   = "peers"
+	KindIngress = "ingress"
+)
+
+// QuerySpec is one serving request, the union of every kind's
+// parameters. Zero-valued dimensions do not constrain.
+type QuerySpec struct {
+	Kind string
+
+	// Window tallies events in [From, To); zero bounds are unbounded.
+	Window evstore.TimeRange
+	// Collectors restricts to the named collectors.
+	Collectors []string
+	// PeerAS / PrefixRange are per-event filters; queries using them
+	// bypass snapshots and run as cold scans.
+	PeerAS      []uint32
+	PrefixRange netip.Prefix
+
+	// FromYear/ToYear bound the figure2 series (calendar-year windows).
+	FromYear, ToYear int
+
+	// Collector+Prefix parameterize figure3; PeerAddr+Path additionally
+	// parameterize figure4/5 (the route).
+	Collector string
+	Prefix    netip.Prefix
+	PeerAddr  netip.Addr
+	Path      string
+}
+
+// CacheKey canonicalizes the spec into the result-cache key. Free-form
+// string fields (collector names, AS-path text) are %q-quoted so a
+// value containing the key's own delimiters can never collide with a
+// differently-shaped spec.
+func (q QuerySpec) CacheKey() string {
+	var b strings.Builder
+	b.WriteString(q.Kind)
+	fmt.Fprintf(&b, "|w=%d,%d", q.Window.From.UnixNano(), q.Window.To.UnixNano())
+	if len(q.Collectors) > 0 {
+		cs := append([]string(nil), q.Collectors...)
+		sort.Strings(cs)
+		b.WriteString("|c=")
+		for i, c := range cs {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Quote(c))
+		}
+	}
+	if len(q.PeerAS) > 0 {
+		as := append([]uint32(nil), q.PeerAS...)
+		sort.Slice(as, func(i, j int) bool { return as[i] < as[j] })
+		fmt.Fprintf(&b, "|p=%v", as)
+	}
+	if q.PrefixRange.IsValid() {
+		fmt.Fprintf(&b, "|r=%s", q.PrefixRange)
+	}
+	if q.FromYear != 0 || q.ToYear != 0 {
+		fmt.Fprintf(&b, "|y=%d-%d", q.FromYear, q.ToYear)
+	}
+	if q.Collector != "" {
+		fmt.Fprintf(&b, "|col=%s", strconv.Quote(q.Collector))
+	}
+	if q.Prefix.IsValid() {
+		fmt.Fprintf(&b, "|pfx=%s", q.Prefix)
+	}
+	if q.PeerAddr.IsValid() {
+		fmt.Fprintf(&b, "|peer=%s", q.PeerAddr)
+	}
+	if q.Path != "" {
+		fmt.Fprintf(&b, "|path=%s", strconv.Quote(q.Path))
+	}
+	return b.String()
+}
+
+// Answer is one served result with its provenance: where it came from
+// (cache, snapshot merges, residual/cold scan) and what it cost.
+type Answer struct {
+	Kind   string `json:"kind"`
+	Source string `json:"source"` // "snapshots", "scan", or "cache"
+	// Elapsed is the compute time (for cache hits: the ORIGINAL
+	// compute time, not the lookup).
+	Elapsed time.Duration     `json:"elapsed_ns"`
+	Plan    evstore.PlanStats `json:"plan"`
+	Scan    evstore.ScanStats `json:"scan"`
+	Merges  int               `json:"merges"`
+	Data    any               `json:"data"`
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	// Dir is the store directory.
+	Dir string
+	// Workers bounds per-query scan parallelism (0 = GOMAXPROCS).
+	Workers int
+	// CacheEntries sizes the LRU (0 = 256).
+	CacheEntries int
+	// Registry is the snapshot-indexed analyzer set (nil = DefaultRegistry).
+	Registry []evstore.NamedAnalyzer
+}
+
+// DefaultRegistry returns the analyzer set a daemon snapshots by
+// default: the configuration-free analyses plus the paper's figure 3
+// default route (rrc00 observing the first RIS beacon prefix). Keys
+// embed configuration so differently-parameterized analyzers never
+// share sidecar states.
+func DefaultRegistry() []evstore.NamedAnalyzer {
+	return []evstore.NamedAnalyzer{
+		{Key: "table1", Proto: analysis.NewTable1()},
+		{Key: "counts", Proto: analysis.NewCounts()},
+		{Key: "peers", Proto: analysis.NewPeerBehavior()},
+		{Key: "ingress", Proto: analysis.NewIngress()},
+		{Key: "revealed:ripe", Proto: analysis.NewRevealed(beacon.RIPE)},
+		{Key: sessionMixKey("rrc00", beacon.PrefixN(0)), Proto: analysis.NewSessionMix("rrc00", beacon.PrefixN(0))},
+	}
+}
+
+func sessionMixKey(collector string, prefix netip.Prefix) string {
+	return fmt.Sprintf("sessionmix:%s:%s", collector, prefix)
+}
+
+// Server answers analysis queries over one store. Safe for concurrent
+// use; Refresh may run concurrently with queries.
+type Server struct {
+	cfg    Config
+	ix     *evstore.SnapshotIndex
+	cache  *resultCache
+	flight *flightGroup
+
+	started   time.Time
+	queries   atomic.Uint64
+	deduped   atomic.Uint64
+	refreshes atomic.Uint64
+}
+
+// New builds any missing snapshot sidecars for the registry and
+// returns a ready server.
+func New(ctx context.Context, cfg Config) (*Server, evstore.SnapshotBuildStats, error) {
+	if cfg.Registry == nil {
+		cfg.Registry = DefaultRegistry()
+	}
+	ix, bs, err := evstore.OpenSnapshotIndex(ctx, cfg.Dir, cfg.Registry)
+	if err != nil {
+		return nil, bs, err
+	}
+	return &Server{
+		cfg:     cfg,
+		ix:      ix,
+		cache:   newResultCache(cfg.CacheEntries),
+		flight:  newFlightGroup(),
+		started: time.Now(),
+	}, bs, nil
+}
+
+// Refresh incrementally snapshots newly sealed partitions and drops
+// the result cache (stored answers may now be missing events).
+func (s *Server) Refresh(ctx context.Context) (evstore.SnapshotBuildStats, error) {
+	bs, err := s.ix.Refresh(ctx)
+	if err != nil {
+		return bs, err
+	}
+	if bs.Built > 0 {
+		s.cache.clear()
+	}
+	s.refreshes.Add(1)
+	return bs, nil
+}
+
+// Watch follows the store manifest and refreshes the snapshot index
+// whenever live ingest seals new partitions. Blocks until ctx is
+// cancelled; run on its own goroutine. onRefresh (optional) observes
+// each refresh.
+func (s *Server) Watch(ctx context.Context, interval time.Duration, onRefresh func(evstore.SnapshotBuildStats, error)) error {
+	return evstore.Watch(ctx, s.ix.Manifest(), interval, func(evstore.Manifest, []evstore.PartitionRef) {
+		bs, err := s.Refresh(ctx)
+		if onRefresh != nil {
+			onRefresh(bs, err)
+		}
+	})
+}
+
+// Answer serves one query through the cache and singleflight group.
+func (s *Server) Answer(ctx context.Context, spec QuerySpec) (*Answer, error) {
+	s.queries.Add(1)
+	key := spec.CacheKey()
+	if ans, ok := s.cache.get(key); ok {
+		hit := *ans
+		hit.Source = "cache"
+		return &hit, nil
+	}
+	computeCached := func(ctx context.Context) (*Answer, error) {
+		// The generation is read before computing: if the store is
+		// refreshed mid-compute, the (possibly stale) answer is
+		// returned to this caller but never cached.
+		gen := s.cache.generation()
+		ans, err := s.compute(ctx, spec)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.put(key, ans, gen)
+		return ans, nil
+	}
+	ans, shared, err := s.flight.do(key, func() (*Answer, error) {
+		return computeCached(ctx)
+	})
+	if shared {
+		s.deduped.Add(1)
+		// The shared computation ran under the LEADER's request
+		// context. If the leader's client vanished mid-scan, its
+		// cancellation is not ours: recompute under our own context
+		// instead of surfacing someone else's abort.
+		if err != nil && ctx.Err() == nil &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			return computeCached(ctx)
+		}
+	}
+	return ans, err
+}
+
+// runPlanned answers the named analyzers via the snapshot index, or a
+// cold ScanParallel when per-event filters force it. The analyzer
+// results land in the passed prototypes; the returned Answer carries
+// provenance but no Data yet.
+func (s *Server) runPlanned(ctx context.Context, spec QuerySpec, named ...evstore.NamedAnalyzer) (*Answer, error) {
+	ans := &Answer{Kind: spec.Kind}
+	if len(spec.PeerAS) > 0 || spec.PrefixRange.IsValid() {
+		protos := make([]classify.Analyzer, len(named))
+		for i, na := range named {
+			protos[i] = na.Proto
+		}
+		q := evstore.Query{Collectors: spec.Collectors, PeerAS: spec.PeerAS, PrefixRange: spec.PrefixRange}
+		ps, err := evstore.ScanParallel(ctx, s.cfg.Dir, q,
+			func(e classify.Event) bool { return spec.Window.Contains(e.Time) },
+			s.cfg.Workers, protos...)
+		if err != nil {
+			return nil, err
+		}
+		ans.Source = "scan"
+		ans.Scan = ps.Total
+		return ans, nil
+	}
+	q := evstore.Query{Window: spec.Window, Collectors: spec.Collectors}
+	ss, err := s.ix.Query(ctx, q, s.cfg.Workers, named...)
+	if err != nil {
+		return nil, err
+	}
+	ans.Plan = ss.Plan
+	ans.Scan = ss.Scan
+	ans.Merges = ss.Merges
+	if ss.Plan.Merged > 0 || ss.Plan.Jumped > 0 {
+		ans.Source = "snapshots"
+	} else {
+		ans.Source = "scan"
+	}
+	return ans, nil
+}
+
+// compute answers one query uncached.
+func (s *Server) compute(ctx context.Context, spec QuerySpec) (*Answer, error) {
+	start := time.Now()
+	var ans *Answer
+	var err error
+	switch spec.Kind {
+	case KindTable1:
+		a := analysis.NewTable1()
+		if ans, err = s.runPlanned(ctx, spec, evstore.NamedAnalyzer{Key: "table1", Proto: a}); err == nil {
+			ans.Data = a.Table1()
+		}
+	case KindTable2:
+		a := analysis.NewCounts()
+		if ans, err = s.runPlanned(ctx, spec, evstore.NamedAnalyzer{Key: "counts", Proto: a}); err == nil {
+			ans.Data = countsData(a.Counts)
+		}
+	case KindFigure2:
+		ans, err = s.figure2(ctx, spec)
+	case KindFigure3:
+		if !spec.Prefix.IsValid() || spec.Collector == "" {
+			return nil, fmt.Errorf("serve: figure3 needs collector and prefix")
+		}
+		a := analysis.NewSessionMix(spec.Collector, spec.Prefix)
+		if ans, err = s.runPlanned(ctx, spec, evstore.NamedAnalyzer{Key: sessionMixKey(spec.Collector, spec.Prefix), Proto: a}); err == nil {
+			ans.Data = a.Mixes()
+		}
+	case KindFigure4, KindFigure5:
+		if spec.Collector == "" || !spec.PeerAddr.IsValid() || !spec.Prefix.IsValid() || spec.Path == "" {
+			return nil, fmt.Errorf("serve: %s needs collector, peer, prefix, and path", spec.Kind)
+		}
+		session := classify.SessionKey{Collector: spec.Collector, PeerAddr: spec.PeerAddr}
+		a := analysis.NewCumulative(session, spec.Prefix, spec.Path)
+		// Route-specific accumulators are not in the sidecar registry;
+		// the planner still jumps the pre-window prelude.
+		if ans, err = s.runPlanned(ctx, spec, evstore.NamedAnalyzer{Key: "", Proto: a}); err == nil {
+			ans.Data = cumData(a.Series())
+		}
+	case KindFigure6:
+		a := analysis.NewRevealed(beacon.RIPE)
+		if ans, err = s.runPlanned(ctx, spec, evstore.NamedAnalyzer{Key: "revealed:ripe", Proto: a}); err == nil {
+			ans.Data = a.Summary()
+		}
+	case KindPeers:
+		a := analysis.NewPeerBehavior()
+		if ans, err = s.runPlanned(ctx, spec, evstore.NamedAnalyzer{Key: "peers", Proto: a}); err == nil {
+			ans.Data = peersData(a.Inferences())
+		}
+	case KindIngress:
+		a := analysis.NewIngress()
+		if ans, err = s.runPlanned(ctx, spec, evstore.NamedAnalyzer{Key: "ingress", Proto: a}); err == nil {
+			ans.Data = a.Locations()
+		}
+	default:
+		return nil, fmt.Errorf("serve: unknown query kind %q", spec.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ans.Elapsed = time.Since(start)
+	return ans, nil
+}
+
+// figure2 answers the longitudinal series: one Table-2 counts row per
+// calendar year, each an independent windowed sub-query so pushdown
+// and snapshot merges prune everything outside that year.
+func (s *Server) figure2(ctx context.Context, spec QuerySpec) (*Answer, error) {
+	if spec.FromYear == 0 || spec.ToYear < spec.FromYear {
+		return nil, fmt.Errorf("serve: figure2 needs fromyear <= toyear")
+	}
+	if spec.ToYear-spec.FromYear > 200 {
+		return nil, fmt.Errorf("serve: figure2 year range too large")
+	}
+	total := &Answer{Kind: spec.Kind, Source: "snapshots"}
+	var rows []Figure2Row
+	for y := spec.FromYear; y <= spec.ToYear; y++ {
+		sub := spec
+		sub.Window = evstore.TimeRange{
+			From: time.Date(y, 1, 1, 0, 0, 0, 0, time.UTC),
+			To:   time.Date(y+1, 1, 1, 0, 0, 0, 0, time.UTC),
+		}
+		a := analysis.NewCounts()
+		ans, err := s.runPlanned(ctx, sub, evstore.NamedAnalyzer{Key: "counts", Proto: a})
+		if err != nil {
+			return nil, err
+		}
+		total.Plan.Shards = max(total.Plan.Shards, ans.Plan.Shards)
+		total.Plan.Partitions += ans.Plan.Partitions
+		total.Plan.Merged += ans.Plan.Merged
+		total.Plan.Jumped += ans.Plan.Jumped
+		total.Plan.Scanned += ans.Plan.Scanned
+		total.Plan.Skipped += ans.Plan.Skipped
+		total.Scan.Add(ans.Scan)
+		total.Merges += ans.Merges
+		if ans.Source == "scan" {
+			total.Source = "scan"
+		}
+		rows = append(rows, Figure2Row{Year: y, Total: a.Counts.Announcements(), Counts: countsData(a.Counts)})
+	}
+	total.Data = rows
+	return total, nil
+}
+
+// ServerStats is the /v1/stats payload.
+type ServerStats struct {
+	Store       string     `json:"store"`
+	UptimeSec   float64    `json:"uptime_sec"`
+	Partitions  int        `json:"partitions"`
+	Snapshotted int        `json:"snapshotted"`
+	Registry    []string   `json:"registry"`
+	Queries     uint64     `json:"queries"`
+	Deduped     uint64     `json:"deduped"`
+	Refreshes   uint64     `json:"refreshes"`
+	Cache       CacheStats `json:"cache"`
+}
+
+// Stats reports the daemon's operational state.
+func (s *Server) Stats() ServerStats {
+	parts, snapped := s.ix.Coverage()
+	keys := make([]string, 0, len(s.cfg.Registry))
+	for _, na := range s.cfg.Registry {
+		keys = append(keys, na.Key)
+	}
+	return ServerStats{
+		Store:       s.cfg.Dir,
+		UptimeSec:   time.Since(s.started).Seconds(),
+		Partitions:  parts,
+		Snapshotted: snapped,
+		Registry:    keys,
+		Queries:     s.queries.Load(),
+		Deduped:     s.deduped.Load(),
+		Refreshes:   s.refreshes.Load(),
+		Cache:       s.cache.stats(),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// JSON data shapes
+// ---------------------------------------------------------------------------
+
+// CountsData renders classify.Counts with per-type labels and shares.
+type CountsData struct {
+	Announcements int                `json:"announcements"`
+	Withdrawals   int                `json:"withdrawals"`
+	ByType        map[string]int     `json:"by_type"`
+	Shares        map[string]float64 `json:"shares"`
+	NoPathChange  float64            `json:"no_path_change_share"`
+	MEDOnlyNN     int                `json:"med_only_nn"`
+}
+
+func countsData(c classify.Counts) CountsData {
+	d := CountsData{
+		Announcements: c.Announcements(),
+		Withdrawals:   c.Withdrawals,
+		ByType:        make(map[string]int, 6),
+		Shares:        make(map[string]float64, 6),
+		NoPathChange:  c.NoPathChangeShare(),
+		MEDOnlyNN:     c.MEDOnlyNN,
+	}
+	for _, ty := range classify.Types() {
+		d.ByType[ty.String()] = c.Of(ty)
+		d.Shares[ty.String()] = c.Share(ty)
+	}
+	return d
+}
+
+// Figure2Row is one year of the served longitudinal series.
+type Figure2Row struct {
+	Year   int        `json:"year"`
+	Total  int        `json:"total"`
+	Counts CountsData `json:"counts"`
+}
+
+// CumSeriesData is the figure 4/5 payload.
+type CumSeriesData struct {
+	Points      []CumPointData `json:"points"`
+	Withdrawals []time.Time    `json:"withdrawals"`
+	Counts      CountsData     `json:"counts"`
+}
+
+// CumPointData is one classified announcement on the route.
+type CumPointData struct {
+	Time time.Time `json:"time"`
+	Type string    `json:"type"`
+}
+
+func cumData(series analysis.CumSeries) CumSeriesData {
+	d := CumSeriesData{Withdrawals: series.Withdrawals, Counts: countsData(series.TypeCounts())}
+	for _, p := range series.Points {
+		d.Points = append(d.Points, CumPointData{Time: p.Time, Type: p.Type.String()})
+	}
+	return d
+}
+
+// PeersData is the §7 inference payload: the per-session verdicts and
+// the behaviour histogram.
+type PeersData struct {
+	Sessions []PeerRow      `json:"sessions"`
+	Summary  map[string]int `json:"summary"`
+}
+
+// PeerRow is one session's verdict.
+type PeerRow struct {
+	Collector string  `json:"collector"`
+	PeerAddr  string  `json:"peer_addr"`
+	PeerAS    uint32  `json:"peer_as"`
+	Announce  int     `json:"announcements"`
+	CommShare float64 `json:"comm_share"`
+	NCShare   float64 `json:"nc_share"`
+	NNShare   float64 `json:"nn_share"`
+	Behavior  string  `json:"behavior"`
+}
+
+func peersData(infs []analysis.PeerInference) PeersData {
+	d := PeersData{Summary: make(map[string]int, 3)}
+	for _, inf := range infs {
+		d.Sessions = append(d.Sessions, PeerRow{
+			Collector: inf.Session.Collector,
+			PeerAddr:  inf.Session.PeerAddr.String(),
+			PeerAS:    inf.PeerAS,
+			Announce:  inf.Announcements,
+			CommShare: inf.CommShare,
+			NCShare:   inf.NCShare,
+			NNShare:   inf.NNShare,
+			Behavior:  inf.Behavior.String(),
+		})
+		d.Summary[inf.Behavior.String()]++
+	}
+	return d
+}

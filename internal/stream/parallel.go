@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -21,7 +22,12 @@ const classifyBatchLen = 512
 // drained each worker merges its accumulators into the prototypes, so
 // results land in the analyzers the caller passed — identical to a
 // sequential RunAll for any analyzer with a commutative Merge.
-func ParallelRun(src EventSource, inWindow func(classify.Event) bool, analyzers ...classify.Analyzer) {
+//
+// Cancelling ctx stops the feed at the next batch boundary (early
+// exit propagates back to the producer); workers drain what was
+// already dispatched and the analyzers hold partial state the caller
+// must discard.
+func ParallelRun(ctx context.Context, src EventSource, inWindow func(classify.Event) bool, analyzers ...classify.Analyzer) {
 	type worker struct {
 		ch  chan []classify.Event
 		buf []classify.Event
@@ -29,7 +35,19 @@ func ParallelRun(src EventSource, inWindow func(classify.Event) bool, analyzers 
 	workers := make(map[string]*worker)
 	var wg sync.WaitGroup
 	var mu sync.Mutex // serializes merges into the prototypes
+	done := ctx.Done()
+	cancelled := false
 	for e := range src {
+		if done != nil {
+			select {
+			case <-done:
+				cancelled = true
+			default:
+			}
+			if cancelled {
+				break
+			}
+		}
 		w := workers[e.Collector]
 		if w == nil {
 			w = &worker{
@@ -78,7 +96,7 @@ func ParallelRun(src EventSource, inWindow func(classify.Event) bool, analyzers 
 // counts are identical to the sequential result.
 func ParallelClassify(src EventSource, inWindow func(classify.Event) bool) classify.Counts {
 	a := &classify.CountsAnalyzer{}
-	ParallelRun(src, inWindow, a)
+	ParallelRun(context.Background(), src, inWindow, a)
 	return a.Counts
 }
 

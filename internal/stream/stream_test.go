@@ -1,6 +1,7 @@
 package stream_test
 
 import (
+	"context"
 	"math/rand"
 	"net/netip"
 	"reflect"
@@ -270,13 +271,38 @@ func TestParallelRunMultipleAnalyzers(t *testing.T) {
 		evs := randomDayEvents(seed)
 		want := classifySeq(evs, nil)
 		a1, a2 := &classify.CountsAnalyzer{}, &classify.CountsAnalyzer{}
-		stream.ParallelRun(stream.FromSlice(evs), nil, a1, a2)
+		stream.ParallelRun(context.Background(), stream.FromSlice(evs), nil, a1, a2)
 		if a1.Counts != want || a2.Counts != want {
 			t.Fatalf("seed %d: parallel analyzers %+v / %+v != sequential %+v", seed, a1.Counts, a2.Counts, want)
 		}
 	}
 	// No analyzers at all must still drain the stream without hanging.
-	stream.ParallelRun(stream.FromSlice(randomDayEvents(3)), nil)
+	stream.ParallelRun(context.Background(), stream.FromSlice(randomDayEvents(3)), nil)
+}
+
+// TestParallelRunCancellation pins the satellite contract: a cancelled
+// context stops the feed at the next batch boundary — the producer is
+// not drained to completion — and the call still returns cleanly.
+func TestParallelRunCancellation(t *testing.T) {
+	evs := randomDayEvents(7)
+	ctx, cancel := context.WithCancel(context.Background())
+	fed := 0
+	src := stream.EventSource(func(yield func(classify.Event) bool) {
+		for _, e := range evs {
+			fed++
+			if fed == len(evs)/4 {
+				cancel()
+			}
+			if !yield(e) {
+				return
+			}
+		}
+	})
+	a := &classify.CountsAnalyzer{}
+	stream.ParallelRun(ctx, src, nil, a) // must return, not hang
+	if fed >= len(evs) {
+		t.Fatalf("cancelled run drained the whole source (%d events)", fed)
+	}
 }
 
 func TestClassifyMatchesReference(t *testing.T) {

@@ -1,0 +1,297 @@
+// Package wire is the shared binary codec beneath the persistent
+// formats: varint/zigzag primitives, address, prefix, AS-path, and
+// community-set encodings, and a sticky-error Reader. The evstore
+// block/footer format and the analyzer snapshot sidecars are both
+// written with the Append* helpers and parsed with Reader, so the two
+// layers cannot drift apart on the primitives.
+//
+// Encodings are length-prefixed and self-delimiting but not
+// self-describing: the caller must read fields in the order they were
+// appended. Reader degrades safely on corrupt input — after the first
+// malformed field every accessor returns zero values and Err reports
+// the failure — so decode loops need a single error check at the end.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"net/netip"
+	"time"
+
+	"repro/internal/bgp"
+)
+
+// Zigzag maps signed to unsigned so small-magnitude deltas stay short.
+func Zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// Unzigzag inverts Zigzag.
+func Unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// AppendUvarint appends an unsigned varint.
+func AppendUvarint(dst []byte, v uint64) []byte { return binary.AppendUvarint(dst, v) }
+
+// AppendVarint appends a zigzag-encoded signed varint.
+func AppendVarint(dst []byte, v int64) []byte {
+	return binary.AppendUvarint(dst, Zigzag(v))
+}
+
+// AppendString appends a length-prefixed byte string.
+func AppendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendBytes appends a length-prefixed byte slice.
+func AppendBytes(dst []byte, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// AppendTime appends an instant as unix nanoseconds (UTC restoring).
+func AppendTime(dst []byte, t time.Time) []byte {
+	return AppendVarint(dst, t.UnixNano())
+}
+
+// AppendAddr appends an address as a length tag (0 invalid, 4, or 16)
+// followed by the address bytes.
+func AppendAddr(dst []byte, a netip.Addr) []byte {
+	if !a.IsValid() {
+		return append(dst, 0)
+	}
+	if a.Is4() {
+		b := a.As4()
+		dst = append(dst, 4)
+		return append(dst, b[:]...)
+	}
+	b := a.As16()
+	dst = append(dst, 16)
+	return append(dst, b[:]...)
+}
+
+// AppendPrefix appends a prefix as its address followed by the bit
+// length; the invalid prefix is the invalid address alone.
+func AppendPrefix(dst []byte, p netip.Prefix) []byte {
+	if !p.IsValid() {
+		return append(dst, 0)
+	}
+	dst = AppendAddr(dst, p.Addr())
+	return binary.AppendUvarint(dst, uint64(p.Bits()))
+}
+
+// AppendPath appends an AS path: segment count, then per segment its
+// type, ASN count, and ASNs.
+func AppendPath(dst []byte, p bgp.ASPath) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(p)))
+	for _, seg := range p {
+		dst = binary.AppendUvarint(dst, uint64(seg.Type))
+		dst = binary.AppendUvarint(dst, uint64(len(seg.ASNs)))
+		for _, as := range seg.ASNs {
+			dst = binary.AppendUvarint(dst, uint64(as))
+		}
+	}
+	return dst
+}
+
+// AppendComms appends a community set as a count plus zigzag deltas
+// (canonical sets are ascending, so deltas are small and positive).
+func AppendComms(dst []byte, cs bgp.Communities) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(cs)))
+	prev := int64(0)
+	for _, c := range cs {
+		dst = AppendVarint(dst, int64(c)-prev)
+		prev = int64(c)
+	}
+	return dst
+}
+
+// Reader decodes a wire byte stream with sticky error handling.
+type Reader struct {
+	b   []byte
+	pos int
+	err error
+}
+
+// NewReader returns a reader over b. The reader aliases b; the caller
+// must not mutate it while reading.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Err returns the first decode error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Fail records a decode error at the current position (first one wins),
+// for callers layering their own validation onto the primitives.
+func (r *Reader) Fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format+" at offset %d", append(args, r.pos)...)
+	}
+}
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.b) - r.pos }
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.pos:])
+	if n <= 0 {
+		r.Fail("wire: truncated varint")
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+// Varint reads a zigzag-encoded signed varint.
+func (r *Reader) Varint() int64 { return Unzigzag(r.Uvarint()) }
+
+// Count reads a uvarint and validates it as an element count where
+// each element occupies at least min bytes of the remaining input,
+// bounding allocations on corrupt data.
+func (r *Reader) Count(min int) int {
+	v := r.Uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if min < 1 {
+		min = 1
+	}
+	if v > uint64(r.Remaining()/min) {
+		r.Fail("wire: implausible count %d", v)
+		return 0
+	}
+	return int(v)
+}
+
+// Bytes reads exactly n raw bytes, aliasing the input buffer.
+func (r *Reader) Bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > r.Remaining() {
+		r.Fail("wire: truncated: need %d bytes, have %d", n, r.Remaining())
+		return nil
+	}
+	out := r.b[r.pos : r.pos+n]
+	r.pos += n
+	return out
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string { return string(r.Bytes(r.Count(1))) }
+
+// Uint32 reads a uvarint and range-checks it into a uint32.
+func (r *Reader) Uint32() uint32 {
+	v := r.Uvarint()
+	if v > math.MaxUint32 {
+		r.Fail("wire: uint32 overflow")
+		return 0
+	}
+	return uint32(v)
+}
+
+// Int reads a signed varint and range-checks it into an int.
+func (r *Reader) Int() int {
+	v := r.Varint()
+	if v < math.MinInt || v > math.MaxInt {
+		r.Fail("wire: int overflow")
+		return 0
+	}
+	return int(v)
+}
+
+// Time reads an AppendTime instant.
+func (r *Reader) Time() time.Time {
+	n := r.Varint()
+	if r.err != nil {
+		return time.Time{}
+	}
+	return time.Unix(0, n).UTC()
+}
+
+// Addr reads an AppendAddr address.
+func (r *Reader) Addr() netip.Addr {
+	n := r.Bytes(1)
+	if r.err != nil {
+		return netip.Addr{}
+	}
+	switch n[0] {
+	case 0:
+		return netip.Addr{}
+	case 4:
+		b := r.Bytes(4)
+		if r.err != nil {
+			return netip.Addr{}
+		}
+		return netip.AddrFrom4([4]byte(b))
+	case 16:
+		b := r.Bytes(16)
+		if r.err != nil {
+			return netip.Addr{}
+		}
+		return netip.AddrFrom16([16]byte(b))
+	default:
+		r.Fail("wire: bad address length %d", n[0])
+		return netip.Addr{}
+	}
+}
+
+// Prefix reads an AppendPrefix prefix.
+func (r *Reader) Prefix() netip.Prefix {
+	a := r.Addr()
+	if r.err != nil || !a.IsValid() {
+		return netip.Prefix{}
+	}
+	bits := r.Uvarint()
+	if bits > uint64(a.BitLen()) {
+		r.Fail("wire: bad prefix length %d", bits)
+		return netip.Prefix{}
+	}
+	return netip.PrefixFrom(a, int(bits))
+}
+
+// Path reads an AppendPath AS path (nil for the empty path).
+func (r *Reader) Path() bgp.ASPath {
+	nseg := r.Count(2)
+	if nseg == 0 || r.err != nil {
+		return nil
+	}
+	path := make(bgp.ASPath, 0, nseg)
+	for i := 0; i < nseg; i++ {
+		typ := r.Uvarint()
+		nasn := r.Count(1)
+		if r.err != nil {
+			return nil
+		}
+		seg := bgp.ASPathSegment{Type: uint8(typ), ASNs: make([]uint32, 0, nasn)}
+		for j := 0; j < nasn; j++ {
+			seg.ASNs = append(seg.ASNs, r.Uint32())
+			if r.err != nil {
+				return nil
+			}
+		}
+		path = append(path, seg)
+	}
+	return path
+}
+
+// Comms reads an AppendComms community set (nil for the empty set).
+func (r *Reader) Comms() bgp.Communities {
+	n := r.Count(1)
+	if n == 0 || r.err != nil {
+		return nil
+	}
+	cs := make(bgp.Communities, 0, n)
+	prev := int64(0)
+	for i := 0; i < n; i++ {
+		prev += r.Varint()
+		if prev < 0 || prev > math.MaxUint32 {
+			r.Fail("wire: community overflow")
+			return nil
+		}
+		cs = append(cs, bgp.Community(prev))
+	}
+	return cs
+}

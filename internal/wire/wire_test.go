@@ -1,0 +1,122 @@
+package wire
+
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+)
+
+// TestRoundTrip drives every primitive through an append/read cycle.
+func TestRoundTrip(t *testing.T) {
+	addr4 := netip.MustParseAddr("192.0.2.7")
+	addr6 := netip.MustParseAddr("2001:db8::1")
+	pfx := netip.MustParsePrefix("10.0.0.0/9")
+	path := bgp.ASPath{
+		{Type: bgp.SegmentSequence, ASNs: []uint32{64500, 1}},
+		{Type: bgp.SegmentSet, ASNs: []uint32{2, 3}},
+	}
+	comms := bgp.Communities{bgp.NewCommunity(64500, 1), bgp.NewCommunity(64501, 2)}
+	when := time.Date(2020, 3, 15, 12, 30, 0, 123456789, time.UTC)
+
+	var b []byte
+	b = AppendUvarint(b, 12345)
+	b = AppendVarint(b, -9876)
+	b = AppendString(b, "rrc00")
+	b = AppendBytes(b, []byte{1, 2, 3})
+	b = AppendTime(b, when)
+	b = AppendAddr(b, addr4)
+	b = AppendAddr(b, addr6)
+	b = AppendAddr(b, netip.Addr{})
+	b = AppendPrefix(b, pfx)
+	b = AppendPrefix(b, netip.Prefix{})
+	b = AppendPath(b, path)
+	b = AppendPath(b, nil)
+	b = AppendComms(b, comms)
+	b = AppendComms(b, nil)
+
+	r := NewReader(b)
+	if got := r.Uvarint(); got != 12345 {
+		t.Errorf("Uvarint = %d", got)
+	}
+	if got := r.Varint(); got != -9876 {
+		t.Errorf("Varint = %d", got)
+	}
+	if got := r.String(); got != "rrc00" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.Bytes(r.Count(1)); !reflect.DeepEqual(got, []byte{1, 2, 3}) {
+		t.Errorf("Bytes = %v", got)
+	}
+	if got := r.Time(); !got.Equal(when) {
+		t.Errorf("Time = %v", got)
+	}
+	if got := r.Addr(); got != addr4 {
+		t.Errorf("Addr4 = %v", got)
+	}
+	if got := r.Addr(); got != addr6 {
+		t.Errorf("Addr6 = %v", got)
+	}
+	if got := r.Addr(); got.IsValid() {
+		t.Errorf("invalid Addr = %v", got)
+	}
+	if got := r.Prefix(); got != pfx {
+		t.Errorf("Prefix = %v", got)
+	}
+	if got := r.Prefix(); got.IsValid() {
+		t.Errorf("invalid Prefix = %v", got)
+	}
+	if got := r.Path(); !got.Equal(path) {
+		t.Errorf("Path = %v", got)
+	}
+	if got := r.Path(); got != nil {
+		t.Errorf("empty Path = %v", got)
+	}
+	if got := r.Comms(); !got.Equal(comms) {
+		t.Errorf("Comms = %v", got)
+	}
+	if got := r.Comms(); got != nil {
+		t.Errorf("empty Comms = %v", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("round trip error: %v", err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("%d bytes left over", r.Remaining())
+	}
+}
+
+// TestStickyError pins that after a decode failure every accessor
+// returns zero values and the first error is preserved.
+func TestStickyError(t *testing.T) {
+	r := NewReader([]byte{0x80}) // truncated varint
+	if got := r.Uvarint(); got != 0 {
+		t.Errorf("Uvarint on truncated input = %d", got)
+	}
+	first := r.Err()
+	if first == nil {
+		t.Fatal("no error for truncated varint")
+	}
+	// Everything after stays zero and keeps the first error.
+	if got := r.String(); got != "" {
+		t.Errorf("String after error = %q", got)
+	}
+	if got := r.Addr(); got.IsValid() {
+		t.Errorf("Addr after error = %v", got)
+	}
+	if r.Err() != first {
+		t.Error("later failure replaced the first error")
+	}
+}
+
+// TestCountBoundsAllocations pins that Count rejects counts larger than
+// the remaining input could hold.
+func TestCountBoundsAllocations(t *testing.T) {
+	b := AppendUvarint(nil, 1<<40)
+	r := NewReader(b)
+	if got := r.Count(1); got != 0 || r.Err() == nil {
+		t.Fatalf("Count accepted implausible %d", got)
+	}
+}

@@ -1,0 +1,22 @@
+# Convert `go test -bench -benchmem` output into the BENCH_<n>.json
+# perf-trajectory artifact: {"<benchmark>": {"ns_per_op": N,
+# "allocs_per_op": M}, ...}. Lines without a ns/op figure (headers,
+# PASS/ok, skipped subtests) are ignored.
+#
+# Usage: awk -f scripts/bench2json.awk bench-output.txt > BENCH_5.json
+BEGIN { printf "{"; n = 0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
+    ns = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op") ns = $(i-1)
+        if ($(i) == "allocs/op") allocs = $(i-1)
+    }
+    if (ns == "") next
+    if (n++) printf ","
+    printf "\n  \"%s\": {\"ns_per_op\": %s", name, ns
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END { print "\n}" }
