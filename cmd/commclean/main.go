@@ -176,7 +176,7 @@ func runStore(dir, in, rsList string, year, days, workers int, analyzers ...anal
 			st.Events, st.Partitions, st.Blocks, time.Since(start).Round(time.Millisecond))
 	}
 
-	ps, err := evstore.ScanParallel(context.Background(), dir, evstore.Query{}, win.Predicate(), workers, analyzers...)
+	ps, err := evstore.ScanParallel(context.Background(), dir, evstore.Query{}, win.Range(), workers, analyzers...)
 	if err != nil {
 		return err
 	}
@@ -203,15 +203,12 @@ func (w storeWindow) String() string {
 	return fmt.Sprintf("[%s, %s)", w.From.Format(time.RFC3339), w.To.Format(time.RFC3339))
 }
 
-// Predicate returns the tally filter: nil counts everything.
-func (w storeWindow) Predicate() func(classify.Event) bool {
+// Range returns the tally window: the zero range counts everything.
+func (w storeWindow) Range() evstore.TimeRange {
 	if w.All {
-		return nil
+		return evstore.TimeRange{}
 	}
-	from, to := w.From, w.To
-	return func(e classify.Event) bool {
-		return !e.Time.Before(from) && e.Time.Before(to)
-	}
+	return evstore.TimeRange{From: w.From, To: w.To}
 }
 
 func saveStoreWindow(dir string, w storeWindow) error {

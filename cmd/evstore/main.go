@@ -347,7 +347,7 @@ func runAnalyze(store string, q evstore.Query, workers int) error {
 	t1a := analysis.NewTable1()
 	counter := analysis.NewCounts()
 	peers := analysis.NewPeerBehavior()
-	ps, err := evstore.ScanParallel(context.Background(), store, q, nil, workers, t1a, counter, peers)
+	ps, err := evstore.ScanParallel(context.Background(), store, q, evstore.TimeRange{}, workers, t1a, counter, peers)
 	if err != nil {
 		return err
 	}

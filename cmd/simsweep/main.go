@@ -162,7 +162,7 @@ func verifyPaths(matrix []simnet.Scenario, results []*simnet.Result) error {
 		}
 		parCounts := analysis.NewCounts()
 		if _, err := evstore.ScanParallel(context.Background(), dir,
-			evstore.Query{Collectors: []string{ref.Scenario.Name}}, nil, 4, parCounts); err != nil {
+			evstore.Query{Collectors: []string{ref.Scenario.Name}}, evstore.TimeRange{}, 4, parCounts); err != nil {
 			return fmt.Errorf("%s: parallel scan: %w", ref.Scenario.Name, err)
 		}
 		if parCounts.Counts != ref.Counts {

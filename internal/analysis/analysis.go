@@ -18,6 +18,7 @@ import (
 	"net/netip"
 	"strconv"
 	"time"
+	"unsafe"
 
 	"repro/internal/beacon"
 	"repro/internal/bgp"
@@ -53,9 +54,12 @@ type table1Accum struct {
 	comms    map[bgp.Community]struct{}
 	paths    map[string]struct{}
 	// pathKey is the reusable scratch for the paths-set key: the exact
-	// ASPath.String() bytes, rebuilt per event without allocating (the
-	// map only copies the key when a NEW unique path is inserted).
-	pathKey []byte
+	// ASPath.String() bytes, rebuilt per event without allocating.
+	// Inserted keys are copied into keyArena and stored as string views
+	// over it — chunked arena growth instead of one heap string per
+	// unique path (a day-scale store has thousands).
+	pathKey  []byte
+	keyArena []byte
 	// lastSession/lastPrefix short-circuit the set inserts for the
 	// common per-session-ordered inputs (stream.Concat producers, store
 	// scans), where long runs of events share a session.
@@ -108,7 +112,7 @@ func (a *table1Accum) observe(e classify.Event) {
 	}
 	a.pathKey = appendPathKey(a.pathKey[:0], e.ASPath)
 	if _, ok := a.paths[string(a.pathKey)]; !ok {
-		a.paths[string(a.pathKey)] = struct{}{}
+		a.paths[a.internPathKey()] = struct{}{}
 		// A path-set miss is the only time this path's ASNs can be new:
 		// a known path already contributed its ASes.
 		for _, seg := range e.ASPath {
@@ -117,6 +121,25 @@ func (a *table1Accum) observe(e classify.Event) {
 			}
 		}
 	}
+}
+
+// internPathKey copies the rendered pathKey scratch into the key
+// arena and returns a string view over the copy, for insertion into
+// the paths set. The arena chunk is abandoned (never rewound) when
+// exhausted, so issued views stay stable; snapshots copy the bytes
+// out, so mixed arena and heap keys coexist freely after a Restore
+// or Merge.
+func (a *table1Accum) internPathKey() string {
+	n := len(a.pathKey)
+	if n == 0 {
+		return ""
+	}
+	if cap(a.keyArena)-len(a.keyArena) < n {
+		a.keyArena = make([]byte, 0, max(1<<15, n))
+	}
+	l := len(a.keyArena)
+	a.keyArena = append(a.keyArena, a.pathKey...)
+	return unsafe.String(&a.keyArena[l], n)
 }
 
 // appendPathKey renders p exactly like bgp.ASPath.String into dst —

@@ -37,6 +37,7 @@ func NewCounts() *classify.CountsAnalyzer { return &classify.CountsAnalyzer{} }
 // Table1Analyzer accumulates the d_mar20 overview (paper Table 1).
 type Table1Analyzer struct {
 	acc *table1Accum
+	bt  table1Batch // batch-path gid caches (batch.go)
 }
 
 // NewTable1 returns an empty Table 1 analyzer.
@@ -45,8 +46,12 @@ func NewTable1() *Table1Analyzer { return &Table1Analyzer{acc: newTable1Accum()}
 // Observe folds one event into the overview.
 func (a *Table1Analyzer) Observe(_ classify.Result, e classify.Event) { a.acc.observe(e) }
 
-// Merge unions the distinct-value sets and sums the counters.
+// Merge unions the distinct-value sets and sums the counters. Both
+// sides resolve their pending batch-path gids first so the value maps
+// are complete.
 func (a *Table1Analyzer) Merge(other Analyzer) {
+	a.resolvePending()
+	other.(*Table1Analyzer).resolvePending()
 	o := other.(*Table1Analyzer).acc
 	a.acc.t1.Announcements += o.t1.Announcements
 	a.acc.t1.Withdrawals += o.t1.Withdrawals
@@ -67,7 +72,10 @@ func (a *Table1Analyzer) Finish() any { return a.Table1() }
 func (a *Table1Analyzer) Fresh() Analyzer { return NewTable1() }
 
 // Table1 computes the overview from the accumulated state.
-func (a *Table1Analyzer) Table1() Table1 { return a.acc.finish() }
+func (a *Table1Analyzer) Table1() Table1 {
+	a.resolvePending()
+	return a.acc.finish()
+}
 
 func unionInto[K comparable](dst, src map[K]struct{}) {
 	for k := range src {
@@ -85,6 +93,7 @@ type SessionMixAnalyzer struct {
 	collector string
 	prefix    netip.Prefix
 	mixes     map[classify.SessionKey]*SessionMix
+	bb        sessMixBatch // batch-path gid caches (batch.go)
 }
 
 // NewSessionMix returns a Figure 3 analyzer for one collector and prefix.
@@ -160,6 +169,7 @@ type CumulativeAnalyzer struct {
 	prefix  netip.Prefix
 	path    string
 	series  CumSeries
+	cb      cumBatch // batch-path gid caches (batch.go)
 }
 
 // NewCumulative returns a Figure 4/5 analyzer for one (session, prefix,

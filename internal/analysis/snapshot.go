@@ -30,8 +30,10 @@ func snapErr(what string, r *wire.Reader) error {
 // Table 1
 // ---------------------------------------------------------------------------
 
-// Snapshot appends the overview counters and distinct-value sets.
+// Snapshot appends the overview counters and distinct-value sets,
+// after resolving any pending batch-path gids into them.
 func (a *Table1Analyzer) Snapshot(dst []byte) []byte {
+	a.resolvePending()
 	acc := a.acc
 	dst = wire.AppendVarint(dst, int64(acc.t1.Announcements))
 	dst = wire.AppendVarint(dst, int64(acc.t1.Withdrawals))
@@ -99,6 +101,9 @@ func (a *Table1Analyzer) Restore(src []byte) error {
 		return err
 	}
 	a.acc = acc
+	// The batch-path gid caches recorded inserts made into the old
+	// accumulator; they are meaningless against the restored one.
+	a.bt = table1Batch{}
 	return nil
 }
 
@@ -136,6 +141,8 @@ func (a *SessionMixAnalyzer) Restore(src []byte) error {
 		return err
 	}
 	a.mixes = mixes
+	// The batch-path cache may hold a mix pointer into the replaced map.
+	a.bb = sessMixBatch{}
 	return nil
 }
 

@@ -1,0 +1,255 @@
+package classify
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+)
+
+// randDict builds a dictionary with deliberate duplicate values under
+// distinct ids: the classifier may use id equality only as an equality
+// shortcut, never as an inequality proof, and duplicated entries make
+// a violation of that rule visible as a result divergence.
+func randDict(rnd *rand.Rand) *Dict {
+	d := &Dict{}
+	for i := 0; i < 3; i++ {
+		d.Collectors = append(d.Collectors, fmt.Sprintf("rrc%02d", i))
+	}
+	for i := 0; i < 4; i++ {
+		d.PeerASNs = append(d.PeerASNs, uint32(64500+i%3)) // dup value
+		d.PeerAddrs = append(d.PeerAddrs, netip.AddrFrom4([4]byte{10, 0, 0, byte(1 + i%3)}))
+	}
+	for i := 0; i < 5; i++ {
+		d.Prefixes = append(d.Prefixes, netip.PrefixFrom(
+			netip.AddrFrom4([4]byte{192, 0, byte(2 + i%4), 0}), 24))
+	}
+	// Paths: nil (empty), short, long, and a duplicate of the short one.
+	d.Paths = []bgp.ASPath{
+		nil,
+		{{Type: bgp.SegmentSequence, ASNs: []uint32{64500, 3320}}},
+		{{Type: bgp.SegmentSequence, ASNs: []uint32{64501, 174, 3356}}, {Type: bgp.SegmentSet, ASNs: []uint32{9, 7}}},
+		{{Type: bgp.SegmentSequence, ASNs: []uint32{64500, 3320}}},
+	}
+	// CommSets: empty, one unsorted (canonicalization differs from the
+	// raw set), one sorted, and a duplicate id for the sorted one.
+	d.CommSets = []bgp.Communities{
+		nil,
+		{bgp.Community(200<<16 | 30), bgp.Community(100<<16 | 20), bgp.Community(100<<16 | 20)},
+		{bgp.Community(100<<16 | 20), bgp.Community(200<<16 | 30)},
+		{bgp.Community(100<<16 | 20), bgp.Community(200<<16 | 30)},
+	}
+	return d
+}
+
+// randBatch fills a batch of n events over d with random ids.
+func randBatch(rnd *rand.Rand, d *Dict, n int, t0 *int64) *Batch {
+	b := &Batch{
+		N:         n,
+		Dict:      d,
+		Cols:      ProjAll,
+		Times:     make([]int64, n),
+		Collector: make([]uint32, n),
+		PeerAS:    make([]uint32, n),
+		PeerAddr:  make([]uint32, n),
+		Prefix:    make([]uint32, n),
+		Path:      make([]uint32, n),
+		Comms:     make([]uint32, n),
+		Withdraw:  make(Bitset, (n+7)/8),
+		HasMED:    make(Bitset, (n+7)/8),
+		MED:       make([]uint32, n),
+	}
+	for i := 0; i < n; i++ {
+		*t0 += int64(rnd.Intn(1e9))
+		b.Times[i] = *t0
+		b.Collector[i] = uint32(rnd.Intn(len(d.Collectors)))
+		b.PeerAS[i] = uint32(rnd.Intn(len(d.PeerASNs)))
+		b.PeerAddr[i] = uint32(rnd.Intn(len(d.PeerAddrs)))
+		b.Prefix[i] = uint32(rnd.Intn(len(d.Prefixes)))
+		b.Path[i] = uint32(rnd.Intn(len(d.Paths)))
+		b.Comms[i] = uint32(rnd.Intn(len(d.CommSets)))
+		if rnd.Intn(4) == 0 {
+			b.Withdraw[i/8] |= 1 << (i % 8)
+		}
+		if rnd.Intn(2) == 0 {
+			b.HasMED[i/8] |= 1 << (i % 8)
+			b.MED[i] = uint32(rnd.Intn(3))
+		}
+	}
+	return b
+}
+
+// uniqueDict is randDict with the stream-identity columns made
+// duplicate-free and UniqueKeys set — the dictionary shape the evstore
+// batch decoder produces, under which the classifier may track streams
+// by id alone and defer the canonical map. Paths and community sets
+// keep their duplicate ids: UniqueKeys makes no promise about them.
+func uniqueDict(rnd *rand.Rand) *Dict {
+	d := randDict(rnd)
+	for i := range d.PeerASNs {
+		d.PeerASNs[i] = uint32(64500 + i)
+	}
+	for i := range d.PeerAddrs {
+		d.PeerAddrs[i] = netip.AddrFrom4([4]byte{10, 0, 0, byte(1 + i)})
+	}
+	for i := range d.Prefixes {
+		d.Prefixes[i] = netip.PrefixFrom(netip.AddrFrom4([4]byte{192, 0, byte(2 + i), 0}), 24)
+	}
+	d.UniqueKeys = true
+	return d
+}
+
+// TestRunBatchDeferredMatchesObserve is the deferred-mode half of the
+// batch==row pin: a classifier fed nothing but batches over UniqueKeys
+// dictionaries (so the canonical stream map stays empty the whole
+// time) must classify exactly like the row-path reference, keep
+// Streams in agreement, survive a dictionary switch (which flushes the
+// cached streams), and produce a snapshot that restores into an
+// equivalent classifier.
+func TestRunBatchDeferredMatchesObserve(t *testing.T) {
+	for seed := int64(100); seed < 120; seed++ {
+		rnd := rand.New(rand.NewSource(seed))
+		dictA := uniqueDict(rnd)
+		dictB := uniqueDict(rnd)
+		dictB.Paths[1], dictB.Paths[3] = dictB.Paths[3], dictB.Paths[1]
+		dictB.CommSets[2], dictB.CommSets[3] = dictB.CommSets[3], dictB.CommSets[2]
+
+		vec := New()
+		ref := New()
+		var t0 int64 = time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC).UnixNano()
+		var results []Result
+		run := func(step string, d *Dict) {
+			t.Helper()
+			b := randBatch(rnd, d, 8+rnd.Intn(24), &t0)
+			sel := make([]int32, b.N)
+			for i := range sel {
+				sel[i] = int32(i)
+			}
+			if cap(results) < b.N {
+				results = make([]Result, b.N)
+			}
+			results = results[:b.N]
+			vec.RunBatch(b, sel, results)
+			for _, si := range sel {
+				e := b.Event(int(si))
+				want, _ := ref.Observe(e)
+				if got := results[si]; got != want {
+					t.Fatalf("seed %d %s event %d (%+v):\n batch %+v\n row   %+v",
+						seed, step, si, e, got, want)
+				}
+			}
+			if got, want := vec.Streams(), ref.Streams(); got != want {
+				t.Fatalf("seed %d %s: Streams: batch %d != row %d", seed, step, got, want)
+			}
+		}
+
+		for round := 0; round < 8; round++ {
+			d := dictA
+			if round >= 5 {
+				d = dictB // flushes the deferred streams, then re-defers nothing: mode ends
+			}
+			run(fmt.Sprintf("round %d", round), d)
+		}
+		// Snapshot materializes the deferred state; the restored
+		// classifier must continue identically.
+		if err := vec.Restore(vec.Snapshot(nil)); err != nil {
+			t.Fatalf("seed %d: restore: %v", seed, err)
+		}
+		run("post-restore", dictB)
+	}
+}
+
+// TestRunBatchMatchesObserve drives the same random event sequence
+// through the vectorized path (with row observes, a snapshot/restore
+// round trip, and a dictionary switch interleaved) and through a pure
+// row-path reference classifier, and requires identical results for
+// every event. This is the id-cache soundness pin: batch-path results
+// must be a pure function of the event values, never of the id
+// assignment.
+func TestRunBatchMatchesObserve(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rnd := rand.New(rand.NewSource(seed))
+		dictA := randDict(rnd)
+		dictB := randDict(rnd) // same values, fresh identity: forces an epoch switch
+		// Permute dictB's path/comms id assignment so the same value
+		// sequence arrives under different ids after the switch.
+		dictB.Paths[1], dictB.Paths[3] = dictB.Paths[3], dictB.Paths[1]
+		dictB.CommSets[2], dictB.CommSets[3] = dictB.CommSets[3], dictB.CommSets[2]
+
+		vec := New()
+		ref := New()
+		var t0 int64 = time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC).UnixNano()
+		results := make([]Result, 0, 64)
+
+		check := func(step string, b *Batch, sel []int32) {
+			t.Helper()
+			for _, si := range sel {
+				e := b.Event(int(si))
+				want, _ := ref.Observe(e)
+				if got := results[si]; got != want {
+					t.Fatalf("seed %d %s event %d (%+v):\n batch %+v\n row   %+v",
+						seed, step, si, e, got, want)
+				}
+			}
+		}
+		full := func(n int) []int32 {
+			sel := make([]int32, n)
+			for i := range sel {
+				sel[i] = int32(i)
+			}
+			return sel
+		}
+
+		for round := 0; round < 8; round++ {
+			d := dictA
+			if round >= 5 {
+				d = dictB
+			}
+			b := randBatch(rnd, d, 8+rnd.Intn(24), &t0)
+
+			// Random selection vectors too: every other round drops
+			// events from the batch (they must not touch state).
+			sel := full(b.N)
+			if round%2 == 1 {
+				kept := sel[:0]
+				for _, si := range sel {
+					if rnd.Intn(4) > 0 {
+						kept = append(kept, si)
+					}
+				}
+				sel = kept
+			}
+			if cap(results) < b.N {
+				results = make([]Result, b.N)
+			}
+			results = results[:b.N]
+			vec.RunBatch(b, sel, results)
+			check(fmt.Sprintf("round %d", round), b, sel)
+
+			switch round {
+			case 2:
+				// Row observes on the batch classifier invalidate its
+				// id caches; the next batch must still match.
+				for i := 0; i < 3; i++ {
+					e := b.Event(rnd.Intn(b.N))
+					e.Time = time.Unix(0, t0).UTC()
+					t0 += 1e6
+					got, _ := vec.Observe(e)
+					want, _ := ref.Observe(e)
+					if got != want {
+						t.Fatalf("seed %d interleaved row observe: batch-cl %+v != row-cl %+v", seed, got, want)
+					}
+				}
+			case 4:
+				// Snapshot/restore round trip mid-stream: restores drop
+				// the id cache but must not change any result.
+				if err := vec.Restore(vec.Snapshot(nil)); err != nil {
+					t.Fatalf("seed %d: restore: %v", seed, err)
+				}
+			}
+		}
+	}
+}

@@ -13,6 +13,21 @@
 // nc and nn announcements carry no new reachability information; the paper
 // shows they constitute roughly half of all collector-observed
 // announcements in March 2020.
+//
+// The package offers two execution paths with identical results. The
+// row path feeds one Event at a time to Classifier.Observe and an
+// Analyzer's Observe. The batch path (batch.go) works on a Batch —
+// parallel column arrays of dictionary ids over a shared Dict — plus a
+// selection vector of surviving row indexes: Classifier.RunBatch
+// classifies every selected row using id equality to skip value
+// comparisons, and analyzers implementing BatchAnalyzer aggregate on
+// dictionary ids, resolving ids to strings only at snapshot, merge, or
+// finish boundaries. Analyzers that additionally implement
+// BatchFlusher can be told the batch stream ended so they drop
+// dictionary references, which lets callers pool and reuse the Dict
+// across scans. The two paths may be interleaved freely on one
+// Classifier; Observe materializes any deferred batch-side state
+// first.
 package classify
 
 import (
@@ -96,12 +111,26 @@ type streamKey struct {
 	prefix  netip.Prefix
 }
 
-// prevState is the remembered previous announcement of a stream.
+// prevState is the remembered previous announcement of a stream. The
+// classifier stores pointers so the batch path can cache them by
+// dictionary id: key lets a withdrawal found through the id cache
+// delete the canonical map entry, live marks whether the stream is
+// currently announced (a dead state may still be referenced by the id
+// cache), and epoch/pathID/commsID record the dictionary ids of the
+// remembered announcement — valid only while epoch equals the
+// classifier's current dictionary epoch (0 means never valid; the row
+// path writes values without ids and resets epoch to 0).
 type prevState struct {
 	path   bgp.ASPath
 	comms  bgp.Communities
 	hasMED bool
 	med    uint32
+
+	key     streamKey
+	live    bool
+	epoch   uint32
+	pathID  uint32
+	commsID uint32
 }
 
 // Result is the classification of one announcement.
@@ -117,14 +146,45 @@ type Result struct {
 }
 
 // Classifier assigns announcement types over per-(session, prefix) streams
-// in arrival order. It is not safe for concurrent use.
+// in arrival order. It is not safe for concurrent use. The row path
+// (Observe) and the batch path (RunBatch) share the same canonical
+// state map and may be interleaved freely; results are identical either
+// way.
 type Classifier struct {
-	state map[streamKey]prevState
+	state map[streamKey]*prevState
+	// slab amortizes prevState allocation: streams are allocated in
+	// chunks so the row path stays at O(1) allocations per scan rather
+	// than one per stream.
+	slab []prevState
+	// Batch-path id cache: dict is the dictionary the cache and the
+	// stream epochs are valid against, epoch is bumped whenever it
+	// changes (0 is reserved as never-valid), and cache indexes the
+	// canonical stream states by packed dictionary-id triples.
+	dict  *Dict
+	epoch uint32
+	cache streamCache
+	// deferred marks a classifier that has only ever been fed batches:
+	// every live stream is reachable through the id cache, and the
+	// canonical map is empty — its per-stream hashed inserts deferred.
+	// The first row Observe, Snapshot, non-packable stream id, or
+	// dictionary switch with cached streams materializes the map
+	// (flushes live cached streams into it) and clears the flag.
+	deferred bool
 }
 
 // New returns an empty classifier.
 func New() *Classifier {
-	return &Classifier{state: make(map[streamKey]prevState)}
+	return &Classifier{state: make(map[streamKey]*prevState), deferred: true}
+}
+
+// newState hands out a zeroed prevState from the slab.
+func (c *Classifier) newState() *prevState {
+	if len(c.slab) == 0 {
+		c.slab = make([]prevState, 256)
+	}
+	st := &c.slab[0]
+	c.slab = c.slab[1:]
+	return st
 }
 
 // Observe processes one event. Announcements yield a classification;
@@ -132,34 +192,41 @@ func New() *Classifier {
 // stream is First, typically a pc/pn opening a path-exploration burst) and
 // return ok = false.
 func (c *Classifier) Observe(e Event) (Result, bool) {
+	if c.deferred {
+		c.materialize()
+	}
 	key := streamKey{session: e.Session(), prefix: e.Prefix}
 	if e.Withdraw {
-		delete(c.state, key)
+		if st, ok := c.state[key]; ok {
+			st.live = false
+			delete(c.state, key)
+		}
 		return Result{}, false
 	}
-	cur := prevState{
-		path: e.ASPath,
-		// Canonical may alias the event's slice; classifier state is
-		// private and only ever compared, never mutated, so the aliasing
-		// contract holds without a copy on this hot path.
-		comms:  e.Communities.Canonical(),
-		hasMED: e.HasMED,
-		med:    e.MED,
-	}
-	prev, seen := c.state[key]
-	c.state[key] = cur
+	curPath := e.ASPath
+	// Canonical may alias the event's slice; classifier state is
+	// private and only ever compared, never mutated, so the aliasing
+	// contract holds without a copy on this hot path.
+	curComms := e.Communities.Canonical()
+	st, seen := c.state[key]
 	if !seen {
+		st = c.newState()
+		st.key = key
+		st.live = true
+		st.path, st.comms = curPath, curComms
+		st.hasMED, st.med = e.HasMED, e.MED
+		c.state[key] = st
 		res := Result{First: true}
-		if len(cur.comms) > 0 {
+		if len(curComms) > 0 {
 			res.Type = PC
 		} else {
 			res.Type = PN
 		}
 		return res, true
 	}
-	pathChanged := !prev.path.Equal(cur.path)
-	prependOnly := pathChanged && prev.path.SameASSet(cur.path)
-	commChanged := !prev.comms.Equal(cur.comms)
+	pathChanged := !st.path.Equal(curPath)
+	prependOnly := pathChanged && st.path.SameASSet(curPath)
+	commChanged := !st.comms.Equal(curComms)
 	var t Type
 	switch {
 	case prependOnly && commChanged:
@@ -175,14 +242,31 @@ func (c *Classifier) Observe(e Event) (Result, bool) {
 	default:
 		t = NN
 	}
-	return Result{
+	res := Result{
 		Type:       t,
-		MEDChanged: prev.hasMED != cur.hasMED || prev.med != cur.med,
-	}, true
+		MEDChanged: st.hasMED != e.HasMED || st.med != e.MED,
+	}
+	st.path, st.comms = curPath, curComms
+	st.hasMED, st.med = e.HasMED, e.MED
+	// The row path carries no dictionary ids; invalidate any the batch
+	// path had cached on this stream.
+	st.epoch = 0
+	return res, true
 }
 
 // Streams returns the number of live (session, prefix) streams.
-func (c *Classifier) Streams() int { return len(c.state) }
+func (c *Classifier) Streams() int {
+	if c.deferred {
+		n := 0
+		for _, st := range c.cache.vals {
+			if st != nil && st.live {
+				n++
+			}
+		}
+		return n
+	}
+	return len(c.state)
+}
 
 // Counts tallies announcement types plus withdrawals, the unit of Table 2
 // and Figures 2–5.

@@ -67,6 +67,9 @@ func (a *CountsAnalyzer) Restore(src []byte) error {
 // would — the property that lets the serving layer jump over
 // already-summarized partitions instead of re-decoding them.
 func (c *Classifier) Snapshot(dst []byte) []byte {
+	if c.deferred {
+		c.materialize()
+	}
 	dst = wire.AppendUvarint(dst, uint64(len(c.state)))
 	for key, prev := range c.state {
 		dst = AppendSessionKey(dst, key.session)
@@ -87,10 +90,10 @@ func (c *Classifier) Snapshot(dst []byte) []byte {
 func (c *Classifier) Restore(src []byte) error {
 	r := wire.NewReader(src)
 	n := r.Count(1)
-	state := make(map[streamKey]prevState, n)
+	state := make(map[streamKey]*prevState, n)
 	for i := 0; i < n; i++ {
 		key := streamKey{session: ReadSessionKey(r), prefix: r.Prefix()}
-		var prev prevState
+		prev := &prevState{key: key, live: true}
 		prev.path = r.Path()
 		prev.comms = r.Comms()
 		flags := r.Bytes(1)
@@ -107,5 +110,10 @@ func (c *Classifier) Restore(src []byte) error {
 		return fmt.Errorf("classify: classifier snapshot: %w", err)
 	}
 	c.state = state
+	// The batch-path id cache points at the replaced states; drop it.
+	// The restored streams live only in the canonical map, so deferred
+	// mode (cache-is-authoritative) no longer holds.
+	c.cache.reset()
+	c.deferred = false
 	return nil
 }

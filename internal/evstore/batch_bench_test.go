@@ -1,0 +1,130 @@
+package evstore
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/classify"
+)
+
+// benchBlockEvents builds one block's worth of realistic events: a few
+// sessions and prefixes cycling, so the dictionaries are small and the
+// id columns long — the shape ingest produces.
+func benchBlockEvents(n int) []classify.Event {
+	paths := []bgp.ASPath{
+		bgp.NewASPath(64500, 3356, 12654),
+		bgp.NewASPath(64500, 174, 12654),
+		bgp.NewASPath(64501, 3320, 174, 12654),
+	}
+	comms := []bgp.Communities{
+		nil,
+		{bgp.NewCommunity(3356, 901), bgp.NewCommunity(3356, 2056)},
+		{bgp.NewCommunity(174, 21)},
+	}
+	t0 := time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC)
+	events := make([]classify.Event, n)
+	for i := range events {
+		e := &events[i]
+		e.Time = t0.Add(time.Duration(i) * 20 * time.Millisecond)
+		e.Collector = "rrc00"
+		e.PeerAS = uint32(64500 + i%4)
+		e.PeerAddr = netip.AddrFrom4([4]byte{10, 0, 0, byte(1 + i%4)})
+		e.Prefix = netip.PrefixFrom(netip.AddrFrom4([4]byte{192, 0, byte(2 + i%8), 0}), 24)
+		if i%9 == 8 {
+			e.Withdraw = true
+			continue
+		}
+		e.ASPath = paths[i%len(paths)]
+		e.Communities = comms[i%len(comms)]
+		if i%2 == 0 {
+			e.HasMED = true
+			e.MED = uint32(i % 3)
+		}
+	}
+	return events
+}
+
+// BenchmarkDecodeBatch measures the vectorized block decode with a
+// warm scratch — the steady state of a scan, where every column buffer
+// and dictionary intern entry is reused and decoding allocates
+// nothing. BenchmarkDecodeBlock is the row-path decode of the same
+// payload for comparison.
+func BenchmarkDecodeBatch(b *testing.B) {
+	events := benchBlockEvents(4096)
+	payload, _ := encodeBlock(events, nil)
+	for _, tc := range []struct {
+		name string
+		proj classify.Projection
+	}{
+		{"full", classify.ProjAll},
+		{"classifier-cols", classify.ClassifierProjection},
+		{"counts-only", 0},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			ds := newDecodeScratch()
+			if _, err := ds.decodeBatch(payload, tc.proj); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(payload)))
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				batch, err := ds.decodeBatch(payload, tc.proj)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if batch.N != len(events) {
+					b.Fatalf("decoded %d of %d events", batch.N, len(events))
+				}
+			}
+			b.ReportMetric(float64(len(events)), "events/op")
+		})
+	}
+}
+
+// BenchmarkDecodeBlock is the row-path baseline: the same block
+// materialized into a fresh []classify.Event per decode.
+func BenchmarkDecodeBlock(b *testing.B) {
+	events := benchBlockEvents(4096)
+	payload, _ := encodeBlock(events, nil)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		decoded, err := decodeBlock(payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(decoded) != len(events) {
+			b.Fatalf("decoded %d of %d events", len(decoded), len(events))
+		}
+	}
+	b.ReportMetric(float64(len(events)), "events/op")
+}
+
+// BenchmarkRunBatch measures vectorized classification of a warm
+// batch: id-cache hits for every event, no value comparisons.
+func BenchmarkRunBatch(b *testing.B) {
+	events := benchBlockEvents(4096)
+	payload, _ := encodeBlock(events, nil)
+	ds := newDecodeScratch()
+	batch, err := ds.decodeBatch(payload, classify.ClassifierProjection)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sel := make([]int32, batch.N)
+	for i := range sel {
+		sel[i] = int32(i)
+	}
+	results := make([]classify.Result, batch.N)
+	cl := classify.New()
+	cl.RunBatch(batch, sel, results)
+	b.SetBytes(int64(batch.N))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cl.RunBatch(batch, sel, results)
+	}
+	b.ReportMetric(float64(batch.N), "events/op")
+}

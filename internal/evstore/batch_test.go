@@ -1,0 +1,117 @@
+package evstore_test
+
+import (
+	"context"
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/classify"
+	"repro/internal/evstore"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// TestBatchPathMatchesRowPath is the batch==row property pin: for
+// random queries (residual windows, collector/peer/prefix filters) and
+// random tally windows, the vectorized engines — ScanAnalyze and
+// ScanParallel — must produce results bit-identical to the row-path
+// reference (classify.RunAll over Scan's event stream) for every
+// analyzer, batch-capable and row-fallback alike.
+func TestBatchPathMatchesRowPath(t *testing.T) {
+	cfg := smallDayConfig()
+	cfg.Collectors = 3
+	_, sources := workload.DaySources(cfg)
+	dir := ingest(t, stream.Concat(sources...))
+
+	// A real route off the store for the filtered analyzers.
+	var sample classify.Event
+	var scanErr error
+	for e := range evstore.Scan(dir, evstore.Query{}, &scanErr) {
+		if !e.Withdraw && len(e.ASPath) > 0 {
+			sample = e
+			break
+		}
+	}
+	if scanErr != nil {
+		t.Fatal(scanErr)
+	}
+	if sample.Collector == "" {
+		t.Fatal("no announcement found in the generated day")
+	}
+
+	// Batch-capable analyzers (Table1, Counts, SessionMix, Cumulative)
+	// mixed with row-fallback ones (PeerBehavior, Ingress) in one run,
+	// so both observation paths execute against the same batches.
+	protos := func() []classify.Analyzer {
+		return []classify.Analyzer{
+			analysis.NewTable1(),
+			analysis.NewCounts(),
+			analysis.NewSessionMix(sample.Collector, sample.Prefix),
+			analysis.NewCumulative(sample.Session(), sample.Prefix, sample.ASPath.String()),
+			analysis.NewPeerBehavior(),
+			analysis.NewIngress(),
+		}
+	}
+
+	rnd := rand.New(rand.NewSource(11))
+	hour := func() time.Time { return testDay.Add(time.Duration(rnd.Intn(25)) * time.Hour) }
+	for trial := 0; trial < 10; trial++ {
+		var q evstore.Query
+		var tally evstore.TimeRange
+		if trial > 0 { // trial 0: the unfiltered full-store pass
+			if rnd.Intn(2) == 0 {
+				q.Window = evstore.TimeRange{From: hour(), To: hour()}
+			}
+			if rnd.Intn(3) == 0 {
+				q.Collectors = []string{"rrc00"}
+			}
+			if rnd.Intn(3) == 0 {
+				q.PeerAS = []uint32{sample.PeerAS}
+			}
+			if rnd.Intn(3) == 0 {
+				q.PrefixRange = netip.PrefixFrom(sample.Prefix.Addr(), 8)
+			}
+			if rnd.Intn(2) == 0 {
+				tally = evstore.TimeRange{From: hour(), To: hour()}
+			}
+		}
+
+		ref := protos()
+		var refErr error
+		inWindow := func(e classify.Event) bool { return tally.Contains(e.Time) }
+		analysis.RunAll(evstore.Scan(dir, q, &refErr), inWindow, ref...)
+		if refErr != nil {
+			t.Fatal(refErr)
+		}
+		want := make([]any, len(ref))
+		for i, a := range ref {
+			want[i] = a.Finish()
+		}
+
+		seq := protos()
+		if _, err := evstore.ScanAnalyze(context.Background(), dir, q, tally, seq...); err != nil {
+			t.Fatal(err)
+		}
+		for i, a := range seq {
+			if got := a.Finish(); !reflect.DeepEqual(got, want[i]) {
+				t.Errorf("trial %d (q=%+v tally=%+v): ScanAnalyze %T diverged:\n got %+v\nwant %+v",
+					trial, q, tally, a, got, want[i])
+			}
+		}
+
+		par := protos()
+		if _, err := evstore.ScanParallel(context.Background(), dir, q, tally, 3, par...); err != nil {
+			t.Fatal(err)
+		}
+		for i, a := range par {
+			if got := a.Finish(); !reflect.DeepEqual(got, want[i]) {
+				t.Errorf("trial %d (q=%+v tally=%+v): ScanParallel %T diverged:\n got %+v\nwant %+v",
+					trial, q, tally, a, got, want[i])
+			}
+		}
+	}
+}

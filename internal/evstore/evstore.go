@@ -41,6 +41,22 @@
 // decodes, classifies, and analyzes shards on a worker pool, merging
 // classify.Analyzer accumulators into results bit-identical to the
 // sequential scan.
+//
+// Analysis-bearing scans (ScanAnalyze, ScanParallel, snapshot builds
+// and queries) execute batch-at-a-time rather than event-at-a-time:
+// decodeBatch parses each block's columnar payload directly into
+// classify.Batch column arrays, interning dictionary values into a
+// scan-lifetime classify.Dict so each distinct value is decoded once
+// per scan rather than once per block, and residual query predicates
+// are evaluated over the columns into a selection vector instead of
+// per-materialized-event. Analyzers implementing
+// classify.BatchAnalyzer consume (batch, selection) directly and
+// aggregate on dictionary ids; the rest see materialized events via
+// the row fallback, with identical results either way. Decode scratch
+// (the dict, intern maps, and column arrays) is pooled across scans,
+// so warm scans decode in steady state with zero allocations per
+// event; analyzers are flushed of dictionary-id-keyed state
+// (classify.BatchFlusher) before the scratch is returned to the pool.
 package evstore
 
 import (

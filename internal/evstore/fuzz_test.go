@@ -147,6 +147,65 @@ func FuzzBlockRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzDecodeBatch: the vectorized decoder must agree with the row
+// decoder on every input — same accept/reject verdict, and on success
+// the batch's materialized events deep-equal the row decode. Corrupt
+// bytes must error through both paths, never panic. The scratch is
+// reused across decodes inside one fuzz case, so interning and buffer
+// reuse are exercised too.
+func FuzzDecodeBatch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	valid, _ := encodeBlock(fuzzEvents([]byte{9, 1, 2, 3, 4, 5, 6, 7, 8}), nil)
+	f.Add(valid)
+	f.Add(bytes.Repeat([]byte{0xa5, 0x3c, 0x07}, 40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rowEvents, rowErr := decodeBlock(data)
+		ds := newDecodeScratch()
+		b, batchErr := ds.decodeBatch(data, classify.ProjAll)
+		if (rowErr == nil) != (batchErr == nil) {
+			t.Fatalf("decoder disagreement: decodeBlock err=%v, decodeBatch err=%v", rowErr, batchErr)
+		}
+		if rowErr != nil {
+			return
+		}
+		if b.N != len(rowEvents) {
+			t.Fatalf("batch has %d events, row decode %d", b.N, len(rowEvents))
+		}
+		for i := range rowEvents {
+			if got := b.Event(i); !fuzzEventsEqual(rowEvents[i], got) {
+				t.Fatalf("event %d:\n row   %+v\n batch %+v", i, rowEvents[i], got)
+			}
+		}
+		// A projection that skips every dictionary column still decodes
+		// the always-on columns (times, withdraw, MED) identically and
+		// validates the rest without materializing it.
+		b0, err := ds.decodeBatch(data, 0)
+		if err != nil {
+			t.Fatalf("projection-0 decode of a valid block failed: %v", err)
+		}
+		for i := range rowEvents {
+			e := rowEvents[i]
+			if b0.Times[i] != e.Time.UnixNano() || b0.Withdraw.Get(i) != e.Withdraw ||
+				b0.HasMED.Get(i) != e.HasMED || (e.HasMED && b0.MED[i] != e.MED) {
+				t.Fatalf("projection-0 event %d scalar columns diverge from %+v", i, e)
+			}
+		}
+		// Same payload through the now-warm scratch: ids may differ,
+		// values must not.
+		b2, err := ds.decodeBatch(data, classify.ProjAll)
+		if err != nil {
+			t.Fatalf("re-decode through warm scratch failed: %v", err)
+		}
+		for i := range rowEvents {
+			if got := b2.Event(i); !fuzzEventsEqual(rowEvents[i], got) {
+				t.Fatalf("warm-scratch event %d:\n row   %+v\n batch %+v", i, rowEvents[i], got)
+			}
+		}
+	})
+}
+
 // FuzzBlockDecode: arbitrary bytes must never panic or over-allocate —
 // corrupt stores fail with an error, not a crash.
 func FuzzBlockDecode(f *testing.F) {

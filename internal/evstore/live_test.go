@@ -240,7 +240,7 @@ func TestScanCancellation(t *testing.T) {
 
 	cancelled, cancel2 := context.WithCancel(context.Background())
 	cancel2()
-	if _, err := evstore.ScanParallel(cancelled, dir, evstore.Query{}, nil, 2, &classify.CountsAnalyzer{}); !errors.Is(err, context.Canceled) {
+	if _, err := evstore.ScanParallel(cancelled, dir, evstore.Query{}, evstore.TimeRange{}, 2, &classify.CountsAnalyzer{}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("pre-cancelled ScanParallel returned %v, want context.Canceled", err)
 	}
 }

@@ -306,7 +306,6 @@ func (ix *SnapshotIndex) Query(ctx context.Context, q Query, workers int, named 
 	}
 	ss := ServeStats{Workers: workers, Plan: pst}
 	start := time.Now()
-	inWindow := q.Window.Contains
 
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -318,6 +317,9 @@ func (ix *SnapshotIndex) Query(ctx context.Context, q Query, workers int, named 
 		go func() {
 			defer wg.Done()
 			var br blockReader
+			// Safe to recycle at worker exit: every plan's locals were
+			// resolved into the protos under the merge lock.
+			defer br.release()
 			for idx := range jobs {
 				if failed.Load() {
 					continue
@@ -327,7 +329,7 @@ func (ix *SnapshotIndex) Query(ctx context.Context, q Query, workers int, named 
 				cl := classify.New()
 				var shardScan ScanStats
 				merges := 0
-				err := sp.run(ctx, &br, cl, locals, keys, protos, inWindow, &shardScan, &merges)
+				err := sp.run(ctx, &br, cl, locals, keys, protos, q.Window, &shardScan, &merges)
 				mu.Lock()
 				if err != nil {
 					failed.Store(true)
@@ -358,13 +360,14 @@ func (ix *SnapshotIndex) Query(ctx context.Context, q Query, workers int, named 
 // lies ahead in the shard — the common all-merge query never touches
 // classifier bytes at all, which is what makes warm windowed answers
 // microsecond-scale.
-func (sp shardPlan) run(ctx context.Context, br *blockReader, cl *classify.Classifier, locals []classify.Analyzer, keys []string, protos []classify.Analyzer, inWindow func(time.Time) bool, scan *ScanStats, merges *int) error {
+func (sp shardPlan) run(ctx context.Context, br *blockReader, cl *classify.Classifier, locals []classify.Analyzer, keys []string, protos []classify.Analyzer, tally TimeRange, scan *ScanStats, merges *int) error {
 	lastScan := -1
 	for i, a := range sp.actions {
 		if a == actionScan {
 			lastScan = i
 		}
 	}
+	run := newBatchRunner(cl, locals, tally)
 	for i, entry := range sp.shard.entries {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -395,14 +398,8 @@ func (sp shardPlan) run(ctx context.Context, br *blockReader, cl *classify.Class
 			}
 		case actionScan:
 			var st ScanStats
-			_, err := scanPartition(ctx, entry.path, sp.shard.cq, br, &st, func(e classify.Event) bool {
-				res, _ := cl.Observe(e)
-				if !inWindow(e.Time) {
-					return true
-				}
-				for _, a := range locals {
-					a.Observe(res, e)
-				}
+			_, err := scanPartitionBatch(ctx, entry.path, sp.shard.cq, br, &st, run.proj, func(b *classify.Batch, sel []int32) bool {
+				run.observe(b, sel)
 				return true
 			})
 			scan.Add(st)

@@ -272,15 +272,22 @@ func parsePartition(f *os.File, path string) (*partition, error) {
 	return p, nil
 }
 
-// blockReader inflates and decodes blocks, reusing its buffers and the
-// flate decompressor state across calls.
+// blockReader inflates and decodes blocks, reusing its buffers, the
+// flate decompressor state, the batch decode scratch (global
+// dictionary + column arrays), and the residual selector across calls
+// — one per scan worker, so steady-state block decoding allocates
+// nothing.
 type blockReader struct {
 	cbuf, ubuf []byte
 	src        bytes.Reader
 	inflate    io.ReadCloser
+	scratch    *decodeScratch
+	slr        *selector
 }
 
-func (br *blockReader) read(f *os.File, b blockMeta) ([]classify.Event, error) {
+// inflateBlock reads and decompresses one block's payload into the
+// reused buffer; the slice is valid until the next call.
+func (br *blockReader) inflateBlock(f *os.File, b blockMeta) ([]byte, error) {
 	if cap(br.cbuf) < b.clen {
 		br.cbuf = make([]byte, b.clen)
 	}
@@ -301,7 +308,7 @@ func (br *blockReader) read(f *os.File, b blockMeta) ([]classify.Event, error) {
 	if _, err := io.ReadFull(br.inflate, ubuf); err != nil {
 		return nil, fmt.Errorf("evstore: inflate: %w", err)
 	}
-	return decodeBlock(ubuf)
+	return ubuf, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -414,6 +421,7 @@ func ScanContext(ctx context.Context, dir string, q Query, errp *error, st *Scan
 		}
 		cq := compileQuery(q)
 		var br blockReader
+		defer br.release()
 		if _, err := scanEntries(ctx, entries, cq, &br, st, yield); err != nil {
 			fail(err)
 		}
@@ -451,59 +459,18 @@ func scanEntries(ctx context.Context, entries []storeEntry, cq *compiledQuery, b
 // scanPartition streams one partition's matching events; more reports
 // whether the consumer wants to continue. Cancellation is honoured at
 // block boundaries: a cancelled ctx never interrupts the decode of a
-// block already in flight.
+// block already in flight. The events are materialized from the batch
+// kernel; their slice fields alias the reader's scan-lifetime
+// dictionary and stay valid after the scan.
 func scanPartition(ctx context.Context, path string, cq *compiledQuery, br *blockReader, st *ScanStats, yield func(classify.Event) bool) (more bool, err error) {
-	p, f, err := readPartition(path)
-	if err != nil {
-		return false, err
-	}
-	defer f.Close()
-	if cq.collectors != nil && !cq.collectors[p.collector] {
-		if st != nil {
-			st.PartitionsPruned++
-		}
-		return true, nil
-	}
-	if !cq.matchSummary(p.agg, false) {
-		if st != nil {
-			st.PartitionsPruned++
-		}
-		return true, nil
-	}
-	if st != nil {
-		st.Blocks += len(p.blocks)
-	}
-	for _, b := range p.blocks {
-		if err := ctx.Err(); err != nil {
-			return false, err
-		}
-		if !cq.matchSummary(b.sum, true) {
-			if st != nil {
-				st.BlocksPruned++
-			}
-			continue
-		}
-		events, err := br.read(f, b)
-		if err != nil {
-			return false, fmt.Errorf("%s: %w", path, err)
-		}
-		if st != nil {
-			st.BlocksDecoded++
-			st.BytesDecompressed += int64(b.ulen)
-		}
-		for _, e := range events {
-			if !cq.match(e) {
-				continue
-			}
-			if st != nil {
-				st.Events++
-			}
-			if !yield(e) {
-				return false, nil
+	return scanPartitionBatch(ctx, path, cq, br, st, classify.ProjAll, func(b *classify.Batch, sel []int32) bool {
+		for _, si := range sel {
+			if !yield(b.Event(int(si))) {
+				return false
 			}
 		}
-	}
-	return true, nil
+		return true
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -603,6 +570,7 @@ func PartitionSource(path string, q Query, errp *error) stream.EventSource {
 	return func(yield func(classify.Event) bool) {
 		cq := compileQuery(q)
 		var br blockReader
+		defer br.release()
 		if _, err := scanPartition(context.Background(), path, cq, &br, nil, yield); err != nil {
 			if errp != nil && *errp == nil {
 				*errp = err

@@ -53,6 +53,7 @@ func (s Shard) EventsContext(ctx context.Context, errp *error, st *ScanStats) st
 			*st = ScanStats{}
 		}
 		var br blockReader
+		defer br.release()
 		if _, err := scanEntries(ctx, s.entries, s.cq, &br, st, yield); err != nil {
 			if errp != nil && *errp == nil {
 				*errp = err
@@ -114,14 +115,18 @@ type ParallelStats struct {
 
 // ScanParallel decodes, classifies, and analyzes the store's shards on
 // a worker pool, generalizing stream.ParallelRun to predicate-pushdown
-// store scans: each worker owns one blockReader (the flate decompressor
-// and block buffers are reused across every shard it drains) and runs a
-// fresh classifier plus Fresh analyzer copies per shard; finished
-// shards merge their accumulators into the analyzers the caller passed.
-// Events outside inWindow (nil = everything) still feed classifier
-// state, the warm-up convention; q.Window instead excludes events from
-// the scan entirely, so a windowed analysis that needs warm-up should
-// scan unwindowed and pass the window here.
+// store scans: each worker owns one blockReader (the flate
+// decompressor, block buffers, and batch decode scratch are reused
+// across every shard it drains) and runs a fresh classifier plus Fresh
+// analyzer copies per shard; finished shards merge their accumulators
+// into the analyzers the caller passed. Shards ride the vectorized
+// batch kernel: residual predicates become selection vectors, and
+// analyzers implementing classify.BatchAnalyzer consume columns while
+// the rest receive materialized events. Events outside tally (zero =
+// everything) still feed classifier state, the warm-up convention;
+// q.Window instead excludes events from the scan entirely, so a
+// windowed analysis that needs warm-up should scan unwindowed and pass
+// the window here.
 //
 // Results are bit-identical to RunAll over Scan(dir, q) for every
 // analyzer whose Merge is commutative (all of internal/analysis — a
@@ -130,7 +135,7 @@ type ParallelStats struct {
 // Cancelling ctx makes workers stop at the next block boundary; the
 // first error (ctx's) is returned and the analyzers hold partial
 // state the caller must discard.
-func ScanParallel(ctx context.Context, dir string, q Query, inWindow func(classify.Event) bool, workers int, analyzers ...classify.Analyzer) (ParallelStats, error) {
+func ScanParallel(ctx context.Context, dir string, q Query, tally TimeRange, workers int, analyzers ...classify.Analyzer) (ParallelStats, error) {
 	shards, err := ScanShards(dir, q)
 	if err != nil {
 		return ParallelStats{}, err
@@ -154,6 +159,9 @@ func ScanParallel(ctx context.Context, dir string, q Query, inWindow func(classi
 		go func() {
 			defer wg.Done()
 			var br blockReader
+			// Safe to recycle at worker exit: every shard's locals were
+			// resolved under the merge lock before the next job started.
+			defer br.release()
 			for idx := range jobs {
 				if failed.Load() {
 					continue // an earlier shard failed; drain the queue
@@ -162,16 +170,10 @@ func ScanParallel(ctx context.Context, dir string, q Query, inWindow func(classi
 				ss := &ps.Shards[idx]
 				ss.Collector = sh.Collector
 				locals := classify.FreshAll(analyzers)
-				cl := classify.New()
+				run := newBatchRunner(classify.New(), locals, tally)
 				shardStart := time.Now()
-				_, err := scanEntries(ctx, sh.entries, sh.cq, &br, &ss.Scan, func(e classify.Event) bool {
-					res, _ := cl.Observe(e)
-					if inWindow != nil && !inWindow(e) {
-						return true
-					}
-					for _, a := range locals {
-						a.Observe(res, e)
-					}
+				_, err := scanEntriesBatch(ctx, sh.entries, sh.cq, &br, &ss.Scan, run.proj, func(b *classify.Batch, sel []int32) bool {
+					run.observe(b, sel)
 					return true
 				})
 				ss.Elapsed = time.Since(shardStart)

@@ -78,9 +78,8 @@ func TestScanParallelMatchesSequential(t *testing.T) {
 	cfg.Collectors = 3
 	_, sources := workload.DaySources(cfg)
 	dir := ingest(t, stream.Concat(sources...))
-	inWindow := func(e classify.Event) bool {
-		return !e.Time.Before(cfg.Day) && e.Time.Before(cfg.Day.Add(24*time.Hour))
-	}
+	win := evstore.TimeRange{From: cfg.Day, To: cfg.Day.Add(24 * time.Hour)}
+	inWindow := func(e classify.Event) bool { return win.Contains(e.Time) }
 
 	protos := func() []classify.Analyzer {
 		return []classify.Analyzer{analysis.NewTable1(), analysis.NewCounts(), analysis.NewPeerBehavior(), analysis.NewIngress()}
@@ -99,7 +98,7 @@ func TestScanParallelMatchesSequential(t *testing.T) {
 
 	for _, workers := range []int{1, 2, 4, 0} {
 		par := protos()
-		ps, err := evstore.ScanParallel(context.Background(), dir, evstore.Query{}, inWindow, workers, par...)
+		ps, err := evstore.ScanParallel(context.Background(), dir, evstore.Query{}, win, workers, par...)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -144,7 +143,7 @@ func TestScanParallelMultiDay(t *testing.T) {
 		t.Fatal(seqErr)
 	}
 	counts := analysis.NewCounts()
-	if _, err := evstore.ScanParallel(context.Background(), dir, evstore.Query{}, nil, 4, counts); err != nil {
+	if _, err := evstore.ScanParallel(context.Background(), dir, evstore.Query{}, evstore.TimeRange{}, 4, counts); err != nil {
 		t.Fatal(err)
 	}
 	if counts.Counts != want {
@@ -168,7 +167,7 @@ func corruptOnePartition(t *testing.T, dir string) {
 // TestScanParallelErrors covers the failure paths: an empty store and
 // a corrupt partition must surface an error, not a partial result.
 func TestScanParallelErrors(t *testing.T) {
-	if _, err := evstore.ScanParallel(context.Background(), t.TempDir(), evstore.Query{}, nil, 2, analysis.NewCounts()); err == nil {
+	if _, err := evstore.ScanParallel(context.Background(), t.TempDir(), evstore.Query{}, evstore.TimeRange{}, 2, analysis.NewCounts()); err == nil {
 		t.Error("empty store: want error")
 	}
 
@@ -176,7 +175,7 @@ func TestScanParallelErrors(t *testing.T) {
 	_, sources := workload.DaySources(cfg)
 	dir := ingest(t, stream.Concat(sources...))
 	corruptOnePartition(t, dir)
-	if _, err := evstore.ScanParallel(context.Background(), dir, evstore.Query{}, nil, 2, analysis.NewCounts()); err == nil {
+	if _, err := evstore.ScanParallel(context.Background(), dir, evstore.Query{}, evstore.TimeRange{}, 2, analysis.NewCounts()); err == nil {
 		t.Error("corrupt partition: want error")
 	}
 }

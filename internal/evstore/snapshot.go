@@ -239,6 +239,9 @@ func BuildSnapshots(ctx context.Context, dir string, named []NamedAnalyzer) (Sna
 		return bs, err
 	}
 	var br blockReader
+	// Safe to recycle at return: each partition's locals are snapshotted
+	// (resolving their id-state) before the next partition is scanned.
+	defer br.release()
 	zero := compileQuery(Query{})
 	for _, sh := range shards {
 		cl := classify.New()
@@ -265,20 +268,20 @@ func BuildSnapshots(ctx context.Context, dir string, named []NamedAnalyzer) (Sna
 			}
 
 			locals := classify.FreshAll(protos)
+			run := newBatchRunner(cl, locals, TimeRange{})
 			snap := &PartitionSnapshot{Partition: filepath.Base(entry.path), Size: fi.Size(), Chain: chain}
 			first := true
-			_, err = scanPartition(ctx, entry.path, zero, &br, nil, func(e classify.Event) bool {
-				res, _ := cl.Observe(e)
-				for _, a := range locals {
-					a.Observe(res, e)
-				}
-				snap.Events++
-				t := e.Time.UnixNano()
-				if first {
-					snap.Collector = e.Collector
-					snap.TMin, snap.TMax = t, t
-					first = false
-				} else {
+			_, err = scanPartitionBatch(ctx, entry.path, zero, &br, nil, run.proj, func(b *classify.Batch, sel []int32) bool {
+				run.observe(b, sel)
+				snap.Events += len(sel)
+				for _, si := range sel {
+					t := b.Times[si]
+					if first {
+						snap.Collector = b.Dict.Collectors[b.Collector[si]]
+						snap.TMin, snap.TMax = t, t
+						first = false
+						continue
+					}
 					if t < snap.TMin {
 						snap.TMin = t
 					}

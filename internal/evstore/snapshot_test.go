@@ -103,8 +103,7 @@ func TestSnapshotQueryMatchesScanParallel(t *testing.T) {
 				refAnalyzers[i] = na.Proto
 			}
 			_, err := evstore.ScanParallel(context.Background(), dir,
-				evstore.Query{Collectors: tc.q.Collectors},
-				func(e classify.Event) bool { return tc.q.Window.Contains(e.Time) },
+				evstore.Query{Collectors: tc.q.Collectors}, tc.q.Window,
 				2, refAnalyzers...)
 			if err != nil {
 				t.Fatal(err)
@@ -204,7 +203,7 @@ func TestSnapshotIncrementalRefresh(t *testing.T) {
 		refAnalyzers[i] = na.Proto
 	}
 	if _, err := evstore.ScanParallel(context.Background(), dir, evstore.Query{},
-		func(e classify.Event) bool { return q.Window.Contains(e.Time) }, 2, refAnalyzers...); err != nil {
+		q.Window, 2, refAnalyzers...); err != nil {
 		t.Fatal(err)
 	}
 	got := snapNamed()
@@ -273,7 +272,7 @@ func TestSnapshotBackfillInvalidatesChain(t *testing.T) {
 	for i, na := range ref {
 		refAnalyzers[i] = na.Proto
 	}
-	if _, err := evstore.ScanParallel(context.Background(), dir, evstore.Query{}, nil, 2, refAnalyzers...); err != nil {
+	if _, err := evstore.ScanParallel(context.Background(), dir, evstore.Query{}, evstore.TimeRange{}, 2, refAnalyzers...); err != nil {
 		t.Fatal(err)
 	}
 	got := snapNamed()

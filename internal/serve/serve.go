@@ -276,9 +276,7 @@ func (s *Server) runPlanned(ctx context.Context, spec QuerySpec, named ...evstor
 			protos[i] = na.Proto
 		}
 		q := evstore.Query{Collectors: spec.Collectors, PeerAS: spec.PeerAS, PrefixRange: spec.PrefixRange}
-		ps, err := evstore.ScanParallel(ctx, s.cfg.Dir, q,
-			func(e classify.Event) bool { return spec.Window.Contains(e.Time) },
-			s.cfg.Workers, protos...)
+		ps, err := evstore.ScanParallel(ctx, s.cfg.Dir, q, spec.Window, s.cfg.Workers, protos...)
 		if err != nil {
 			return nil, err
 		}

@@ -58,8 +58,7 @@ func buildStore(t testing.TB, src stream.EventSource) string {
 func coldRef(t testing.TB, dir string, spec serve.QuerySpec, protos ...classify.Analyzer) {
 	t.Helper()
 	q := evstore.Query{Collectors: spec.Collectors, PeerAS: spec.PeerAS, PrefixRange: spec.PrefixRange}
-	_, err := evstore.ScanParallel(context.Background(), dir, q,
-		func(e classify.Event) bool { return spec.Window.Contains(e.Time) }, 2, protos...)
+	_, err := evstore.ScanParallel(context.Background(), dir, q, spec.Window, 2, protos...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -569,12 +568,11 @@ func BenchmarkServeWarmVsCold(b *testing.B) {
 	cfg.Collectors = 3
 	dir := buildStore(b, workload.MultiDaySource(cfg, 2))
 	window := evstore.TimeRange{From: testDay, To: testDay.Add(24 * time.Hour)}
-	windowPred := func(e classify.Event) bool { return window.Contains(e.Time) }
 
 	b.Run("cold-scanparallel", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			counts := analysis.NewCounts()
-			if _, err := evstore.ScanParallel(context.Background(), dir, evstore.Query{}, windowPred, 0, counts); err != nil {
+			if _, err := evstore.ScanParallel(context.Background(), dir, evstore.Query{}, window, 0, counts); err != nil {
 				b.Fatal(err)
 			}
 		}

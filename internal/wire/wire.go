@@ -130,6 +130,12 @@ func (r *Reader) Fail(format string, args ...any) {
 // Remaining returns the number of unread bytes.
 func (r *Reader) Remaining() int { return len(r.b) - r.pos }
 
+// Pos returns the current read offset into the underlying buffer, so
+// callers can slice out the encoded bytes of a field they just parsed
+// (the evstore batch decoder interns dictionary entries by their exact
+// wire form).
+func (r *Reader) Pos() int { return r.pos }
+
 // Uvarint reads an unsigned varint.
 func (r *Reader) Uvarint() uint64 {
 	if r.err != nil {

@@ -3,20 +3,48 @@
 # "allocs_per_op": M}, ...}. Lines without a ns/op figure (headers,
 # PASS/ok, skipped subtests) are ignored.
 #
-# Usage: awk -f scripts/bench2json.awk bench-output.txt > BENCH_5.json
-BEGIN { printf "{"; n = 0 }
+# Go appends "-$GOMAXPROCS" to every benchmark name — but only when
+# GOMAXPROCS > 1. Blindly stripping a trailing "-<digits>" therefore
+# corrupts names on single-core machines: "workers-1", "workers-2",
+# "workers-4" all collapse to "workers" and the JSON object ends up
+# with duplicate keys (the BENCH_5.json ScanParallel collision).
+# Instead, strip the suffix only by consensus: buffer every line and
+# remove a trailing "-<digits>" in END only if every benchmark in the
+# run carries the *identical* suffix — true exactly when it is the
+# uniform GOMAXPROCS decoration, never when it is a sub-benchmark's
+# own "-1"/"-2"/"-4" tail. (A run with a single benchmark whose real
+# name ends in "-<digits>" is ambiguous; the artifact runs record the
+# full suite, so consensus always has multiple witnesses.)
+#
+# Usage: awk -f scripts/bench2json.awk bench-output.txt > BENCH_6.json
+BEGIN { n = 0 }
 /^Benchmark/ {
-    name = $1
-    sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
     ns = ""; allocs = ""
     for (i = 2; i <= NF; i++) {
         if ($(i) == "ns/op") ns = $(i-1)
         if ($(i) == "allocs/op") allocs = $(i-1)
     }
     if (ns == "") next
-    if (n++) printf ","
-    printf "\n  \"%s\": {\"ns_per_op\": %s", name, ns
-    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
-    printf "}"
+    names[n] = $1; nss[n] = ns; allocss[n] = allocs; n++
 }
-END { print "\n}" }
+END {
+    # Consensus GOMAXPROCS suffix: the identical "-<digits>" tail on
+    # every buffered name, or empty if any name disagrees.
+    suffix = ""
+    for (j = 0; j < n; j++) {
+        if (match(names[j], /-[0-9]+$/) == 0) { suffix = ""; break }
+        s = substr(names[j], RSTART)
+        if (j == 0) suffix = s
+        else if (s != suffix) { suffix = ""; break }
+    }
+    printf "{"
+    for (j = 0; j < n; j++) {
+        name = names[j]
+        if (suffix != "") name = substr(name, 1, length(name) - length(suffix))
+        if (j) printf ","
+        printf "\n  \"%s\": {\"ns_per_op\": %s", name, nss[j]
+        if (allocss[j] != "") printf ", \"allocs_per_op\": %s", allocss[j]
+        printf "}"
+    }
+    print "\n}"
+}

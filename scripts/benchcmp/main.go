@@ -1,0 +1,110 @@
+// Command benchcmp compares a freshly generated BENCH json artifact
+// (see scripts/bench2json.awk) against a committed baseline and fails
+// when a gated benchmark's ns/op regressed beyond a threshold ratio.
+//
+//	go run ./scripts/benchcmp -baseline BENCH_6.json -current bench-current.json \
+//	    -max-ratio 2.0 BenchmarkStoreScan BenchmarkRunAll/single-pass-1-analyzer
+//
+// Only the benchmarks named as positional arguments gate the exit
+// status; every key present in both files is printed for context. The
+// threshold is deliberately loose (default 2.0): CI runners and the
+// baseline-recording machine differ, and -benchtime 1x output is
+// noisy, so the gate is meant to catch order-of-magnitude rot (a
+// disabled fast path, an accidental O(n²)), not small drift. A gated
+// benchmark missing from either file is a failure too — silently
+// dropping a benchmark is how perf rot goes unnoticed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+func load(path string) (map[string]entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]entry
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "committed BENCH_<n>.json baseline")
+	currentPath := flag.String("current", "", "freshly generated bench json")
+	maxRatio := flag.Float64("max-ratio", 2.0, "fail when current/baseline ns/op exceeds this on a gated benchmark")
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp -baseline FILE -current FILE [-max-ratio R] BENCHMARK...")
+		os.Exit(2)
+	}
+
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cur, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	gated := make(map[string]bool, flag.NArg())
+	for _, name := range flag.Args() {
+		gated[name] = true
+	}
+
+	names := make([]string, 0, len(base))
+	for name := range base {
+		if _, ok := cur[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		b, c := base[name], cur[name]
+		ratio := 0.0
+		if b.NsPerOp > 0 {
+			ratio = c.NsPerOp / b.NsPerOp
+		}
+		mark := " "
+		if gated[name] {
+			mark = "*"
+			if ratio > *maxRatio {
+				mark = "!"
+				failed = true
+			}
+		}
+		fmt.Printf("%s %-60s %14.0f -> %14.0f ns/op  (%.2fx)\n", mark, name, b.NsPerOp, c.NsPerOp, ratio)
+	}
+
+	for name := range gated {
+		if _, ok := base[name]; !ok {
+			fmt.Fprintf(os.Stderr, "gated benchmark %q missing from baseline %s\n", name, *baselinePath)
+			failed = true
+		}
+		if _, ok := cur[name]; !ok {
+			fmt.Fprintf(os.Stderr, "gated benchmark %q missing from current %s\n", name, *currentPath)
+			failed = true
+		}
+	}
+
+	if failed {
+		fmt.Fprintf(os.Stderr, "bench regression: a gated benchmark exceeded %.2fx baseline ns/op (or went missing)\n", *maxRatio)
+		os.Exit(1)
+	}
+}
