@@ -1,48 +1,217 @@
-// Command bgpcollect is a live passive route collector: it listens for a
-// BGP session over TCP, accepts whatever a peer announces, and archives
-// every update as BGP4MP_ET MRT records — a miniature RIS collector whose
-// output feeds directly into cmd/commclean.
+// Command bgpcollect is the live collection daemon: a supervised fleet
+// of BGP feeds — protocol-real peer sessions accepted off a TCP
+// listener, accelerated simnet scenarios, and MRT-archive replays —
+// streaming normalized events into an evstore directory with bounded
+// memory and seconds-level seal freshness. A commservd -watch daemon
+// pointed at the same directory answers queries over the events within
+// seconds of their arrival.
 //
 // Usage:
 //
-//	bgpcollect -listen 127.0.0.1:1790 -out updates.mrt [-as 12654] [-sessions 1]
+//	bgpcollect -store ./store -listen 127.0.0.1:1790 [-as 12654]
+//	bgpcollect -store ./store -sim 4 -sim-speed 3600
+//	bgpcollect -store ./store -replay updates.mrt -replay-speed 60
+//
+// SIGINT/SIGTERM drain gracefully: accepting stops, queues flush,
+// every open partition seals, and the daemon exits 0. A failure to
+// bind the listen address exits non-zero immediately.
+//
+// The archiving mode of the previous version (-out updates.mrt,
+// -sessions N) is gone: events now land in the store, not an MRT file,
+// and sessions are supervised indefinitely instead of counted.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/netip"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
-	"repro/internal/collector"
+	"repro/internal/evstore"
+	"repro/internal/ingest"
+	"repro/internal/router"
+	"repro/internal/session"
+	"repro/internal/simnet"
 )
 
-func main() {
-	listen := flag.String("listen", "127.0.0.1:1790", "address to accept BGP sessions on")
-	out := flag.String("out", "updates.mrt", "MRT output file")
-	as := flag.Uint("as", 12654, "collector AS number")
-	sessions := flag.Int("sessions", 1, "number of sessions to serve before exiting")
+func main() { os.Exit(run()) }
+
+type listFlag []string
+
+func (l *listFlag) String() string { return fmt.Sprint(*l) }
+func (l *listFlag) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func run() int {
+	store := flag.String("store", "", "evstore directory to publish partitions into (required)")
+	listen := flag.String("listen", "", "address to accept live BGP sessions on (empty: no listener)")
+	as := flag.Uint("as", 12654, "collector AS number for accepted sessions")
+	collectorName := flag.String("collector", "live00", "collector label stamped on session events")
+	backpressure := flag.String("backpressure", "shed", "session-feed overload behavior: block or shed")
+
+	sim := flag.Int("sim", 0, "number of simulated scenario feeds to attach")
+	simSpeed := flag.Float64("sim-speed", 3600, "simulation acceleration factor (1: wall clock, <=0: unpaced)")
+	var replays listFlag
+	flag.Var(&replays, "replay", "MRT archive to replay as a feed (repeatable)")
+	replaySpeed := flag.Float64("replay-speed", 0, "replay acceleration factor (1: wall clock, <=0: unpaced)")
+
+	sealAge := flag.Duration("seal-age", 2*time.Second, "seal and publish partitions this old (freshness bound)")
+	sealEvents := flag.Int("seal-events", 0, "seal partitions at this many events (0: off)")
+	sealBytes := flag.Int64("seal-bytes", 0, "seal partitions at this many compressed bytes (0: off)")
+	queueDepth := flag.Int("queue", 4096, "per-collector queue depth (the backpressure boundary)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for feeds to stop during shutdown")
+	statsEvery := flag.Duration("stats", 10*time.Second, "status line interval (0: quiet)")
+	duration := flag.Duration("duration", 0, "run this long, then drain and exit (0: until signal)")
 	flag.Parse()
 
-	f, err := os.Create(*out)
-	if err != nil {
+	fail := func(err error) int {
 		fmt.Fprintf(os.Stderr, "bgpcollect: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
-	defer f.Close()
+	if *store == "" {
+		fmt.Fprintln(os.Stderr, "bgpcollect: -store is required")
+		flag.Usage()
+		return 2
+	}
+	if *listen == "" && *sim == 0 && len(replays) == 0 {
+		fmt.Fprintln(os.Stderr, "bgpcollect: nothing to collect: give -listen, -sim, or -replay")
+		flag.Usage()
+		return 2
+	}
+	var mode ingest.BackpressureMode
+	switch *backpressure {
+	case "block":
+		mode = ingest.Block
+	case "shed":
+		mode = ingest.Shed
+	default:
+		return fail(fmt.Errorf("unknown -backpressure %q (want block or shed)", *backpressure))
+	}
 
-	c, err := collector.NewLiveCollector(*listen, f, uint32(*as), netip.MustParseAddr("198.51.100.1"))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *duration)
+		defer cancel()
+	}
+
+	plane, err := ingest.NewPlane(ctx, ingest.Config{
+		Dir:        *store,
+		Seal:       evstore.SealPolicy{MaxAge: *sealAge, MaxEvents: *sealEvents, MaxBytes: *sealBytes},
+		QueueDepth: *queueDepth,
+	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "bgpcollect: %v\n", err)
-		os.Exit(1)
+		return fail(err)
 	}
-	defer c.Close()
-	fmt.Printf("collecting on %s (AS%d), archiving to %s\n", c.Addr(), *as, *out)
 
-	for i := 0; i < *sessions; i++ {
-		if err := c.ServeOne(); err != nil {
-			fmt.Fprintf(os.Stderr, "bgpcollect: session %d: %v\n", i+1, err)
+	// Bind before attaching anything: a taken port must exit non-zero
+	// immediately, not after feeds have started publishing.
+	if *listen != "" {
+		ln, err := session.Listen(*listen, session.Config{
+			LocalAS:  uint32(*as),
+			RouterID: netip.MustParseAddr("198.51.100.1"),
+		})
+		if err != nil {
+			return fail(err)
 		}
-		fmt.Printf("session %d closed; %d records archived so far\n", i+1, c.Records())
+		defer ln.Close()
+		fmt.Printf("accepting BGP sessions on %s (AS%d) as collector %s [%s]\n",
+			ln.Addr(), *as, *collectorName, mode)
+		go func() {
+			if err := plane.AcceptSessions(ctx, ln, *collectorName, ingest.FeedOptions{Backpressure: mode}); err != nil {
+				fmt.Fprintf(os.Stderr, "bgpcollect: accept: %v\n", err)
+				stop()
+			}
+		}()
 	}
+
+	var finite []*ingest.FeedHandle
+	for i := 0; i < *sim; i++ {
+		scen := simnet.Scenario{
+			Name:     fmt.Sprintf("sim%02d", i),
+			Topology: simnet.TopoInternet,
+			Policy:   simnet.PolicyMixed,
+			Vendor:   router.CiscoIOS,
+			Workload: simnet.WorkChurn,
+			Seed:     int64(i),
+			Start:    time.Now().UTC().Truncate(24 * time.Hour),
+		}
+		h, err := plane.Attach(ingest.NewSimFeed(scen, *simSpeed), ingest.FeedOptions{})
+		if err != nil {
+			return fail(err)
+		}
+		finite = append(finite, h)
+	}
+	for i, path := range replays {
+		name := fmt.Sprintf("replay/%s#%d", path, i)
+		h, err := plane.Attach(ingest.ReplayArchive(name, fmt.Sprintf("replay%02d", i), path, *replaySpeed), ingest.FeedOptions{})
+		if err != nil {
+			return fail(err)
+		}
+		finite = append(finite, h)
+	}
+	fmt.Printf("collection plane up: store=%s seal-age=%v feeds=%d%s\n",
+		*store, *sealAge, len(finite), map[bool]string{true: "+listener", false: ""}[*listen != ""])
+
+	// Without a listener the daemon's work is finite: exit once every
+	// attached feed has reached a terminal state.
+	if *listen == "" {
+		go func() {
+			for _, h := range finite {
+				<-h.Done()
+			}
+			stop()
+		}()
+	}
+
+	if *statsEvery > 0 {
+		go func() {
+			t := time.NewTicker(*statsEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					printStats(plane)
+				}
+			}
+		}()
+	}
+
+	<-ctx.Done()
+	fmt.Println("draining: stopping feeds, flushing queues, sealing partitions")
+	st, err := plane.Drain(*drainTimeout)
+	printFinal(st)
+	if err != nil {
+		return fail(err)
+	}
+	return 0
+}
+
+func printStats(p *ingest.Plane) {
+	st := p.Stats()
+	queued, sealed := 0, 0
+	for _, c := range st.Collectors {
+		queued += c.Queued
+		sealed += c.Writer.Sealed
+	}
+	fmt.Printf("feeds[%s] events=%d sheds=%d queued=%d collectors=%d sealed=%d\n",
+		p.Supervisor().StateSummary(), st.Events, st.Sheds, queued, len(st.Collectors), sealed)
+}
+
+func printFinal(st ingest.PlaneStats) {
+	var w evstore.WriterStats
+	for _, c := range st.Collectors {
+		w.Add(c.Writer)
+	}
+	fmt.Printf("drained: %d events (%d shed), %d collectors, %d partitions sealed (%d live), %d bytes\n",
+		st.Events, st.Sheds, len(st.Collectors), w.Sealed, w.PolicySealed, w.Bytes)
 }

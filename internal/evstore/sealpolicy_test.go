@@ -1,0 +1,245 @@
+package evstore_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/evstore"
+	"repro/internal/stream"
+)
+
+func listEvp(t *testing.T, dir string) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "*"+evstore.Extension))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return paths
+}
+
+func listTmp(t *testing.T, dir string) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "ingest-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return paths
+}
+
+func TestSealPolicyMaxEvents(t *testing.T) {
+	dir := t.TempDir()
+	day := time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC)
+	w, err := evstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Seal = evstore.SealPolicy{MaxEvents: 10}
+	for _, e := range liveEvents(day, "rrc00", 0, 35) {
+		if err := w.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 35 events, threshold 10: three full partitions published already,
+	// the 5-event tail still open.
+	if got := len(listEvp(t, dir)); got != 3 {
+		t.Fatalf("published partitions = %d, want 3 before Close", got)
+	}
+	if st := w.Stats(); st.PolicySealed != 3 {
+		t.Fatalf("PolicySealed = %d, want 3", st.PolicySealed)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(listEvp(t, dir)); got != 4 {
+		t.Fatalf("partitions after Close = %d, want 4", got)
+	}
+	var scanErr error
+	n := 0
+	for range evstore.Scan(dir, evstore.Query{}, &scanErr) {
+		n++
+	}
+	if scanErr != nil || n != 35 {
+		t.Fatalf("scan: %d events, err %v; want 35", n, scanErr)
+	}
+}
+
+func TestSealPolicyMaxAgeAndSealExpired(t *testing.T) {
+	dir := t.TempDir()
+	day := time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC)
+	now := day
+	w, err := evstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Seal = evstore.SealPolicy{MaxAge: 2 * time.Second}
+	w.Now = func() time.Time { return now }
+
+	evs := liveEvents(day, "rrc00", 0, 3)
+	if err := w.Append(evs[0]); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(time.Second)
+	if err := w.Append(evs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(listEvp(t, dir)); got != 0 {
+		t.Fatalf("partition sealed %d files before MaxAge", got)
+	}
+	// Quiet collector: no appends arrive, the ticker path must publish.
+	now = now.Add(3 * time.Second)
+	sealed, err := w.SealExpired()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sealed != 1 || len(listEvp(t, dir)) != 1 {
+		t.Fatalf("SealExpired sealed %d (files %d), want 1", sealed, len(listEvp(t, dir)))
+	}
+	// An append after expiry seals inline, without SealExpired.
+	if err := w.Append(evs[2]); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(3 * time.Second)
+	if err := w.Append(liveEvents(day, "rrc00", time.Hour, 1)[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(listEvp(t, dir)); got != 2 {
+		t.Fatalf("age seal on append: %d files, want 2", got)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Both seals were policy seals; the append that tripped the second
+	// one rode along in the sealed partition, so Close had nothing left.
+	if st := w.Stats(); st.PolicySealed != 2 || st.Sealed != 2 || st.Events != 4 {
+		t.Fatalf("stats %+v, want 4 events in 2 policy-sealed partitions", st)
+	}
+}
+
+func TestSealPolicyMaxBytes(t *testing.T) {
+	dir := t.TempDir()
+	day := time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC)
+	w, err := evstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MaxBytes is checked at block granularity; small blocks make the
+	// byte threshold bite quickly.
+	w.BlockEvents = 8
+	w.Seal = evstore.SealPolicy{MaxBytes: 1}
+	for _, e := range liveEvents(day, "rrc00", 0, 64) {
+		if err := w.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := w.Stats(); st.PolicySealed == 0 {
+		t.Fatalf("MaxBytes never sealed: %+v", st)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var scanErr error
+	n := 0
+	for range evstore.Scan(dir, evstore.Query{}, &scanErr) {
+		n++
+	}
+	if scanErr != nil || n != 64 {
+		t.Fatalf("scan: %d events, err %v; want 64", n, scanErr)
+	}
+}
+
+// TestAbortKeepsPolicySealedPartitions pins the live-writer rollback
+// boundary: Abort on a crashing live writer removes its unsealed temp
+// state, but partitions already published by the seal policy are
+// durable — for a live plane the rollback unit is the seal, not the
+// process. (Batch ingest keeps full rollback: window/Close seals enter
+// the rollback set; see TestIngestRollsBackOnSourceError.)
+func TestAbortKeepsPolicySealedPartitions(t *testing.T) {
+	dir := t.TempDir()
+	day := time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC)
+	w, err := evstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Seal = evstore.SealPolicy{MaxEvents: 10}
+	evs := liveEvents(day, "rrc00", 0, 25)
+	for _, e := range evs {
+		if err := w.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(listEvp(t, dir)); got != 2 {
+		t.Fatalf("published partitions = %d, want 2", got)
+	}
+	if got := len(listTmp(t, dir)); got != 1 {
+		t.Fatalf("open temp files = %d, want 1 (the 5-event tail)", got)
+	}
+	w.Abort() // the live process dies mid-partition
+
+	if got := len(listTmp(t, dir)); got != 0 {
+		t.Fatalf("Abort left %d temp files: %v", got, listTmp(t, dir))
+	}
+	paths := listEvp(t, dir)
+	if len(paths) != 2 {
+		t.Fatalf("Abort removed policy-sealed partitions: %d files remain", len(paths))
+	}
+	// The survivors are intact and hold exactly the first 20 events.
+	var scanErr error
+	got := make([]classify.Event, 0, 20)
+	for e := range evstore.Scan(dir, evstore.Query{}, &scanErr) {
+		got = append(got, e)
+	}
+	if scanErr != nil {
+		t.Fatal(scanErr)
+	}
+	if len(got) != 20 {
+		t.Fatalf("surviving events = %d, want 20", len(got))
+	}
+	for i, e := range got {
+		if e.Prefix != evs[i].Prefix || !e.Time.Equal(evs[i].Time) {
+			t.Fatalf("event %d diverged: got %v@%v want %v@%v",
+				i, e.Prefix, e.Time, evs[i].Prefix, evs[i].Time)
+		}
+	}
+	// A fresh writer appends after the crash without colliding.
+	w2, err := evstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Ingest(stream.FromSlice(liveEvents(day, "rrc00", time.Hour, 5))); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(listEvp(t, dir)); got != 3 {
+		t.Fatalf("post-crash ingest: %d partitions, want 3", got)
+	}
+}
+
+// TestSealPolicyBatchRollbackUnchanged pins the other side of the
+// boundary: without a policy, a failed one-shot Ingest still rolls the
+// store back to empty.
+func TestSealPolicyBatchRollbackUnchanged(t *testing.T) {
+	dir := t.TempDir()
+	day := time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC)
+	src := func(yield func(classify.Event) bool) {
+		for _, e := range liveEvents(day, "rrc00", 0, 10) {
+			if !yield(e) {
+				return
+			}
+		}
+	}
+	boom := fmt.Errorf("archive truncated")
+	if _, err := evstore.Ingest(dir, src, func() error { return boom }); err == nil {
+		t.Fatal("ingest with failing check succeeded")
+	}
+	if got := len(listEvp(t, dir)); got != 0 {
+		t.Fatalf("failed batch ingest left %d partitions", got)
+	}
+	if got := len(listTmp(t, dir)); got != 0 {
+		t.Fatalf("failed batch ingest left %d temp files", got)
+	}
+}

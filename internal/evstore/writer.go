@@ -22,12 +22,54 @@ type WriterStats struct {
 	Events     int // events ingested
 	Blocks     int // blocks written
 	Partitions int // partition files created
+	// Sealed is the number of partition files sealed (published) so far.
+	Sealed int
+	// PolicySealed counts the seals triggered by the SealPolicy rather
+	// than the two-day window or Close — the live publishes.
+	PolicySealed int
 	// PeakActive is the maximum number of simultaneously open
 	// partitions — the writer's memory footprint is PeakActive pending
 	// blocks, independent of how many days are ingested.
 	PeakActive int
 	// Bytes is the total compressed bytes written to sealed partitions.
 	Bytes int64
+}
+
+// Add accumulates another writer's stats — aggregation across the
+// per-collector writers of a live plane. PeakActive sums: the writers
+// are concurrently open, so their footprints coexist.
+func (s *WriterStats) Add(o WriterStats) {
+	s.Events += o.Events
+	s.Blocks += o.Blocks
+	s.Partitions += o.Partitions
+	s.Sealed += o.Sealed
+	s.PolicySealed += o.PolicySealed
+	s.PeakActive += o.PeakActive
+	s.Bytes += o.Bytes
+}
+
+// SealPolicy triggers partition seals ahead of the two-day window so a
+// live ingest publishes within seconds instead of at day boundaries.
+// Zero fields disable their threshold; the zero policy disables early
+// sealing entirely (batch behavior). A policy-triggered seal is a
+// durable publish: it leaves the Abort rollback set, so for a live
+// writer the rollback boundary is the seal, not the process.
+type SealPolicy struct {
+	// MaxAge seals a partition this long (wall clock) after it was
+	// opened, even if events are still arriving — the freshness bound.
+	// Age-based seals happen on Append and on explicit SealExpired
+	// calls; a quiet collector needs the latter (a ticker) to publish
+	// its tail.
+	MaxAge time.Duration
+	// MaxEvents seals a partition once it holds this many events.
+	MaxEvents int
+	// MaxBytes seals a partition once its compressed size reaches this
+	// many bytes (checked at block granularity).
+	MaxBytes int64
+}
+
+func (p SealPolicy) enabled() bool {
+	return p.MaxAge > 0 || p.MaxEvents > 0 || p.MaxBytes > 0
 }
 
 // Writer appends event streams to a store directory. It routes each
@@ -40,6 +82,15 @@ type Writer struct {
 	// BlockEvents is the number of events per block; set before the
 	// first Ingest (default DefaultBlockEvents).
 	BlockEvents int
+
+	// Seal is the live-append seal policy (zero: batch behavior, seal
+	// only on the two-day window and Close). Set before the first
+	// Append/Ingest.
+	Seal SealPolicy
+
+	// Now supplies the wall clock for SealPolicy.MaxAge (tests override
+	// it; nil defaults to time.Now).
+	Now func() time.Time
 
 	dir     string
 	active  map[partKey]*partWriter
@@ -99,6 +150,13 @@ func Open(dir string) (*Writer, error) {
 // Stats returns the writer's cumulative statistics.
 func (w *Writer) Stats() WriterStats { return w.stats }
 
+func (w *Writer) now() time.Time {
+	if w.Now != nil {
+		return w.Now()
+	}
+	return time.Now()
+}
+
 // Ingest drains a source into the store. It may be called repeatedly;
 // each event lands in its (collector, day) partition in arrival order,
 // so per-session event order is preserved as long as the source itself
@@ -112,6 +170,11 @@ func (w *Writer) Ingest(src stream.EventSource) error {
 	}
 	return err
 }
+
+// Append adds a single event — the live-ingest entry point (feeds hand
+// events one at a time, not as a drainable source). It applies the
+// same routing, two-day window, and seal policy as Ingest.
+func (w *Writer) Append(e classify.Event) error { return w.add(e) }
 
 func (w *Writer) add(e classify.Event) error {
 	if len(e.Collector) > 255 {
@@ -131,7 +194,7 @@ func (w *Writer) add(e classify.Event) error {
 		// compact.
 		for k, pw := range w.active {
 			if k.collector == e.Collector && k.day < key.day-2*24*60*60 {
-				if err := w.seal(k, pw); err != nil {
+				if err := w.seal(k, pw, true); err != nil {
 					return err
 				}
 			}
@@ -151,11 +214,64 @@ func (w *Writer) add(e classify.Event) error {
 		}
 	}
 	pw.pending = append(pw.pending, e)
+	pw.events++
 	w.stats.Events++
 	if len(pw.pending) >= w.blockEvents() {
-		return w.flushBlock(pw)
+		if err := w.flushBlock(pw); err != nil {
+			return err
+		}
 	}
-	return nil
+	return w.maybeSealPolicy(key, pw)
+}
+
+// maybeSealPolicy seals pw if the live seal policy's thresholds are
+// met. Policy seals are durable publishes: they leave the rollback
+// set, so a later Abort cannot take back what a watcher may already be
+// serving.
+func (w *Writer) maybeSealPolicy(key partKey, pw *partWriter) error {
+	p := w.Seal
+	if !p.enabled() {
+		return nil
+	}
+	switch {
+	case p.MaxEvents > 0 && pw.events >= p.MaxEvents:
+	case p.MaxBytes > 0 && pw.off >= p.MaxBytes:
+	case p.MaxAge > 0 && w.now().Sub(pw.openedAt) >= p.MaxAge:
+	default:
+		return nil
+	}
+	return w.seal(key, pw, false)
+}
+
+// SealExpired seals every open partition older than Seal.MaxAge — the
+// ticker-driven path that publishes a quiet collector's tail (Append
+// applies the policy only when an event arrives, so without this a
+// partition whose feed went silent would sit unsealed until Close).
+// It reports how many partitions were sealed; a no-op unless MaxAge is
+// set.
+func (w *Writer) SealExpired() (int, error) {
+	if w.Seal.MaxAge <= 0 {
+		return 0, nil
+	}
+	now := w.now()
+	var expired []partKey
+	for k, pw := range w.active {
+		if now.Sub(pw.openedAt) >= w.Seal.MaxAge {
+			expired = append(expired, k)
+		}
+	}
+	sort.Slice(expired, func(i, j int) bool {
+		if expired[i].collector != expired[j].collector {
+			return expired[i].collector < expired[j].collector
+		}
+		return expired[i].day < expired[j].day
+	})
+	for _, k := range expired {
+		if err := w.seal(k, w.active[k], false); err != nil {
+			return 0, err
+		}
+	}
+	return len(expired), nil
 }
 
 func (w *Writer) blockEvents() int {
@@ -184,7 +300,7 @@ func (w *Writer) Close() error {
 	})
 	var firstErr error
 	for _, k := range keys {
-		if err := w.seal(k, w.active[k]); err != nil && firstErr == nil {
+		if err := w.seal(k, w.active[k], true); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -211,6 +327,8 @@ type partWriter struct {
 	off       int64
 	pending   []classify.Event
 	blocks    []blockMeta
+	openedAt  time.Time // wall clock, for SealPolicy.MaxAge
+	events    int       // events appended, for SealPolicy.MaxEvents
 }
 
 // sanitizeCollector maps a collector name onto the filename-safe
@@ -272,7 +390,8 @@ func (w *Writer) openPartition(collector string, day time.Time, key partKey) (*p
 	if err != nil {
 		return nil, err
 	}
-	pw := &partWriter{collector: collector, day: day, seq: seq, tmpPath: f.Name(), f: f, bw: bufio.NewWriter(f)}
+	pw := &partWriter{collector: collector, day: day, seq: seq, tmpPath: f.Name(), f: f,
+		bw: bufio.NewWriter(f), openedAt: w.now()}
 	header := append([]byte(partitionMagic), byte(len(collector)))
 	header = append(header, collector...)
 	header = wire.AppendVarint(header, day.Unix())
@@ -325,8 +444,10 @@ func (w *Writer) flushBlock(pw *partWriter) error {
 }
 
 // seal flushes the final block, writes the footer index, and links the
-// partition into place under an exclusively claimed name.
-func (w *Writer) seal(key partKey, pw *partWriter) error {
+// partition into place under an exclusively claimed name. rollback
+// records the sealed file in the Abort rollback set (batch semantics);
+// policy-driven seals pass false, making the seal a durable publish.
+func (w *Writer) seal(key partKey, pw *partWriter, rollback bool) error {
 	delete(w.active, key)
 	if err := w.flushBlock(pw); err != nil {
 		pw.f.Close()
@@ -369,7 +490,12 @@ func (w *Writer) seal(key partKey, pw *partWriter) error {
 		os.Remove(pw.tmpPath)
 		return err
 	}
-	w.sealed = append(w.sealed, path)
+	w.stats.Sealed++
+	if rollback {
+		w.sealed = append(w.sealed, path)
+	} else {
+		w.stats.PolicySealed++
+	}
 	return nil
 }
 
@@ -419,6 +545,12 @@ func (w *Writer) commit(pw *partWriter) (string, error) {
 // writer was opened. Use it instead of Close when an ingest fails
 // part-way: sealing the partial output would create a valid-looking
 // but incomplete store that later scans would silently trust.
+//
+// Partitions sealed by the SealPolicy are the exception: those are
+// durable publishes (a watcher may already have snapshotted and served
+// them), so for a live writer the rollback boundary is the seal, not
+// the process — Abort removes only unsealed temp files and
+// window/Close-sealed batch output.
 func (w *Writer) Abort() {
 	for k, pw := range w.active {
 		delete(w.active, k)

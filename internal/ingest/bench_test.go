@@ -1,0 +1,219 @@
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/classify"
+	"repro/internal/evstore"
+	"repro/internal/stream"
+)
+
+// synthEvents builds n deterministic events for one collector session:
+// a realistic mix of path flaps, community changes, and withdraws over
+// a rotating prefix pool.
+func synthEvents(collector string, peer int, n int) []classify.Event {
+	day := time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC)
+	addr := netip.MustParseAddr(fmt.Sprintf("10.0.%d.1", peer%200))
+	paths := []bgp.ASPath{
+		bgp.NewASPath(uint32(65000+peer), 3356, 12654),
+		bgp.NewASPath(uint32(65000+peer), 1299, 12654),
+	}
+	comms := []bgp.Communities{
+		{bgp.NewCommunity(3356, 2001)},
+		{bgp.NewCommunity(3356, 2002)},
+		nil,
+	}
+	evs := make([]classify.Event, 0, n)
+	for i := 0; i < n; i++ {
+		e := classify.Event{
+			Time:      day.Add(time.Duration(i) * 50 * time.Millisecond),
+			Collector: collector,
+			PeerAS:    uint32(65000 + peer),
+			PeerAddr:  addr,
+			Prefix:    netip.MustParsePrefix(fmt.Sprintf("10.%d.%d.0/24", peer%200, i%250)),
+		}
+		if i%17 == 16 {
+			e.Withdraw = true
+		} else {
+			e.ASPath = paths[(i/3)%2]
+			e.Communities = comms[i%3]
+		}
+		evs = append(evs, e)
+	}
+	return evs
+}
+
+// TestIngestSoakSmoke is the CI-sized soak: a fleet of paced feeds
+// streams into the plane for about a second of wall clock while the
+// test samples the live counters. Sustained means every sample window
+// saw progress; block mode means zero sheds, ever.
+func TestIngestSoakSmoke(t *testing.T) {
+	const (
+		feeds        = 8
+		eventsPerFee = 3000
+	)
+	dir := t.TempDir()
+	p, err := NewPlane(context.Background(), Config{
+		Dir:  dir,
+		Seal: evstore.SealPolicy{MaxEvents: 4096},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handles := make([]*FeedHandle, feeds)
+	for i := 0; i < feeds; i++ {
+		evs := synthEvents(fmt.Sprintf("soak%02d", i%2), i, eventsPerFee)
+		// Virtual span = eventsPerFee * 50ms = 150s; speed 150 ≈ 1s wall.
+		h, err := p.Attach(ReplaySource(fmt.Sprintf("soak/%d", i), 150,
+			func() stream.EventSource { return stream.FromSlice(evs) }), FeedOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = h
+	}
+	start := time.Now()
+	var last uint64
+	stalls := 0
+	for sample := 0; ; sample++ {
+		time.Sleep(200 * time.Millisecond)
+		events, sheds := p.Supervisor().Totals()
+		if sheds != 0 {
+			t.Fatalf("block-mode soak shed %d events", sheds)
+		}
+		if events == last {
+			stalls++
+		}
+		last = events
+		if int(events) == feeds*eventsPerFee {
+			break
+		}
+		if time.Since(start) > 30*time.Second {
+			t.Fatalf("soak stalled at %d/%d events", events, feeds*eventsPerFee)
+		}
+	}
+	elapsed := time.Since(start)
+	if stalls > 0 {
+		t.Fatalf("ingest was not sustained: %d sample windows with no progress", stalls)
+	}
+	for _, h := range handles {
+		if st := waitDone(t, h); st.State != FeedDone {
+			t.Fatalf("feed %s: state %v err %q", st.Name, st.State, st.LastError)
+		}
+	}
+	st, err := p.Drain(10 * time.Second)
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	total := feeds * eventsPerFee
+	t.Logf("soak: %d feeds, %d events in %v (%.0f events/s paced), %d policy seals",
+		feeds, total, elapsed.Round(time.Millisecond),
+		float64(total)/elapsed.Seconds(), policySeals(st))
+	counts := scanCounts(t, dir)
+	if got := counts.Announcements() + counts.Withdrawals; got != total {
+		t.Fatalf("store classified %d events, want %d", got, total)
+	}
+}
+
+func policySeals(st PlaneStats) int {
+	n := 0
+	for _, c := range st.Collectors {
+		n += c.Writer.PolicySealed
+	}
+	return n
+}
+
+// synthSource is synthEvents as a lazy generator: nothing is
+// materialized, so a benchmark's heap reflects the plane, not its
+// input. The prefix pool is precomputed; per-event work is struct
+// assembly only.
+func synthSource(collector string, peer int, n int) stream.EventSource {
+	day := time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC)
+	addr := netip.MustParseAddr(fmt.Sprintf("10.0.%d.1", peer%200))
+	paths := []bgp.ASPath{
+		bgp.NewASPath(uint32(65000+peer), 3356, 12654),
+		bgp.NewASPath(uint32(65000+peer), 1299, 12654),
+	}
+	comms := []bgp.Communities{
+		{bgp.NewCommunity(3356, 2001)},
+		{bgp.NewCommunity(3356, 2002)},
+		nil,
+	}
+	prefixes := make([]netip.Prefix, 250)
+	for i := range prefixes {
+		prefixes[i] = netip.MustParsePrefix(fmt.Sprintf("10.%d.%d.0/24", peer%200, i))
+	}
+	return func(yield func(classify.Event) bool) {
+		for i := 0; i < n; i++ {
+			e := classify.Event{
+				Time:      day.Add(time.Duration(i) * 50 * time.Millisecond),
+				Collector: collector,
+				PeerAS:    uint32(65000 + peer),
+				PeerAddr:  addr,
+				Prefix:    prefixes[i%250],
+			}
+			if i%17 == 16 {
+				e.Withdraw = true
+			} else {
+				e.ASPath = paths[(i/3)%2]
+				e.Communities = comms[i%3]
+			}
+			if !yield(e) {
+				return
+			}
+		}
+	}
+}
+
+// BenchmarkIngestThroughput measures the plane end to end on one core
+// per collector goroutine: four accelerated (unpaced) feeds through
+// supervisor, queues, writers, and live seals to sealed partitions on
+// disk. events/s is the acceptance metric; heapMB pins the
+// bounded-memory claim (events are generated lazily, so the heap is
+// queues + open blocks, independent of b.N).
+func BenchmarkIngestThroughput(b *testing.B) {
+	const feeds = 4
+	per := b.N/feeds + 1
+	dir := b.TempDir()
+	p, err := NewPlane(context.Background(), Config{
+		Dir:        dir,
+		Seal:       evstore.SealPolicy{MaxEvents: 1 << 16},
+		QueueDepth: 8192,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	handles := make([]*FeedHandle, feeds)
+	for i := 0; i < feeds; i++ {
+		src := synthSource(fmt.Sprintf("bench%02d", i%2), i, per)
+		h, err := p.Attach(ReplaySource(fmt.Sprintf("bench/%d", i), 0,
+			func() stream.EventSource { return src }), FeedOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		handles[i] = h
+	}
+	for _, h := range handles {
+		<-h.Done()
+	}
+	st, err := p.Drain(time.Minute)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if st.Sheds != 0 {
+		b.Fatalf("shed %d events", st.Sheds)
+	}
+	total := int(st.Events)
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "events/s")
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	b.ReportMetric(float64(ms.HeapInuse)/(1<<20), "heapMB")
+}

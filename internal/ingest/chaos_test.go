@@ -1,0 +1,247 @@
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/classify"
+	"repro/internal/evstore"
+	"repro/internal/router"
+	"repro/internal/session"
+	"repro/internal/simnet"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// chaosSessionScript is the deterministic update sequence the resetting
+// peer sends: 12 updates over 3 prefixes with community changes and
+// periodic withdraws, split by a session reset after sendsBeforeReset.
+const (
+	chaosSessionEvents    = 12
+	chaosSendsBeforeReset = 6
+)
+
+func chaosSessionPrefix(i int) netip.Prefix {
+	return netip.MustParsePrefix(fmt.Sprintf("198.51.%d.0/24", 100+i%3))
+}
+
+func chaosSessionWithdraw(i int) bool { return i%5 == 4 }
+
+// chaosSessionSend replays step i of the script over an established
+// session.
+func chaosSessionSend(s *session.Session, i int) error {
+	if chaosSessionWithdraw(i) {
+		return s.Send(&bgp.Update{Withdrawn: []netip.Prefix{chaosSessionPrefix(i)}})
+	}
+	return s.Send(&bgp.Update{
+		NLRI: []netip.Prefix{chaosSessionPrefix(i)},
+		Attrs: bgp.PathAttrs{
+			Origin:      bgp.OriginIGP,
+			ASPath:      bgp.NewASPath(65001, 3356, 12654),
+			NextHop:     netip.MustParseAddr("10.0.0.1"),
+			Communities: bgp.Communities{bgp.NewCommunity(3356, uint16(2000+i%4))},
+		},
+	})
+}
+
+// chaosSessionOracle is the event stream the script produces at the
+// collector: what a SessionFeed with the same constant clock emits.
+func chaosSessionOracle(day time.Time, collector string) []classify.Event {
+	evs := make([]classify.Event, 0, chaosSessionEvents)
+	for i := 0; i < chaosSessionEvents; i++ {
+		e := classify.Event{
+			Time:      day,
+			Collector: collector,
+			PeerAS:    65001,
+			PeerAddr:  netip.MustParseAddr("127.0.0.1"),
+			Prefix:    chaosSessionPrefix(i),
+		}
+		if chaosSessionWithdraw(i) {
+			e.Withdraw = true
+		} else {
+			e.ASPath = bgp.NewASPath(65001, 3356, 12654)
+			e.Communities = bgp.Communities{bgp.NewCommunity(3356, uint16(2000+i%4))}.Canonical()
+		}
+		evs = append(evs, e)
+	}
+	return evs
+}
+
+// TestPlaneChaosMatchesBatch is the crash-isolation oracle: a fleet of
+// replay, simulation, and protocol-real session feeds ingests a day
+// while a third of the supervised feeds are killed mid-stream (and the
+// session peer hard-resets and reconnects); the resulting store must
+// classify bit-identically to an uninterrupted batch ingest of the
+// same three streams. Run it with -race: the kill path exercises every
+// cross-goroutine handoff in the plane.
+func TestPlaneChaosMatchesBatch(t *testing.T) {
+	day := time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC)
+	cfg := smallDay()
+	_, sources := workload.DaySources(cfg)
+	scen := simnet.Scenario{
+		Topology: simnet.TopoLab, Policy: simnet.PolicyTagOnly,
+		Vendor: router.CiscoIOS, Workload: simnet.WorkChurn,
+		Start: day, Hours: 6,
+	}
+
+	liveDir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p, err := NewPlane(ctx, Config{
+		Dir:        liveDir,
+		Seal:       evstore.SealPolicy{MaxEvents: 32},
+		QueueDepth: 64,
+		Restart:    RestartPolicy{Backoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond},
+		Now:        func() time.Time { return day },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay fleet, paced so a full day takes ~1.2s of wall clock —
+	// slow enough that the chaos goroutines catch every victim mid-run.
+	const replaySpeed = 90000
+	handles := make([]*FeedHandle, 0, len(sources)+1)
+	for i, src := range sources {
+		src := src
+		h, err := p.Attach(ReplaySource(fmt.Sprintf("day/%d", i), replaySpeed,
+			func() stream.EventSource { return src }), FeedOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	simHandle, err := p.Attach(NewSimFeed(scen, 21600), FeedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handles = append(handles, simHandle)
+
+	// Kill a third of the supervised feeds once each is provably
+	// mid-stream (a few events in, more to come).
+	victims := []*FeedHandle{handles[0], handles[3], simHandle}
+	var chaos sync.WaitGroup
+	for _, v := range victims {
+		v := v
+		chaos.Add(1)
+		go func() {
+			defer chaos.Done()
+			deadline := time.Now().Add(5 * time.Second)
+			for v.Status().Events < 3 {
+				if time.Now().After(deadline) {
+					return // feed finished too fast; kill skipped
+				}
+				time.Sleep(time.Millisecond)
+			}
+			p.Supervisor().Kill(v.Name())
+		}()
+	}
+
+	// The protocol-real stream: a peer that sends half the script,
+	// hard-resets the session, reconnects, and sends the rest.
+	ln, err := session.Listen("127.0.0.1:0", session.Config{
+		LocalAS:  64500,
+		RouterID: netip.MustParseAddr("10.255.0.1"),
+		HoldTime: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	acceptErr := make(chan error, 1)
+	go func() { acceptErr <- p.AcceptSessions(ctx, ln, "live00", FeedOptions{}) }()
+	dialCfg := session.Config{
+		LocalAS:  65001,
+		RouterID: netip.MustParseAddr("10.0.0.1"),
+		HoldTime: 30 * time.Second,
+	}
+	runPeer := func(from, to int) {
+		t.Helper()
+		peer, err := session.Dial(ln.Addr().String(), dialCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go peer.Run()
+		for i := from; i < to; i++ {
+			if err := chaosSessionSend(peer, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// TCP delivers every sent update before the Cease, so the
+		// collector sees exactly [from, to) from this generation.
+		peer.Close()
+	}
+	runPeer(0, chaosSendsBeforeReset)
+	waitFor(t, 5*time.Second, "first session generation drained", func() bool {
+		for _, st := range p.Supervisor().Status() {
+			if strings.HasPrefix(st.Name, "live00/") && st.State == FeedDone {
+				return true
+			}
+		}
+		return false
+	})
+	runPeer(chaosSendsBeforeReset, chaosSessionEvents)
+
+	chaos.Wait()
+	waitFor(t, 30*time.Second, "all feeds terminal", func() bool {
+		states := p.Supervisor().States()
+		return states[FeedStarting] == 0 && states[FeedRunning] == 0 && states[FeedBackoff] == 0
+	})
+	killed := 0
+	for _, v := range victims {
+		if st := v.Status(); st.Restarts > 0 {
+			killed++
+			if st.State != FeedDone {
+				t.Fatalf("killed feed %s: state %v err %q, want done after resume", st.Name, st.State, st.LastError)
+			}
+		}
+	}
+	if killed < 2 {
+		t.Fatalf("only %d victims were killed mid-run; chaos did not happen", killed)
+	}
+	t.Logf("killed %d/%d victims; fleet: %s", killed, len(victims), p.Supervisor().StateSummary())
+	for _, st := range p.Supervisor().Status() {
+		if st.State != FeedDone {
+			t.Fatalf("feed %s: state %v err %q, want done", st.Name, st.State, st.LastError)
+		}
+	}
+	cancel()
+	if err := <-acceptErr; err != nil {
+		t.Fatalf("AcceptSessions: %v", err)
+	}
+	st, err := p.Drain(10 * time.Second)
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if st.Sheds != 0 {
+		t.Fatalf("block-mode chaos ingest shed %d events", st.Sheds)
+	}
+
+	// The uninterrupted oracle: batch-ingest the same three streams.
+	var simEvents []classify.Event
+	if _, err := simnet.Drive(context.Background(), scen, func(e classify.Event) error {
+		simEvents = append(simEvents, e)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	batchDir := t.TempDir()
+	all := append(append([]stream.EventSource{}, sources...),
+		stream.FromSlice(simEvents),
+		stream.FromSlice(chaosSessionOracle(day, "live00")))
+	batchIngest(t, batchDir, all...)
+
+	live, batch := scanCounts(t, liveDir), scanCounts(t, batchDir)
+	if live != batch {
+		t.Fatalf("chaos ingest diverged from batch:\nlive  %+v\nbatch %+v", live, batch)
+	}
+	if got, want := int(st.Events), batch.Announcements()+batch.Withdrawals; got != want {
+		t.Fatalf("plane accepted %d events, oracle has %d — duplicates or losses", got, want)
+	}
+}

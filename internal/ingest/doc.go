@@ -1,0 +1,38 @@
+// Package ingest is the live collection plane: the layer that turns
+// this repository's producers — protocol-real BGP sessions accepted
+// off a listener, simulated scenario engines, and MRT-archive replays
+// — into a long-running daemon streaming normalized events into an
+// evstore directory with bounded memory, per-feed supervision, and
+// seconds-level serve freshness.
+//
+// The pieces:
+//
+//   - Feed is the producer abstraction: a named per-(collector, peer)
+//     event source that runs until exhausted or cancelled, and — for
+//     the supervised classes — resumes where it left off when
+//     restarted. SessionFeed wraps a live session.Session, SimFeed
+//     drives a simnet.Scenario (wall-clock or accelerated), and
+//     ReplayFeed replays any re-openable stream.EventSource at speed.
+//     All three enter the store through one door.
+//
+//   - Supervisor holds the concurrent feeds: one goroutine per feed
+//     with panic isolation (a crashing feed never takes down the
+//     plane), per-feed restart with exponential backoff, jitter, and
+//     max-retry circuit breaking, and live counters (state, events,
+//     sheds, restarts, last event time) per feed.
+//
+//   - Plane is the bounded ingest core: events route into
+//     per-collector bounded channels — the backpressure boundary;
+//     Block feeds stall at the channel, Shed feeds drop and count —
+//     each drained by a collector goroutine that owns one
+//     evstore.Writer with a live SealPolicy (age / event-count / byte
+//     thresholds), so a partition is published within seconds of its
+//     first event even on a quiet collector. Drain stops the feeds,
+//     flushes the queues, seals every open partition, and reports the
+//     final stats — the graceful-SIGTERM path of cmd/bgpcollect.
+//
+// Freshness wiring: policy seals are durable publishes that
+// evstore.Watch (and therefore a commservd -watch daemon) picks up on
+// its next poll, so an event is queryable — bit-identical to a batch
+// ingest of the same stream — seconds after a feed produced it.
+package ingest

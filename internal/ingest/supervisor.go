@@ -1,0 +1,460 @@
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/classify"
+)
+
+// RestartPolicy governs how a supervised feed is restarted after a
+// failure: exponential backoff from Backoff to MaxBackoff with
+// multiplicative Jitter, circuit-breaking after MaxRestarts
+// consecutive no-progress failures. The zero policy takes defaults.
+type RestartPolicy struct {
+	// Backoff is the first retry delay (default 100ms).
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth (default 5s).
+	MaxBackoff time.Duration
+	// Jitter randomizes each delay by ±Jitter fraction (default 0.2)
+	// so a fleet of feeds killed together doesn't restart in lockstep.
+	Jitter float64
+	// MaxRestarts circuit-breaks a feed after this many consecutive
+	// failed attempts that delivered no events (0: never). An attempt
+	// that makes progress resets the count and the backoff.
+	MaxRestarts int
+}
+
+func (p RestartPolicy) withDefaults() RestartPolicy {
+	if p.Backoff <= 0 {
+		p.Backoff = 100 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 5 * time.Second
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.2
+	}
+	return p
+}
+
+// delay returns the jittered backoff for one attempt.
+func (p RestartPolicy) delay(backoff time.Duration) time.Duration {
+	j := p.Jitter
+	if j < 0 {
+		j = 0
+	}
+	f := 1 + j*(2*rand.Float64()-1)
+	d := time.Duration(float64(backoff) * f)
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// FeedState is a supervised feed's lifecycle state.
+type FeedState int32
+
+// Feed lifecycle states.
+const (
+	// FeedStarting: attached, first attempt not yet running.
+	FeedStarting FeedState = iota
+	// FeedRunning: an attempt is producing (or trying to).
+	FeedRunning
+	// FeedBackoff: last attempt failed; waiting to restart.
+	FeedBackoff
+	// FeedDone: the producer finished cleanly (stream exhausted,
+	// session closed by the peer with Cease).
+	FeedDone
+	// FeedStopped: plane shutdown ended the feed.
+	FeedStopped
+	// FeedFailed: circuit-broken (MaxRestarts no-progress failures) or
+	// a one-shot feed's single attempt errored.
+	FeedFailed
+)
+
+// String names the state.
+func (s FeedState) String() string {
+	switch s {
+	case FeedStarting:
+		return "starting"
+	case FeedRunning:
+		return "running"
+	case FeedBackoff:
+		return "backoff"
+	case FeedDone:
+		return "done"
+	case FeedStopped:
+		return "stopped"
+	case FeedFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// FeedStatus is a point-in-time snapshot of one feed's live counters.
+type FeedStatus struct {
+	Name  string
+	State FeedState
+	// Events is how many events the plane accepted from this feed.
+	Events uint64
+	// Sheds is how many events were dropped because the feed runs in
+	// Shed mode and its collector queue was full.
+	Sheds uint64
+	// Restarts counts completed restart cycles (not the first start).
+	Restarts int
+	// LastError is the most recent attempt error, "" if none.
+	LastError string
+	// LastEvent is the event time of the newest accepted event — the
+	// feed's position in its (possibly virtual) timeline.
+	LastEvent time.Time
+	// LastSeen is the wall-clock instant of the newest accepted event;
+	// now−LastSeen is the feed's delivery lag.
+	LastSeen time.Time
+}
+
+// Sink receives the events supervised feeds produce. The Plane's
+// implementation routes them into per-collector bounded queues; tests
+// substitute their own.
+type Sink interface {
+	// Deliver hands one event to the sink on behalf of feed h. It
+	// blocks (Block mode) or sheds (Shed mode) per h's options; a
+	// non-nil error aborts the feed's current attempt.
+	Deliver(ctx context.Context, h *FeedHandle, e classify.Event) error
+}
+
+// FeedOptions parameterize one attached feed.
+type FeedOptions struct {
+	// Backpressure selects the full-queue behavior (default Block).
+	Backpressure BackpressureMode
+	// OneShot disables restarts: the feed runs once and parks in
+	// FeedDone or FeedFailed. Session feeds are one-shot — a dead TCP
+	// session cannot be re-run; the peer reconnects through the
+	// acceptor as a fresh feed instead.
+	OneShot bool
+	// Restart overrides the supervisor's default policy (nil: default).
+	Restart *RestartPolicy
+}
+
+// BackpressureMode is a feed's behavior when its collector queue fills.
+type BackpressureMode int
+
+// Backpressure modes.
+const (
+	// Block stalls the producer until the queue has room — lossless,
+	// for exactly-once feed classes (replay, simulation) whose
+	// producers tolerate being paused.
+	Block BackpressureMode = iota
+	// Shed drops the event and increments the feed's shed counter —
+	// for protocol-real session feeds, where blocking the read loop
+	// would stall keepalives and reset the session. Sheds are visible
+	// in FeedStatus, never silent.
+	Shed
+)
+
+// String names the mode.
+func (m BackpressureMode) String() string {
+	if m == Shed {
+		return "shed"
+	}
+	return "block"
+}
+
+// FeedHandle is the supervisor's per-feed record: identity, options,
+// and the live counters the sink updates on delivery.
+type FeedHandle struct {
+	feed Feed
+	opts FeedOptions
+
+	events atomic.Uint64
+	sheds  atomic.Uint64
+	// lastEvent/lastSeen are UnixNano values (0 = never).
+	lastEvent atomic.Int64
+	lastSeen  atomic.Int64
+
+	mu       sync.Mutex
+	state    FeedState
+	restarts int
+	lastErr  error
+	kill     context.CancelFunc // cancels the current attempt only
+	done     chan struct{}      // closed when the runner goroutine exits
+}
+
+// Name returns the feed's name.
+func (h *FeedHandle) Name() string { return h.feed.Name() }
+
+// Options returns the feed's attach options.
+func (h *FeedHandle) Options() FeedOptions { return h.opts }
+
+// Done is closed when the feed's runner goroutine has exited (the feed
+// reached a terminal state).
+func (h *FeedHandle) Done() <-chan struct{} { return h.done }
+
+// Status snapshots the feed's live counters.
+func (h *FeedHandle) Status() FeedStatus {
+	h.mu.Lock()
+	st := FeedStatus{
+		Name:     h.feed.Name(),
+		State:    h.state,
+		Restarts: h.restarts,
+	}
+	if h.lastErr != nil {
+		st.LastError = h.lastErr.Error()
+	}
+	h.mu.Unlock()
+	st.Events = h.events.Load()
+	st.Sheds = h.sheds.Load()
+	if ns := h.lastEvent.Load(); ns != 0 {
+		st.LastEvent = time.Unix(0, ns)
+	}
+	if ns := h.lastSeen.Load(); ns != 0 {
+		st.LastSeen = time.Unix(0, ns)
+	}
+	return st
+}
+
+// countEvent records one accepted event (called by the sink).
+func (h *FeedHandle) countEvent(e classify.Event) {
+	h.events.Add(1)
+	h.lastEvent.Store(e.Time.UnixNano())
+	h.lastSeen.Store(time.Now().UnixNano())
+}
+
+// countShed records one dropped event (called by the sink).
+func (h *FeedHandle) countShed() { h.sheds.Add(1) }
+
+func (h *FeedHandle) setState(s FeedState) {
+	h.mu.Lock()
+	h.state = s
+	h.mu.Unlock()
+}
+
+// Supervisor runs feeds: one goroutine per feed, panic isolation,
+// restart with backoff and circuit breaking, and live per-feed status.
+// Safe for concurrent use.
+type Supervisor struct {
+	sink   Sink
+	policy RestartPolicy
+
+	mu      sync.Mutex
+	ctx     context.Context
+	runners map[string]*FeedHandle
+	order   []string
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+// NewSupervisor returns a supervisor delivering into sink under ctx:
+// cancelling ctx stops every feed (state FeedStopped). policy is the
+// default restart policy; zero takes defaults.
+func NewSupervisor(ctx context.Context, sink Sink, policy RestartPolicy) *Supervisor {
+	return &Supervisor{
+		sink:    sink,
+		policy:  policy.withDefaults(),
+		ctx:     ctx,
+		runners: make(map[string]*FeedHandle),
+	}
+}
+
+// Attach registers and starts a feed. Names must be unique among
+// currently attached feeds.
+func (s *Supervisor) Attach(f Feed, opts FeedOptions) (*FeedHandle, error) {
+	h := &FeedHandle{feed: f, opts: opts, state: FeedStarting, done: make(chan struct{})}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("ingest: supervisor shut down; cannot attach %s", f.Name())
+	}
+	if _, dup := s.runners[f.Name()]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("ingest: duplicate feed name %q", f.Name())
+	}
+	s.runners[f.Name()] = h
+	s.order = append(s.order, f.Name())
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go s.run(h)
+	return h, nil
+}
+
+// run is the per-feed supervision loop.
+func (s *Supervisor) run(h *FeedHandle) {
+	defer s.wg.Done()
+	defer close(h.done)
+	policy := s.policy
+	if h.opts.Restart != nil {
+		p := h.opts.Restart.withDefaults()
+		policy = p
+	}
+	backoff := policy.Backoff
+	noProgress := 0
+	for {
+		attemptCtx, cancel := context.WithCancel(s.ctx)
+		h.mu.Lock()
+		h.kill = cancel
+		h.state = FeedRunning
+		h.mu.Unlock()
+		before := h.events.Load()
+		err := s.runOnce(attemptCtx, h)
+		cancel()
+		if s.ctx.Err() != nil {
+			h.setState(FeedStopped)
+			return
+		}
+		if err == nil {
+			h.setState(FeedDone)
+			return
+		}
+		h.mu.Lock()
+		h.lastErr = err
+		h.mu.Unlock()
+		if h.opts.OneShot {
+			h.setState(FeedFailed)
+			return
+		}
+		if h.events.Load() > before {
+			// Progress: reset the breaker and the backoff.
+			noProgress = 0
+			backoff = policy.Backoff
+		} else {
+			noProgress++
+			if policy.MaxRestarts > 0 && noProgress >= policy.MaxRestarts {
+				h.setState(FeedFailed)
+				return
+			}
+		}
+		h.mu.Lock()
+		h.restarts++
+		h.state = FeedBackoff
+		h.mu.Unlock()
+		t := time.NewTimer(policy.delay(backoff))
+		select {
+		case <-s.ctx.Done():
+			t.Stop()
+			h.setState(FeedStopped)
+			return
+		case <-t.C:
+		}
+		if backoff *= 2; backoff > policy.MaxBackoff {
+			backoff = policy.MaxBackoff
+		}
+	}
+}
+
+// runOnce executes one attempt with panic isolation: a panicking feed
+// is converted into an attempt error (and restarted per policy) rather
+// than crashing the plane.
+func (s *Supervisor) runOnce(ctx context.Context, h *FeedHandle) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("ingest: feed %s panicked: %v", h.feed.Name(), p)
+		}
+	}()
+	return h.feed.Run(ctx, func(e classify.Event) error {
+		return s.sink.Deliver(ctx, h, e)
+	})
+}
+
+// Kill cancels the named feed's current attempt — the chaos hook. The
+// supervisor treats the abort as a failure and restarts per policy
+// (one-shot feeds park in FeedFailed). Reports whether the feed exists
+// and had a running attempt.
+func (s *Supervisor) Kill(name string) bool {
+	s.mu.Lock()
+	h := s.runners[name]
+	s.mu.Unlock()
+	if h == nil {
+		return false
+	}
+	h.mu.Lock()
+	kill := h.kill
+	running := h.state == FeedRunning
+	h.mu.Unlock()
+	if kill == nil || !running {
+		return false
+	}
+	kill()
+	return true
+}
+
+// Handle returns the named feed's handle, nil if unknown.
+func (s *Supervisor) Handle(name string) *FeedHandle {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runners[name]
+}
+
+// Status snapshots every feed, in attach order.
+func (s *Supervisor) Status() []FeedStatus {
+	s.mu.Lock()
+	names := append([]string(nil), s.order...)
+	runners := make([]*FeedHandle, len(names))
+	for i, n := range names {
+		runners[i] = s.runners[n]
+	}
+	s.mu.Unlock()
+	out := make([]FeedStatus, len(runners))
+	for i, h := range runners {
+		out[i] = h.Status()
+	}
+	return out
+}
+
+// Totals sums events and sheds across all feeds.
+func (s *Supervisor) Totals() (events, sheds uint64) {
+	for _, st := range s.Status() {
+		events += st.Events
+		sheds += st.Sheds
+	}
+	return events, sheds
+}
+
+// Wait blocks until every attached feed's runner has exited. New
+// attaches are refused once Wait has been called with the supervisor's
+// context cancelled — callers cancel ctx, then Wait.
+func (s *Supervisor) Wait() {
+	s.mu.Lock()
+	if s.ctx.Err() != nil {
+		s.closed = true
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// States tallies feeds by state — the one-line fleet summary.
+func (s *Supervisor) States() map[FeedState]int {
+	out := make(map[FeedState]int)
+	for _, st := range s.Status() {
+		out[st.State]++
+	}
+	return out
+}
+
+// sortedStates renders the tally deterministically ("running:3 done:1").
+func sortedStates(m map[FeedState]int) string {
+	type kv struct {
+		k FeedState
+		n int
+	}
+	var kvs []kv
+	for k, n := range m {
+		kvs = append(kvs, kv{k, n})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	var b []byte
+	for i, e := range kvs {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = append(b, fmt.Sprintf("%s:%d", e.k, e.n)...)
+	}
+	return string(b)
+}
+
+// StateSummary renders States as a stable one-line string.
+func (s *Supervisor) StateSummary() string { return sortedStates(s.States()) }

@@ -1,0 +1,249 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/classify"
+)
+
+// funcFeed scripts a Feed from a closure.
+type funcFeed struct {
+	name string
+	run  func(ctx context.Context, emit func(classify.Event) error) error
+}
+
+func (f funcFeed) Name() string { return f.name }
+func (f funcFeed) Run(ctx context.Context, emit func(classify.Event) error) error {
+	return f.run(ctx, emit)
+}
+
+// memSink collects delivered events; full simulates a saturated queue.
+type memSink struct {
+	mu     sync.Mutex
+	events []classify.Event
+	full   bool
+}
+
+func (s *memSink) Deliver(ctx context.Context, h *FeedHandle, e classify.Event) error {
+	s.mu.Lock()
+	full := s.full
+	if !full {
+		s.events = append(s.events, e)
+	}
+	s.mu.Unlock()
+	if full && h.Options().Backpressure == Shed {
+		h.countShed()
+		return nil
+	}
+	h.countEvent(e)
+	return nil
+}
+
+func (s *memSink) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+// fastPolicy keeps restart tests quick.
+var fastPolicy = RestartPolicy{Backoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond, MaxRestarts: 3}
+
+func waitDone(t *testing.T, h *FeedHandle) FeedStatus {
+	t.Helper()
+	select {
+	case <-h.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatalf("feed %s did not reach a terminal state", h.Name())
+	}
+	return h.Status()
+}
+
+func TestSupervisorCircuitBreaks(t *testing.T) {
+	sup := NewSupervisor(context.Background(), &memSink{}, fastPolicy)
+	attempts := 0
+	boom := errors.New("collector unreachable")
+	h, err := sup.Attach(funcFeed{"bad", func(ctx context.Context, emit func(classify.Event) error) error {
+		attempts++
+		return boom
+	}}, FeedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitDone(t, h)
+	if st.State != FeedFailed {
+		t.Fatalf("state = %v, want failed", st.State)
+	}
+	if attempts != fastPolicy.MaxRestarts {
+		t.Fatalf("attempts = %d, want %d (circuit break)", attempts, fastPolicy.MaxRestarts)
+	}
+	if st.Restarts != fastPolicy.MaxRestarts-1 {
+		t.Fatalf("restarts = %d, want %d", st.Restarts, fastPolicy.MaxRestarts-1)
+	}
+	if !strings.Contains(st.LastError, "unreachable") {
+		t.Fatalf("LastError = %q, want the attempt error", st.LastError)
+	}
+}
+
+func TestSupervisorProgressResetsBreaker(t *testing.T) {
+	sink := &memSink{}
+	sup := NewSupervisor(context.Background(), sink, fastPolicy)
+	// Fails 3× MaxRestarts times but emits an event each attempt:
+	// progress must keep the breaker from tripping.
+	const flaps = 9
+	attempts := 0
+	h, err := sup.Attach(funcFeed{"flappy", func(ctx context.Context, emit func(classify.Event) error) error {
+		attempts++
+		if err := emit(classify.Event{Collector: "rrc00"}); err != nil {
+			return err
+		}
+		if attempts <= flaps {
+			return errors.New("transient")
+		}
+		return nil
+	}}, FeedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitDone(t, h)
+	if st.State != FeedDone {
+		t.Fatalf("state = %v (err %q), want done", st.State, st.LastError)
+	}
+	if st.Events != flaps+1 {
+		t.Fatalf("events = %d, want %d", st.Events, flaps+1)
+	}
+	if sink.len() != flaps+1 {
+		t.Fatalf("sink got %d events, want %d", sink.len(), flaps+1)
+	}
+}
+
+func TestSupervisorPanicIsolation(t *testing.T) {
+	sink := &memSink{}
+	sup := NewSupervisor(context.Background(), sink, fastPolicy)
+	bad, err := sup.Attach(funcFeed{"panicky", func(ctx context.Context, emit func(classify.Event) error) error {
+		panic("corrupt update")
+	}}, FeedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := sup.Attach(funcFeed{"good", func(ctx context.Context, emit func(classify.Event) error) error {
+		for i := 0; i < 10; i++ {
+			if err := emit(classify.Event{Collector: "rrc01"}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}}, FeedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitDone(t, bad); st.State != FeedFailed || !strings.Contains(st.LastError, "panicked") {
+		t.Fatalf("panicky feed: state %v err %q, want failed + panic error", st.State, st.LastError)
+	}
+	if st := waitDone(t, good); st.State != FeedDone || st.Events != 10 {
+		t.Fatalf("good feed: state %v events %d, want done/10 — panic escaped its feed", st.State, st.Events)
+	}
+}
+
+func TestSupervisorKillRestartsFeed(t *testing.T) {
+	sink := &memSink{}
+	sup := NewSupervisor(context.Background(), sink, fastPolicy)
+	started := make(chan struct{}, 2)
+	attempt := 0
+	h, err := sup.Attach(funcFeed{"victim", func(ctx context.Context, emit func(classify.Event) error) error {
+		attempt++
+		if err := emit(classify.Event{Collector: "rrc00"}); err != nil {
+			return err
+		}
+		started <- struct{}{}
+		if attempt == 1 {
+			<-ctx.Done() // park until killed
+			return ctx.Err()
+		}
+		return nil
+	}}, FeedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if !sup.Kill("victim") {
+		t.Fatal("Kill: feed not running")
+	}
+	st := waitDone(t, h)
+	if st.State != FeedDone {
+		t.Fatalf("state = %v, want done after restart", st.State)
+	}
+	if st.Restarts != 1 || st.Events != 2 {
+		t.Fatalf("restarts = %d events = %d, want 1 restart and 2 events", st.Restarts, st.Events)
+	}
+}
+
+func TestSupervisorOneShotNoRestart(t *testing.T) {
+	sup := NewSupervisor(context.Background(), &memSink{}, fastPolicy)
+	attempts := 0
+	h, err := sup.Attach(funcFeed{"session", func(ctx context.Context, emit func(classify.Event) error) error {
+		attempts++
+		return errors.New("peer reset")
+	}}, FeedOptions{OneShot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitDone(t, h)
+	if st.State != FeedFailed || attempts != 1 || st.Restarts != 0 {
+		t.Fatalf("state %v attempts %d restarts %d, want failed/1/0", st.State, attempts, st.Restarts)
+	}
+}
+
+func TestSupervisorShutdownStopsFeeds(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	sup := NewSupervisor(ctx, &memSink{}, fastPolicy)
+	running := make(chan struct{})
+	var once sync.Once
+	h, err := sup.Attach(funcFeed{"long", func(ctx context.Context, emit func(classify.Event) error) error {
+		once.Do(func() { close(running) })
+		<-ctx.Done()
+		return ctx.Err()
+	}}, FeedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	cancel()
+	sup.Wait()
+	if st := h.Status(); st.State != FeedStopped {
+		t.Fatalf("state = %v, want stopped", st.State)
+	}
+	if _, err := sup.Attach(funcFeed{"late", nil}, FeedOptions{}); err == nil {
+		t.Fatal("Attach after shutdown succeeded")
+	}
+}
+
+func TestSupervisorShedCounting(t *testing.T) {
+	sink := &memSink{full: true}
+	sup := NewSupervisor(context.Background(), sink, fastPolicy)
+	h, err := sup.Attach(funcFeed{"lossy", func(ctx context.Context, emit func(classify.Event) error) error {
+		for i := 0; i < 25; i++ {
+			if err := emit(classify.Event{Collector: "rrc00"}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}}, FeedOptions{Backpressure: Shed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitDone(t, h)
+	if st.State != FeedDone || st.Sheds != 25 || st.Events != 0 {
+		t.Fatalf("state %v sheds %d events %d, want done with 25 sheds and 0 accepts", st.State, st.Sheds, st.Events)
+	}
+	if events, sheds := sup.Totals(); events != 0 || sheds != 25 {
+		t.Fatalf("Totals = %d/%d, want 0/25", events, sheds)
+	}
+	if got := sup.StateSummary(); got != "done:1" {
+		t.Fatalf("StateSummary = %q, want done:1", got)
+	}
+}

@@ -7,6 +7,7 @@
 package session
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -406,6 +407,9 @@ func (s *Session) Close() error {
 // Done is closed when the session has ended.
 func (s *Session) Done() <-chan struct{} { return s.done }
 
+// RemoteAddr returns the peer's transport address.
+func (s *Session) RemoteAddr() net.Addr { return s.conn.RemoteAddr() }
+
 // Err returns the terminating error, if any, once Done is closed.
 func (s *Session) Err() error {
 	s.mu.Lock()
@@ -447,6 +451,39 @@ func (l *Listener) Accept() (*Session, error) {
 		return nil, err
 	}
 	return Establish(conn, l.cfg)
+}
+
+// AcceptContext is Accept with cancellation: when ctx is done the
+// listener is closed (the shutdown semantics a supervisor wants — no
+// further sessions are accepted) and the pending Accept returns
+// ctx.Err() instead of the close-induced I/O error. The watcher
+// goroutine exits with the call, so a cancelled accept leaks nothing.
+func (l *Listener) AcceptContext(ctx context.Context) (*Session, error) {
+	if err := ctx.Err(); err != nil {
+		l.ln.Close()
+		return nil, err
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			l.ln.Close()
+		case <-stop:
+		}
+	}()
+	conn, err := l.ln.Accept()
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, err
+	}
+	s, err := Establish(conn, l.cfg)
+	if err != nil && ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	return s, err
 }
 
 // Close stops accepting new sessions.

@@ -1,9 +1,11 @@
 package session
 
 import (
+	"context"
 	"errors"
 	"net"
 	"net/netip"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -303,5 +305,84 @@ func TestStateString(t *testing.T) {
 	}
 	if State(99).String() != "State(99)" {
 		t.Error("unknown state string")
+	}
+}
+
+// TestAcceptContextCancel pins the supervisor-shutdown contract:
+// cancelling the context unblocks a pending AcceptContext with
+// ctx.Err(), closes the listener (later dials are refused), and the
+// accept goroutine does not leak.
+func TestAcceptContextCancel(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0", cfg(12654, "198.51.100.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := ln.AcceptContext(ctx)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the accept block
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("AcceptContext returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("AcceptContext did not unblock on cancel")
+	}
+
+	// Shutdown closed the listener: a new peer cannot connect.
+	if conn, err := net.DialTimeout("tcp", ln.Addr().String(), time.Second); err == nil {
+		conn.Close()
+		t.Fatal("listener still accepting after AcceptContext cancellation")
+	}
+
+	// The watcher/accept goroutines are gone (allow the runtime a few
+	// scheduling rounds to retire them).
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// TestAcceptContextEstablishes pins that a non-cancelled AcceptContext
+// behaves exactly like Accept.
+func TestAcceptContextEstablishes(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0", cfg(12654, "198.51.100.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	type res struct {
+		s   *Session
+		err error
+	}
+	got := make(chan res, 1)
+	go func() {
+		s, err := ln.AcceptContext(context.Background())
+		got <- res{s, err}
+	}()
+	peer, err := Dial(ln.Addr().String(), cfg(65010, "10.0.0.9"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	r := <-got
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	defer r.s.Close()
+	if r.s.PeerAS() != 65010 {
+		t.Errorf("accepted session sees peer AS %d, want 65010", r.s.PeerAS())
 	}
 }

@@ -1,0 +1,117 @@
+package simnet
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+
+	"repro/internal/classify"
+	"repro/internal/router"
+)
+
+// StreamSink is the live counterpart of Capture: a router.Sink that
+// normalizes collector-bound messages into classify.Events at delivery
+// time and hands each one to a callback instead of materializing
+// per-peer feeds. Memory is O(1) — nothing is retained — so a
+// long-running engine can stream indefinitely. The callback runs on
+// the engine's goroutine; blocking in it (a pacer, a bounded channel
+// send) paces the whole engine, which is exactly how wall-clock and
+// accelerated live feeds throttle a simulation. A callback error
+// latches: the sink stops emitting and Drive aborts at its next
+// workload checkpoint.
+type StreamSink struct {
+	collector string
+	label     string
+	peerAS    map[string]uint32
+	peerAddr  map[string]netip.Addr
+	emit      func(classify.Event) error
+
+	events int
+	err    error
+}
+
+// NewStreamSink observes messages delivered to the named collector
+// router, stamping label as Event.Collector — the identity scheme of
+// NewCapture.
+func NewStreamSink(collectorRouter, label string, peerAS map[string]uint32, peerAddr map[string]netip.Addr, emit func(classify.Event) error) *StreamSink {
+	return &StreamSink{
+		collector: collectorRouter,
+		label:     label,
+		peerAS:    peerAS,
+		peerAddr:  peerAddr,
+		emit:      emit,
+	}
+}
+
+// Record implements router.Sink.
+func (s *StreamSink) Record(m router.TracedMessage) {
+	if s.err != nil || m.To != s.collector {
+		return
+	}
+	base := classify.Event{
+		Time:      m.Time,
+		Collector: s.label,
+		PeerAS:    s.peerAS[m.From],
+		PeerAddr:  s.peerAddr[m.From],
+	}
+	for _, prefix := range m.Update.AllWithdrawn() {
+		e := base
+		e.Prefix = prefix
+		e.Withdraw = true
+		if s.err = s.emit(e); s.err != nil {
+			return
+		}
+		s.events++
+	}
+	for _, prefix := range m.Update.Announced() {
+		e := base
+		e.Prefix = prefix
+		// As in Capture: the update's attrs alias the sender's
+		// Adj-RIB-Out; emitted events escape the simulation, so decouple.
+		e.ASPath = m.Update.Attrs.ASPath.Clone()
+		e.Communities = m.Update.Attrs.Communities.Canonical().Clone()
+		e.HasMED = m.Update.Attrs.HasMED
+		e.MED = m.Update.Attrs.MED
+		if s.err = s.emit(e); s.err != nil {
+			return
+		}
+		s.events++
+	}
+}
+
+// Events returns how many events have been emitted so far.
+func (s *StreamSink) Events() int { return s.events }
+
+// Err returns the latched callback error, if any.
+func (s *StreamSink) Err() error { return s.err }
+
+// Drive executes one scenario with a StreamSink installed, streaming
+// the collector's normalized feed to emit in engine (delivery) order —
+// the deterministic sequence a Capture of the same scenario would
+// record, delivered live. emit controls pacing: return quickly for an
+// accelerated run, or sleep toward wall clock for a real-time one.
+// Cancelling ctx (or an emit error) aborts the run at the next
+// workload step; the emitted-event count is returned either way, so a
+// restarted drive can skip what was already delivered.
+func Drive(ctx context.Context, s Scenario, emit func(classify.Event) error) (int, error) {
+	s = s.withDefaults()
+	tb, err := s.build()
+	if err != nil {
+		return 0, fmt.Errorf("simnet: %s: build: %w", s.Name, err)
+	}
+	sink := NewStreamSink(tb.collector, s.Name, tb.peerAS, tb.peerAddr, emit)
+	tb.net.SetSink(sink)
+	check := func() error {
+		if err := sink.Err(); err != nil {
+			return err
+		}
+		return ctx.Err()
+	}
+	if err := s.drive(tb, check); err != nil {
+		return sink.Events(), fmt.Errorf("simnet: %s: %w", s.Name, err)
+	}
+	if err := check(); err != nil {
+		return sink.Events(), fmt.Errorf("simnet: %s: %w", s.Name, err)
+	}
+	return sink.Events(), nil
+}

@@ -147,6 +147,11 @@ type Scenario struct {
 	Seed  int64
 }
 
+// WithDefaults returns the scenario with zero fields filled in —
+// notably Name, so callers that key on scenario identity (feed labels,
+// result maps) see the same derived name the runner will use.
+func (s Scenario) WithDefaults() Scenario { return s.withDefaults() }
+
 // withDefaults fills zero fields.
 func (s Scenario) withDefaults() Scenario {
 	if s.Hours <= 0 {
@@ -287,13 +292,22 @@ func testbedFromInternet(inet *topo.Internet) *testbed {
 }
 
 // drive runs the scenario's workload against a built testbed. The
-// installed sink observes everything the collector hears.
-func (s Scenario) drive(tb *testbed) error {
+// installed sink observes everything the collector hears. check (may
+// be nil) runs between workload steps; a non-nil return aborts the
+// run — how Drive propagates sink errors and context cancellation out
+// of an otherwise run-to-completion engine.
+func (s Scenario) drive(tb *testbed, check func() error) error {
+	if check == nil {
+		check = func() error { return nil }
+	}
 	n := tb.net
 	end := s.Start.Add(time.Duration(s.Hours) * time.Hour)
 	switch s.Workload {
 	case WorkBeacon:
 		for _, ev := range beacon.RIPE.EventsBetween(s.Start, end) {
+			if err := check(); err != nil {
+				return err
+			}
 			n.Engine.RunUntil(ev.At)
 			for i := 0; i < s.Beacons; i++ {
 				if ev.Withdraw {
@@ -316,6 +330,9 @@ func (s Scenario) drive(tb *testbed) error {
 		}
 		step := 0
 		for t := s.Start.Add(s.ChurnPeriod); t.Before(end); t = t.Add(s.ChurnPeriod) {
+			if err := check(); err != nil {
+				return err
+			}
 			n.Engine.RunUntil(t)
 			if len(tb.flaps) > 0 && step%3 == 0 {
 				link := tb.flaps[(step/3)%len(tb.flaps)]
@@ -380,7 +397,7 @@ func RunObserved(s Scenario, extra router.Sink) (*Result, error) {
 	// Replace the builders' compatibility TraceBuffer: scenario runs
 	// retain the collector feed only.
 	tb.net.SetSink(router.MultiSink(capture, extra))
-	if err := s.drive(tb); err != nil {
+	if err := s.drive(tb, nil); err != nil {
 		return nil, fmt.Errorf("simnet: %s: %w", s.Name, err)
 	}
 	elapsed := time.Since(started) // engine time only: classification is a consumer

@@ -1,6 +1,8 @@
 package simnet
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -258,4 +260,104 @@ func TestScenarioDeterminism(t *testing.T) {
 			t.Fatalf("event %d differs between runs:\n%+v\n%+v", i, ea[i], eb[i])
 		}
 	}
+}
+
+// TestDriveMatchesCapture pins the live-driver contract: Drive streams
+// exactly the events a Capture of the same scenario materializes —
+// same count, same classification — so a paced live feed and the
+// batch capture are the same workload.
+func TestDriveMatchesCapture(t *testing.T) {
+	s := Scenario{Topology: TopoStar, Policy: PolicyTagOnly, Vendor: router.CiscoIOS,
+		Workload: WorkBeacon, Start: testStart, Hours: 6}
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []classify.Event
+	n, err := Drive(context.Background(), s, func(e classify.Event) error {
+		streamed = append(streamed, e)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(streamed) || n != res.Capture.Events() {
+		t.Fatalf("Drive emitted %d events (collected %d), capture saw %d",
+			n, len(streamed), res.Capture.Events())
+	}
+	if n == 0 {
+		t.Fatal("scenario produced no events")
+	}
+	got := stream.Classify(stream.FromSlice(streamed), nil)
+	if got != res.Counts {
+		t.Fatalf("Drive classification %+v != capture %+v", got, res.Counts)
+	}
+}
+
+// TestDriveResumesDeterministically pins the skip-N restart contract a
+// supervisor relies on: aborting a drive mid-run and re-driving the
+// same scenario while skipping the already-emitted prefix reproduces
+// the uninterrupted sequence exactly.
+func TestDriveResumesDeterministically(t *testing.T) {
+	s := Scenario{Topology: TopoLab, Policy: PolicyTagOnly, Vendor: router.CiscoIOS,
+		Workload: WorkChurn, Start: testStart, Hours: 6}
+	var full []classify.Event
+	if _, err := Drive(context.Background(), s, func(e classify.Event) error {
+		full = append(full, e)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(full) < 10 {
+		t.Fatalf("scenario too small for a resume test: %d events", len(full))
+	}
+
+	stopAfter := len(full) / 2
+	var first []classify.Event
+	errStop := errors.New("killed")
+	_, err := Drive(context.Background(), s, func(e classify.Event) error {
+		if len(first) >= stopAfter {
+			return errStop
+		}
+		first = append(first, e)
+		return nil
+	})
+	if !errors.Is(err, errStop) {
+		t.Fatalf("aborted drive returned %v, want errStop", err)
+	}
+
+	// Restart: re-drive, skipping what was already delivered.
+	resumed := append([]classify.Event(nil), first...)
+	skip := len(first)
+	if _, err := Drive(context.Background(), s, func(e classify.Event) error {
+		if skip > 0 {
+			skip--
+			return nil
+		}
+		resumed = append(resumed, e)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed) != len(full) {
+		t.Fatalf("resumed run emitted %d events, want %d", len(resumed), len(full))
+	}
+	for i := range full {
+		if !eventsEqual(full[i], resumed[i]) {
+			t.Fatalf("event %d diverged after resume:\n full:    %+v\n resumed: %+v", i, full[i], resumed[i])
+		}
+	}
+}
+
+// eventsEqual compares events including attribute slices.
+func eventsEqual(a, b classify.Event) bool {
+	if !a.Time.Equal(b.Time) || a.Collector != b.Collector || a.PeerAS != b.PeerAS ||
+		a.PeerAddr != b.PeerAddr || a.Prefix != b.Prefix || a.Withdraw != b.Withdraw ||
+		a.HasMED != b.HasMED || a.MED != b.MED {
+		return false
+	}
+	if a.ASPath.String() != b.ASPath.String() {
+		return false
+	}
+	return a.Communities.String() == b.Communities.String()
 }
