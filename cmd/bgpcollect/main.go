@@ -13,8 +13,11 @@
 //	bgpcollect -store ./store -replay updates.mrt -replay-speed 60
 //
 // SIGINT/SIGTERM drain gracefully: accepting stops, queues flush,
-// every open partition seals, and the daemon exits 0. A failure to
-// bind the listen address exits non-zero immediately.
+// every open partition seals, and the daemon exits 0. Feeds still
+// running after -drain-timeout are abandoned: the daemon exits
+// non-zero without flushing, leaving only unsealed temp files (sealed
+// partitions are already durable). A failure to bind the listen
+// address exits non-zero immediately.
 //
 // The archiving mode of the previous version (-out updates.mrt,
 // -sessions N) is gone: events now land in the store, not an MRT file,
@@ -65,7 +68,7 @@ func run() int {
 	sealEvents := flag.Int("seal-events", 0, "seal partitions at this many events (0: off)")
 	sealBytes := flag.Int64("seal-bytes", 0, "seal partitions at this many compressed bytes (0: off)")
 	queueDepth := flag.Int("queue", 4096, "per-collector queue depth (the backpressure boundary)")
-	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for feeds to stop during shutdown")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "hard shutdown bound: feeds still running after this abandon the flush and exit non-zero (0: wait forever)")
 	statsEvery := flag.Duration("stats", 10*time.Second, "status line interval (0: quiet)")
 	duration := flag.Duration("duration", 0, "run this long, then drain and exit (0: until signal)")
 	flag.Parse()
@@ -132,6 +135,17 @@ func run() int {
 		}()
 	}
 
+	// Replay and sim feeds do finite work, so a persistently failing one
+	// (e.g. an unreadable archive) must park in FeedFailed after a few
+	// no-progress attempts rather than retry forever — otherwise a
+	// no-listener run never reaches the all-feeds-done exit.
+	finitePolicy := &ingest.RestartPolicy{MaxRestarts: 5}
+	for _, path := range replays {
+		if _, err := os.Stat(path); err != nil {
+			return fail(fmt.Errorf("replay: %w", err))
+		}
+	}
+
 	var finite []*ingest.FeedHandle
 	for i := 0; i < *sim; i++ {
 		scen := simnet.Scenario{
@@ -143,7 +157,7 @@ func run() int {
 			Seed:     int64(i),
 			Start:    time.Now().UTC().Truncate(24 * time.Hour),
 		}
-		h, err := plane.Attach(ingest.NewSimFeed(scen, *simSpeed), ingest.FeedOptions{})
+		h, err := plane.Attach(ingest.NewSimFeed(scen, *simSpeed), ingest.FeedOptions{Restart: finitePolicy})
 		if err != nil {
 			return fail(err)
 		}
@@ -151,7 +165,7 @@ func run() int {
 	}
 	for i, path := range replays {
 		name := fmt.Sprintf("replay/%s#%d", path, i)
-		h, err := plane.Attach(ingest.ReplayArchive(name, fmt.Sprintf("replay%02d", i), path, *replaySpeed), ingest.FeedOptions{})
+		h, err := plane.Attach(ingest.ReplayArchive(name, fmt.Sprintf("replay%02d", i), path, *replaySpeed), ingest.FeedOptions{Restart: finitePolicy})
 		if err != nil {
 			return fail(err)
 		}

@@ -27,9 +27,14 @@
 //     each drained by a collector goroutine that owns one
 //     evstore.Writer with a live SealPolicy (age / event-count / byte
 //     thresholds), so a partition is published within seconds of its
-//     first event even on a quiet collector. Drain stops the feeds,
-//     flushes the queues, seals every open partition, and reports the
-//     final stats — the graceful-SIGTERM path of cmd/bgpcollect.
+//     first event even on a quiet collector. A writer failure latches:
+//     the collector refuses further deliveries with the error (failing
+//     the producing feeds' attempts loudly) and counts what it had to
+//     drop. Drain stops the feeds, flushes the queues, seals every
+//     open partition, and reports the final stats — the
+//     graceful-SIGTERM path of cmd/bgpcollect; its timeout is a hard
+//     bound (a feed ignoring cancellation forfeits the flush rather
+//     than hanging shutdown).
 //
 // Freshness wiring: policy seals are durable publishes that
 // evstore.Watch (and therefore a commservd -watch daemon) picks up on

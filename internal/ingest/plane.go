@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"net/netip"
 	"sort"
 	"sync"
@@ -78,6 +79,7 @@ type Plane struct {
 	order   []string
 	sealing bool
 	drained bool
+	closed  bool // queues closed (flush started); separate from drained so a timed-out Drain can be retried
 }
 
 // collectorSink is one collector's queue + writer. The writer is owned
@@ -87,9 +89,23 @@ type collectorSink struct {
 	ch   chan classify.Event
 	done chan struct{}
 
-	wmu sync.Mutex
-	w   *evstore.Writer
-	err error
+	wmu     sync.Mutex
+	w       *evstore.Writer
+	err     error
+	dropped uint64
+}
+
+// latch records the writer's first error, once, loudly: from here on
+// Deliver refuses this collector's events (failing the producing feed's
+// attempt, which the supervisor surfaces and restarts or parks), and
+// events already queued can only be counted as dropped, not written.
+// Callers hold wmu.
+func (cs *collectorSink) latch(err error) {
+	if err == nil || cs.err != nil {
+		return
+	}
+	cs.err = err
+	log.Printf("ingest: collector %s: writer failed: %v; refusing further events", cs.name, err)
 }
 
 // NewPlane opens a plane writing into cfg.Dir. Cancelling ctx stops
@@ -159,21 +175,22 @@ func (p *Plane) runCollector(cs *collectorSink) {
 		case e, ok := <-cs.ch:
 			if !ok {
 				cs.wmu.Lock()
-				if err := cs.w.Close(); err != nil && cs.err == nil {
-					cs.err = err
-				}
+				cs.latch(cs.w.Close())
 				cs.wmu.Unlock()
 				return
 			}
 			cs.wmu.Lock()
 			if cs.err == nil {
-				cs.err = cs.w.Append(e)
+				cs.latch(cs.w.Append(e))
+			} else {
+				cs.dropped++
 			}
 			cs.wmu.Unlock()
 		case <-ticker.C:
 			cs.wmu.Lock()
 			if cs.err == nil {
-				_, cs.err = cs.w.SealExpired()
+				_, err := cs.w.SealExpired()
+				cs.latch(err)
 			}
 			cs.wmu.Unlock()
 		}
@@ -181,11 +198,19 @@ func (p *Plane) runCollector(cs *collectorSink) {
 }
 
 // Deliver implements Sink: it routes e into its collector's queue,
-// blocking or shedding per the feed's backpressure mode.
+// blocking or shedding per the feed's backpressure mode. A collector
+// whose writer has failed refuses delivery with the latched error, so
+// the feed's attempt aborts loudly instead of feeding a black hole.
 func (p *Plane) Deliver(ctx context.Context, h *FeedHandle, e classify.Event) error {
 	cs, err := p.sink(e.Collector)
 	if err != nil {
 		return err
+	}
+	cs.wmu.Lock()
+	werr := cs.err
+	cs.wmu.Unlock()
+	if werr != nil {
+		return fmt.Errorf("ingest: collector %s: writer failed: %w", cs.name, werr)
 	}
 	if h.Options().Backpressure == Shed {
 		if err := ctx.Err(); err != nil {
@@ -221,8 +246,11 @@ func (p *Plane) AcceptSessions(ctx context.Context, ln *session.Listener, collec
 			if ctx.Err() != nil || p.ctx.Err() != nil {
 				return nil
 			}
-			if errors.Is(err, session.ErrClosed) {
-				continue // handshake failed; keep accepting
+			if errors.Is(err, session.ErrHandshake) {
+				// A failed handshake (port scan, TCP probe, garbage
+				// OPEN, handshake timeout) is a per-connection event:
+				// keep accepting. Only listener-level errors return.
+				continue
 			}
 			return err
 		}
@@ -252,6 +280,9 @@ type CollectorStats struct {
 	Writer evstore.WriterStats
 	// Err is the latched writer error, "" if none.
 	Err string
+	// Dropped counts events that were already queued when the writer
+	// error latched and so could not be written.
+	Dropped uint64
 }
 
 // PlaneStats aggregates the plane's live counters.
@@ -278,7 +309,7 @@ func (p *Plane) Stats() PlaneStats {
 	p.mu.Unlock()
 	for _, cs := range sinks {
 		cs.wmu.Lock()
-		c := CollectorStats{Collector: cs.name, Queued: len(cs.ch), Writer: cs.w.Stats()}
+		c := CollectorStats{Collector: cs.name, Queued: len(cs.ch), Writer: cs.w.Stats(), Dropped: cs.dropped}
 		if cs.err != nil {
 			c.Err = cs.err.Error()
 		}
@@ -290,9 +321,14 @@ func (p *Plane) Stats() PlaneStats {
 
 // Drain is the graceful-shutdown path: stop the feeds, flush every
 // queue, seal and publish every open partition, and report the final
-// stats. timeout bounds the wait for feeds to stop (0: no bound);
-// queues always flush fully once the feeds are down. Drain is
-// idempotent; after it returns the plane accepts no more events.
+// stats. timeout bounds the whole wait (0: no bound): if feeds are
+// still running when it expires — a producer ignoring cancellation —
+// Drain gives up on the flush (closing queues under live producers
+// would panic) and returns an error immediately, leaving unsealed
+// ingest-* temp files for the next Open or Abort to collect; the
+// rollback unit is the seal, so nothing published is lost. Drain is
+// idempotent; after a successful drain the plane accepts no more
+// events, and a timed-out drain may be retried once the feeds stop.
 func (p *Plane) Drain(timeout time.Duration) (PlaneStats, error) {
 	p.cancel()
 	stopped := make(chan struct{})
@@ -300,23 +336,25 @@ func (p *Plane) Drain(timeout time.Duration) (PlaneStats, error) {
 		p.sup.Wait()
 		close(stopped)
 	}()
-	var errs []error
 	if timeout > 0 {
 		t := time.NewTimer(timeout)
 		select {
 		case <-stopped:
 			t.Stop()
 		case <-t.C:
-			errs = append(errs, fmt.Errorf("ingest: drain: feeds still running after %v", timeout))
-			<-stopped // producers must be gone before queues close
+			p.mu.Lock()
+			p.drained = true
+			p.mu.Unlock()
+			return p.Stats(), fmt.Errorf("ingest: drain: feeds still running after %v; queue flush skipped", timeout)
 		}
 	} else {
 		<-stopped
 	}
 
 	p.mu.Lock()
-	already := p.drained
 	p.drained = true
+	already := p.closed
+	p.closed = true
 	names := append([]string(nil), p.order...)
 	sort.Strings(names)
 	sinks := make([]*collectorSink, 0, len(names))
@@ -333,9 +371,10 @@ func (p *Plane) Drain(timeout time.Duration) (PlaneStats, error) {
 		<-cs.done
 	}
 	st := p.Stats()
+	var errs []error
 	for _, c := range st.Collectors {
 		if c.Err != "" {
-			errs = append(errs, fmt.Errorf("ingest: collector %s: %s", c.Collector, c.Err))
+			errs = append(errs, fmt.Errorf("ingest: collector %s: %s (%d queued events dropped)", c.Collector, c.Err, c.Dropped))
 		}
 	}
 	return st, errors.Join(errs...)

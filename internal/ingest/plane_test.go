@@ -4,7 +4,11 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/netip"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -203,6 +207,167 @@ func TestPlaneAcceptSessions(t *testing.T) {
 	}
 	if counts.Of(classify.PC) != 1 || counts.Of(classify.NC) != 1 {
 		t.Fatalf("classified %+v, want pc=1 nc=1", counts)
+	}
+}
+
+// TestAcceptSessionsSurvivesHandshakeFailures pins the accept loop's
+// per-connection error handling: stray connections that fail the
+// handshake (port scans, TCP probes, garbage OPENs) must not terminate
+// AcceptSessions — a real peer still establishes afterwards.
+func TestAcceptSessionsSurvivesHandshakeFailures(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p, err := NewPlane(ctx, Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := session.Listen("127.0.0.1:0", session.Config{
+		LocalAS:  64500,
+		RouterID: netip.MustParseAddr("10.255.0.1"),
+		HoldTime: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	acceptErr := make(chan error, 1)
+	go func() { acceptErr <- p.AcceptSessions(ctx, ln, "live00", FeedOptions{Backpressure: Shed}) }()
+
+	for i := 0; i < 3; i++ {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.Write([]byte("GET / HTTP/1.1\r\n\r\n")) // not a BGP OPEN
+		conn.Close()
+	}
+
+	peer, err := session.Dial(ln.Addr().String(), session.Config{
+		LocalAS:  65001,
+		RouterID: netip.MustParseAddr("10.0.0.1"),
+		HoldTime: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("real peer could not establish after garbage connections: %v", err)
+	}
+	go peer.Run()
+	peer.Close()
+	cancel()
+	if err := <-acceptErr; err != nil {
+		t.Fatalf("AcceptSessions returned %v, want nil after garbage connections + cancel", err)
+	}
+	if _, err := p.Drain(5 * time.Second); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestPlaneWriterFailureFailsLoudly pins the failing-writer contract:
+// once a collector's writer errors, Deliver refuses further events
+// with the latched error (failing the feed's attempt, visible in its
+// status), the latched error and dropped count surface in Stats, and
+// Drain reports the failure instead of pretending a clean shutdown.
+func TestPlaneWriterFailureFailsLoudly(t *testing.T) {
+	base := t.TempDir()
+	dir := filepath.Join(base, "store")
+	p, err := NewPlane(context.Background(), Config{
+		Dir:  dir,
+		Seal: evstore.SealPolicy{MaxEvents: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC)
+	mkEvent := func(i int) classify.Event {
+		return classify.Event{
+			Time:      day.Add(time.Duration(i) * time.Second),
+			Collector: "rrc00",
+			PeerAS:    64500,
+			PeerAddr:  netip.MustParseAddr("10.0.0.1"),
+			Prefix:    netip.MustParsePrefix("192.0.2.0/24"),
+			ASPath:    bgp.NewASPath(64500, 3356),
+		}
+	}
+	events := make(chan classify.Event)
+	h, err := p.Attach(funcFeed{"doomed", func(ctx context.Context, emit func(classify.Event) error) error {
+		for e := range events {
+			if err := emit(e); err != nil {
+				return err
+			}
+		}
+		return nil
+	}}, FeedOptions{OneShot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	events <- mkEvent(0)
+	waitFor(t, 5*time.Second, "first partition sealed", func() bool {
+		m, err := evstore.LoadManifest(dir)
+		return err == nil && len(m.Partitions) > 0
+	})
+	// The store directory vanishes out from under the writer: the next
+	// partition cannot be created, so the writer error latches.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for i := 1; ; i++ {
+		if time.Now().After(deadline) {
+			t.Fatal("feed never failed after the store directory was removed")
+		}
+		select {
+		case events <- mkEvent(i):
+		case <-h.Done():
+		}
+		if st := h.Status(); st.State == FeedFailed {
+			break
+		}
+	}
+	st := h.Status()
+	if st.State != FeedFailed {
+		t.Fatalf("feed state %v, want failed", st.State)
+	}
+	if !strings.Contains(st.LastError, "writer failed") {
+		t.Fatalf("feed LastError %q does not surface the writer failure", st.LastError)
+	}
+	stats := p.Stats()
+	if len(stats.Collectors) != 1 || stats.Collectors[0].Err == "" {
+		t.Fatalf("collector stats do not surface the latched error: %+v", stats.Collectors)
+	}
+	if _, err := p.Drain(5 * time.Second); err == nil {
+		t.Fatal("drain after writer failure returned nil error")
+	}
+}
+
+// TestPlaneDrainTimeoutBounded pins that the drain timeout actually
+// bounds shutdown: a feed that ignores cancellation cannot hang Drain
+// past the deadline — the flush is skipped and an error returned — and
+// once the feed finally exits a retried drain completes cleanly.
+func TestPlaneDrainTimeoutBounded(t *testing.T) {
+	p, err := NewPlane(context.Background(), Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	h, err := p.Attach(funcFeed{"stubborn", func(ctx context.Context, emit func(classify.Event) error) error {
+		<-release // ignores ctx entirely
+		return nil
+	}}, FeedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := p.Drain(100 * time.Millisecond); err == nil {
+		t.Fatal("drain of a cancellation-ignoring feed returned nil error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("drain took %v despite 100ms timeout", elapsed)
+	}
+	close(release)
+	waitDone(t, h)
+	if _, err := p.Drain(0); err != nil {
+		t.Fatalf("retried drain after feeds stopped: %v", err)
 	}
 }
 

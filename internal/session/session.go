@@ -100,6 +100,13 @@ var ErrHoldTimerExpired = errors.New("session: hold timer expired")
 // ErrClosed reports use of a closed session.
 var ErrClosed = errors.New("session: closed")
 
+// ErrHandshake wraps every OPEN/KEEPALIVE handshake failure out of
+// Establish (and thus Accept, AcceptContext, and Dial): the connection
+// was torn down before a session existed. Accept loops match it with
+// errors.Is and keep accepting — a port scan, a TCP probe, or a
+// garbage OPEN is a per-connection event, not a listener failure.
+var ErrHandshake = errors.New("session: handshake failed")
+
 // setState transitions the FSM and fires the callback.
 func (s *Session) setState(st State) {
 	s.mu.Lock()
@@ -151,7 +158,7 @@ func (s *Session) MarshalOptions() bgp.MarshalOptions {
 // Establish performs the OPEN/KEEPALIVE handshake on conn and returns an
 // established session. The caller must then invoke Run (usually in a
 // goroutine) to service the read loop. On handshake failure the
-// connection is closed.
+// connection is closed and the returned error wraps ErrHandshake.
 func Establish(conn net.Conn, cfg Config) (*Session, error) {
 	s := &Session{
 		conn:  conn,
@@ -161,7 +168,7 @@ func Establish(conn net.Conn, cfg Config) (*Session, error) {
 	}
 	if err := s.handshake(); err != nil {
 		conn.Close()
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrHandshake, err)
 	}
 	return s, nil
 }

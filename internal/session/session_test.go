@@ -354,6 +354,41 @@ func TestAcceptContextCancel(t *testing.T) {
 	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
 }
 
+// TestAcceptHandshakeFailure pins that a connection failing the
+// handshake (a port scan, a TCP probe, a garbage OPEN) surfaces as
+// ErrHandshake — the per-connection sentinel accept loops match to
+// keep accepting — not as a listener-level error or a nil session.
+func TestAcceptHandshakeFailure(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0", cfg(12654, "198.51.100.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		s, err := ln.AcceptContext(context.Background())
+		if s != nil {
+			t.Error("garbage handshake produced a session")
+		}
+		done <- err
+	}()
+	conn, err := net.DialTimeout("tcp", ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte("GET / HTTP/1.1\r\n\r\n")) // not a BGP OPEN
+	conn.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrHandshake) {
+			t.Fatalf("AcceptContext returned %v, want ErrHandshake", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("AcceptContext did not return on garbage handshake")
+	}
+}
+
 // TestAcceptContextEstablishes pins that a non-cancelled AcceptContext
 // behaves exactly like Accept.
 func TestAcceptContextEstablishes(t *testing.T) {
