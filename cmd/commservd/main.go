@@ -5,15 +5,30 @@
 // over only the partitions each window cuts through, with an LRU
 // result cache and singleflight dedup in front.
 //
-// Daemon mode:
+// Daemon mode (single node, the default):
 //
 //	commservd -store DIR [-addr :8714] [-workers N] [-cache N]
-//	          [-watch 1s]
+//	          [-watch 1s] [-drain 5s]
 //
 // builds any missing snapshot sidecars, serves the /v1 API, and
 // follows the store manifest: when live ingest (evstore ingest,
 // commclean -store, simsweep -store) seals new partitions, the daemon
-// snapshots exactly those and invalidates its cache.
+// snapshots exactly those and invalidates its cache. SIGTERM/SIGINT
+// drains in-flight requests (up to -drain) before exiting 0.
+//
+// Cluster mode splits the same daemon into two tiers. A shard serves
+// the binary state protocol over one store directory (see
+// `evstore shard` for splitting a store by collector):
+//
+//	commservd -shard -store DIR/shard-000 -addr :8801
+//
+// and a coordinator serves the full /v1 API by fanning every query out
+// to its shards and merging the returned analyzer states — answers are
+// bit-identical to a single-node daemon over the union store, and a
+// lost shard degrades to a partial answer naming the missing shard in
+// its provenance:
+//
+//	commservd -coordinator -shards http://h1:8801,http://h2:8801 -addr :8714
 //
 // Client mode renders daemon answers in the commclean table style:
 //
@@ -40,10 +55,10 @@ import (
 	"os/signal"
 	"sort"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
-	"repro/internal/evstore"
 	"repro/internal/serve"
 	"repro/internal/textplot"
 )
@@ -54,6 +69,10 @@ func main() {
 	workers := flag.Int("workers", 0, "per-query scan workers (0 = GOMAXPROCS)")
 	cache := flag.Int("cache", 256, "LRU result-cache entries")
 	watch := flag.Duration("watch", time.Second, "store manifest poll interval (0 disables)")
+	drain := flag.Duration("drain", 5*time.Second, "in-flight request drain timeout on shutdown")
+	shard := flag.Bool("shard", false, "shard mode: serve the binary state protocol over -store")
+	coordinator := flag.Bool("coordinator", false, "coordinator mode: serve /v1 by scatter-gather over -shards")
+	shards := flag.String("shards", "", "comma-separated shard base URLs (coordinator mode)")
 	client := flag.String("client", "", "client mode: base URL of a running daemon")
 	q := flag.String("q", "table2", "client query kind: table1|table2|figure2|figure3|figure6|peers|ingress|stats")
 	from := flag.String("from", "", "window start (RFC 3339)")
@@ -66,12 +85,21 @@ func main() {
 	flag.Parse()
 
 	var err error
-	if *client != "" {
+	switch {
+	case *client != "":
 		err = runClient(*client, *q, *from, *to, *collectors, *collector, *prefix, *fromYear, *toYear)
-	} else if *store == "" {
-		err = fmt.Errorf("need -store DIR (daemon) or -client URL")
-	} else {
-		err = runDaemon(*store, *addr, *workers, *cache, *watch)
+	case *coordinator:
+		if *shards == "" {
+			err = fmt.Errorf("coordinator mode needs -shards URL,URL,...")
+		} else {
+			err = runDaemon(daemonOpts{addr: *addr, workers: *workers, cache: *cache,
+				watch: *watch, drain: *drain, shards: strings.Split(*shards, ",")})
+		}
+	case *store == "":
+		err = fmt.Errorf("need -store DIR (daemon), -coordinator -shards URLs, or -client URL")
+	default:
+		err = runDaemon(daemonOpts{store: *store, addr: *addr, workers: *workers,
+			cache: *cache, watch: *watch, drain: *drain, shardMode: *shard})
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "commservd: %v\n", err)
@@ -79,40 +107,98 @@ func main() {
 	}
 }
 
-func runDaemon(store, addr string, workers, cache int, watch time.Duration) error {
+type daemonOpts struct {
+	store     string
+	addr      string
+	workers   int
+	cache     int
+	watch     time.Duration
+	drain     time.Duration
+	shardMode bool
+	shards    []string // coordinator mode when non-empty
+}
+
+func runDaemon(opts daemonOpts) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	cfg := serve.Config{Dir: opts.store, Workers: opts.workers, CacheEntries: opts.cache}
+	mode := "single-node"
+	if len(opts.shards) > 0 {
+		backends := make([]serve.Backend, len(opts.shards))
+		for i, u := range opts.shards {
+			backends[i] = serve.NewRemoteBackend(strings.TrimSpace(u))
+		}
+		cfg.Backend = serve.NewCoordinator(backends...)
+		mode = fmt.Sprintf("coordinator over %d shards", len(backends))
+	} else if opts.shardMode {
+		mode = "shard"
+	}
+
 	start := time.Now()
-	s, bs, err := serve.New(ctx, serve.Config{Dir: store, Workers: workers, CacheEntries: cache})
+	s, rs, err := serve.New(ctx, cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "snapshot index: %d partitions (%d built, %d reused, %d events decoded) in %v\n",
-		bs.Partitions, bs.Built, bs.Reused, bs.Events, time.Since(start).Round(time.Millisecond))
+	if len(opts.shards) > 0 {
+		fmt.Fprintf(os.Stderr, "cluster: %d shards reachable, joint generation %#x\n",
+			len(opts.shards), rs.Generation)
+	} else {
+		fmt.Fprintf(os.Stderr, "snapshot index: %d partitions (%d built, %d reused, %d events decoded) in %v\n",
+			rs.Partitions, rs.Built, rs.Reused, rs.Events, time.Since(start).Round(time.Millisecond))
+	}
 
-	if watch > 0 {
-		go s.Watch(ctx, watch, func(bs evstore.SnapshotBuildStats, err error) {
+	if opts.watch > 0 {
+		go s.Watch(ctx, opts.watch, func(rs serve.RefreshStats, err error) {
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "refresh: %v\n", err)
 				return
 			}
+			if len(opts.shards) > 0 {
+				fmt.Fprintf(os.Stderr, "refresh: shard stores moved, joint generation now %#x\n", rs.Generation)
+				return
+			}
 			fmt.Fprintf(os.Stderr, "refresh: %d new partitions snapshotted (%d events) in %v\n",
-				bs.Built, bs.Events, bs.Elapsed.Round(time.Millisecond))
+				rs.Built, rs.Events, rs.Elapsed.Round(time.Millisecond))
 		})
 	}
 
-	srv := &http.Server{Addr: addr, Handler: s.Handler()}
-	go func() {
-		<-ctx.Done()
-		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		srv.Shutdown(shutCtx)
-	}()
-	fmt.Fprintf(os.Stderr, "serving %s on %s (watch %v, cache %d)\n", store, addr, watch, cache)
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		return err
+	handler := s.Handler()
+	if opts.shardMode {
+		handler = s.StateHandler()
 	}
+	srv := &http.Server{Addr: opts.addr, Handler: handler}
+	serveErr := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			serveErr <- err
+			return
+		}
+		serveErr <- nil
+	}()
+	fmt.Fprintf(os.Stderr, "serving %s on %s (%s, watch %v, cache %d)\n",
+		opts.store, opts.addr, mode, opts.watch, opts.cache)
+
+	select {
+	case err := <-serveErr:
+		return err // listen failed before any signal
+	case <-ctx.Done():
+	}
+	// Graceful drain: stop accepting, let in-flight requests finish,
+	// and only then exit — Shutdown must complete (or time out) before
+	// main returns, otherwise the process dies mid-response.
+	fmt.Fprintf(os.Stderr, "shutdown: draining in-flight requests (up to %v)\n", opts.drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), opts.drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		// Drain timed out: sever the stragglers so we still exit.
+		srv.Close()
+		<-serveErr
+		fmt.Fprintf(os.Stderr, "shutdown: drain timed out, closed remaining connections\n")
+		return nil
+	}
+	<-serveErr
+	fmt.Fprintf(os.Stderr, "shutdown: drained\n")
 	return nil
 }
 

@@ -10,6 +10,15 @@
 //	evstore query  -store DIR [-from T] [-to T] [-collectors a,b]
 //	               [-peeras 1,2] [-prefix P] [-count-only]
 //	               [-analyze] [-workers N]
+//	evstore shard  -store DIR -n N -out OUTDIR
+//
+// shard splits (or rebalances) a store into N shard stores under
+// OUTDIR/shard-000 … shard-NNN by consistent hashing over collector
+// names, the layout `commservd -shard` daemons serve from: each
+// collector's whole timeline lands on one shard, so a coordinator
+// merging shard answers is bit-identical to a single node over the
+// union store. Partitions are hard-linked when OUTDIR is on the same
+// filesystem; snapshot sidecars ride along and stay valid.
 //
 // ingest consumes MRT archives (through the §4 normalizer) or lazily
 // generated synthetic days in constant memory. stat prints the
@@ -58,6 +67,8 @@ func main() {
 		err = runQuery(os.Args[2:])
 	case "snap":
 		err = runSnap(os.Args[2:])
+	case "shard":
+		err = runShard(os.Args[2:])
 	default:
 		usage()
 	}
@@ -68,8 +79,40 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: evstore {ingest|stat|query|snap} -store DIR [flags]")
+	fmt.Fprintln(os.Stderr, "usage: evstore {ingest|stat|query|snap|shard} -store DIR [flags]")
 	os.Exit(2)
+}
+
+// runShard splits a store into N shard stores for a commservd
+// cluster.
+func runShard(args []string) error {
+	fs := flag.NewFlagSet("shard", flag.ExitOnError)
+	store := fs.String("store", "", "source store directory")
+	n := fs.Int("n", 0, "number of shards")
+	out := fs.String("out", "", "output directory (shard-000 … created inside)")
+	fs.Parse(args)
+	if *store == "" || *out == "" || *n < 1 {
+		return fmt.Errorf("need -store DIR, -n N (>= 1), and -out OUTDIR")
+	}
+	start := time.Now()
+	st, err := evstore.SplitStore(*store, *n, *out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("split %s into %d shards under %s in %v\n", *store, *n, *out, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("%d partitions + %d sidecars placed (%d linked, %d copied, %s)\n",
+		st.Partitions, st.Sidecars, st.Linked, st.Copied, byteSize(st.Bytes))
+	var rows [][]string
+	for _, sh := range st.Shards {
+		rows = append(rows, []string{
+			filepath.Base(sh.Dir), strconv.Itoa(sh.Collectors),
+			strconv.Itoa(sh.Partitions), byteSize(sh.Bytes),
+		})
+	}
+	fmt.Print(textplot.Table([]string{"shard", "collectors", "partitions", "bytes"}, rows))
+	fmt.Printf("\nserve each shard:  commservd -shard -store %s -addr :880N\n", filepath.Join(*out, "shard-00N"))
+	fmt.Printf("coordinate:        commservd -coordinator -shards http://h0:8800,http://h1:8801,...\n")
+	return nil
 }
 
 // runSnap builds or inspects the snapshot sidecars the serving daemon

@@ -205,7 +205,7 @@ func run() error {
 	fmt.Printf("\n%d API queries warm: %v  |  full rescans: %v (%.0fx)  |  repeat pass (cached): %v\n",
 		years, apiElapsed.Round(time.Millisecond), rescanElapsed.Round(time.Millisecond),
 		float64(rescanElapsed)/float64(apiElapsed), cachedElapsed.Round(time.Millisecond))
-	stats := s.Stats()
+	stats := s.Stats(context.Background())
 	fmt.Printf("daemon: %d queries, cache %d/%d hit, %d partitions fully snapshotted\n",
 		stats.Queries, stats.Cache.Hits, stats.Cache.Hits+stats.Cache.Misses, stats.Snapshotted)
 	return nil

@@ -2,7 +2,11 @@ package evstore
 
 import (
 	"context"
+	"encoding/binary"
+	"hash/fnv"
+	"io"
 	"os"
+	"path/filepath"
 	"time"
 )
 
@@ -44,6 +48,29 @@ func LoadManifest(dir string) (Manifest, error) {
 		m.Partitions = append(m.Partitions, PartitionRef{Path: e.path, Size: fi.Size()})
 	}
 	return m, nil
+}
+
+// Fingerprint folds the manifest into a single store-version number:
+// it changes whenever a partition is added, removed, or replaced, and
+// is stable across processes and restarts (a pure function of sorted
+// partition file names and sizes, not paths — two stores holding the
+// same partitions fingerprint identically wherever they live on disk).
+// The serving tier uses it as the cache generation and shard
+// provenance "generation" field. An empty manifest has a well-known
+// non-zero fingerprint; 0 is reserved to mean "unknown".
+func (m Manifest) Fingerprint() uint64 {
+	h := fnv.New64a()
+	for _, p := range m.Partitions {
+		io.WriteString(h, filepath.Base(p.Path))
+		var sz [8]byte
+		binary.LittleEndian.PutUint64(sz[:], uint64(p.Size))
+		h.Write(sz[:])
+		h.Write([]byte{0xff})
+	}
+	if s := h.Sum64(); s != 0 {
+		return s
+	}
+	return 1
 }
 
 // Diff returns the partitions present in m but not in old, in scan

@@ -5,6 +5,7 @@ import (
 	"compress/flate"
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -357,10 +358,16 @@ func listPartitions(dir string) ([]storeEntry, error) {
 	return entries, nil
 }
 
+// ErrNoPartitions is the sentinel wrapped by the shared empty-store
+// error of Scan, Stat, and ScanShards; match with errors.Is. The
+// serving tier maps it to "store not ready yet" (HTTP 503 / empty
+// shard) rather than a hard failure.
+var ErrNoPartitions = errors.New("evstore: no partitions")
+
 // noPartitionsError is the shared empty-store error of Scan, Stat, and
 // ScanShards.
 func noPartitionsError(dir string) error {
-	return fmt.Errorf("evstore: no partitions in %s", dir)
+	return fmt.Errorf("%w in %s", ErrNoPartitions, dir)
 }
 
 // pruneByName applies the filename-level pushdown: collector and

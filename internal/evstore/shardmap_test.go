@@ -1,0 +1,196 @@
+package evstore_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/evstore"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// TestShardMapDeterminism: assignment must be a pure function of
+// (collector, n) — two independently built maps (as two processes
+// would build them) agree on every collector.
+func TestShardMapDeterminism(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 7, 16} {
+		a, b := evstore.NewShardMap(n), evstore.NewShardMap(n)
+		for i := 0; i < 500; i++ {
+			c := fmt.Sprintf("rrc%02d-sub%d", i%100, i)
+			sa, sb := a.Shard(c), b.Shard(c)
+			if sa != sb {
+				t.Fatalf("n=%d collector %q: %d vs %d across instances", n, c, sa, sb)
+			}
+			if sa < 0 || sa >= n {
+				t.Fatalf("n=%d collector %q: shard %d out of range", n, c, sa)
+			}
+		}
+		// The catch-all unit ("" — foreign file names) must also place.
+		if s := a.Shard(""); s < 0 || s >= n {
+			t.Fatalf("n=%d catch-all shard %d out of range", n, s)
+		}
+	}
+}
+
+// TestShardMapBalanceAndStability: with many collectors every shard
+// gets a share, and growing N→N+1 moves only a minority of collectors
+// (the consistent-hashing property; mod-N hashing would move ~N/(N+1)
+// of them).
+func TestShardMapBalanceAndStability(t *testing.T) {
+	const collectors = 2000
+	names := make([]string, collectors)
+	for i := range names {
+		names[i] = fmt.Sprintf("collector-%04d", i)
+	}
+
+	m4, m5 := evstore.NewShardMap(4), evstore.NewShardMap(5)
+	perShard := make([]int, 4)
+	moved := 0
+	for _, c := range names {
+		s4 := m4.Shard(c)
+		perShard[s4]++
+		if m5.Shard(c) != s4 {
+			moved++
+		}
+	}
+	for s, n := range perShard {
+		if n < collectors/4/4 {
+			t.Fatalf("shard %d owns only %d/%d collectors — ring badly unbalanced: %v", s, n, collectors, perShard)
+		}
+	}
+	// Ideal consistent hashing moves 1/5 = 20%; allow ring-imbalance
+	// slack but stay far under the ~80% a mod-N reshard would move.
+	if moved > collectors/2 {
+		t.Fatalf("4→5 shards moved %d/%d collectors, want a minority", moved, collectors)
+	}
+	t.Logf("4→5 shards moved %d/%d collectors (%.1f%%), shard loads %v",
+		moved, collectors, 100*float64(moved)/collectors, perShard)
+}
+
+// TestSplitStore: splitting a store must (a) place each collector's
+// whole timeline in exactly one shard, (b) preserve every event —
+// concatenating shard scans per collector equals the source store —
+// and (c) keep snapshot sidecars valid, so shard daemons reuse instead
+// of rebuilding.
+func TestSplitStore(t *testing.T) {
+	cfg := workload.DefaultDayConfig(testDay)
+	cfg.Collectors = 5
+	cfg.PeersPerCollector = 2
+	cfg.PrefixesV4 = 30
+	cfg.PrefixesV6 = 6
+	_, sources := workload.DaySources(cfg)
+	dir := ingest(t, stream.Concat(sources...))
+
+	// Sidecars first, so the split has something to carry along.
+	reg := snapNamed()
+	if _, err := evstore.BuildSnapshots(t.Context(), dir, reg); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 3
+	out := t.TempDir()
+	st, err := evstore.SplitStore(dir, n, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Partitions == 0 || st.Sidecars != st.Partitions {
+		t.Fatalf("split placed %d partitions, %d sidecars", st.Partitions, st.Sidecars)
+	}
+
+	// (a) one shard per collector, matching the ShardMap.
+	m := evstore.NewShardMap(n)
+	seen := map[string]int{}
+	total := 0
+	for i := 0; i < n; i++ {
+		shardDir := filepath.Join(out, evstore.ShardDirName(i))
+		files, err := filepath.Glob(filepath.Join(shardDir, "*"+evstore.Extension))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(files)
+		for _, f := range files {
+			col := collectorOfPartition(t, filepath.Base(f))
+			if prev, ok := seen[col]; ok && prev != i {
+				t.Fatalf("collector %q split across shards %d and %d", col, prev, i)
+			}
+			seen[col] = i
+			if want := m.Shard(col); want != i {
+				t.Fatalf("collector %q in shard %d, ShardMap says %d", col, i, want)
+			}
+		}
+	}
+	if total != st.Partitions {
+		t.Fatalf("shards hold %d partitions, split reported %d", total, st.Partitions)
+	}
+
+	// (b) per-collector event streams are identical.
+	for col, shard := range seen {
+		shardDir := filepath.Join(out, evstore.ShardDirName(shard))
+		q := evstore.Query{Collectors: []string{col}}
+		var errA, errB error
+		want := stream.Collect(evstore.Scan(dir, q, &errA))
+		got := stream.Collect(evstore.Scan(shardDir, q, &errB))
+		if errA != nil || errB != nil {
+			t.Fatal(errA, errB)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("collector %q: shard scan %d events, source %d", col, len(got), len(want))
+		}
+		for i := range got {
+			if !eventsEqual(got[i], want[i]) {
+				t.Fatalf("collector %q: event %d differs after split", col, i)
+			}
+		}
+	}
+
+	// (c) sidecars stayed valid: bringing shard snapshots up to date
+	// must reuse every one, not rebuild.
+	for i := 0; i < n; i++ {
+		shardDir := filepath.Join(out, evstore.ShardDirName(i))
+		if empty, _ := filepath.Glob(filepath.Join(shardDir, "*"+evstore.Extension)); len(empty) == 0 {
+			continue
+		}
+		bs, err := evstore.BuildSnapshots(t.Context(), shardDir, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bs.Built != 0 {
+			t.Fatalf("shard %d rebuilt %d sidecars after split; chain fingerprints should have survived", i, bs.Built)
+		}
+	}
+
+	// Refuse to clobber: a second split into the same outDir must fail.
+	if _, err := evstore.SplitStore(dir, n, out); err == nil {
+		t.Fatal("re-split into a populated outDir succeeded; want refusal")
+	}
+}
+
+// collectorOfPartition recovers the sanitized collector from a
+// partition file name (<collector>__<day>__<seq>.evp).
+func collectorOfPartition(t *testing.T, base string) string {
+	t.Helper()
+	for i := 0; i+1 < len(base); i++ {
+		if base[i] == '_' && base[i+1] == '_' {
+			return base[:i]
+		}
+	}
+	t.Fatalf("unparseable partition name %q", base)
+	return ""
+}
+
+// TestSplitStoreFuncRejectsBadAssignment: an out-of-range assignment
+// is an error, and nothing half-placed is silently trusted.
+func TestSplitStoreFuncRejectsBadAssignment(t *testing.T) {
+	cfg := smallDayConfig()
+	_, sources := workload.DaySources(cfg)
+	dir := ingest(t, stream.Concat(sources...))
+	_, err := evstore.SplitStoreFunc(dir, 2, t.TempDir(), func(string) int { return 7 })
+	if err == nil {
+		t.Fatal("out-of-range assignment accepted")
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatal(err)
+	}
+}

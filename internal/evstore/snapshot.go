@@ -5,12 +5,12 @@ import (
 	"compress/flate"
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"os"
 	"path/filepath"
-	"strings"
 	"time"
 
 	"repro/internal/classify"
@@ -233,7 +233,7 @@ func BuildSnapshots(ctx context.Context, dir string, named []NamedAnalyzer) (Sna
 
 	shards, err := ScanShards(dir, Query{})
 	if err != nil {
-		if strings.HasPrefix(err.Error(), "evstore: no partitions") {
+		if errors.Is(err, ErrNoPartitions) {
 			return bs, nil // empty store: nothing to snapshot yet
 		}
 		return bs, err

@@ -2,6 +2,8 @@ package serve
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"sync"
 )
 
@@ -26,7 +28,7 @@ type resultCache struct {
 
 type cacheEntry struct {
 	key string
-	ans *Answer
+	val any
 }
 
 func newResultCache(max int) *resultCache {
@@ -36,7 +38,7 @@ func newResultCache(max int) *resultCache {
 	return &resultCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
 }
 
-func (c *resultCache) get(key string) (*Answer, bool) {
+func (c *resultCache) get(key string) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
@@ -46,7 +48,7 @@ func (c *resultCache) get(key string) (*Answer, bool) {
 	}
 	c.hits++
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).ans, true
+	return el.Value.(*cacheEntry).val, true
 }
 
 // generation returns the current clear-generation; pass it to put.
@@ -56,19 +58,19 @@ func (c *resultCache) generation() uint64 {
 	return c.gen
 }
 
-// put caches ans unless the cache was cleared after gen was read.
-func (c *resultCache) put(key string, ans *Answer, gen uint64) {
+// put caches val unless the cache was cleared after gen was read.
+func (c *resultCache) put(key string, val any, gen uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if gen != c.gen {
 		return
 	}
 	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry).ans = ans
+		el.Value.(*cacheEntry).val = val
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, ans: ans})
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
 	for c.ll.Len() > c.max {
 		last := c.ll.Back()
 		c.ll.Remove(last)
@@ -117,7 +119,7 @@ type flightGroup struct {
 
 type flightCall struct {
 	done chan struct{}
-	ans  *Answer
+	val  any
 	err  error
 }
 
@@ -125,23 +127,37 @@ func newFlightGroup() *flightGroup {
 	return &flightGroup{calls: make(map[string]*flightCall)}
 }
 
-// do runs fn under key, returning the shared answer and whether this
+// do runs fn under key, returning the shared value and whether this
 // caller piggybacked on another's computation.
-func (g *flightGroup) do(key string, fn func() (*Answer, error)) (ans *Answer, shared bool, err error) {
+func (g *flightGroup) do(key string, fn func() (any, error)) (val any, shared bool, err error) {
 	g.mu.Lock()
 	if c, ok := g.calls[key]; ok {
 		g.mu.Unlock()
 		<-c.done
-		return c.ans, true, c.err
+		return c.val, true, c.err
 	}
 	c := &flightCall{done: make(chan struct{})}
 	g.calls[key] = c
 	g.mu.Unlock()
 
-	c.ans, c.err = fn()
+	c.val, c.err = fn()
 	g.mu.Lock()
 	delete(g.calls, key)
 	g.mu.Unlock()
 	close(c.done)
-	return c.ans, false, c.err
+	return c.val, false, c.err
+}
+
+// flightCompute runs fn under the group with the leader-cancellation
+// rule shared by both tiers: a shared computation ran under the
+// LEADER's request context, so if the leader's client vanished
+// mid-scan, its cancellation is not the follower's — recompute under
+// the caller's own context instead of surfacing someone else's abort.
+func flightCompute(ctx context.Context, g *flightGroup, key string, fn func(context.Context) (any, error)) (val any, shared bool, err error) {
+	val, shared, err = g.do(key, func() (any, error) { return fn(ctx) })
+	if shared && err != nil && ctx.Err() == nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		val, err = fn(ctx)
+	}
+	return val, shared, err
 }

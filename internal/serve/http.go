@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/netip"
 	"strconv"
@@ -13,23 +14,27 @@ import (
 
 // Handler returns the daemon's HTTP API:
 //
-//	GET /v1/table1        ?from&to&collectors&peeras&prefixrange
-//	GET /v1/table2        ?from&to&collectors&peeras&prefixrange
-//	GET /v1/figure/2      ?fromyear&toyear | ?year
-//	GET /v1/figure/3      ?collector&prefix&from&to
-//	GET /v1/figure/4      ?collector&peer&prefix&path&from&to
-//	GET /v1/figure/5      ?collector&peer&prefix&path&from&to
-//	GET /v1/figure/6      ?from&to
-//	GET /v1/infer/peers   ?from&to&collectors
-//	GET /v1/infer/ingress ?from&to&collectors
-//	GET /v1/stats
-//	GET /healthz
+//	GET  /v1/table1        ?from&to&collectors&peeras&prefixrange
+//	GET  /v1/table2        ?from&to&collectors&peeras&prefixrange
+//	GET  /v1/figure/2      ?fromyear&toyear | ?year
+//	GET  /v1/figure/3      ?collector&prefix&from&to
+//	GET  /v1/figure/4      ?collector&peer&prefix&path&from&to
+//	GET  /v1/figure/5      ?collector&peer&prefix&path&from&to
+//	GET  /v1/figure/6      ?from&to
+//	GET  /v1/infer/peers   ?from&to&collectors
+//	GET  /v1/infer/ingress ?from&to&collectors
+//	GET  /v1/stats
+//	GET  /healthz
+//	POST /v1/state         (binary QuerySpec → binary StateEnvelope)
 //
 // Times are RFC 3339; collectors/peeras are comma-separated. Every
 // analysis answer is a JSON Answer envelope: the data plus provenance
-// (cache/snapshots/scan, plan and pushdown stats, compute time).
-// Request cancellation propagates into the residual scans, which stop
-// at the next block boundary.
+// (cache/snapshots/scan, plan and pushdown stats, compute time, and —
+// under a coordinator — per-shard contributions). Request cancellation
+// propagates into the residual scans, which stop at the next block
+// boundary. The same /v1 surface is served whichever engine sits
+// below: single-node answers and coordinator scatter-gather answers
+// are bit-identical over the same store.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	serveKind := func(kind string) http.HandlerFunc {
@@ -62,33 +67,96 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /v1/infer/peers", serveKind(KindPeers))
 	mux.HandleFunc("GET /v1/infer/ingress", serveKind(KindIngress))
+	s.handleOps(mux)
+	return mux
+}
+
+// StateHandler returns the shard-mode HTTP surface: just the state
+// protocol plus health and stats — a shard daemon answers analyzer
+// state to its coordinator, not shaped JSON to end users.
+func (s *Server) StateHandler() http.Handler {
+	mux := http.NewServeMux()
+	s.handleOps(mux)
+	return mux
+}
+
+// handleOps registers the endpoints common to both modes: the binary
+// state protocol (so any daemon can serve as a shard), stats, and
+// health.
+func (s *Server) handleOps(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/state", s.handleState)
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.Stats())
+		writeJSON(w, http.StatusOK, s.Stats(r.Context()))
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		parts, _ := s.ix.Coverage()
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "partitions": parts})
+		h, err := s.engine.Health(r.Context())
+		if err != nil {
+			httpError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		// The extra "ok"/"partitions" shape predates BackendHealth and
+		// is kept for existing probes; BackendHealth adds generation
+		// (the field coordinators poll) and per-shard detail.
+		writeJSON(w, http.StatusOK, struct {
+			BackendHealth
+			OKCompat bool `json:"ok"`
+		}{h, h.OK})
 	})
-	return mux
+}
+
+// handleState serves the coordinator↔shard protocol: a binary
+// QuerySpec in, a binary StateEnvelope out. 204 reports an empty store
+// (nothing to contribute), which the coordinator treats as a complete
+// zero answer rather than a failure.
+func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(body) > maxSpecBytes {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("query spec exceeds %d bytes", maxSpecBytes))
+		return
+	}
+	spec, err := DecodeQuerySpec(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	env, err := s.engine.State(r.Context(), spec)
+	if err != nil {
+		if errors.Is(err, ErrEmptyStore) {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		httpError(w, errStatus(r, err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(AppendStateEnvelope(nil, env))
 }
 
 func (s *Server) serveAnswer(w http.ResponseWriter, r *http.Request, spec QuerySpec) {
 	ans, err := s.Answer(r.Context(), spec)
 	if err != nil {
-		status := http.StatusInternalServerError
-		switch {
-		case errors.Is(err, r.Context().Err()) && r.Context().Err() != nil:
-			// Client went away; the scan already aborted. 499-style.
-			status = http.StatusRequestTimeout
-		case strings.Contains(err.Error(), "no partitions"):
-			status = http.StatusServiceUnavailable // store not ingested yet
-		case strings.Contains(err.Error(), "needs"):
-			status = http.StatusBadRequest
-		}
-		httpError(w, status, err)
+		httpError(w, errStatus(r, err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, ans)
+}
+
+// errStatus maps serving errors onto HTTP statuses.
+func errStatus(r *http.Request, err error) int {
+	switch {
+	case errors.Is(err, r.Context().Err()) && r.Context().Err() != nil:
+		// Client went away; the scan already aborted. 499-style.
+		return http.StatusRequestTimeout
+	case errors.Is(err, ErrEmptyStore), strings.Contains(err.Error(), "no partitions"):
+		return http.StatusServiceUnavailable // store not ingested yet
+	case strings.Contains(err.Error(), "needs"):
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
 }
 
 func httpError(w http.ResponseWriter, status int, err error) {

@@ -3,26 +3,30 @@
 // and §7 inferences as windowed queries, merging precomputed
 // per-partition analyzer snapshots instead of rescanning the store.
 //
-// The serving model: producers ingest normalized events into an
-// evstore directory; the server keeps a SnapshotIndex warm (one
-// sidecar per sealed partition per registered analyzer, maintained
-// incrementally by a manifest watcher as live ingest seals new
-// partitions) and answers each query with merged sidecar states plus
-// a residual scan over only the partitions the query window cuts
-// through. An LRU result cache absorbs repeats and a singleflight
-// group collapses concurrent identical queries to one computation.
+// The serving stack is two-tier. A Backend engine answers "merged
+// analyzer STATE for this spec" (backend.go): LocalBackend executes
+// the residual-scan planner over one store directory, RemoteBackend
+// proxies to a shard daemon's /v1/state endpoint, and Coordinator
+// fans out to N shards and merges their states under the Analyzer
+// Merge laws — each collector's whole timeline lives on one shard
+// (consistent hashing, the ScanShards invariant), so the merge is
+// bit-identical to a single-node answer over the union store. The
+// Server frontend is engine-agnostic: it shapes state into the JSON
+// Answer envelope, keeps the generation-guarded LRU answer cache and
+// singleflight group, and serves the same /v1 HTTP API whichever
+// engine sits below. Single-node (LocalBackend) remains the default.
 //
 // Query semantics are the live-collector convention: classification
 // state is warm from each collector's full stored timeline, and the
 // window selects which classified events are tallied. Every answer is
 // bit-identical to a cold ScanParallel of the same window — pinned by
 // equivalence tests across synthetic, MRT-archive, store, and
-// simulator-fleet producers.
+// simulator-fleet producers, and by a cluster equivalence test across
+// random shard partitions.
 package serve
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"net/netip"
 	"sort"
@@ -121,22 +125,34 @@ func (q QuerySpec) CacheKey() string {
 }
 
 // Answer is one served result with its provenance: where it came from
-// (cache, snapshot merges, residual/cold scan) and what it cost.
+// (cache, snapshot merges, residual/cold scan), what it cost, and —
+// under a coordinator — which shards contributed.
 type Answer struct {
 	Kind   string `json:"kind"`
 	Source string `json:"source"` // "snapshots", "scan", or "cache"
+	// Partial marks an answer missing one or more shards' events; the
+	// Shards provenance names the failures. Partial answers are never
+	// cached.
+	Partial bool `json:"partial,omitempty"`
 	// Elapsed is the compute time (for cache hits: the ORIGINAL
 	// compute time, not the lookup).
 	Elapsed time.Duration     `json:"elapsed_ns"`
 	Plan    evstore.PlanStats `json:"plan"`
 	Scan    evstore.ScanStats `json:"scan"`
 	Merges  int               `json:"merges"`
-	Data    any               `json:"data"`
+	// Shards is the per-backend provenance: one entry in single-node
+	// mode, one per shard under a coordinator.
+	Shards []ShardProvenance `json:"shards,omitempty"`
+	Data   any               `json:"data"`
+
+	// generation is the engine generation the answer was computed at
+	// (for the staleness guard; not part of the payload).
+	generation uint64
 }
 
 // Config parameterizes a Server.
 type Config struct {
-	// Dir is the store directory.
+	// Dir is the store directory (single-node / shard mode).
 	Dir string
 	// Workers bounds per-query scan parallelism (0 = GOMAXPROCS).
 	Workers int
@@ -144,6 +160,9 @@ type Config struct {
 	CacheEntries int
 	// Registry is the snapshot-indexed analyzer set (nil = DefaultRegistry).
 	Registry []evstore.NamedAnalyzer
+	// Backend overrides the engine. nil builds a LocalBackend over Dir;
+	// pass a Coordinator to serve scatter-gather.
+	Backend Backend
 }
 
 // DefaultRegistry returns the analyzer set a daemon snapshots by
@@ -166,13 +185,19 @@ func sessionMixKey(collector string, prefix netip.Prefix) string {
 	return fmt.Sprintf("sessionmix:%s:%s", collector, prefix)
 }
 
-// Server answers analysis queries over one store. Safe for concurrent
+// Server shapes Backend state into served answers. Safe for concurrent
 // use; Refresh may run concurrently with queries.
 type Server struct {
 	cfg    Config
-	ix     *evstore.SnapshotIndex
+	engine Backend
 	cache  *resultCache
 	flight *flightGroup
+
+	// lastGen is the last engine generation observed in an envelope; a
+	// drift detected mid-answer (a shard refreshed underneath a
+	// coordinator) clears the answer cache, so stale merged answers
+	// cannot outlive the observation that the store moved.
+	lastGen atomic.Uint64
 
 	started   time.Time
 	queries   atomic.Uint64
@@ -180,48 +205,70 @@ type Server struct {
 	refreshes atomic.Uint64
 }
 
-// New builds any missing snapshot sidecars for the registry and
-// returns a ready server.
-func New(ctx context.Context, cfg Config) (*Server, evstore.SnapshotBuildStats, error) {
-	if cfg.Registry == nil {
-		cfg.Registry = DefaultRegistry()
+// New returns a ready server over cfg's engine: the configured Backend
+// if set, else a LocalBackend over cfg.Dir (building any missing
+// snapshot sidecars for the registry).
+func New(ctx context.Context, cfg Config) (*Server, RefreshStats, error) {
+	engine := cfg.Backend
+	var rs RefreshStats
+	if engine == nil {
+		lb, lrs, err := NewLocalBackend(ctx, cfg)
+		if err != nil {
+			return nil, lrs, err
+		}
+		engine, rs = lb, lrs
+	} else {
+		var err error
+		if rs, err = engine.Refresh(ctx); err != nil {
+			return nil, rs, err
+		}
 	}
-	ix, bs, err := evstore.OpenSnapshotIndex(ctx, cfg.Dir, cfg.Registry)
-	if err != nil {
-		return nil, bs, err
-	}
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
-		ix:      ix,
+		engine:  engine,
 		cache:   newResultCache(cfg.CacheEntries),
 		flight:  newFlightGroup(),
 		started: time.Now(),
-	}, bs, nil
+	}
+	s.lastGen.Store(rs.Generation)
+	return s, rs, nil
 }
 
-// Refresh incrementally snapshots newly sealed partitions and drops
-// the result cache (stored answers may now be missing events).
-func (s *Server) Refresh(ctx context.Context) (evstore.SnapshotBuildStats, error) {
-	bs, err := s.ix.Refresh(ctx)
+// Backend returns the serving engine.
+func (s *Server) Backend() Backend { return s.engine }
+
+// Refresh re-checks the engine's store(s) for newly sealed partitions
+// and drops the answer cache when answers may have changed.
+func (s *Server) Refresh(ctx context.Context) (RefreshStats, error) {
+	rs, err := s.engine.Refresh(ctx)
 	if err != nil {
-		return bs, err
+		return rs, err
 	}
-	if bs.Built > 0 {
+	if rs.Changed {
 		s.cache.clear()
+		if rs.Generation != 0 {
+			s.lastGen.Store(rs.Generation)
+		}
 	}
 	s.refreshes.Add(1)
-	return bs, nil
+	return rs, nil
 }
 
-// Watch follows the store manifest and refreshes the snapshot index
-// whenever live ingest seals new partitions. Blocks until ctx is
-// cancelled; run on its own goroutine. onRefresh (optional) observes
-// each refresh.
-func (s *Server) Watch(ctx context.Context, interval time.Duration, onRefresh func(evstore.SnapshotBuildStats, error)) error {
-	return evstore.Watch(ctx, s.ix.Manifest(), interval, func(evstore.Manifest, []evstore.PartitionRef) {
-		bs, err := s.Refresh(ctx)
+// Watch follows the engine's store(s) and refreshes whenever live
+// ingest seals new partitions (or a shard's generation drifts).
+// Blocks until ctx is cancelled; run on its own goroutine. onRefresh
+// (optional) observes each refresh.
+func (s *Server) Watch(ctx context.Context, interval time.Duration, onRefresh func(RefreshStats, error)) error {
+	return s.engine.Watch(ctx, interval, func(rs RefreshStats, err error) {
+		if err == nil && rs.Changed {
+			s.cache.clear()
+			if rs.Generation != 0 {
+				s.lastGen.Store(rs.Generation)
+			}
+			s.refreshes.Add(1)
+		}
 		if onRefresh != nil {
-			onRefresh(bs, err)
+			onRefresh(rs, err)
 		}
 	})
 }
@@ -230,141 +277,117 @@ func (s *Server) Watch(ctx context.Context, interval time.Duration, onRefresh fu
 func (s *Server) Answer(ctx context.Context, spec QuerySpec) (*Answer, error) {
 	s.queries.Add(1)
 	key := spec.CacheKey()
-	if ans, ok := s.cache.get(key); ok {
-		hit := *ans
+	if v, ok := s.cache.get(key); ok {
+		hit := *(v.(*Answer))
 		hit.Source = "cache"
 		return &hit, nil
 	}
-	computeCached := func(ctx context.Context) (*Answer, error) {
-		// The generation is read before computing: if the store is
-		// refreshed mid-compute, the (possibly stale) answer is
+	computeCached := func(ctx context.Context) (any, error) {
+		// The clear-generation is read before computing: if the store
+		// is refreshed mid-compute, the (possibly stale) answer is
 		// returned to this caller but never cached.
 		gen := s.cache.generation()
 		ans, err := s.compute(ctx, spec)
 		if err != nil {
 			return nil, err
 		}
-		s.cache.put(key, ans, gen)
+		s.observeGeneration(ans)
+		if !ans.Partial {
+			s.cache.put(key, ans, gen)
+		}
 		return ans, nil
 	}
-	ans, shared, err := s.flight.do(key, func() (*Answer, error) {
-		return computeCached(ctx)
-	})
+	v, shared, err := flightCompute(ctx, s.flight, key, computeCached)
 	if shared {
 		s.deduped.Add(1)
-		// The shared computation ran under the LEADER's request
-		// context. If the leader's client vanished mid-scan, its
-		// cancellation is not ours: recompute under our own context
-		// instead of surfacing someone else's abort.
-		if err != nil && ctx.Err() == nil &&
-			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
-			return computeCached(ctx)
-		}
 	}
-	return ans, err
-}
-
-// runPlanned answers the named analyzers via the snapshot index, or a
-// cold ScanParallel when per-event filters force it. The analyzer
-// results land in the passed prototypes; the returned Answer carries
-// provenance but no Data yet.
-func (s *Server) runPlanned(ctx context.Context, spec QuerySpec, named ...evstore.NamedAnalyzer) (*Answer, error) {
-	ans := &Answer{Kind: spec.Kind}
-	if len(spec.PeerAS) > 0 || spec.PrefixRange.IsValid() {
-		protos := make([]classify.Analyzer, len(named))
-		for i, na := range named {
-			protos[i] = na.Proto
-		}
-		q := evstore.Query{Collectors: spec.Collectors, PeerAS: spec.PeerAS, PrefixRange: spec.PrefixRange}
-		ps, err := evstore.ScanParallel(ctx, s.cfg.Dir, q, spec.Window, s.cfg.Workers, protos...)
-		if err != nil {
-			return nil, err
-		}
-		ans.Source = "scan"
-		ans.Scan = ps.Total
-		return ans, nil
-	}
-	q := evstore.Query{Window: spec.Window, Collectors: spec.Collectors}
-	ss, err := s.ix.Query(ctx, q, s.cfg.Workers, named...)
 	if err != nil {
 		return nil, err
 	}
-	ans.Plan = ss.Plan
-	ans.Scan = ss.Scan
-	ans.Merges = ss.Merges
-	if ss.Plan.Merged > 0 || ss.Plan.Jumped > 0 {
-		ans.Source = "snapshots"
-	} else {
-		ans.Source = "scan"
-	}
-	return ans, nil
+	return v.(*Answer), nil
 }
 
-// compute answers one query uncached.
-func (s *Server) compute(ctx context.Context, spec QuerySpec) (*Answer, error) {
-	start := time.Now()
-	var ans *Answer
-	var err error
-	switch spec.Kind {
-	case KindTable1:
-		a := analysis.NewTable1()
-		if ans, err = s.runPlanned(ctx, spec, evstore.NamedAnalyzer{Key: "table1", Proto: a}); err == nil {
-			ans.Data = a.Table1()
-		}
-	case KindTable2:
-		a := analysis.NewCounts()
-		if ans, err = s.runPlanned(ctx, spec, evstore.NamedAnalyzer{Key: "counts", Proto: a}); err == nil {
-			ans.Data = countsData(a.Counts)
-		}
-	case KindFigure2:
-		ans, err = s.figure2(ctx, spec)
-	case KindFigure3:
-		if !spec.Prefix.IsValid() || spec.Collector == "" {
-			return nil, fmt.Errorf("serve: figure3 needs collector and prefix")
-		}
-		a := analysis.NewSessionMix(spec.Collector, spec.Prefix)
-		if ans, err = s.runPlanned(ctx, spec, evstore.NamedAnalyzer{Key: sessionMixKey(spec.Collector, spec.Prefix), Proto: a}); err == nil {
-			ans.Data = a.Mixes()
-		}
-	case KindFigure4, KindFigure5:
-		if spec.Collector == "" || !spec.PeerAddr.IsValid() || !spec.Prefix.IsValid() || spec.Path == "" {
-			return nil, fmt.Errorf("serve: %s needs collector, peer, prefix, and path", spec.Kind)
-		}
-		session := classify.SessionKey{Collector: spec.Collector, PeerAddr: spec.PeerAddr}
-		a := analysis.NewCumulative(session, spec.Prefix, spec.Path)
-		// Route-specific accumulators are not in the sidecar registry;
-		// the planner still jumps the pre-window prelude.
-		if ans, err = s.runPlanned(ctx, spec, evstore.NamedAnalyzer{Key: "", Proto: a}); err == nil {
-			ans.Data = cumData(a.Series())
-		}
-	case KindFigure6:
-		a := analysis.NewRevealed(beacon.RIPE)
-		if ans, err = s.runPlanned(ctx, spec, evstore.NamedAnalyzer{Key: "revealed:ripe", Proto: a}); err == nil {
-			ans.Data = a.Summary()
-		}
-	case KindPeers:
-		a := analysis.NewPeerBehavior()
-		if ans, err = s.runPlanned(ctx, spec, evstore.NamedAnalyzer{Key: "peers", Proto: a}); err == nil {
-			ans.Data = peersData(a.Inferences())
-		}
-	case KindIngress:
-		a := analysis.NewIngress()
-		if ans, err = s.runPlanned(ctx, spec, evstore.NamedAnalyzer{Key: "ingress", Proto: a}); err == nil {
-			ans.Data = a.Locations()
-		}
-	default:
-		return nil, fmt.Errorf("serve: unknown query kind %q", spec.Kind)
+// observeGeneration notes the engine generation an answer was computed
+// at. A change relative to the last observation means the store moved
+// without a Refresh/Watch having run here first (a shard refreshed
+// between coordinator watch ticks), so previously cached answers may
+// be stale: drop them all. The answer itself was computed at the NEW
+// generation and is cached normally by the caller (put runs after
+// clear bumps the guard only if this goroutine read the generation
+// after the clear — the existing put-guard semantics).
+func (s *Server) observeGeneration(ans *Answer) {
+	if ans.generation == 0 {
+		return
 	}
+	prev := s.lastGen.Swap(ans.generation)
+	if prev != 0 && prev != ans.generation {
+		s.cache.clear()
+	}
+}
+
+// compute answers one query uncached: figure2 decomposes into per-year
+// state queries, every other kind is one engine State call shaped into
+// its JSON form.
+func (s *Server) compute(ctx context.Context, spec QuerySpec) (*Answer, error) {
+	if spec.Kind == KindFigure2 {
+		return s.figure2(ctx, spec)
+	}
+	start := time.Now()
+	named, err := stateAnalyzers(spec)
 	if err != nil {
+		return nil, err
+	}
+	env, err := s.engine.State(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := restoreStates(named, env); err != nil {
+		return nil, err
+	}
+	ans := &Answer{
+		Kind:       spec.Kind,
+		Source:     env.Source,
+		Partial:    env.Partial(),
+		Plan:       env.Plan,
+		Scan:       env.Scan,
+		Merges:     env.Merges,
+		Shards:     env.Shards,
+		generation: env.Generation,
+	}
+	if ans.Data, err = shapeData(spec, named[0].Proto); err != nil {
 		return nil, err
 	}
 	ans.Elapsed = time.Since(start)
 	return ans, nil
 }
 
+// shapeData renders the primary analyzer's finished result into the
+// kind's JSON shape.
+func shapeData(spec QuerySpec, a classify.Analyzer) (any, error) {
+	switch spec.Kind {
+	case KindTable1:
+		return a.(*analysis.Table1Analyzer).Table1(), nil
+	case KindTable2:
+		return countsData(a.(*classify.CountsAnalyzer).Counts), nil
+	case KindFigure3:
+		return a.(*analysis.SessionMixAnalyzer).Mixes(), nil
+	case KindFigure4, KindFigure5:
+		return cumData(a.(*analysis.CumulativeAnalyzer).Series()), nil
+	case KindFigure6:
+		return a.(*analysis.RevealedAnalyzer).Summary(), nil
+	case KindPeers:
+		return peersData(a.(*analysis.PeerBehaviorAnalyzer).Inferences()), nil
+	case KindIngress:
+		return a.(*analysis.IngressAnalyzer).Locations(), nil
+	default:
+		return nil, fmt.Errorf("serve: unknown query kind %q", spec.Kind)
+	}
+}
+
 // figure2 answers the longitudinal series: one Table-2 counts row per
-// calendar year, each an independent windowed sub-query so pushdown
-// and snapshot merges prune everything outside that year.
+// calendar year, each an independent windowed state query so pushdown
+// and snapshot merges prune everything outside that year (and, under a
+// coordinator, each year scatter-gathers independently).
 func (s *Server) figure2(ctx context.Context, spec QuerySpec) (*Answer, error) {
 	if spec.FromYear == 0 || spec.ToYear < spec.FromYear {
 		return nil, fmt.Errorf("serve: figure2 needs fromyear <= toyear")
@@ -372,67 +395,120 @@ func (s *Server) figure2(ctx context.Context, spec QuerySpec) (*Answer, error) {
 	if spec.ToYear-spec.FromYear > 200 {
 		return nil, fmt.Errorf("serve: figure2 year range too large")
 	}
+	start := time.Now()
 	total := &Answer{Kind: spec.Kind, Source: "snapshots"}
 	var rows []Figure2Row
 	for y := spec.FromYear; y <= spec.ToYear; y++ {
-		sub := spec
-		sub.Window = evstore.TimeRange{
-			From: time.Date(y, 1, 1, 0, 0, 0, 0, time.UTC),
-			To:   time.Date(y+1, 1, 1, 0, 0, 0, 0, time.UTC),
+		sub := QuerySpec{
+			Kind:       KindTable2,
+			Collectors: spec.Collectors,
+			Window: evstore.TimeRange{
+				From: time.Date(y, 1, 1, 0, 0, 0, 0, time.UTC),
+				To:   time.Date(y+1, 1, 1, 0, 0, 0, 0, time.UTC),
+			},
 		}
-		a := analysis.NewCounts()
-		ans, err := s.runPlanned(ctx, sub, evstore.NamedAnalyzer{Key: "counts", Proto: a})
+		named, err := stateAnalyzers(sub)
 		if err != nil {
 			return nil, err
 		}
-		total.Plan.Shards = max(total.Plan.Shards, ans.Plan.Shards)
-		total.Plan.Partitions += ans.Plan.Partitions
-		total.Plan.Merged += ans.Plan.Merged
-		total.Plan.Jumped += ans.Plan.Jumped
-		total.Plan.Scanned += ans.Plan.Scanned
-		total.Plan.Skipped += ans.Plan.Skipped
-		total.Scan.Add(ans.Scan)
-		total.Merges += ans.Merges
-		if ans.Source == "scan" {
+		env, err := s.engine.State(ctx, sub)
+		if err != nil {
+			return nil, err
+		}
+		if err := restoreStates(named, env); err != nil {
+			return nil, err
+		}
+		a := named[0].Proto.(*classify.CountsAnalyzer)
+		total.Plan.Shards = max(total.Plan.Shards, env.Plan.Shards)
+		total.Plan.Partitions += env.Plan.Partitions
+		total.Plan.Merged += env.Plan.Merged
+		total.Plan.Jumped += env.Plan.Jumped
+		total.Plan.Scanned += env.Plan.Scanned
+		total.Plan.Skipped += env.Plan.Skipped
+		total.Scan.Add(env.Scan)
+		total.Merges += env.Merges
+		total.Partial = total.Partial || env.Partial()
+		total.Shards = mergeProvenance(total.Shards, env.Shards)
+		total.generation = env.Generation
+		if env.Source == "scan" {
 			total.Source = "scan"
 		}
 		rows = append(rows, Figure2Row{Year: y, Total: a.Counts.Announcements(), Counts: countsData(a.Counts)})
 	}
 	total.Data = rows
+	total.Elapsed = time.Since(start)
 	return total, nil
+}
+
+// mergeProvenance folds one sub-query's shard provenance into an
+// aggregate (per-backend, first-seen order): elapsed sums, the latest
+// generation and source win, and an error from any sub-query sticks —
+// the aggregate names every shard that failed to contribute anywhere.
+func mergeProvenance(agg, add []ShardProvenance) []ShardProvenance {
+	for _, p := range add {
+		found := false
+		for i := range agg {
+			if agg[i].Backend != p.Backend {
+				continue
+			}
+			found = true
+			agg[i].Elapsed += p.Elapsed
+			if p.Generation != 0 {
+				agg[i].Generation = p.Generation
+			}
+			if p.Source != "" {
+				agg[i].Source = p.Source
+			}
+			if p.Err != "" {
+				agg[i].Err = p.Err
+			}
+			break
+		}
+		if !found {
+			agg = append(agg, p)
+		}
+	}
+	return agg
 }
 
 // ServerStats is the /v1/stats payload.
 type ServerStats struct {
-	Store       string     `json:"store"`
+	Store       string     `json:"store,omitempty"`
+	Backend     string     `json:"backend"`
+	Generation  uint64     `json:"generation"`
 	UptimeSec   float64    `json:"uptime_sec"`
 	Partitions  int        `json:"partitions"`
 	Snapshotted int        `json:"snapshotted"`
-	Registry    []string   `json:"registry"`
+	Registry    []string   `json:"registry,omitempty"`
 	Queries     uint64     `json:"queries"`
 	Deduped     uint64     `json:"deduped"`
 	Refreshes   uint64     `json:"refreshes"`
 	Cache       CacheStats `json:"cache"`
+	// Shards reports per-shard health under a coordinator.
+	Shards []BackendHealth `json:"shards,omitempty"`
 }
 
 // Stats reports the daemon's operational state.
-func (s *Server) Stats() ServerStats {
-	parts, snapped := s.ix.Coverage()
-	keys := make([]string, 0, len(s.cfg.Registry))
-	for _, na := range s.cfg.Registry {
-		keys = append(keys, na.Key)
+func (s *Server) Stats(ctx context.Context) ServerStats {
+	st := ServerStats{
+		Store:     s.cfg.Dir,
+		Backend:   s.engine.Name(),
+		UptimeSec: time.Since(s.started).Seconds(),
+		Queries:   s.queries.Load(),
+		Deduped:   s.deduped.Load(),
+		Refreshes: s.refreshes.Load(),
+		Cache:     s.cache.stats(),
 	}
-	return ServerStats{
-		Store:       s.cfg.Dir,
-		UptimeSec:   time.Since(s.started).Seconds(),
-		Partitions:  parts,
-		Snapshotted: snapped,
-		Registry:    keys,
-		Queries:     s.queries.Load(),
-		Deduped:     s.deduped.Load(),
-		Refreshes:   s.refreshes.Load(),
-		Cache:       s.cache.stats(),
+	if h, err := s.engine.Health(ctx); err == nil {
+		st.Generation = h.Generation
+		st.Partitions = h.Partitions
+		st.Snapshotted = h.Snapshotted
+		st.Shards = h.Shards
 	}
+	if lb, ok := s.engine.(*LocalBackend); ok {
+		st.Registry = lb.Registry()
+	}
+	return st
 }
 
 // ---------------------------------------------------------------------------

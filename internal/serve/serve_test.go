@@ -64,64 +64,66 @@ func coldRef(t testing.TB, dir string, spec serve.QuerySpec, protos ...classify.
 	}
 }
 
-// TestServeEquivalenceAcrossProducers is the tentpole acceptance: on
-// stores built from every producer path — synthetic day sources, MRT
-// archives through the §4 normalizer, a multi-day store ingest, and
-// the simulator fleet — every served kind must be bit-identical to the
-// cold batch scan of the same window.
-func TestServeEquivalenceAcrossProducers(t *testing.T) {
-	producers := []struct {
-		name  string
-		build func(t *testing.T) string
-	}{
-		{"synthetic", func(t *testing.T) string {
-			_, sources := workload.DaySources(smallCfg())
-			return buildStore(t, stream.Concat(sources...))
-		}},
-		{"mrt", func(t *testing.T) string {
-			cfg := smallCfg()
-			peers, sources := workload.DaySources(cfg)
-			arch := t.TempDir()
-			if _, err := collector.WriteSourcesDir(peers, sources, arch); err != nil {
+// storeProducers builds equivalent stores through every producer path
+// — synthetic day sources, MRT archives through the §4 normalizer, a
+// multi-day store ingest, and the simulator fleet. Both the
+// single-node and the scatter-gather equivalence suites sweep it.
+var storeProducers = []struct {
+	name  string
+	build func(t *testing.T) string
+}{
+	{"synthetic", func(t *testing.T) string {
+		_, sources := workload.DaySources(smallCfg())
+		return buildStore(t, stream.Concat(sources...))
+	}},
+	{"mrt", func(t *testing.T) string {
+		cfg := smallCfg()
+		peers, sources := workload.DaySources(cfg)
+		arch := t.TempDir()
+		if _, err := collector.WriteSourcesDir(peers, sources, arch); err != nil {
+			t.Fatal(err)
+		}
+		src, _, check, err := pipeline.ArchiveSource(arch, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := buildStore(t, src)
+		if err := check(); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}},
+	{"store-multiday", func(t *testing.T) string {
+		return buildStore(t, workload.MultiDaySource(smallCfg(), 2))
+	}},
+	{"simsweep", func(t *testing.T) string {
+		results := simnet.Sweep(simnet.DefaultMatrix(testDay, 6), 2)
+		dir := t.TempDir()
+		w, err := evstore.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				t.Fatal(r.Err)
+			}
+			if err := w.Ingest(r.Capture.Source()); err != nil {
 				t.Fatal(err)
 			}
-			src, _, check, err := pipeline.ArchiveSource(arch, nil)
-			if err != nil {
-				t.Fatal(err)
-			}
-			dir := buildStore(t, src)
-			if err := check(); err != nil {
-				t.Fatal(err)
-			}
-			return dir
-		}},
-		{"store-multiday", func(t *testing.T) string {
-			return buildStore(t, workload.MultiDaySource(smallCfg(), 2))
-		}},
-		{"simsweep", func(t *testing.T) string {
-			results := simnet.Sweep(simnet.DefaultMatrix(testDay, 6), 2)
-			dir := t.TempDir()
-			w, err := evstore.Open(dir)
-			if err != nil {
-				t.Fatal(err)
-			}
-			for _, r := range results {
-				if r.Err != nil {
-					t.Fatal(r.Err)
-				}
-				if err := w.Ingest(r.Capture.Source()); err != nil {
-					t.Fatal(err)
-				}
-			}
-			if err := w.Close(); err != nil {
-				t.Fatal(err)
-			}
-			return dir
-		}},
-	}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}},
+}
 
+// TestServeEquivalenceAcrossProducers is the tentpole acceptance: on
+// stores built from every producer path, every served kind must be
+// bit-identical to the cold batch scan of the same window.
+func TestServeEquivalenceAcrossProducers(t *testing.T) {
 	window := evstore.TimeRange{From: testDay.Add(2 * time.Hour), To: testDay.Add(20 * time.Hour)}
-	for _, p := range producers {
+	for _, p := range storeProducers {
 		t.Run(p.name, func(t *testing.T) {
 			dir := p.build(t)
 			s, bs, err := serve.New(context.Background(), serve.Config{Dir: dir, Workers: 2})
@@ -500,7 +502,7 @@ func TestServeHTTPLoadSmoke(t *testing.T) {
 			agreed[path] = v
 		}
 	}
-	st := s.Stats()
+	st := s.Stats(context.Background())
 	t.Logf("load smoke: peak in-flight %d, %d queries, cache %+v, deduped %d",
 		peak.Load(), st.Queries, st.Cache, st.Deduped)
 }
@@ -524,7 +526,7 @@ func TestServeWatchRefreshesOnIngest(t *testing.T) {
 	refreshed := make(chan struct{}, 4)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	go s.Watch(ctx, 10*time.Millisecond, func(bs evstore.SnapshotBuildStats, err error) {
+	go s.Watch(ctx, 10*time.Millisecond, func(bs serve.RefreshStats, err error) {
 		if err != nil {
 			t.Error(err)
 		}
