@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/netip"
 	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/dampening"
 	"repro/internal/evstore"
 	"repro/internal/labexp"
+	"repro/internal/lz"
 	"repro/internal/mrt"
 	"repro/internal/pipeline"
 	"repro/internal/registry"
@@ -696,6 +698,69 @@ func BenchmarkStoreScanRow(b *testing.B) {
 		counts = c
 	}
 	b.ReportMetric(float64(counts.Announcements()), "announcements")
+}
+
+// lzCorpus builds the LZ benchmark input: the largest partition of the
+// benchmark day written with the raw codec, i.e. real columnar block
+// bytes — dictionary-coded strings, delta-varint times, prefix bytes —
+// not synthetic filler, so the measured ratio and speed are the ones
+// store scans actually see.
+func lzCorpus(b *testing.B) []byte {
+	dir, err := os.MkdirTemp("", "repro-bench-lz-")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	w, err := evstore.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.Codec = evstore.CodecRaw
+	if err := w.Ingest(benchDayDataset().Source()); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "*.evp"))
+	if err != nil || len(names) == 0 {
+		b.Fatalf("no partitions for lz corpus: %v", err)
+	}
+	var corpus []byte
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(data) > len(corpus) {
+			corpus = data
+		}
+	}
+	return corpus
+}
+
+// BenchmarkLZRoundTrip measures the in-repo LZ codec on real store
+// block bytes: one compress + one decompress per iteration, with the
+// achieved ratio reported. This is the per-block cost the decode-ahead
+// scan pipeline overlaps with classification.
+func BenchmarkLZRoundTrip(b *testing.B) {
+	src := lzCorpus(b)
+	var enc lz.Encoder
+	comp := enc.Compress(nil, src)
+	dst := make([]byte, len(src))
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		comp = enc.Compress(comp[:0], src)
+		if err := lz.Decompress(dst, comp); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if !bytes.Equal(dst, src) {
+		b.Fatal("round trip diverged")
+	}
+	b.ReportMetric(100*float64(len(comp))/float64(len(src)), "ratio_%")
 }
 
 // BenchmarkStoreMRTReparse re-runs the same report by re-parsing the

@@ -5,12 +5,20 @@
 //
 // Usage:
 //
-//	evstore ingest -store DIR [-in MRTDIR | -year 2020 -days N] [-block N]
+//	evstore ingest -store DIR [-in MRTDIR | -year 2020 -days N] [-block N] [-codec lz]
 //	evstore stat   -store DIR [-blocks] [-sample N]
 //	evstore query  -store DIR [-from T] [-to T] [-collectors a,b]
 //	               [-peeras 1,2] [-prefix P] [-count-only]
 //	               [-analyze] [-workers N]
+//	evstore recode -store DIR [-codec lz]
 //	evstore shard  -store DIR -n N -out OUTDIR
+//
+// recode rewrites an existing store's partitions block-by-block into
+// the target codec (never in place — temp file + atomic rename), the
+// migration path from legacy deflate-only stores to the fast in-repo
+// lz codec. Block summaries, footers, and event payloads are preserved
+// bit-for-bit and valid snapshot sidecars are refreshed alongside, so
+// recoding never forces a snapshot rebuild.
 //
 // shard splits (or rebalances) a store into N shard stores under
 // OUTDIR/shard-000 … shard-NNN by consistent hashing over collector
@@ -67,6 +75,8 @@ func main() {
 		err = runQuery(os.Args[2:])
 	case "snap":
 		err = runSnap(os.Args[2:])
+	case "recode":
+		err = runRecode(os.Args[2:])
 	case "shard":
 		err = runShard(os.Args[2:])
 	default:
@@ -79,7 +89,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: evstore {ingest|stat|query|snap|shard} -store DIR [flags]")
+	fmt.Fprintln(os.Stderr, "usage: evstore {ingest|stat|query|snap|recode|shard} -store DIR [flags]")
 	os.Exit(2)
 }
 
@@ -113,6 +123,39 @@ func runShard(args []string) error {
 	fmt.Printf("\nserve each shard:  commservd -shard -store %s -addr :880N\n", filepath.Join(*out, "shard-00N"))
 	fmt.Printf("coordinate:        commservd -coordinator -shards http://h0:8800,http://h1:8801,...\n")
 	return nil
+}
+
+// runRecode migrates a store's partitions (and their snapshot
+// sidecars) to the target block codec.
+func runRecode(args []string) error {
+	fs := flag.NewFlagSet("recode", flag.ExitOnError)
+	store := fs.String("store", "", "store directory")
+	codec := fs.String("codec", evstore.DefaultCodec.String(), "target block codec (raw, deflate, lz)")
+	fs.Parse(args)
+	if *store == "" {
+		return fmt.Errorf("-store is required")
+	}
+	c, err := evstore.ParseCodec(*codec)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	rs, err := evstore.Recode(context.Background(), *store, c)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recoded %d/%d partitions to %s (%d blocks, %d skipped as current) in %v\n",
+		rs.Recoded, rs.Partitions, c, rs.Blocks, rs.Skipped, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("%s -> %s on disk (%.2fx), %d sidecars refreshed\n",
+		byteSize(rs.BytesIn), byteSize(rs.BytesOut), float64(rs.BytesOut)/float64(max64(rs.BytesIn, 1)), rs.Sidecars)
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // runSnap builds or inspects the snapshot sidecars the serving daemon
@@ -187,9 +230,14 @@ func runIngest(args []string) error {
 	year := fs.Int("year", 2020, "year for the synthetic dataset")
 	days := fs.Int("days", 1, "number of consecutive synthetic days")
 	block := fs.Int("block", evstore.DefaultBlockEvents, "events per block")
+	codec := fs.String("codec", evstore.DefaultCodec.String(), "block codec (raw, deflate, lz)")
 	fs.Parse(args)
 	if *store == "" {
 		return fmt.Errorf("-store is required")
+	}
+	c, err := evstore.ParseCodec(*codec)
+	if err != nil {
+		return err
 	}
 
 	w, err := evstore.Open(*store)
@@ -197,6 +245,7 @@ func runIngest(args []string) error {
 		return err
 	}
 	w.BlockEvents = *block
+	w.Codec = c
 
 	var src stream.EventSource
 	srcCheck := func() error { return nil }
@@ -274,10 +323,17 @@ func runStat(args []string) error {
 func printStoreStat(w *os.File, infos []evstore.PartitionInfo, blocks bool) {
 	var rows [][]string
 	events, bytes, nblocks := 0, int64(0), 0
+	stored, raw := int64(0), int64(0)
 	for _, info := range infos {
 		events += info.Events
 		bytes += info.SizeBytes
 		nblocks += len(info.Blocks)
+		stored += info.StoredBytes
+		raw += info.RawBytes
+		ratio := "-"
+		if info.RawBytes > 0 {
+			ratio = fmt.Sprintf("%.1f%%", 100*float64(info.StoredBytes)/float64(info.RawBytes))
+		}
 		rows = append(rows, []string{
 			info.Collector,
 			info.Day.Format("2006-01-02"),
@@ -286,13 +342,19 @@ func printStoreStat(w *os.File, infos []evstore.PartitionInfo, blocks bool) {
 			strconv.Itoa(info.Events),
 			strconv.Itoa(len(info.PeerAS)),
 			byteSize(info.SizeBytes),
+			info.Codec,
+			ratio,
 			info.TimeMin.Format("15:04:05"),
 			info.TimeMax.Format("15:04:05"),
 		})
 	}
 	fmt.Fprintf(w, "%d partitions, %d blocks, %d events, %s\n", len(infos), nblocks, events, byteSize(bytes))
+	if raw > 0 {
+		fmt.Fprintf(w, "block payloads: %s stored / %s raw (%.1f%% of raw)\n",
+			byteSize(stored), byteSize(raw), 100*float64(stored)/float64(raw))
+	}
 	fmt.Fprint(w, textplot.Table(
-		[]string{"collector", "day", "seq", "blocks", "events", "peers", "size", "first", "last"}, rows))
+		[]string{"collector", "day", "seq", "blocks", "events", "peers", "size", "codec", "ratio", "first", "last"}, rows))
 	if blocks {
 		for _, info := range infos {
 			fmt.Fprintf(w, "\n%s:\n", info.Path)
@@ -451,9 +513,16 @@ func runAnalyze(store string, q evstore.Query, workers int) error {
 }
 
 func printScanStats(st evstore.ScanStats) {
-	fmt.Printf("pushdown: %d/%d partitions pruned, %d/%d blocks pruned, %s decompressed\n",
+	fmt.Printf("pushdown: %d/%d partitions pruned, %d/%d blocks pruned, %s read -> %s decompressed (%d blocks decode-ahead)\n",
 		st.PartitionsPruned, st.Partitions, st.BlocksPruned, st.Blocks,
-		byteSize(st.BytesDecompressed))
+		byteSize(st.BytesRead), byteSize(st.BytesDecompressed), st.BlocksPrefetched)
+	for c, pc := range st.PerCodec {
+		if pc.Blocks == 0 {
+			continue
+		}
+		fmt.Printf("  %-7s %d blocks, %s read, %s decompressed\n",
+			evstore.Codec(c), pc.Blocks, byteSize(pc.BytesRead), byteSize(pc.BytesDecompressed))
+	}
 }
 
 func buildQuery(from, to, collectors, peerAS, prefix string) (evstore.Query, error) {

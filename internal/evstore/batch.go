@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"math"
 	"net/netip"
-	"os"
 	"sync"
 	"unsafe"
 
@@ -688,19 +687,6 @@ func (run *batchRunner) finish() {
 	}
 }
 
-// readBatch inflates one block and decodes the projected columns
-// through the reader's persistent scratch.
-func (br *blockReader) readBatch(f *os.File, b blockMeta, proj classify.Projection) (*classify.Batch, error) {
-	ubuf, err := br.inflateBlock(f, b)
-	if err != nil {
-		return nil, err
-	}
-	if br.scratch == nil {
-		br.scratch = scratchPool.Get().(*decodeScratch)
-	}
-	return br.scratch.decodeBatch(ubuf, proj)
-}
-
 // release returns the decode scratch to the pool. Only call once every
 // consumer of this scan's batches has resolved its id-keyed state: a
 // later scan may grow the shared dictionary concurrently. A scratch
@@ -752,36 +738,59 @@ func scanPartitionBatch(ctx context.Context, path string, cq *compiledQuery, br 
 		st.Blocks += len(p.blocks)
 	}
 	proj |= cq.residualProjection()
+
+	// The block summaries are already in memory: select the matching
+	// blocks up front, so the decode-ahead worker knows exactly what
+	// to fetch.
+	blocks := br.pf.blocks[:0]
 	for _, bm := range p.blocks {
-		if err := ctx.Err(); err != nil {
-			return false, err
-		}
 		if !cq.matchSummary(bm.sum, true) {
 			if st != nil {
 				st.BlocksPruned++
 			}
 			continue
 		}
-		b, err := br.readBatch(f, bm, proj)
+		blocks = append(blocks, bm)
+	}
+	br.pf.blocks = blocks
+	if len(blocks) == 0 {
+		return true, nil
+	}
+	if br.scratch == nil {
+		br.scratch = scratchPool.Get().(*decodeScratch)
+	}
+
+	handle := func(payload []byte, bm blockMeta, prefetched bool) (bool, error) {
+		b, err := br.scratch.decodeBatch(payload, proj)
 		if err != nil {
 			return false, fmt.Errorf("%s: %w", path, err)
 		}
 		if st != nil {
-			st.BlocksDecoded++
-			st.BytesDecompressed += int64(bm.ulen)
+			st.countBlock(bm, prefetched)
 		}
 		sel := br.selection(cq, b)
 		if len(sel) == 0 {
-			continue
+			return true, nil
 		}
 		if st != nil {
 			st.Events += len(sel)
 		}
-		if !fn(b, sel) {
-			return false, nil
-		}
+		return fn(b, sel), nil
 	}
-	return true, nil
+
+	if len(blocks) > 1 {
+		// Decode-ahead: read+decompress the next blocks on a worker
+		// while this one is decoded and classified.
+		return br.pf.run(ctx, f, blocks, handle)
+	}
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	payload, err := br.readBlockPayload(f, blocks[0])
+	if err != nil {
+		return false, fmt.Errorf("%s: %w", path, err)
+	}
+	return handle(payload, blocks[0], false)
 }
 
 // scanEntriesBatch is scanEntries for the batch kernel: name-level

@@ -1,0 +1,281 @@
+package evstore_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/evstore"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// ingestCodec writes src into a fresh store with the given block codec
+// (legacy == true writes the pre-codec v1 format instead).
+func ingestCodec(t *testing.T, src stream.EventSource, codec evstore.Codec, legacy bool) string {
+	t.Helper()
+	dir := t.TempDir()
+	w, err := evstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.BlockEvents = 512
+	w.Codec = codec
+	if legacy {
+		evstore.SetLegacyV1(w)
+	}
+	if err := w.Ingest(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestCrossCodecScanEquivalence pins that the same workload written
+// under every codec — and under the legacy v1 format — classifies
+// bit-identically, with pushdown stats (the deterministic ones) equal
+// across codecs.
+func TestCrossCodecScanEquivalence(t *testing.T) {
+	cfg := smallDayConfig()
+	const days = 2
+	want := stream.Classify(workload.MultiDaySource(cfg, days), nil)
+
+	type variant struct {
+		name   string
+		codec  evstore.Codec
+		legacy bool
+	}
+	variants := []variant{
+		{"raw", evstore.CodecRaw, false},
+		{"deflate", evstore.CodecDeflate, false},
+		{"lz", evstore.CodecLZ, false},
+		{"legacy-v1", 0, true},
+	}
+	var base *evstore.ScanStats
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			dir := ingestCodec(t, workload.MultiDaySource(cfg, days), v.codec, v.legacy)
+			var scanErr error
+			var st evstore.ScanStats
+			got := stream.Classify(evstore.ScanWithStats(dir, evstore.Query{}, &scanErr, &st), nil)
+			if scanErr != nil {
+				t.Fatal(scanErr)
+			}
+			if got != want {
+				t.Errorf("counts diverge:\n got %+v\nwant %+v", got, want)
+			}
+			if st.BytesDecompressed == 0 || st.Events == 0 {
+				t.Fatalf("empty scan stats: %+v", st)
+			}
+			// Pushdown decisions depend on summaries, not codecs: the
+			// decoded-block and event counts must match across codecs.
+			if base == nil {
+				cp := st
+				base = &cp
+				return
+			}
+			if st.Blocks != base.Blocks || st.BlocksDecoded != base.BlocksDecoded ||
+				st.Events != base.Events || st.BytesDecompressed != base.BytesDecompressed {
+				t.Errorf("pushdown diverges from first codec:\n got %+v\nbase %+v", st, *base)
+			}
+		})
+	}
+}
+
+// TestCodecStatsAttribution pins the per-codec split: a raw store's
+// decoded blocks all land in PerCodec[CodecRaw] (with read bytes equal
+// to decompressed bytes), an lz store's in lz or the raw fallback.
+func TestCodecStatsAttribution(t *testing.T) {
+	cfg := smallDayConfig()
+	src := func() stream.EventSource { return workload.MultiDaySource(cfg, 1) }
+
+	rawDir := ingestCodec(t, src(), evstore.CodecRaw, false)
+	var scanErr error
+	var st evstore.ScanStats
+	stream.Classify(evstore.ScanWithStats(rawDir, evstore.Query{}, &scanErr, &st), nil)
+	if scanErr != nil {
+		t.Fatal(scanErr)
+	}
+	rc := st.PerCodec[evstore.CodecRaw]
+	if rc.Blocks != st.BlocksDecoded || rc.BytesRead != rc.BytesDecompressed ||
+		st.BytesRead != st.BytesDecompressed {
+		t.Fatalf("raw store attribution wrong: %+v (total %+v)", rc, st)
+	}
+
+	lzDir := ingestCodec(t, src(), evstore.CodecLZ, false)
+	stream.Classify(evstore.ScanWithStats(lzDir, evstore.Query{}, &scanErr, &st), nil)
+	if scanErr != nil {
+		t.Fatal(scanErr)
+	}
+	lz := st.PerCodec[evstore.CodecLZ]
+	raw := st.PerCodec[evstore.CodecRaw]
+	if lz.Blocks+raw.Blocks != st.BlocksDecoded || lz.Blocks == 0 {
+		t.Fatalf("lz store attribution wrong: lz %+v raw %+v total %+v", lz, raw, st)
+	}
+	if st.BytesRead >= st.BytesDecompressed {
+		t.Fatalf("lz store did not compress: read %d >= decompressed %d", st.BytesRead, st.BytesDecompressed)
+	}
+}
+
+// TestDecodeAheadPipeline pins that multi-block partitions stream
+// through the prefetcher (BlocksPrefetched counts them) and that the
+// parallel scan's summed stats — including the new counters — equal
+// the sequential scan's exactly.
+func TestDecodeAheadPipeline(t *testing.T) {
+	cfg := smallDayConfig()
+	dir := t.TempDir()
+	w, err := evstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.BlockEvents = 64 // many blocks per partition: the pipelined path
+	if err := w.Ingest(workload.MultiDaySource(cfg, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var scanErr error
+	var seq evstore.ScanStats
+	counts := stream.Classify(evstore.ScanWithStats(dir, evstore.Query{}, &scanErr, &seq), nil)
+	if scanErr != nil {
+		t.Fatal(scanErr)
+	}
+	if seq.BlocksPrefetched == 0 {
+		t.Fatalf("no blocks prefetched over %d decoded", seq.BlocksDecoded)
+	}
+	if seq.BlocksPrefetched > seq.BlocksDecoded {
+		t.Fatalf("prefetched %d > decoded %d", seq.BlocksPrefetched, seq.BlocksDecoded)
+	}
+
+	direct := stream.Classify(workload.MultiDaySource(cfg, 2), nil)
+	if counts != direct {
+		t.Errorf("pipelined counts diverge:\n got %+v\nwant %+v", counts, direct)
+	}
+
+	ps, err := evstore.ScanParallel(context.Background(), dir, evstore.Query{}, evstore.TimeRange{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Total != seq {
+		t.Errorf("parallel stats diverge from sequential:\n got %+v\nwant %+v", ps.Total, seq)
+	}
+}
+
+// TestRecodeRoundTrip is the migration pin: a legacy v1 store with
+// built sidecars recodes to lz with bit-identical classification, a
+// smaller-or-similar footprint, sidecars reused without a single
+// rebuild (Built == 0), and a second recode is a no-op.
+func TestRecodeRoundTrip(t *testing.T) {
+	cfg := smallDayConfig()
+	const days = 2
+	dir := ingestCodec(t, workload.MultiDaySource(cfg, days), 0, true)
+
+	before := stream.Classify(evstore.Scan(dir, evstore.Query{}, nil), nil)
+	bs, err := evstore.BuildSnapshots(context.Background(), dir, snapNamed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Built == 0 {
+		t.Fatal("no sidecars built")
+	}
+
+	rs, err := evstore.Recode(context.Background(), dir, evstore.CodecLZ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Recoded != rs.Partitions || rs.Skipped != 0 {
+		t.Fatalf("expected every v1 partition recoded: %+v", rs)
+	}
+	if rs.Sidecars != rs.Partitions {
+		t.Fatalf("recoded %d sidecars for %d partitions", rs.Sidecars, rs.Partitions)
+	}
+	if rs.BytesOut <= 0 || rs.BytesIn <= 0 {
+		t.Fatalf("implausible byte accounting: %+v", rs)
+	}
+
+	after := stream.Classify(evstore.Scan(dir, evstore.Query{}, nil), nil)
+	if after != before {
+		t.Errorf("recode changed classification:\n got %+v\nwant %+v", after, before)
+	}
+
+	// The sidecar reuse pin: recode refreshed size+chain, so a rebuild
+	// pass reuses every sidecar.
+	bs2, err := evstore.BuildSnapshots(context.Background(), dir, snapNamed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs2.Built != 0 || bs2.Reused != bs.Partitions {
+		t.Fatalf("after recode: Built=%d Reused=%d, want 0/%d", bs2.Built, bs2.Reused, bs.Partitions)
+	}
+
+	// Stat reflects the new codec.
+	infos, err := evstore.Stat(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, info := range infos {
+		if info.Codec != "lz" && info.Codec != "mixed" {
+			t.Fatalf("%s: codec %q after recode to lz", info.Path, info.Codec)
+		}
+	}
+
+	// Recoding again is a no-op: everything already lz (or raw
+	// fallback).
+	rs2, err := evstore.Recode(context.Background(), dir, evstore.CodecLZ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs2.Recoded != 0 || rs2.Skipped != rs.Partitions {
+		t.Fatalf("second recode not a no-op: %+v", rs2)
+	}
+}
+
+// TestRecodeThereAndBack recodes lz → deflate → lz and pins
+// classification plus event-level fidelity throughout.
+func TestRecodeThereAndBack(t *testing.T) {
+	cfg := smallDayConfig()
+	dir := ingestCodec(t, workload.MultiDaySource(cfg, 1), evstore.CodecLZ, false)
+	want := stream.Collect(evstore.Scan(dir, evstore.Query{}, nil))
+
+	for _, codec := range []evstore.Codec{evstore.CodecDeflate, evstore.CodecRaw, evstore.CodecLZ} {
+		if _, err := evstore.Recode(context.Background(), dir, codec); err != nil {
+			t.Fatalf("recode to %v: %v", codec, err)
+		}
+		var scanErr error
+		got := stream.Collect(evstore.Scan(dir, evstore.Query{}, &scanErr))
+		if scanErr != nil {
+			t.Fatalf("after recode to %v: %v", codec, scanErr)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("after recode to %v: %d of %d events", codec, len(got), len(want))
+		}
+		for i := range want {
+			if !eventsEqual(got[i], want[i]) {
+				t.Fatalf("after recode to %v: event %d diverged", codec, i)
+			}
+		}
+	}
+}
+
+// TestWriterCodecValidation pins that an invalid codec fails the
+// ingest instead of writing unreadable blocks.
+func TestWriterCodecValidation(t *testing.T) {
+	dir := t.TempDir()
+	w, err := evstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Codec = evstore.Codec(42)
+	w.BlockEvents = 16 // flush during Ingest, not only at Close
+	err = w.Ingest(workload.MultiDaySource(smallDayConfig(), 1))
+	if err == nil {
+		err = w.Close()
+	}
+	if err == nil {
+		t.Fatal("ingest with invalid codec succeeded")
+	}
+	w.Abort()
+}

@@ -9,8 +9,16 @@
 // decodable compressed blocks and a footer index. Blocks hold up to
 // Writer.BlockEvents events in columnar layout — zigzag-delta-encoded
 // timestamps and per-block dictionaries for collectors, peer ASNs,
-// peer addresses, prefixes, AS paths, and community sets — and are
-// deflate-compressed. The footer records, per block, its file offset
+// peer addresses, prefixes, AS paths, and community sets — each
+// compressed with a per-block codec: raw, deflate, or the in-repo
+// internal/lz fast byte-LZ (the default; Writer.Codec selects, with a
+// raw fallback when compression would grow a block). The format is
+// versioned by the header magic — v1 files are all-deflate with no
+// codec ids, v2 files carry the codec id in every block frame and
+// footer entry — and readers dispatch per file and per block, so
+// stores mix versions and codecs freely and old stores keep working
+// unmodified; Recode migrates one in place (atomically, via
+// temp+rename). The footer records, per block, its file offset
 // and a summary: event count, time min/max, the distinct peer-AS set,
 // the prefix network-address range, and a bloom membership filter over
 // the prefixes (keyed at every /8 ancestor level, so "/16 contains"
@@ -30,6 +38,12 @@
 // their footer summary without decoding any block, then block by
 // block; only blocks whose summary matches are read and decoded, and
 // a final exact Query.Match filter handles summary false positives.
+// Within a partition, matching blocks stream through a bounded
+// decode-ahead pipeline: a per-partition worker reads and decompresses
+// block N+1..N+K while block N is being column-decoded and classified,
+// so decompression overlaps analysis instead of serializing with it
+// (ScanStats.BlocksPrefetched counts the overlapped blocks, and
+// ScanStats.PerCodec splits bytes read vs decompressed by codec).
 // The result is a stream.EventSource ordered by (collector, day, seq,
 // ingest order), which preserves per-session event order — exactly
 // what classification and every *Stream analysis require — so a scan
@@ -67,11 +81,18 @@ import (
 	"repro/internal/classify"
 )
 
-// Format constants. Bump the magic version on incompatible changes; a
-// store never mixes versions because partitions are self-describing.
+// Format constants. Partitions are self-describing: the header magic
+// selects the version, and a store may mix versions freely (readers
+// dispatch per file, and within a v2 file per block).
+//
+//	v1 ("EVP1"/"EVF1"): every block deflate-compressed; no codec ids.
+//	v2 ("EVP2"/"EVF2"): per-block codec id (raw, deflate, lz) carried
+//	    in both the block frame and the footer entry.
 const (
-	partitionMagic = "EVP1" // file header
-	footerMagic    = "EVF1" // footer and trailer
+	partitionMagicV1 = "EVP1" // v1 file header
+	footerMagicV1    = "EVF1" // v1 footer and trailer
+	partitionMagicV2 = "EVP2" // v2 file header
+	footerMagicV2    = "EVF2" // v2 footer and trailer
 
 	// DefaultBlockEvents is the default number of events per block: large
 	// enough that dictionaries and delta encoding pay off, small enough

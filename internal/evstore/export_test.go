@@ -1,0 +1,6 @@
+package evstore
+
+// SetLegacyV1 makes w write the pre-codec v1 partition format
+// (EVP1/EVF1, every block deflate, no codec ids) — the compatibility
+// tests' way of creating the stores old releases wrote.
+func SetLegacyV1(w *Writer) { w.legacyV1 = true }

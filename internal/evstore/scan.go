@@ -1,8 +1,6 @@
 package evstore
 
 import (
-	"bytes"
-	"compress/flate"
 	"context"
 	"encoding/binary"
 	"errors"
@@ -21,14 +19,32 @@ import (
 )
 
 // ScanStats counts what a scan read versus what pushdown skipped.
+// Every field is a deterministic function of the store and query —
+// never of timing — so per-shard stats summed over a parallel run
+// equal the sequential scan's exactly.
 type ScanStats struct {
 	Partitions        int // partition files considered
 	PartitionsPruned  int // skipped by name or footer summary, no block decoded
 	Blocks            int // blocks in scanned partitions
 	BlocksPruned      int // skipped by block summary
 	BlocksDecoded     int
-	BytesDecompressed int64 // uncompressed payload bytes inflated and decoded
-	Events            int   // events yielded after the residual filter
+	BytesRead         int64 // stored (compressed) payload bytes read from disk
+	BytesDecompressed int64 // uncompressed payload bytes decompressed and decoded
+	// BlocksPrefetched counts blocks whose read+decompress ran on the
+	// decode-ahead worker, overlapped with the previous block's decode
+	// and classification; BlocksDecoded - BlocksPrefetched took the
+	// synchronous path (single-matching-block partitions).
+	BlocksPrefetched int
+	// PerCodec splits the decoded-block I/O by block codec.
+	PerCodec [NumCodecs]CodecScanStats
+	Events   int // events yielded after the residual filter
+}
+
+// CodecScanStats is one codec's share of a scan's decoded blocks.
+type CodecScanStats struct {
+	Blocks            int
+	BytesRead         int64
+	BytesDecompressed int64
 }
 
 // Add accumulates another scan's stats — per-shard stats summed over a
@@ -39,8 +55,31 @@ func (s *ScanStats) Add(o ScanStats) {
 	s.Blocks += o.Blocks
 	s.BlocksPruned += o.BlocksPruned
 	s.BlocksDecoded += o.BlocksDecoded
+	s.BytesRead += o.BytesRead
 	s.BytesDecompressed += o.BytesDecompressed
+	s.BlocksPrefetched += o.BlocksPrefetched
+	for c := range s.PerCodec {
+		s.PerCodec[c].Blocks += o.PerCodec[c].Blocks
+		s.PerCodec[c].BytesRead += o.PerCodec[c].BytesRead
+		s.PerCodec[c].BytesDecompressed += o.PerCodec[c].BytesDecompressed
+	}
 	s.Events += o.Events
+}
+
+// countBlock records one decoded block.
+func (s *ScanStats) countBlock(bm blockMeta, prefetched bool) {
+	s.BlocksDecoded++
+	s.BytesRead += int64(bm.clen)
+	s.BytesDecompressed += int64(bm.ulen)
+	if prefetched {
+		s.BlocksPrefetched++
+	}
+	if bm.codec.valid() {
+		pc := &s.PerCodec[bm.codec]
+		pc.Blocks++
+		pc.BytesRead += int64(bm.clen)
+		pc.BytesDecompressed += int64(bm.ulen)
+	}
 }
 
 // compiledQuery precomputes the pushdown predicates of a Query.
@@ -174,6 +213,7 @@ func (cq *compiledQuery) matchSummary(s blockSummary, useFilter bool) bool {
 type partition struct {
 	path      string
 	size      int64
+	version   int // partition format version (1 = legacy deflate-only)
 	collector string
 	day       time.Time
 	blocks    []blockMeta
@@ -201,7 +241,7 @@ func parsePartition(f *os.File, path string) (*partition, error) {
 		return nil, err
 	}
 	size := fi.Size()
-	if size < int64(len(partitionMagic))+8 {
+	if size < int64(len(partitionMagicV1))+8 {
 		return nil, fmt.Errorf("evstore: %s: too short for a partition", path)
 	}
 
@@ -211,7 +251,14 @@ func parsePartition(f *os.File, path string) (*partition, error) {
 		return nil, err
 	}
 	hr := wire.NewReader(head[:hn])
-	if string(hr.Bytes(4)) != partitionMagic {
+	var version int
+	var footerMagic string
+	switch string(hr.Bytes(4)) {
+	case partitionMagicV1:
+		version, footerMagic = 1, footerMagicV1
+	case partitionMagicV2:
+		version, footerMagic = 2, footerMagicV2
+	default:
 		return nil, fmt.Errorf("evstore: %s: bad partition magic", path)
 	}
 	nameLen := hr.Bytes(1)
@@ -247,6 +294,7 @@ func parsePartition(f *os.File, path string) (*partition, error) {
 	p := &partition{
 		path:      path,
 		size:      size,
+		version:   version,
 		collector: collector,
 		day:       time.Unix(dayUnix, 0).UTC(),
 		blocks:    make([]blockMeta, 0, nblocks),
@@ -256,6 +304,14 @@ func parsePartition(f *os.File, path string) (*partition, error) {
 		b.offset = int64(fr.Uvarint())
 		b.ulen = int(fr.Uvarint())
 		b.clen = int(fr.Uvarint())
+		if version >= 2 {
+			cb := fr.Bytes(1)
+			if fr.Err() == nil {
+				b.codec = Codec(cb[0])
+			}
+		} else {
+			b.codec = CodecDeflate
+		}
 		b.sum = readSummary(fr)
 		if fr.Err() != nil {
 			break
@@ -263,6 +319,9 @@ func parsePartition(f *os.File, path string) (*partition, error) {
 		if b.offset < 0 || b.clen < 0 || b.offset+int64(b.clen) > size ||
 			b.ulen < 0 || b.ulen > maxBlockEvents*64 {
 			return nil, fmt.Errorf("evstore: %s: block %d out of bounds", path, i)
+		}
+		if !b.codec.valid() {
+			return nil, fmt.Errorf("evstore: %s: block %d has unknown codec %d", path, i, b.codec)
 		}
 		p.blocks = append(p.blocks, b)
 		p.agg.merge(b.sum)
@@ -273,22 +332,40 @@ func parsePartition(f *os.File, path string) (*partition, error) {
 	return p, nil
 }
 
-// blockReader inflates and decodes blocks, reusing its buffers, the
-// flate decompressor state, the batch decode scratch (global
-// dictionary + column arrays), and the residual selector across calls
-// — one per scan worker, so steady-state block decoding allocates
-// nothing.
+// blockReader reads, decompresses, and decodes blocks, reusing its
+// buffers, the per-codec decompressor state, the batch decode scratch
+// (global dictionary + column arrays), and the residual selector
+// across calls — one per scan worker, so steady-state block decoding
+// allocates nothing. Partitions with more than one matching block
+// stream through its decode-ahead prefetcher instead of the
+// synchronous path (see prefetch.go).
 type blockReader struct {
 	cbuf, ubuf []byte
-	src        bytes.Reader
-	inflate    io.ReadCloser
+	dec        blockDecompressor
 	scratch    *decodeScratch
 	slr        *selector
+	pf         prefetcher
 }
 
-// inflateBlock reads and decompresses one block's payload into the
-// reused buffer; the slice is valid until the next call.
-func (br *blockReader) inflateBlock(f *os.File, b blockMeta) ([]byte, error) {
+// readBlockPayload reads and decompresses one block's payload into the
+// reused buffer; the slice is valid until the next call. This is the
+// synchronous path; the prefetcher runs the same read+decompress on
+// its worker.
+func (br *blockReader) readBlockPayload(f *os.File, b blockMeta) ([]byte, error) {
+	if cap(br.ubuf) < b.ulen {
+		br.ubuf = make([]byte, b.ulen)
+	}
+	ubuf := br.ubuf[:b.ulen]
+	if b.codec == CodecRaw {
+		// Raw blocks skip the staging buffer: read straight into place.
+		if b.clen != b.ulen {
+			return nil, fmt.Errorf("evstore: raw block length %d, footer says %d", b.clen, b.ulen)
+		}
+		if _, err := f.ReadAt(ubuf, b.offset); err != nil {
+			return nil, err
+		}
+		return ubuf, nil
+	}
 	if cap(br.cbuf) < b.clen {
 		br.cbuf = make([]byte, b.clen)
 	}
@@ -296,18 +373,8 @@ func (br *blockReader) inflateBlock(f *os.File, b blockMeta) ([]byte, error) {
 	if _, err := f.ReadAt(cbuf, b.offset); err != nil {
 		return nil, err
 	}
-	if cap(br.ubuf) < b.ulen {
-		br.ubuf = make([]byte, b.ulen)
-	}
-	ubuf := br.ubuf[:b.ulen]
-	br.src.Reset(cbuf)
-	if br.inflate == nil {
-		br.inflate = flate.NewReader(&br.src)
-	} else if err := br.inflate.(flate.Resetter).Reset(&br.src, nil); err != nil {
-		return nil, fmt.Errorf("evstore: inflate reset: %w", err)
-	}
-	if _, err := io.ReadFull(br.inflate, ubuf); err != nil {
-		return nil, fmt.Errorf("evstore: inflate: %w", err)
+	if err := br.dec.decompress(b.codec, ubuf, cbuf); err != nil {
+		return nil, err
 	}
 	return ubuf, nil
 }
@@ -489,6 +556,7 @@ type BlockInfo struct {
 	Offset           int64
 	Compressed       int
 	Uncompressed     int
+	Codec            Codec
 	Events           int
 	TimeMin, TimeMax time.Time
 	PeerAS           []uint32
@@ -502,11 +570,19 @@ type PartitionInfo struct {
 	Day       time.Time
 	Seq       int
 	SizeBytes int64
-	Events    int
-	TimeMin   time.Time
-	TimeMax   time.Time
-	PeerAS    []uint32 // distinct, ascending
-	Blocks    []BlockInfo
+	// Codec names the partition's block codec — "mixed" when blocks
+	// differ (raw-fallback blocks inside an lz partition, say).
+	Codec string
+	// StoredBytes and RawBytes sum the blocks' compressed and
+	// uncompressed payload sizes; their ratio is the partition's
+	// effective compression.
+	StoredBytes int64
+	RawBytes    int64
+	Events      int
+	TimeMin     time.Time
+	TimeMax     time.Time
+	PeerAS      []uint32 // distinct, ascending
+	Blocks      []BlockInfo
 }
 
 // StatPartition reads one partition's index without decoding blocks.
@@ -530,17 +606,26 @@ func StatPartition(path string) (PartitionInfo, error) {
 		info.TimeMin = time.Unix(0, p.agg.tmin).UTC()
 		info.TimeMax = time.Unix(0, p.agg.tmax).UTC()
 	}
-	for _, b := range p.blocks {
+	for i, b := range p.blocks {
 		info.Blocks = append(info.Blocks, BlockInfo{
 			Offset:       b.offset,
 			Compressed:   b.clen,
 			Uncompressed: b.ulen,
+			Codec:        b.codec,
 			Events:       b.sum.count,
 			TimeMin:      time.Unix(0, b.sum.tmin).UTC(),
 			TimeMax:      time.Unix(0, b.sum.tmax).UTC(),
 			PeerAS:       b.sum.peerAS,
 			FilterBytes:  len(b.sum.filter),
 		})
+		info.StoredBytes += int64(b.clen)
+		info.RawBytes += int64(b.ulen)
+		switch {
+		case i == 0:
+			info.Codec = b.codec.String()
+		case info.Codec != b.codec.String():
+			info.Codec = "mixed"
+		}
 	}
 	return info, nil
 }

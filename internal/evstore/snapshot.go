@@ -1,16 +1,14 @@
 package evstore
 
 import (
-	"bytes"
-	"compress/flate"
 	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/fnv"
-	"io"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"repro/internal/classify"
@@ -42,7 +40,17 @@ import (
 // glob never matches a sidecar.
 const SnapshotExtension = ".evps"
 
-const snapshotMagic = "EVS1"
+// Sidecar format versions: v1 ("EVS1") is a flate-compressed body; v2
+// ("EVS2") adds a codec byte so sidecars ride the same per-block codec
+// abstraction as partitions. Readers accept both.
+const (
+	snapshotMagicV1 = "EVS1"
+	snapshotMagicV2 = "EVS2"
+)
+
+// snapCompPool recycles sidecar compressors across WriteSnapshot calls
+// (BuildSnapshots writes one sidecar per fresh partition).
+var snapCompPool = sync.Pool{New: func() any { return new(blockCompressor) }}
 
 // NamedAnalyzer pairs an analyzer prototype with the stable key its
 // state is stored under in snapshot sidecars. The key must capture the
@@ -100,8 +108,14 @@ func chainHash(prev uint64, base string, size int64) uint64 {
 func SnapshotPath(partPath string) string { return partPath + SnapshotExtension }
 
 // WriteSnapshot atomically writes the sidecar for the given partition
-// path.
+// path, compressing the body with the store's default codec.
 func WriteSnapshot(partPath string, snap *PartitionSnapshot) error {
+	return writeSnapshotCodec(partPath, snap, DefaultCodec)
+}
+
+// writeSnapshotCodec is WriteSnapshot with an explicit body codec —
+// how Recode rewrites sidecars alongside their partitions.
+func writeSnapshotCodec(partPath string, snap *PartitionSnapshot, codec Codec) error {
 	body := wire.AppendString(nil, snap.Partition)
 	body = wire.AppendVarint(body, snap.Size)
 	body = wire.AppendUvarint(body, snap.Chain)
@@ -116,22 +130,21 @@ func WriteSnapshot(partPath string, snap *PartitionSnapshot) error {
 		body = wire.AppendBytes(body, state)
 	}
 
-	var buf bytes.Buffer
-	buf.WriteString(snapshotMagic)
-	var lenPrefix []byte
-	lenPrefix = wire.AppendUvarint(lenPrefix, uint64(len(body)))
-	buf.Write(lenPrefix)
-	fw, _ := flate.NewWriter(&buf, flate.BestSpeed)
-	if _, err := fw.Write(body); err != nil {
+	bc := snapCompPool.Get().(*blockCompressor)
+	defer snapCompPool.Put(bc)
+	data, codec, err := bc.compress(codec, body)
+	if err != nil {
 		return err
 	}
-	if err := fw.Close(); err != nil {
-		return err
-	}
+	out := make([]byte, 0, len(snapshotMagicV2)+1+binary.MaxVarintLen64+len(data))
+	out = append(out, snapshotMagicV2...)
+	out = append(out, byte(codec))
+	out = wire.AppendUvarint(out, uint64(len(body)))
+	out = append(out, data...)
 
 	path := SnapshotPath(partPath)
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+	if err := os.WriteFile(tmp, out, 0o644); err != nil {
 		return err
 	}
 	if err := os.Rename(tmp, path); err != nil {
@@ -147,10 +160,29 @@ func ReadSnapshot(partPath string) (*PartitionSnapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(raw) < len(snapshotMagic) || string(raw[:len(snapshotMagic)]) != snapshotMagic {
+	codec := CodecDeflate // v1 bodies are always deflate
+	v2 := false
+	if len(raw) >= 4 {
+		switch string(raw[:4]) {
+		case snapshotMagicV1:
+		case snapshotMagicV2:
+			v2 = true
+		default:
+			return nil, fmt.Errorf("evstore: %s: bad snapshot magic", SnapshotPath(partPath))
+		}
+	} else {
 		return nil, fmt.Errorf("evstore: %s: bad snapshot magic", SnapshotPath(partPath))
 	}
-	hr := wire.NewReader(raw[len(snapshotMagic):])
+	hr := wire.NewReader(raw[4:])
+	if v2 {
+		cb := hr.Bytes(1)
+		if hr.Err() == nil {
+			codec = Codec(cb[0])
+		}
+		if hr.Err() == nil && !codec.valid() {
+			return nil, fmt.Errorf("evstore: %s: unknown snapshot codec %d", SnapshotPath(partPath), codec)
+		}
+	}
 	ulen := hr.Uvarint()
 	if err := hr.Err(); err != nil {
 		return nil, err
@@ -159,9 +191,9 @@ func ReadSnapshot(partPath string) (*PartitionSnapshot, error) {
 		return nil, fmt.Errorf("evstore: %s: implausible snapshot size %d", SnapshotPath(partPath), ulen)
 	}
 	body := make([]byte, ulen)
-	fr := flate.NewReader(bytes.NewReader(hr.Bytes(hr.Remaining())))
-	if _, err := io.ReadFull(fr, body); err != nil {
-		return nil, fmt.Errorf("evstore: %s: inflate: %w", SnapshotPath(partPath), err)
+	var bd blockDecompressor
+	if err := bd.decompress(codec, body, hr.Bytes(hr.Remaining())); err != nil {
+		return nil, fmt.Errorf("evstore: %s: %w", SnapshotPath(partPath), err)
 	}
 
 	r := wire.NewReader(body)

@@ -2,8 +2,6 @@ package evstore
 
 import (
 	"bufio"
-	"bytes"
-	"compress/flate"
 	"encoding/binary"
 	"fmt"
 	"os"
@@ -83,6 +81,14 @@ type Writer struct {
 	// first Ingest (default DefaultBlockEvents).
 	BlockEvents int
 
+	// Codec selects the block payload codec for partitions this writer
+	// seals (Open defaults it to DefaultCodec; set before the first
+	// Append/Ingest). A block whose compressed form would not shrink is
+	// stored raw regardless — readers dispatch per block, so mixing is
+	// free. Existing partitions keep whatever codec they were written
+	// with; use Recode to migrate them.
+	Codec Codec
+
 	// Seal is the live-append seal policy (zero: batch behavior, seal
 	// only on the two-day window and Close). Set before the first
 	// Append/Ingest.
@@ -105,10 +111,14 @@ type Writer struct {
 	stats  WriterStats
 
 	// Shared encode scratch: flushes are sequential, so one payload
-	// buffer and one deflate writer serve every partition.
-	payload  []byte
-	compress *flate.Writer
-	cbuf     bytes.Buffer
+	// buffer and one compressor serve every partition.
+	payload []byte
+	comp    blockCompressor
+
+	// legacyV1 writes the pre-codec v1 format (EVP1/EVF1, every block
+	// deflate, no codec ids) — kept so compatibility tests can create
+	// the stores old releases wrote.
+	legacyV1 bool
 }
 
 type partKey struct {
@@ -125,6 +135,7 @@ func Open(dir string) (*Writer, error) {
 	}
 	w := &Writer{
 		BlockEvents: DefaultBlockEvents,
+		Codec:       DefaultCodec,
 		dir:         dir,
 		active:      make(map[partKey]*partWriter),
 		nextSeq:     make(map[partKey]int),
@@ -312,8 +323,9 @@ func (w *Writer) Close() error {
 // ---------------------------------------------------------------------------
 
 type blockMeta struct {
-	offset     int64 // file offset of the compressed payload
+	offset     int64 // file offset of the stored payload
 	ulen, clen int
+	codec      Codec // how the stored bytes are compressed
 	sum        blockSummary
 }
 
@@ -392,7 +404,11 @@ func (w *Writer) openPartition(collector string, day time.Time, key partKey) (*p
 	}
 	pw := &partWriter{collector: collector, day: day, seq: seq, tmpPath: f.Name(), f: f,
 		bw: bufio.NewWriter(f), openedAt: w.now()}
-	header := append([]byte(partitionMagic), byte(len(collector)))
+	magic := partitionMagicV2
+	if w.legacyV1 {
+		magic = partitionMagicV1
+	}
+	header := append([]byte(magic), byte(len(collector)))
 	header = append(header, collector...)
 	header = wire.AppendVarint(header, day.Unix())
 	if _, err := pw.bw.Write(header); err != nil {
@@ -414,27 +430,37 @@ func (w *Writer) flushBlock(pw *partWriter) error {
 	w.payload, sum = encodeBlock(pw.pending, w.payload)
 	pw.pending = pw.pending[:0]
 
-	w.cbuf.Reset()
-	if w.compress == nil {
-		w.compress, _ = flate.NewWriter(&w.cbuf, flate.BestSpeed)
+	var data []byte
+	var codec Codec
+	if w.legacyV1 {
+		// The v1 frame has no codec id: deflate unconditionally.
+		if err := w.comp.deflate(w.payload); err != nil {
+			return err
+		}
+		data, codec = w.comp.fbuf.Bytes(), CodecDeflate
 	} else {
-		w.compress.Reset(&w.cbuf)
-	}
-	if _, err := w.compress.Write(w.payload); err != nil {
-		return err
-	}
-	if err := w.compress.Close(); err != nil {
-		return err
+		if !w.Codec.valid() {
+			return fmt.Errorf("evstore: invalid writer codec %d", w.Codec)
+		}
+		var err error
+		data, codec, err = w.comp.compress(w.Codec, w.payload)
+		if err != nil {
+			return err
+		}
 	}
 
-	var frame [2 * binary.MaxVarintLen64]byte
+	var frame [2*binary.MaxVarintLen64 + 1]byte
 	k := binary.PutUvarint(frame[:], uint64(len(w.payload)))
-	k += binary.PutUvarint(frame[k:], uint64(w.cbuf.Len()))
+	k += binary.PutUvarint(frame[k:], uint64(len(data)))
+	if !w.legacyV1 {
+		frame[k] = byte(codec)
+		k++
+	}
 	if _, err := pw.bw.Write(frame[:k]); err != nil {
 		return err
 	}
-	meta := blockMeta{offset: pw.off + int64(k), ulen: len(w.payload), clen: w.cbuf.Len(), sum: sum}
-	if _, err := pw.bw.Write(w.cbuf.Bytes()); err != nil {
+	meta := blockMeta{offset: pw.off + int64(k), ulen: len(w.payload), clen: len(data), codec: codec, sum: sum}
+	if _, err := pw.bw.Write(data); err != nil {
 		return err
 	}
 	pw.off = meta.offset + int64(meta.clen)
@@ -454,12 +480,19 @@ func (w *Writer) seal(key partKey, pw *partWriter, rollback bool) error {
 		os.Remove(pw.tmpPath)
 		return err
 	}
+	footerMagic := footerMagicV2
+	if w.legacyV1 {
+		footerMagic = footerMagicV1
+	}
 	footer := []byte(footerMagic)
 	footer = binary.AppendUvarint(footer, uint64(len(pw.blocks)))
 	for _, b := range pw.blocks {
 		footer = binary.AppendUvarint(footer, uint64(b.offset))
 		footer = binary.AppendUvarint(footer, uint64(b.ulen))
 		footer = binary.AppendUvarint(footer, uint64(b.clen))
+		if !w.legacyV1 {
+			footer = append(footer, byte(b.codec))
+		}
 		footer = b.sum.append(footer)
 	}
 	if _, err := pw.bw.Write(footer); err != nil {

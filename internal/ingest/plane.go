@@ -35,6 +35,10 @@ type Config struct {
 	// BlockEvents overrides the writers' events-per-block (0: evstore
 	// default).
 	BlockEvents int
+	// Codec names the writers' block codec ("raw", "deflate", "lz").
+	// Empty keeps evstore's default (lz); live planes on CPU-starved
+	// hosts can pick raw, archival ones deflate.
+	Codec string
 	// Now stamps session-feed events and drives the writers' age-based
 	// seals (nil: time.Now; tests inject deterministic clocks).
 	Now func() time.Time
@@ -112,6 +116,11 @@ func (cs *collectorSink) latch(err error) {
 // every feed; call Drain to flush and seal before exit.
 func NewPlane(ctx context.Context, cfg Config) (*Plane, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Codec != "" {
+		if _, err := evstore.ParseCodec(cfg.Codec); err != nil {
+			return nil, err
+		}
+	}
 	pctx, cancel := context.WithCancel(ctx)
 	p := &Plane{
 		cfg:    cfg,
@@ -148,6 +157,11 @@ func (p *Plane) sink(collector string) (*collectorSink, error) {
 	w.Seal = p.cfg.Seal
 	if p.cfg.BlockEvents > 0 {
 		w.BlockEvents = p.cfg.BlockEvents
+	}
+	if p.cfg.Codec != "" {
+		// Parsed and validated by NewPlane; re-parse is infallible here.
+		c, _ := evstore.ParseCodec(p.cfg.Codec)
+		w.Codec = c
 	}
 	if p.cfg.Now != nil {
 		w.Now = p.cfg.Now

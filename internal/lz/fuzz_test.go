@@ -1,0 +1,48 @@
+package lz
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundTrip pins compress→decompress identity for arbitrary inputs.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("a"))
+	f.Add([]byte("abababababababababab"))
+	f.Add(bytes.Repeat([]byte{0}, 1000))
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		var e Encoder
+		comp := e.Compress(nil, src)
+		if max := MaxCompressedLen(len(src)); len(comp) > max {
+			t.Fatalf("compressed %d to %d > MaxCompressedLen %d", len(src), len(comp), max)
+		}
+		dst := make([]byte, len(src))
+		if err := Decompress(dst, comp); err != nil {
+			t.Fatalf("decompress: %v", err)
+		}
+		if !bytes.Equal(dst, src) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+// FuzzDecompressCorrupt pins that decoding arbitrary bytes never
+// panics and never reads/writes out of bounds, whatever the claimed
+// output length.
+func FuzzDecompressCorrupt(f *testing.F) {
+	f.Add([]byte(nil), 0)
+	f.Add([]byte{0x10, 'a', 1, 0}, 16)
+	f.Add([]byte{0xf0, 255, 255, 255}, 64)
+	var e Encoder
+	f.Add(e.Compress(nil, bytes.Repeat([]byte("xyz"), 100)), 300)
+	f.Fuzz(func(t *testing.T, src []byte, n int) {
+		if n < 0 || n > 1<<16 {
+			return
+		}
+		dst := make([]byte, n)
+		// Success or ErrCorrupt are both fine; panics are not.
+		_ = Decompress(dst, src)
+	})
+}

@@ -1,0 +1,134 @@
+package lz
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func roundTrip(t *testing.T, src []byte) {
+	t.Helper()
+	var e Encoder
+	comp := e.Compress(nil, src)
+	if max := MaxCompressedLen(len(src)); len(comp) > max {
+		t.Fatalf("compressed %d bytes to %d, above MaxCompressedLen %d", len(src), len(comp), max)
+	}
+	dst := make([]byte, len(src))
+	if err := Decompress(dst, comp); err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Fatalf("round trip mismatch: %d bytes in, got %d back", len(src), len(dst))
+	}
+}
+
+func TestRoundTripCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	random := make([]byte, 100_000)
+	rng.Read(random)
+	structured := make([]byte, 0, 200_000)
+	for i := 0; i < 4000; i++ {
+		structured = append(structured, byte(i>>8), byte(i), 0, 0, 10, 20, 30, byte(i%7))
+	}
+	cases := map[string][]byte{
+		"empty":       nil,
+		"one":         {42},
+		"short":       []byte("hello"),
+		"tiny-repeat": []byte("abababababab"),
+		"rle":         bytes.Repeat([]byte{7}, 10_000),
+		"text":        []byte(strings.Repeat("the quick brown fox jumps over the lazy dog. ", 500)),
+		"random":      random,
+		"structured":  structured,
+		"long-offset": append(append([]byte{}, random[:70_000]...), random[:70_000]...),
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) { roundTrip(t, src) })
+	}
+}
+
+func TestRoundTripSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for size := 0; size < 300; size++ {
+		src := make([]byte, size)
+		for i := range src {
+			// Mildly compressible: small alphabet.
+			src[i] = byte(rng.Intn(5))
+		}
+		roundTrip(t, src)
+	}
+}
+
+func TestEncoderReuse(t *testing.T) {
+	var e Encoder
+	a := []byte(strings.Repeat("first payload ", 300))
+	b := []byte(strings.Repeat("second, different payload ", 300))
+	for i := 0; i < 3; i++ {
+		for _, src := range [][]byte{a, b} {
+			comp := e.Compress(nil, src)
+			dst := make([]byte, len(src))
+			if err := Decompress(dst, comp); err != nil {
+				t.Fatalf("iter %d: %v", i, err)
+			}
+			if !bytes.Equal(dst, src) {
+				t.Fatalf("iter %d: round trip mismatch", i)
+			}
+		}
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	// Repetitive text (long matches) must compress to a small fraction;
+	// fixed-stride records with varying bytes compress worse (no
+	// entropy stage) but must still clearly beat raw.
+	text := []byte(strings.Repeat("the quick brown fox jumps over the lazy dog. ", 500))
+	records := make([]byte, 0, 160_000)
+	for i := 0; i < 20_000; i++ {
+		records = append(records, byte(i>>8), byte(i), 0, 0, 10, 20, 30, byte(i%7))
+	}
+	var e Encoder
+	if comp := e.Compress(nil, text); len(comp) > len(text)/20 {
+		t.Fatalf("text compressed to %d of %d bytes; want < 5%%", len(comp), len(text))
+	}
+	if comp := e.Compress(nil, records); len(comp) > len(records)*7/10 {
+		t.Fatalf("records compressed to %d of %d bytes; want < 70%%", len(comp), len(records))
+	}
+}
+
+func TestDecompressWrongLength(t *testing.T) {
+	var e Encoder
+	src := []byte(strings.Repeat("payload ", 100))
+	comp := e.Compress(nil, src)
+	for _, n := range []int{0, 1, len(src) - 1, len(src) + 1, 2 * len(src)} {
+		if err := Decompress(make([]byte, n), comp); err == nil {
+			t.Fatalf("decompress into %d bytes (want %d): no error", n, len(src))
+		}
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	cases := map[string][]byte{
+		"truncated-token-ext": {0xf0, 255, 255},
+		"literal-overrun":     {0x50, 'a', 'b'},
+		"offset-zero":         {0x10, 'a', 0, 0},
+		"offset-beyond":       {0x10, 'a', 9, 0},
+		"match-overrun":       {0x1f, 'a', 1, 0, 200},
+		"missing-offset":      {0x14, 'a'},
+	}
+	for name, src := range cases {
+		if err := Decompress(make([]byte, 64), src); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestDecompressNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dst := make([]byte, 512)
+	src := make([]byte, 64)
+	for i := 0; i < 20_000; i++ {
+		rng.Read(src[:rng.Intn(len(src))])
+		// Any outcome but a panic or out-of-bounds access is fine.
+		_ = Decompress(dst[:rng.Intn(len(dst))], src[:rng.Intn(len(src))])
+	}
+}

@@ -16,8 +16,13 @@ import (
 // framing bug cannot hide behind a successful decode.
 
 const (
-	specMagic     = "CSQ1" // Comm Serve Query v1
-	envelopeMagic = "CSE1" // Comm Serve Envelope v1
+	specMagic = "CSQ1" // Comm Serve Query v1
+	// v2 extends ScanStats with the codec-era counters (bytes read,
+	// prefetched blocks, per-codec split). Coordinator and shards are
+	// deployed together, so the envelope has no cross-version decode
+	// path: a mixed fleet fails loudly on the magic instead of
+	// misparsing.
+	envelopeMagic = "CSE2" // Comm Serve Envelope v2
 
 	// maxSpecBytes bounds a /v1/state request body; specs are tiny, so
 	// anything near this is garbage.
@@ -144,7 +149,17 @@ func appendScanStats(dst []byte, s evstore.ScanStats) []byte {
 	dst = wire.AppendUvarint(dst, uint64(s.Blocks))
 	dst = wire.AppendUvarint(dst, uint64(s.BlocksPruned))
 	dst = wire.AppendUvarint(dst, uint64(s.BlocksDecoded))
+	dst = wire.AppendVarint(dst, s.BytesRead)
 	dst = wire.AppendVarint(dst, s.BytesDecompressed)
+	dst = wire.AppendUvarint(dst, uint64(s.BlocksPrefetched))
+	// Length-prefixed per-codec split, so growing NumCodecs is a codec
+	// change the reader detects rather than a silent misparse.
+	dst = wire.AppendUvarint(dst, uint64(len(s.PerCodec)))
+	for _, pc := range s.PerCodec {
+		dst = wire.AppendUvarint(dst, uint64(pc.Blocks))
+		dst = wire.AppendVarint(dst, pc.BytesRead)
+		dst = wire.AppendVarint(dst, pc.BytesDecompressed)
+	}
 	dst = wire.AppendUvarint(dst, uint64(s.Events))
 	return dst
 }
@@ -156,7 +171,18 @@ func readScanStats(r *wire.Reader) evstore.ScanStats {
 	s.Blocks = int(r.Uvarint())
 	s.BlocksPruned = int(r.Uvarint())
 	s.BlocksDecoded = int(r.Uvarint())
+	s.BytesRead = r.Varint()
 	s.BytesDecompressed = r.Varint()
+	s.BlocksPrefetched = int(r.Uvarint())
+	if n := r.Count(1); r.Err() == nil && n != len(s.PerCodec) {
+		r.Fail("serve: scan stats carry %d codec slots, want %d", n, len(s.PerCodec))
+	} else {
+		for i := 0; i < n && r.Err() == nil; i++ {
+			s.PerCodec[i].Blocks = int(r.Uvarint())
+			s.PerCodec[i].BytesRead = r.Varint()
+			s.PerCodec[i].BytesDecompressed = r.Varint()
+		}
+	}
 	s.Events = int(r.Uvarint())
 	return s
 }

@@ -50,10 +50,19 @@ func codecEnvelopes() []*serve.StateEnvelope {
 			Source:     "snapshots",
 			Elapsed:    1234567 * time.Nanosecond,
 			Plan:       evstore.PlanStats{Shards: 4, Partitions: 12, Merged: 3, Jumped: 2, Scanned: 7, Skipped: 5},
-			Scan:       evstore.ScanStats{Partitions: 7, Blocks: 40, BlocksDecoded: 38, BytesDecompressed: 1 << 20, Events: 99999},
-			Merges:     6,
-			Keys:       []string{"table1", "", "revealed:ripe"},
-			States:     [][]byte{{1, 2, 3}, nil, bytes.Repeat([]byte{0xab}, 300)},
+			Scan: evstore.ScanStats{
+				Partitions: 7, Blocks: 40, BlocksDecoded: 38,
+				BytesRead: 300000, BytesDecompressed: 1 << 20,
+				BlocksPrefetched: 35,
+				PerCodec: [evstore.NumCodecs]evstore.CodecScanStats{
+					evstore.CodecLZ:  {Blocks: 30, BytesRead: 250000, BytesDecompressed: 900000},
+					evstore.CodecRaw: {Blocks: 8, BytesRead: 50000, BytesDecompressed: 50000},
+				},
+				Events: 99999,
+			},
+			Merges: 6,
+			Keys:   []string{"table1", "", "revealed:ripe"},
+			States: [][]byte{{1, 2, 3}, nil, bytes.Repeat([]byte{0xab}, 300)},
 			Shards: []serve.ShardProvenance{
 				{Backend: "http://127.0.0.1:9001", Generation: 7, Source: "scan", Elapsed: time.Millisecond},
 				{Backend: "http://127.0.0.1:9002", Source: "", Err: "connection refused"},
