@@ -28,6 +28,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
 	"net/netip"
 	"os"
 	"os/signal"
@@ -36,6 +39,7 @@ import (
 
 	"repro/internal/evstore"
 	"repro/internal/ingest"
+	"repro/internal/obs"
 	"repro/internal/router"
 	"repro/internal/session"
 	"repro/internal/simnet"
@@ -72,11 +76,18 @@ func run() int {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "hard shutdown bound: feeds still running after this abandon the flush and exit non-zero (0: wait forever)")
 	statsEvery := flag.Duration("stats", 10*time.Second, "status line interval (0: quiet)")
 	duration := flag.Duration("duration", 0, "run this long, then drain and exit (0: until signal)")
+	metricsAddr := flag.String("metrics", "", "ops listener address for GET /metrics and /healthz (empty: none)")
+	logFormat := flag.String("log-format", "text", "log format: text|json")
+	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
 	flag.Parse()
 
 	fail := func(err error) int {
 		fmt.Fprintf(os.Stderr, "bgpcollect: %v\n", err)
 		return 1
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		return fail(err)
 	}
 	if *store == "" {
 		fmt.Fprintln(os.Stderr, "bgpcollect: -store is required")
@@ -106,14 +117,36 @@ func run() int {
 		defer cancel()
 	}
 
+	reg := obs.NewRegistry()
 	plane, err := ingest.NewPlane(ctx, ingest.Config{
 		Dir:        *store,
 		Seal:       evstore.SealPolicy{MaxAge: *sealAge, MaxEvents: *sealEvents, MaxBytes: *sealBytes},
 		QueueDepth: *queueDepth,
 		Codec:      *codec,
+		Metrics:    ingest.NewMetrics(reg),
+		Logger:     logger,
 	})
 	if err != nil {
 		return fail(err)
+	}
+
+	// The ops listener is separate from the BGP listener: scrapes and
+	// probes must keep answering while sessions churn.
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", reg.Handler())
+		mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, "{\"ok\":true,\"feeds\":%q}\n", plane.Supervisor().StateSummary())
+		})
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fail(fmt.Errorf("metrics listener: %w", err))
+		}
+		msrv := &http.Server{Handler: mux}
+		defer msrv.Close()
+		go msrv.Serve(mln)
+		logger.Info("ops listener up", "addr", mln.Addr().String())
 	}
 
 	// Bind before attaching anything: a taken port must exit non-zero
@@ -127,11 +160,11 @@ func run() int {
 			return fail(err)
 		}
 		defer ln.Close()
-		fmt.Printf("accepting BGP sessions on %s (AS%d) as collector %s [%s]\n",
-			ln.Addr(), *as, *collectorName, mode)
+		logger.Info("accepting BGP sessions", "addr", ln.Addr().String(),
+			"as", *as, "collector", *collectorName, "backpressure", mode.String())
 		go func() {
 			if err := plane.AcceptSessions(ctx, ln, *collectorName, ingest.FeedOptions{Backpressure: mode}); err != nil {
-				fmt.Fprintf(os.Stderr, "bgpcollect: accept: %v\n", err)
+				logger.Error("accept loop failed", "err", err)
 				stop()
 			}
 		}()
@@ -173,8 +206,8 @@ func run() int {
 		}
 		finite = append(finite, h)
 	}
-	fmt.Printf("collection plane up: store=%s seal-age=%v feeds=%d%s\n",
-		*store, *sealAge, len(finite), map[bool]string{true: "+listener", false: ""}[*listen != ""])
+	logger.Info("collection plane up", "store", *store, "seal_age", *sealAge,
+		"feeds", len(finite), "listener", *listen != "")
 
 	// Without a listener the daemon's work is finite: exit once every
 	// attached feed has reached a terminal state.
@@ -196,38 +229,40 @@ func run() int {
 				case <-ctx.Done():
 					return
 				case <-t.C:
-					printStats(plane)
+					logStats(logger, plane)
 				}
 			}
 		}()
 	}
 
 	<-ctx.Done()
-	fmt.Println("draining: stopping feeds, flushing queues, sealing partitions")
+	logger.Info("draining: stopping feeds, flushing queues, sealing partitions")
 	st, err := plane.Drain(*drainTimeout)
-	printFinal(st)
+	logFinal(logger, st)
 	if err != nil {
 		return fail(err)
 	}
 	return 0
 }
 
-func printStats(p *ingest.Plane) {
+func logStats(logger *slog.Logger, p *ingest.Plane) {
 	st := p.Stats()
 	queued, sealed := 0, 0
 	for _, c := range st.Collectors {
 		queued += c.Queued
 		sealed += c.Writer.Sealed
 	}
-	fmt.Printf("feeds[%s] events=%d sheds=%d queued=%d collectors=%d sealed=%d\n",
-		p.Supervisor().StateSummary(), st.Events, st.Sheds, queued, len(st.Collectors), sealed)
+	logger.Info("plane status", "feeds", p.Supervisor().StateSummary(),
+		"events", st.Events, "sheds", st.Sheds, "queued", queued,
+		"collectors", len(st.Collectors), "sealed", sealed)
 }
 
-func printFinal(st ingest.PlaneStats) {
+func logFinal(logger *slog.Logger, st ingest.PlaneStats) {
 	var w evstore.WriterStats
 	for _, c := range st.Collectors {
 		w.Add(c.Writer)
 	}
-	fmt.Printf("drained: %d events (%d shed), %d collectors, %d partitions sealed (%d live), %d bytes\n",
-		st.Events, st.Sheds, len(st.Collectors), w.Sealed, w.PolicySealed, w.Bytes)
+	logger.Info("drained", "events", st.Events, "sheds", st.Sheds,
+		"collectors", len(st.Collectors), "sealed", w.Sealed,
+		"policy_sealed", w.PolicySealed, "bytes", w.Bytes)
 }

@@ -1,0 +1,243 @@
+// Command commload is the serving-layer load generator: it drives a
+// realistic weighted query mix against a running commservd daemon
+// (single-node or coordinator, the same /v1 surface either way) and
+// reports latency percentiles, throughput, and answer-tier composition
+// against an SLO.
+//
+// Closed-loop (capacity) run, 16 workers for 30s:
+//
+//	commload -target http://127.0.0.1:8714 -day 2020-03-15 \
+//	         -peeras 64512,64513 -concurrency 16 -duration 30s
+//
+// Open-loop (fixed arrival rate) run at 200 req/s:
+//
+//	commload -target http://127.0.0.1:8714 -day 2020-03-15 -rate 200
+//
+// With concurrent live-ingest churn into the daemon's store — every
+// seal invalidates the daemon's cache, so the run measures serving
+// under store growth rather than over a frozen store:
+//
+//	commload -target http://127.0.0.1:8714 -day 2020-03-15 \
+//	         -churn-store ./store -churn-rate 500
+//
+// SLO gating (exit 1 on violation) and a machine-readable report:
+//
+//	commload ... -slo-p50 5 -slo-p99 50 -slo-p999 200 -json report.json
+//
+// After the run commload scrapes the target's /metrics and lints the
+// exposition, so every load test doubles as a metrics-format check.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/evstore"
+	"repro/internal/ingest"
+	"repro/internal/loadgen"
+	"repro/internal/obs"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	target := flag.String("target", "", "base URL of the daemon under test (required)")
+	day := flag.String("day", "", "store's primary day, YYYY-MM-DD (required; windows are cut from it)")
+	collectors := flag.String("collectors", "", "comma-separated collector names in the store")
+	peeras := flag.String("peeras", "", "comma-separated peer AS numbers for the cold-scan mix entry")
+	fig3Collector := flag.String("fig3-collector", "", "figure3 route collector")
+	fig3Prefix := flag.String("fig3-prefix", "", "figure3 route prefix")
+	fromYear := flag.Int("fromyear", 0, "figure2 first year (0: no figure2 entry)")
+	toYear := flag.Int("toyear", 0, "figure2 last year")
+	mixNames := flag.String("mix", "", "restrict to these mix entries (comma-separated; empty: all)")
+
+	duration := flag.Duration("duration", 10*time.Second, "run length")
+	requests := flag.Int("requests", 0, "stop after this many requests (0: duration only)")
+	concurrency := flag.Int("concurrency", 8, "closed-loop workers")
+	rate := flag.Float64("rate", 0, "open-loop arrival rate in req/s (0: closed loop)")
+	seed := flag.Int64("seed", 1, "mix/arrival randomization seed")
+	warmup := flag.Float64("warmup", 0.1, "fraction of the run discarded as warmup")
+
+	churnStore := flag.String("churn-store", "", "run live ingest churn into this store directory during the load")
+	churnRate := flag.Float64("churn-rate", 500, "churn events/second")
+	churnSealAge := flag.Duration("churn-seal-age", time.Second, "churn plane seal age (cache-invalidation cadence)")
+
+	sloP50 := flag.Float64("slo-p50", 0, "SLO: p50 latency bound in ms (0: unchecked)")
+	sloP99 := flag.Float64("slo-p99", 0, "SLO: p99 latency bound in ms")
+	sloP999 := flag.Float64("slo-p999", 0, "SLO: p99.9 latency bound in ms")
+	sloThroughput := flag.Float64("slo-throughput", 0, "SLO: minimum req/s")
+	sloErrors := flag.Float64("slo-errors", 0, "SLO: maximum error rate (0..1)")
+
+	jsonOut := flag.String("json", "", "write the machine-readable report here (- for stdout)")
+	name := flag.String("name", "", "label recorded in the report (e.g. single-node, coordinator-4)")
+	flag.Parse()
+
+	fail := func(err error) int {
+		fmt.Fprintf(os.Stderr, "commload: %v\n", err)
+		return 1
+	}
+	if *target == "" || *day == "" {
+		fmt.Fprintln(os.Stderr, "commload: -target and -day are required")
+		flag.Usage()
+		return 2
+	}
+	dayT, err := time.Parse("2006-01-02", *day)
+	if err != nil {
+		return fail(fmt.Errorf("-day: %w", err))
+	}
+	profile := loadgen.StoreProfile{
+		Day:              dayT.UTC(),
+		Figure3Collector: *fig3Collector,
+		Figure3Prefix:    *fig3Prefix,
+		FromYear:         *fromYear,
+		ToYear:           *toYear,
+	}
+	if *collectors != "" {
+		profile.Collectors = strings.Split(*collectors, ",")
+	}
+	if *peeras != "" {
+		for _, tok := range strings.Split(*peeras, ",") {
+			as, err := strconv.ParseUint(strings.TrimSpace(tok), 10, 32)
+			if err != nil {
+				return fail(fmt.Errorf("-peeras %q: %w", tok, err))
+			}
+			profile.PeerAS = append(profile.PeerAS, uint32(as))
+		}
+	}
+	mix, err := loadgen.ParseMixFilter(loadgen.DefaultMix(profile), *mixNames)
+	if err != nil {
+		return fail(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Optional live-ingest churn riding alongside the query load.
+	var churn *ingest.Plane
+	if *churnStore != "" {
+		churn, err = ingest.NewPlane(ctx, ingest.Config{
+			Dir:  *churnStore,
+			Seal: evstore.SealPolicy{MaxAge: *churnSealAge},
+		})
+		if err != nil {
+			return fail(fmt.Errorf("churn plane: %w", err))
+		}
+		if _, err := churn.Attach(&loadgen.ChurnFeed{EventsPerSec: *churnRate, Seed: *seed},
+			ingest.FeedOptions{OneShot: true}); err != nil {
+			return fail(fmt.Errorf("churn feed: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "churn: %g ev/s into %s (seal age %v)\n", *churnRate, *churnStore, *churnSealAge)
+	}
+
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL:     strings.TrimRight(*target, "/"),
+		Mix:         mix,
+		Duration:    *duration,
+		Requests:    *requests,
+		Concurrency: *concurrency,
+		Rate:        *rate,
+		Seed:        *seed,
+		WarmupFrac:  *warmup,
+	})
+	if err != nil {
+		return fail(err)
+	}
+
+	var churnStats *churnSummary
+	if churn != nil {
+		st, derr := churn.Drain(10 * time.Second)
+		var w evstore.WriterStats
+		for _, c := range st.Collectors {
+			w.Add(c.Writer)
+		}
+		churnStats = &churnSummary{Events: st.Events, Sealed: w.Sealed, Bytes: w.Bytes}
+		if derr != nil {
+			churnStats.Err = derr.Error()
+		}
+	}
+
+	slo := loadgen.SLO{P50Ms: *sloP50, P99Ms: *sloP99, P999Ms: *sloP999,
+		MinThroughputHz: *sloThroughput, MaxErrorRate: *sloErrors}
+	violations := slo.Check(rep)
+
+	out := fileReport{Name: *name, Report: rep, Churn: churnStats}
+	if slo != (loadgen.SLO{}) {
+		out.SLO = &slo
+		out.Violations = violations
+	}
+	out.MetricsLint = scrapeLint(*target)
+
+	fmt.Fprint(os.Stderr, rep.Summary())
+	if out.MetricsLint != "ok" && out.MetricsLint != "" {
+		fmt.Fprintf(os.Stderr, "metrics lint: %s\n", out.MetricsLint)
+	}
+	if *jsonOut != "" {
+		enc, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return fail(err)
+		}
+		enc = append(enc, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(enc)
+		} else if err := os.WriteFile(*jsonOut, enc, 0o644); err != nil {
+			return fail(err)
+		}
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "SLO violation: %s\n", v)
+		}
+		return 1
+	}
+	return 0
+}
+
+// fileReport is the committed artifact shape: the run report plus the
+// SLO it was gated against and the churn side's accounting.
+type fileReport struct {
+	Name            string        `json:"name,omitempty"`
+	*loadgen.Report               // inlined
+	SLO             *loadgen.SLO  `json:"slo,omitempty"`
+	Violations      []string      `json:"slo_violations,omitempty"`
+	MetricsLint     string        `json:"metrics_lint,omitempty"`
+	Churn           *churnSummary `json:"churn,omitempty"`
+}
+
+type churnSummary struct {
+	Events uint64 `json:"events"`
+	Sealed int    `json:"partitions_sealed"`
+	Bytes  int64  `json:"bytes"`
+	Err    string `json:"err,omitempty"`
+}
+
+// scrapeLint fetches the target's /metrics and lints the exposition.
+// Returns "ok", "" (endpoint absent — an uninstrumented daemon), or
+// the lint error.
+func scrapeLint(target string) string {
+	resp, err := http.Get(strings.TrimRight(target, "/") + "/metrics")
+	if err != nil {
+		return fmt.Sprintf("scrape failed: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return ""
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return fmt.Sprintf("scrape read failed: %v", err)
+	}
+	if err := obs.Lint(body); err != nil {
+		return err.Error()
+	}
+	return "ok"
+}

@@ -50,6 +50,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -59,6 +60,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/textplot"
 )
@@ -82,6 +84,11 @@ func main() {
 	toYear := flag.Int("toyear", 0, "figure2 last year")
 	collector := flag.String("collector", "", "figure3 collector")
 	prefix := flag.String("prefix", "", "figure3 prefix")
+	logFormat := flag.String("log-format", "text", "log format: text|json")
+	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error (debug logs every query)")
+	maxInflight := flag.Int("max-inflight", 0, "shed requests over this many in flight with 429 (0 = unbounded)")
+	rate := flag.Float64("rate", 0, "per-client admission rate in req/s, 429 over it (0 = unlimited)")
+	burst := flag.Int("burst", 0, "per-client token-bucket depth (0 = max(1, ceil(rate)))")
 	flag.Parse()
 
 	var err error
@@ -93,13 +100,17 @@ func main() {
 			err = fmt.Errorf("coordinator mode needs -shards URL,URL,...")
 		} else {
 			err = runDaemon(daemonOpts{addr: *addr, workers: *workers, cache: *cache,
-				watch: *watch, drain: *drain, shards: strings.Split(*shards, ",")})
+				watch: *watch, drain: *drain, shards: strings.Split(*shards, ","),
+				logFormat: *logFormat, logLevel: *logLevel,
+				maxInflight: *maxInflight, rate: *rate, burst: *burst})
 		}
 	case *store == "":
 		err = fmt.Errorf("need -store DIR (daemon), -coordinator -shards URLs, or -client URL")
 	default:
 		err = runDaemon(daemonOpts{store: *store, addr: *addr, workers: *workers,
-			cache: *cache, watch: *watch, drain: *drain, shardMode: *shard})
+			cache: *cache, watch: *watch, drain: *drain, shardMode: *shard,
+			logFormat: *logFormat, logLevel: *logLevel,
+			maxInflight: *maxInflight, rate: *rate, burst: *burst})
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "commservd: %v\n", err)
@@ -108,21 +119,34 @@ func main() {
 }
 
 type daemonOpts struct {
-	store     string
-	addr      string
-	workers   int
-	cache     int
-	watch     time.Duration
-	drain     time.Duration
-	shardMode bool
-	shards    []string // coordinator mode when non-empty
+	store       string
+	addr        string
+	workers     int
+	cache       int
+	watch       time.Duration
+	drain       time.Duration
+	shardMode   bool
+	shards      []string // coordinator mode when non-empty
+	logFormat   string
+	logLevel    string
+	maxInflight int
+	rate        float64
+	burst       int
 }
 
 func runDaemon(opts daemonOpts) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	cfg := serve.Config{Dir: opts.store, Workers: opts.workers, CacheEntries: opts.cache}
+	logger, err := obs.NewLogger(os.Stderr, opts.logFormat, opts.logLevel)
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	metrics := serve.NewMetrics(reg)
+
+	cfg := serve.Config{Dir: opts.store, Workers: opts.workers, CacheEntries: opts.cache,
+		Metrics: metrics, Logger: logger}
 	mode := "single-node"
 	if len(opts.shards) > 0 {
 		backends := make([]serve.Backend, len(opts.shards))
@@ -135,31 +159,55 @@ func runDaemon(opts daemonOpts) error {
 		mode = "shard"
 	}
 
-	start := time.Now()
-	s, rs, err := serve.New(ctx, cfg)
+	// Bind first, then build: the listener serves warming-state probe
+	// answers (alive, not ready) while the store opens and the first
+	// snapshot pass runs — which can take minutes on a cold store — so
+	// /readyz is meaningful from the process's first instant.
+	gate := serve.NewGate()
+	srv := &http.Server{Addr: opts.addr, Handler: gate}
+	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {
 		return err
 	}
+	serveErr := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			serveErr <- err
+			return
+		}
+		serveErr <- nil
+	}()
+	logger.Info("listening", "addr", opts.addr, "mode", mode, "phase", "warming")
+
+	start := time.Now()
+	s, rs, err := serve.New(ctx, cfg)
+	if err != nil {
+		srv.Close()
+		return err
+	}
 	if len(opts.shards) > 0 {
-		fmt.Fprintf(os.Stderr, "cluster: %d shards reachable, joint generation %#x\n",
-			len(opts.shards), rs.Generation)
+		logger.Info("cluster ready", "shards", len(opts.shards),
+			"generation", fmt.Sprintf("%#x", rs.Generation))
 	} else {
-		fmt.Fprintf(os.Stderr, "snapshot index: %d partitions (%d built, %d reused, %d events decoded) in %v\n",
-			rs.Partitions, rs.Built, rs.Reused, rs.Events, time.Since(start).Round(time.Millisecond))
+		logger.Info("snapshot index built", "partitions", rs.Partitions,
+			"built", rs.Built, "reused", rs.Reused, "events", rs.Events,
+			"elapsed", time.Since(start).Round(time.Millisecond))
 	}
 
 	if opts.watch > 0 {
 		go s.Watch(ctx, opts.watch, func(rs serve.RefreshStats, err error) {
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "refresh: %v\n", err)
+				logger.Warn("refresh failed", "err", err)
 				return
 			}
 			if len(opts.shards) > 0 {
-				fmt.Fprintf(os.Stderr, "refresh: shard stores moved, joint generation now %#x\n", rs.Generation)
+				logger.Info("refresh: shard stores moved",
+					"generation", fmt.Sprintf("%#x", rs.Generation))
 				return
 			}
-			fmt.Fprintf(os.Stderr, "refresh: %d new partitions snapshotted (%d events) in %v\n",
-				rs.Built, rs.Events, rs.Elapsed.Round(time.Millisecond))
+			logger.Info("refresh: new partitions snapshotted",
+				"built", rs.Built, "events", rs.Events,
+				"elapsed", rs.Elapsed.Round(time.Millisecond))
 		})
 	}
 
@@ -167,17 +215,14 @@ func runDaemon(opts daemonOpts) error {
 	if opts.shardMode {
 		handler = s.StateHandler()
 	}
-	srv := &http.Server{Addr: opts.addr, Handler: handler}
-	serveErr := make(chan error, 1)
-	go func() {
-		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-			serveErr <- err
-			return
-		}
-		serveErr <- nil
-	}()
-	fmt.Fprintf(os.Stderr, "serving %s on %s (%s, watch %v, cache %d)\n",
-		opts.store, opts.addr, mode, opts.watch, opts.cache)
+	handler = serve.Admission(serve.AdmissionConfig{
+		MaxInflight: opts.maxInflight, Rate: opts.rate, Burst: opts.burst,
+		Metrics: metrics, Logger: logger,
+	}, handler)
+	gate.Ready(handler)
+	logger.Info("serving", "store", opts.store, "addr", opts.addr, "mode", mode,
+		"watch", opts.watch, "cache", opts.cache,
+		"max_inflight", opts.maxInflight, "rate", opts.rate)
 
 	select {
 	case err := <-serveErr:
@@ -187,18 +232,18 @@ func runDaemon(opts daemonOpts) error {
 	// Graceful drain: stop accepting, let in-flight requests finish,
 	// and only then exit — Shutdown must complete (or time out) before
 	// main returns, otherwise the process dies mid-response.
-	fmt.Fprintf(os.Stderr, "shutdown: draining in-flight requests (up to %v)\n", opts.drain)
+	logger.Info("shutdown: draining in-flight requests", "timeout", opts.drain)
 	shutCtx, cancel := context.WithTimeout(context.Background(), opts.drain)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
 		// Drain timed out: sever the stragglers so we still exit.
 		srv.Close()
 		<-serveErr
-		fmt.Fprintf(os.Stderr, "shutdown: drain timed out, closed remaining connections\n")
+		logger.Warn("shutdown: drain timed out, closed remaining connections")
 		return nil
 	}
 	<-serveErr
-	fmt.Fprintf(os.Stderr, "shutdown: drained\n")
+	logger.Info("shutdown: drained")
 	return nil
 }
 

@@ -16,7 +16,15 @@
 // windowed HTTP queries by merging precomputed states, scanning only the
 // partitions a window cuts through, behind an LRU result cache with
 // singleflight dedup. All paths produce results bit-identical to the
-// sequential pass. See README.md for the layout and EXPERIMENTS.md for
-// paper-versus-measured results; bench_test.go regenerates each table
-// and figure.
+// sequential pass. The daemons are production-observable: internal/obs
+// is a dependency-free metrics registry (atomic counters, gauges,
+// histograms; Prometheus text exposition on GET /metrics) plus
+// structured-log setup, internal/serve and internal/ingest instrument
+// their existing stats through it, /readyz answers readiness distinct
+// from liveness, admission control sheds overload per client, and
+// cmd/commload drives closed/open-loop query mixes against a running
+// daemon and gates latency percentiles against SLOs (committed report:
+// BENCH_10_LOAD.json). See README.md for the layout and EXPERIMENTS.md
+// for paper-versus-measured results; bench_test.go regenerates each
+// table and figure.
 package repro

@@ -98,6 +98,12 @@ type Writer struct {
 	// it; nil defaults to time.Now).
 	Now func() time.Time
 
+	// OnSeal, if set, observes every partition this writer publishes —
+	// the hook the ingest plane's freshness and seal-lag metrics hang
+	// off. Called synchronously after the partition file is linked into
+	// place (it is already durable and scannable); keep it cheap.
+	OnSeal func(SealInfo)
+
 	dir     string
 	active  map[partKey]*partWriter
 	nextSeq map[partKey]int
@@ -226,6 +232,12 @@ func (w *Writer) add(e classify.Event) error {
 	}
 	pw.pending = append(pw.pending, e)
 	pw.events++
+	if pw.minEvent.IsZero() || e.Time.Before(pw.minEvent) {
+		pw.minEvent = e.Time
+	}
+	if e.Time.After(pw.maxEvent) {
+		pw.maxEvent = e.Time
+	}
 	w.stats.Events++
 	if len(pw.pending) >= w.blockEvents() {
 		if err := w.flushBlock(pw); err != nil {
@@ -341,6 +353,30 @@ type partWriter struct {
 	blocks    []blockMeta
 	openedAt  time.Time // wall clock, for SealPolicy.MaxAge
 	events    int       // events appended, for SealPolicy.MaxEvents
+	// minEvent/maxEvent bound the partition's event times (zero until
+	// the first append) — OnSeal reports them so freshness metrics can
+	// measure event→sealed latency without a second bookkeeping path.
+	minEvent, maxEvent time.Time
+}
+
+// SealInfo describes one published partition, handed to Writer.OnSeal.
+type SealInfo struct {
+	// Collector and Day identify the partition; Path is the published
+	// file name within the store directory.
+	Collector string
+	Day       time.Time
+	Path      string
+	// Events and Bytes are the partition's row count and on-disk size.
+	Events int
+	Bytes  int64
+	// MinEvent/MaxEvent bound the partition's event times.
+	MinEvent, MaxEvent time.Time
+	// OpenFor is how long the partition was open (seal lag: the time
+	// the oldest appended event waited to become durable).
+	OpenFor time.Duration
+	// Policy reports a live SealPolicy seal (as opposed to the batch
+	// two-day-window or Close path).
+	Policy bool
 }
 
 // sanitizeCollector maps a collector name onto the filename-safe
@@ -528,6 +564,19 @@ func (w *Writer) seal(key partKey, pw *partWriter, rollback bool) error {
 		w.sealed = append(w.sealed, path)
 	} else {
 		w.stats.PolicySealed++
+	}
+	if w.OnSeal != nil {
+		w.OnSeal(SealInfo{
+			Collector: pw.collector,
+			Day:       dayStart(pw.day),
+			Path:      filepath.Base(path),
+			Events:    pw.events,
+			Bytes:     pw.off + int64(len(footer)) + 8,
+			MinEvent:  pw.minEvent,
+			MaxEvent:  pw.maxEvent,
+			OpenFor:   w.now().Sub(pw.openedAt),
+			Policy:    !rollback,
+		})
 	}
 	return nil
 }

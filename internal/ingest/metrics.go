@@ -1,0 +1,174 @@
+package ingest
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/evstore"
+	"repro/internal/obs"
+)
+
+// Metrics is the ingest plane's observability surface: histograms fed
+// from the writers' OnSeal hook (seal lag, event→sealed freshness) and
+// sampled gauges/counters threaded through the EXISTING PlaneStats /
+// FeedStatus / CollectorStats bookkeeping — the scrape path reads the
+// same counters the -stats status line prints, so the numbers can
+// never disagree.
+//
+// Construct with NewMetrics and pass via Config.Metrics; one Metrics
+// instruments one Plane.
+type Metrics struct {
+	reg *obs.Registry
+
+	// sealOpen observes how long each sealed partition had been open —
+	// the seal lag, bounded by SealPolicy.MaxAge on a live plane.
+	sealOpen *obs.Histogram
+	// freshness observes sealTime − newestEventTime per sealed
+	// partition: how stale the freshest event was when it became
+	// queryable. Replay feeds with historic timestamps land in +Inf;
+	// live session feeds stamped with the plane clock measure true
+	// event→sealed latency.
+	freshness *obs.Histogram
+	// sealedBytes observes published partition sizes.
+	sealedBytes *obs.Histogram
+
+	feeds    *obs.GaugeVec // by state
+	queue    *obs.GaugeVec // by collector
+	queueHW  *obs.GaugeVec // by collector
+	sinks    *obs.Gauge
+	queueCap *obs.Gauge
+
+	// last is the PlaneStats snapshot the scrape-time sampler took;
+	// the CounterFuncs read from it so one scrape costs one snapshot.
+	mu   sync.Mutex
+	last PlaneStats
+}
+
+// NewMetrics registers the ingest metric families on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	m := &Metrics{
+		reg: reg,
+		sealOpen: reg.Histogram("comm_ingest_seal_open_seconds",
+			"How long each sealed partition had been open (seal lag).", nil),
+		freshness: reg.Histogram("comm_ingest_event_to_sealed_seconds",
+			"Age of a partition's newest event when it sealed (event-to-queryable freshness bound).", nil),
+		sealedBytes: reg.Histogram("comm_ingest_sealed_partition_bytes",
+			"Published partition sizes in bytes.", obs.SizeBuckets),
+		feeds: reg.GaugeVec("comm_ingest_feeds",
+			"Supervised feeds by lifecycle state.", "state"),
+		queue: reg.GaugeVec("comm_ingest_queue_depth",
+			"Current per-collector queue depth.", "collector"),
+		queueHW: reg.GaugeVec("comm_ingest_queue_high_water",
+			"Highest queue depth seen per collector.", "collector"),
+		sinks: reg.Gauge("comm_ingest_collectors",
+			"Collector sinks opened (one queue + writer each)."),
+		queueCap: reg.Gauge("comm_ingest_queue_capacity",
+			"Configured per-collector queue depth bound."),
+	}
+	return m
+}
+
+// bind wires the sampled side of the metrics to one plane. Called by
+// NewPlane; the histogram side hangs off the writers' OnSeal hooks.
+func (m *Metrics) bind(p *Plane) {
+	m.queueCap.Set(float64(p.cfg.QueueDepth))
+	snapshot := func() PlaneStats {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return m.last
+	}
+	m.reg.CounterFunc("comm_ingest_events_total",
+		"Events accepted from feeds into collector queues.",
+		func() uint64 { return snapshot().Events })
+	m.reg.CounterFunc("comm_ingest_sheds_total",
+		"Events dropped by Shed-mode feeds on full queues.",
+		func() uint64 { return snapshot().Sheds })
+	m.reg.CounterFunc("comm_ingest_feed_restarts_total",
+		"Completed feed restart cycles across the fleet.",
+		func() uint64 {
+			var n uint64
+			for _, f := range snapshot().Feeds {
+				n += uint64(f.Restarts)
+			}
+			return n
+		})
+	m.reg.CounterFunc("comm_ingest_dropped_total",
+		"Queued events dropped after a collector writer error latched.",
+		func() uint64 {
+			var n uint64
+			for _, c := range snapshot().Collectors {
+				n += c.Dropped
+			}
+			return n
+		})
+	m.reg.CounterFunc("comm_ingest_partitions_sealed_total",
+		"Partitions sealed and published.",
+		func() uint64 {
+			var n uint64
+			for _, c := range snapshot().Collectors {
+				n += uint64(c.Writer.Sealed)
+			}
+			return n
+		})
+	m.reg.CounterFunc("comm_ingest_policy_seals_total",
+		"Partitions sealed by the live SealPolicy (subset of sealed).",
+		func() uint64 {
+			var n uint64
+			for _, c := range snapshot().Collectors {
+				n += uint64(c.Writer.PolicySealed)
+			}
+			return n
+		})
+	m.reg.CounterFunc("comm_ingest_bytes_written_total",
+		"Bytes written into sealed partitions.",
+		func() uint64 {
+			var n uint64
+			for _, c := range snapshot().Collectors {
+				n += uint64(c.Writer.Bytes)
+			}
+			return n
+		})
+	m.reg.GaugeFunc("comm_ingest_writer_errors",
+		"Collector writers with a latched error (refusing events).",
+		func() float64 {
+			var n int
+			for _, c := range snapshot().Collectors {
+				if c.Err != "" {
+					n++
+				}
+			}
+			return float64(n)
+		})
+
+	// One PlaneStats snapshot per scrape feeds every sampled series.
+	m.reg.OnScrape(func() {
+		st := p.Stats()
+		m.mu.Lock()
+		m.last = st
+		m.mu.Unlock()
+
+		states := make(map[FeedState]int, 6)
+		for _, f := range st.Feeds {
+			states[f.State]++
+		}
+		for s := FeedStarting; s <= FeedFailed; s++ {
+			m.feeds.With(s.String()).Set(float64(states[s]))
+		}
+		m.sinks.Set(float64(len(st.Collectors)))
+		for _, c := range st.Collectors {
+			m.queue.With(c.Collector).Set(float64(c.Queued))
+			m.queueHW.With(c.Collector).Set(float64(c.HighWater))
+		}
+	})
+}
+
+// observeSeal is the per-writer OnSeal hook: one published partition.
+func (m *Metrics) observeSeal(si evstore.SealInfo, now func() time.Time) {
+	m.sealOpen.Observe(si.OpenFor.Seconds())
+	m.sealedBytes.Observe(float64(si.Bytes))
+	if !si.MaxEvent.IsZero() {
+		if age := now().Sub(si.MaxEvent); age > 0 {
+			m.freshness.Observe(age.Seconds())
+		}
+	}
+}

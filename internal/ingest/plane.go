@@ -4,10 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/netip"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/classify"
@@ -42,6 +43,14 @@ type Config struct {
 	// Now stamps session-feed events and drives the writers' age-based
 	// seals (nil: time.Now; tests inject deterministic clocks).
 	Now func() time.Time
+	// Metrics, when non-nil, instruments the plane: seal-lag and
+	// freshness histograms off the writers' OnSeal hooks, plus
+	// scrape-time samplers over the plane's existing stats. One Metrics
+	// instruments one plane.
+	Metrics *Metrics
+	// Logger receives the plane's structured log records (nil:
+	// slog.Default).
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -59,6 +68,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SealTick < 50*time.Millisecond {
 		c.SealTick = 50 * time.Millisecond
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
 	}
 	return c
 }
@@ -92,6 +104,10 @@ type collectorSink struct {
 	name string
 	ch   chan classify.Event
 	done chan struct{}
+	log  *slog.Logger
+	// hw tracks the highest queue depth seen — the backpressure
+	// headroom gauge. Updated lock-free on delivery.
+	hw atomic.Int64
 
 	wmu     sync.Mutex
 	w       *evstore.Writer
@@ -109,7 +125,19 @@ func (cs *collectorSink) latch(err error) {
 		return
 	}
 	cs.err = err
-	log.Printf("ingest: collector %s: writer failed: %v; refusing further events", cs.name, err)
+	cs.log.Error("collector writer failed; refusing further events",
+		"collector", cs.name, "err", err)
+}
+
+// noteDepth raises the high-water mark to the current queue depth.
+func (cs *collectorSink) noteDepth() {
+	d := int64(len(cs.ch))
+	for {
+		cur := cs.hw.Load()
+		if d <= cur || cs.hw.CompareAndSwap(cur, d) {
+			return
+		}
+	}
 }
 
 // NewPlane opens a plane writing into cfg.Dir. Cancelling ctx stops
@@ -129,6 +157,9 @@ func NewPlane(ctx context.Context, cfg Config) (*Plane, error) {
 		sinks:  make(map[string]*collectorSink),
 	}
 	p.sup = NewSupervisor(pctx, p, cfg.Restart)
+	if cfg.Metrics != nil {
+		cfg.Metrics.bind(p)
+	}
 	return p, nil
 }
 
@@ -166,10 +197,18 @@ func (p *Plane) sink(collector string) (*collectorSink, error) {
 	if p.cfg.Now != nil {
 		w.Now = p.cfg.Now
 	}
+	if m := p.cfg.Metrics; m != nil {
+		now := p.cfg.Now
+		if now == nil {
+			now = time.Now
+		}
+		w.OnSeal = func(si evstore.SealInfo) { m.observeSeal(si, now) }
+	}
 	cs := &collectorSink{
 		name: collector,
 		ch:   make(chan classify.Event, p.cfg.QueueDepth),
 		done: make(chan struct{}),
+		log:  p.cfg.Logger,
 		w:    w,
 	}
 	p.sinks[collector] = cs
@@ -233,6 +272,7 @@ func (p *Plane) Deliver(ctx context.Context, h *FeedHandle, e classify.Event) er
 		select {
 		case cs.ch <- e:
 			h.countEvent(e)
+			cs.noteDepth()
 		default:
 			h.countShed()
 		}
@@ -241,6 +281,7 @@ func (p *Plane) Deliver(ctx context.Context, h *FeedHandle, e classify.Event) er
 	select {
 	case cs.ch <- e:
 		h.countEvent(e)
+		cs.noteDepth()
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -297,6 +338,9 @@ type CollectorStats struct {
 	// Dropped counts events that were already queued when the writer
 	// error latched and so could not be written.
 	Dropped uint64
+	// HighWater is the highest queue depth seen since the sink opened —
+	// how close the collector has come to its backpressure bound.
+	HighWater int
 }
 
 // PlaneStats aggregates the plane's live counters.
@@ -323,7 +367,7 @@ func (p *Plane) Stats() PlaneStats {
 	p.mu.Unlock()
 	for _, cs := range sinks {
 		cs.wmu.Lock()
-		c := CollectorStats{Collector: cs.name, Queued: len(cs.ch), Writer: cs.w.Stats(), Dropped: cs.dropped}
+		c := CollectorStats{Collector: cs.name, Queued: len(cs.ch), Writer: cs.w.Stats(), Dropped: cs.dropped, HighWater: int(cs.hw.Load())}
 		if cs.err != nil {
 			c.Err = cs.err.Error()
 		}

@@ -1,0 +1,96 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/classify"
+)
+
+// ChurnFeed is an ingest.Feed producing a steady stream of synthetic
+// announcements stamped with the wall clock — the live-ingest side of
+// a load test. Run one on an ingest.Plane over the served store while
+// the query load runs: every seal invalidates the daemon's answer
+// cache, so the test exercises serve-under-churn (cache rebuilds,
+// refresh races, generation drift) rather than a frozen store.
+type ChurnFeed struct {
+	// FeedName names the feed for the supervisor (default "churn").
+	FeedName string
+	// Collector stamps the events (default "churn00"); keep it distinct
+	// from the query mix's collectors so churn grows the store without
+	// rewriting the windows under measurement.
+	Collector string
+	// EventsPerSec paces emission (default 500).
+	EventsPerSec float64
+	// Seed varies the synthetic routes (0: 1).
+	Seed int64
+	// Now is injectable for tests (nil: time.Now).
+	Now func() time.Time
+}
+
+// Name implements ingest.Feed.
+func (f *ChurnFeed) Name() string {
+	if f.FeedName != "" {
+		return f.FeedName
+	}
+	return "churn"
+}
+
+// Run emits until ctx is cancelled.
+func (f *ChurnFeed) Run(ctx context.Context, emit func(classify.Event) error) error {
+	collector := f.Collector
+	if collector == "" {
+		collector = "churn00"
+	}
+	rate := f.EventsPerSec
+	if rate <= 0 {
+		rate = 500
+	}
+	now := f.Now
+	if now == nil {
+		now = time.Now
+	}
+	seed := f.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	peers := make([]netip.Addr, 4)
+	for i := range peers {
+		peers[i] = netip.MustParseAddr(fmt.Sprintf("10.9.%d.1", i))
+	}
+	tick := time.NewTicker(time.Duration(float64(time.Second) / rate))
+	defer tick.Stop()
+	for seq := 0; ; seq++ {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-tick.C:
+		}
+		i := rng.Intn(len(peers))
+		e := classify.Event{
+			Time:      now(),
+			Collector: collector,
+			PeerAS:    uint32(65000 + i),
+			PeerAddr:  peers[i],
+			Prefix:    netip.PrefixFrom(netip.AddrFrom4([4]byte{192, 0, byte(seq % 256), 0}), 24),
+			ASPath:    bgp.NewASPath(uint32(65000+i), 3356, uint32(1000+seq%50)),
+		}
+		// Most announcements carry communities (the paper's subject);
+		// some withdraw.
+		switch seq % 10 {
+		case 9:
+			e.Withdraw = true
+			e.ASPath, e.Communities = nil, nil
+		default:
+			e.Communities = bgp.Communities{bgp.NewCommunity(3356, uint16(seq%100))}
+		}
+		if err := emit(e); err != nil {
+			return err
+		}
+	}
+}

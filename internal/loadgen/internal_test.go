@@ -1,0 +1,176 @@
+package loadgen
+
+import (
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPercentiles(t *testing.T) {
+	// 1..100 ms: the ceil-rank estimator puts p50 at the 50th value.
+	ds := make([]time.Duration, 100)
+	for i := range ds {
+		ds[i] = time.Duration(i+1) * time.Millisecond
+	}
+	rand.New(rand.NewSource(7)).Shuffle(len(ds), func(i, j int) { ds[i], ds[j] = ds[j], ds[i] })
+	p := percentiles(ds)
+	for _, c := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"p50", p.P50Ms, 50}, {"p90", p.P90Ms, 90}, {"p99", p.P99Ms, 99},
+		{"p99.9", p.P999Ms, 100}, {"max", p.MaxMs, 100}, {"mean", p.MeanMs, 50.5},
+	} {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+	if z := (Percentiles{}); percentiles(nil) != z {
+		t.Error("percentiles(nil) not zero")
+	}
+}
+
+func TestPickerWeights(t *testing.T) {
+	mix := []Query{
+		{Name: "a", Weight: 80, Path: func(*rand.Rand) string { return "/a" }},
+		{Name: "b", Weight: 20, Path: func(*rand.Rand) string { return "/b" }},
+	}
+	p := newPicker(mix)
+	rng := rand.New(rand.NewSource(1))
+	counts := [2]int{}
+	for i := 0; i < 10000; i++ {
+		counts[p.pick(rng)]++
+	}
+	if frac := float64(counts[0]) / 10000; frac < 0.75 || frac > 0.85 {
+		t.Errorf("entry a picked %.3f of the time, want ~0.80", frac)
+	}
+}
+
+func TestBuildReportWarmupAndSheds(t *testing.T) {
+	cfg := Config{
+		BaseURL: "http://x", WarmupFrac: 0.5,
+		Mix: []Query{{Name: "q", Weight: 1, Path: func(*rand.Rand) string { return "/" }}},
+	}
+	elapsed := 10 * time.Second
+	samples := []sample{
+		{offset: 1 * time.Second, latency: 100 * time.Millisecond, status: 200, tier: "cached"},
+		{offset: 6 * time.Second, latency: 2 * time.Millisecond, status: 200, tier: "cached"},
+		{offset: 7 * time.Second, latency: time.Millisecond, status: 429, tier: "none"},
+		{offset: 8 * time.Second, latency: 3 * time.Millisecond, status: 500, tier: "none", err: true},
+	}
+	rep := buildReport(cfg, samples, elapsed)
+	if rep.Requests != 4 || rep.Errors != 1 || rep.Shed != 1 {
+		t.Fatalf("requests/errors/shed = %d/%d/%d, want 4/1/1", rep.Requests, rep.Errors, rep.Shed)
+	}
+	// Only the 6s sample survives: warmup trims the first, 429 and 500
+	// are excluded from percentiles.
+	if rep.Warmup != 3 {
+		t.Errorf("warmup trimmed %d, want 3", rep.Warmup)
+	}
+	if rep.Latency.P50Ms != 2 || rep.Latency.MaxMs != 2 {
+		t.Errorf("latency %+v, want p50=max=2ms", rep.Latency)
+	}
+	if rep.Tiers["cached"] != 2 {
+		t.Errorf("tiers = %v, want cached:2", rep.Tiers)
+	}
+}
+
+func TestSLOCheck(t *testing.T) {
+	rep := &Report{
+		Requests: 1000, Errors: 20, ThroughputHz: 50,
+		Latency: Percentiles{P50Ms: 5, P99Ms: 80, P999Ms: 300},
+	}
+	ok := SLO{P50Ms: 10, P99Ms: 100, MinThroughputHz: 40, MaxErrorRate: 0.05}
+	if v := ok.Check(rep); len(v) != 0 {
+		t.Errorf("passing SLO reported violations: %v", v)
+	}
+	bad := SLO{P50Ms: 1, P99Ms: 50, P999Ms: 200, MinThroughputHz: 100, MaxErrorRate: 0.01}
+	v := bad.Check(rep)
+	if len(v) != 5 {
+		t.Fatalf("got %d violations, want 5: %v", len(v), v)
+	}
+	for _, want := range []string{"p50_ms", "p99_ms", "p999_ms", "throughput_hz", "error_rate"} {
+		found := false
+		for _, s := range v {
+			if strings.Contains(s, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no violation mentioning %s in %v", want, v)
+		}
+	}
+}
+
+func TestParseMixFilter(t *testing.T) {
+	mix := DefaultMix(StoreProfile{Day: time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC)})
+	got, err := ParseMixFilter(mix, "warm-table2, peers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "warm-table2" || got[1].Name != "peers" {
+		t.Errorf("filtered mix = %v", names(got))
+	}
+	if _, err := ParseMixFilter(mix, "no-such-entry"); err == nil {
+		t.Error("unknown mix entry not rejected")
+	}
+	if got, err := ParseMixFilter(mix, ""); err != nil || len(got) != len(mix) {
+		t.Errorf("empty filter changed the mix: %v, %v", names(got), err)
+	}
+}
+
+func TestDefaultMixConditionals(t *testing.T) {
+	day := time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC)
+	base := DefaultMix(StoreProfile{Day: day})
+	full := DefaultMix(StoreProfile{
+		Day: day, Collectors: []string{"rrc00", "rrc01"}, PeerAS: []uint32{64512},
+		Figure3Collector: "rrc00", Figure3Prefix: "84.205.64.0/24",
+		FromYear: 2019, ToYear: 2020,
+	})
+	if len(full)-len(base) != 4 {
+		t.Errorf("profile knobs added %d entries, want 4 (peeras-cold, figure2, figure3, collector-table2)",
+			len(full)-len(base))
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, q := range full {
+		p := q.Path(rng)
+		if !strings.HasPrefix(p, "/v1/") {
+			t.Errorf("mix %s path %q not under /v1/", q.Name, p)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := (Config{}).withDefaults(); err == nil {
+		t.Error("missing BaseURL accepted")
+	}
+	if _, err := (Config{BaseURL: "http://x"}).withDefaults(); err == nil {
+		t.Error("empty mix accepted")
+	}
+	bad := Config{BaseURL: "http://x", Mix: []Query{{Name: "q", Weight: 0}}}
+	if _, err := bad.withDefaults(); err == nil {
+		t.Error("zero-weight mix entry accepted")
+	}
+	c, err := (Config{BaseURL: "http://x", Mix: []Query{{Name: "q", Weight: 1,
+		Path: func(*rand.Rand) string { return "/" }}}}).withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Duration != 10*time.Second || c.Concurrency != 8 || c.Seed != 1 ||
+		c.WarmupFrac != 0.1 || c.Client == nil {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+	if c.Client.Transport.(*http.Transport).MaxIdleConnsPerHost != 256 {
+		t.Error("default client lacks connection pooling")
+	}
+}
+
+func names(mix []Query) []string {
+	out := make([]string, len(mix))
+	for i, q := range mix {
+		out[i] = q.Name
+	}
+	return out
+}

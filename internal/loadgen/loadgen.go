@@ -1,0 +1,429 @@
+// Package loadgen drives realistic query mixes against a running
+// commservd daemon (single-node or coordinator) and reports latency
+// percentiles, throughput, and answer-tier composition against an SLO.
+//
+// Two driving disciplines are supported. Closed-loop runs N workers
+// that each issue the next request as soon as the last answers —
+// throughput floats with server latency, which measures capacity.
+// Open-loop fires requests on a Poisson arrival process at a fixed
+// rate regardless of completions — latency under that rate includes
+// queueing, which measures behavior at a target load (and, unlike
+// closed-loop, does not coordinate away overload: slow answers pile up
+// instead of slowing the offered load).
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Query is one weighted entry in a load mix. Path builds the request
+// path+query (relative to the target base URL) for one issue; it may
+// randomize parameters per call and must be safe for concurrent use
+// with distinct rngs.
+type Query struct {
+	Name   string
+	Weight int
+	Path   func(r *rand.Rand) string
+}
+
+// Config parameterizes one load run.
+type Config struct {
+	// BaseURL targets the daemon ("http://127.0.0.1:8714").
+	BaseURL string
+	// Client overrides the HTTP client (nil: a pooled default).
+	Client *http.Client
+	// Mix is the weighted query mix (required, non-empty).
+	Mix []Query
+	// Duration bounds the run (default 10s). The run also ends when
+	// Requests is reached, if set.
+	Duration time.Duration
+	// Requests stops after this many issued requests (0: duration-only).
+	Requests int
+	// Concurrency is the closed-loop worker count (default 8). Ignored
+	// when Rate sets an open-loop run.
+	Concurrency int
+	// Rate switches to open-loop: Poisson arrivals at this many
+	// requests/second.
+	Rate float64
+	// Seed makes mix choices and arrival jitter reproducible (0: 1).
+	Seed int64
+	// WarmupFrac discards the first fraction of samples by time so
+	// cold-start compute does not pollute steady-state percentiles
+	// (default 0.1, clamp [0, 0.5]).
+	WarmupFrac float64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.BaseURL == "" {
+		return c, fmt.Errorf("loadgen: BaseURL required")
+	}
+	if len(c.Mix) == 0 {
+		return c, fmt.Errorf("loadgen: empty query mix")
+	}
+	for _, q := range c.Mix {
+		if q.Weight <= 0 || q.Path == nil {
+			return c, fmt.Errorf("loadgen: mix entry %q needs positive weight and a Path func", q.Name)
+		}
+	}
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.WarmupFrac < 0 {
+		c.WarmupFrac = 0
+	} else if c.WarmupFrac == 0 {
+		c.WarmupFrac = 0.1
+	} else if c.WarmupFrac > 0.5 {
+		c.WarmupFrac = 0.5
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 256,
+		}}
+	}
+	return c, nil
+}
+
+// sample is one completed request.
+type sample struct {
+	mix     int
+	offset  time.Duration // since run start, for warmup trimming
+	latency time.Duration
+	status  int
+	tier    string
+	err     bool
+}
+
+// Percentiles summarizes a latency distribution in milliseconds.
+type Percentiles struct {
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	MeanMs float64 `json:"mean_ms"`
+}
+
+// QueryStats is one mix entry's slice of the report.
+type QueryStats struct {
+	Name     string      `json:"name"`
+	Requests int         `json:"requests"`
+	Errors   int         `json:"errors"`
+	Latency  Percentiles `json:"latency"`
+}
+
+// Report is one run's machine-readable result.
+type Report struct {
+	Target       string         `json:"target"`
+	Mode         string         `json:"mode"` // "closed" or "open"
+	Concurrency  int            `json:"concurrency,omitempty"`
+	RateHz       float64        `json:"rate_hz,omitempty"`
+	DurationSec  float64        `json:"duration_sec"`
+	Requests     int            `json:"requests"`
+	Errors       int            `json:"errors"`
+	Shed         int            `json:"shed"` // HTTP 429 responses
+	ThroughputHz float64        `json:"throughput_hz"`
+	Latency      Percentiles    `json:"latency"`
+	Tiers        map[string]int `json:"tiers"`
+	PerQuery     []QueryStats   `json:"per_query"`
+	// Warmup is how many leading samples were trimmed before
+	// percentile computation (they still count toward Requests).
+	Warmup int `json:"warmup_trimmed"`
+}
+
+// Run drives the configured load until the duration elapses, the
+// request budget is spent, or ctx is cancelled — cancellation ends the
+// run cleanly with the samples collected so far.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	picker := newPicker(cfg.Mix)
+	start := time.Now()
+	var (
+		mu      sync.Mutex
+		samples []sample
+		issued  int
+	)
+	record := func(s sample) {
+		mu.Lock()
+		samples = append(samples, s)
+		mu.Unlock()
+	}
+	// budget returns false once the request budget is spent.
+	budget := func() bool {
+		if cfg.Requests <= 0 {
+			return true
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if issued >= cfg.Requests {
+			cancel()
+			return false
+		}
+		issued++
+		return true
+	}
+
+	var wg sync.WaitGroup
+	if cfg.Rate > 0 {
+		// Open loop: Poisson arrivals, one goroutine per in-flight
+		// request — completions do not gate arrivals.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			arr := rand.New(rand.NewSource(cfg.Seed))
+			seq := 0
+			for ctx.Err() == nil && budget() {
+				seq++
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(seq)*7919))
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					record(issue(ctx, cfg, picker, rng, start))
+				}()
+				wait := time.Duration(arr.ExpFloat64() / cfg.Rate * float64(time.Second))
+				t := time.NewTimer(wait)
+				select {
+				case <-ctx.Done():
+					t.Stop()
+					return
+				case <-t.C:
+				}
+			}
+		}()
+	} else {
+		for w := 0; w < cfg.Concurrency; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*104729))
+				for ctx.Err() == nil && budget() {
+					record(issue(ctx, cfg, picker, rng, start))
+				}
+			}(w)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := buildReport(cfg, samples, elapsed)
+	return rep, nil
+}
+
+// issue sends one request picked from the mix and classifies the
+// response by status and X-Comm-Tier.
+func issue(ctx context.Context, cfg Config, p *picker, rng *rand.Rand, start time.Time) sample {
+	mix := p.pick(rng)
+	path := cfg.Mix[mix].Path(rng)
+	s := sample{mix: mix, offset: time.Since(start)}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cfg.BaseURL+path, nil)
+	if err != nil {
+		s.err = true
+		return s
+	}
+	t0 := time.Now()
+	resp, err := cfg.Client.Do(req)
+	s.latency = time.Since(t0)
+	if err != nil {
+		// Context-cancelled issues at run end are not server errors.
+		s.err = ctx.Err() == nil
+		s.status = 0
+		return s
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	s.status = resp.StatusCode
+	s.tier = resp.Header.Get("X-Comm-Tier")
+	if s.tier == "" {
+		s.tier = "none"
+	}
+	s.err = resp.StatusCode >= 500
+	return s
+}
+
+// picker is a cumulative-weight mix chooser.
+type picker struct {
+	cum   []int
+	total int
+}
+
+func newPicker(mix []Query) *picker {
+	p := &picker{cum: make([]int, len(mix))}
+	for i, q := range mix {
+		p.total += q.Weight
+		p.cum[i] = p.total
+	}
+	return p
+}
+
+func (p *picker) pick(rng *rand.Rand) int {
+	n := rng.Intn(p.total)
+	for i, c := range p.cum {
+		if n < c {
+			return i
+		}
+	}
+	return len(p.cum) - 1
+}
+
+func buildReport(cfg Config, samples []sample, elapsed time.Duration) *Report {
+	rep := &Report{
+		Target:      cfg.BaseURL,
+		Mode:        "closed",
+		Concurrency: cfg.Concurrency,
+		DurationSec: elapsed.Seconds(),
+		Requests:    len(samples),
+		Tiers:       map[string]int{},
+	}
+	if cfg.Rate > 0 {
+		rep.Mode, rep.RateHz, rep.Concurrency = "open", cfg.Rate, 0
+	}
+	warmupCut := time.Duration(float64(elapsed) * cfg.WarmupFrac)
+	var kept []sample
+	for _, s := range samples {
+		if s.status == http.StatusTooManyRequests {
+			rep.Shed++
+		}
+		if s.err {
+			rep.Errors++
+		}
+		if s.tier != "" {
+			rep.Tiers[s.tier]++
+		}
+		if s.offset >= warmupCut && !s.err && s.status < 400 && s.status != 0 {
+			kept = append(kept, s)
+		}
+	}
+	rep.Warmup = len(samples) - len(kept)
+	rep.ThroughputHz = float64(len(samples)) / math.Max(elapsed.Seconds(), 1e-9)
+
+	all := make([]time.Duration, 0, len(kept))
+	perMix := make([][]time.Duration, len(cfg.Mix))
+	perErr := make([]int, len(cfg.Mix))
+	perReq := make([]int, len(cfg.Mix))
+	for _, s := range samples {
+		perReq[s.mix]++
+		if s.err {
+			perErr[s.mix]++
+		}
+	}
+	for _, s := range kept {
+		all = append(all, s.latency)
+		perMix[s.mix] = append(perMix[s.mix], s.latency)
+	}
+	rep.Latency = percentiles(all)
+	for i, q := range cfg.Mix {
+		rep.PerQuery = append(rep.PerQuery, QueryStats{
+			Name:     q.Name,
+			Requests: perReq[i],
+			Errors:   perErr[i],
+			Latency:  percentiles(perMix[i]),
+		})
+	}
+	return rep
+}
+
+func percentiles(ds []time.Duration) Percentiles {
+	if len(ds) == 0 {
+		return Percentiles{}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	at := func(q float64) float64 {
+		i := int(math.Ceil(q*float64(len(ds)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(ds) {
+			i = len(ds) - 1
+		}
+		return float64(ds[i]) / float64(time.Millisecond)
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return Percentiles{
+		P50Ms:  at(0.50),
+		P90Ms:  at(0.90),
+		P99Ms:  at(0.99),
+		P999Ms: at(0.999),
+		MaxMs:  float64(ds[len(ds)-1]) / float64(time.Millisecond),
+		MeanMs: float64(sum) / float64(len(ds)) / float64(time.Millisecond),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// SLO gating
+// ---------------------------------------------------------------------------
+
+// SLO is a set of thresholds a report must meet. Zero fields are
+// unchecked.
+type SLO struct {
+	P50Ms           float64 `json:"p50_ms,omitempty"`
+	P99Ms           float64 `json:"p99_ms,omitempty"`
+	P999Ms          float64 `json:"p999_ms,omitempty"`
+	MinThroughputHz float64 `json:"min_throughput_hz,omitempty"`
+	MaxErrorRate    float64 `json:"max_error_rate,omitempty"`
+}
+
+// Check returns one violation string per missed threshold (empty:
+// the report meets the SLO).
+func (s SLO) Check(r *Report) []string {
+	var v []string
+	chk := func(limit, got float64, what string) {
+		if limit > 0 && got > limit {
+			v = append(v, fmt.Sprintf("%s %.3f over SLO %.3f", what, got, limit))
+		}
+	}
+	chk(s.P50Ms, r.Latency.P50Ms, "p50_ms")
+	chk(s.P99Ms, r.Latency.P99Ms, "p99_ms")
+	chk(s.P999Ms, r.Latency.P999Ms, "p999_ms")
+	if s.MinThroughputHz > 0 && r.ThroughputHz < s.MinThroughputHz {
+		v = append(v, fmt.Sprintf("throughput_hz %.1f under SLO %.1f", r.ThroughputHz, s.MinThroughputHz))
+	}
+	if s.MaxErrorRate > 0 && r.Requests > 0 {
+		rate := float64(r.Errors) / float64(r.Requests)
+		if rate > s.MaxErrorRate {
+			v = append(v, fmt.Sprintf("error_rate %.4f over SLO %.4f", rate, s.MaxErrorRate))
+		}
+	}
+	return v
+}
+
+// Summary renders the report as a one-paragraph human summary.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s: %d requests in %.1fs (%.1f req/s), %d errors, %d shed\n",
+		r.Mode, r.Target, r.Requests, r.DurationSec, r.ThroughputHz, r.Errors, r.Shed)
+	fmt.Fprintf(&b, "latency ms: p50=%.2f p90=%.2f p99=%.2f p99.9=%.2f max=%.2f\n",
+		r.Latency.P50Ms, r.Latency.P90Ms, r.Latency.P99Ms, r.Latency.P999Ms, r.Latency.MaxMs)
+	tiers := make([]string, 0, len(r.Tiers))
+	for t := range r.Tiers {
+		tiers = append(tiers, t)
+	}
+	sort.Strings(tiers)
+	for _, t := range tiers {
+		fmt.Fprintf(&b, "  tier %-14s %d\n", t, r.Tiers[t])
+	}
+	return b.String()
+}

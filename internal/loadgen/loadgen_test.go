@@ -1,0 +1,213 @@
+package loadgen_test
+
+import (
+	"context"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/evstore"
+	"repro/internal/ingest"
+	"repro/internal/loadgen"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+var testDay = time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC)
+
+// TestLoadSmoke is the CI load smoke and the observability race test in
+// one: a fully instrumented in-process daemon (metrics + admission)
+// serves the default mix while a live-ingest churn feed seals new
+// partitions into its store, a watcher refreshes the cache, and a
+// scraper lints /metrics continuously. Under -race this covers the
+// instrument hot paths, the OnScrape samplers, the OnSeal hook, and the
+// cache-invalidation path all contending at once. Every request must
+// succeed and every scrape must lint.
+func TestLoadSmoke(t *testing.T) {
+	duration := 1500 * time.Millisecond
+	if testing.Short() {
+		duration = 600 * time.Millisecond
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	cfg := workload.DefaultDayConfig(testDay)
+	cfg.Collectors = 2
+	cfg.PeersPerCollector = 3
+	cfg.PrefixesV4 = 30
+	cfg.PrefixesV6 = 6
+	_, sources := workload.DaySources(cfg)
+	dir := t.TempDir()
+	w, err := evstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.BlockEvents = 512
+	if err := w.Ingest(stream.Concat(sources...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// One registry carries both planes' families, as a real colocated
+	// deployment would expose them.
+	reg := obs.NewRegistry()
+	s, _, err := serve.New(ctx, serve.Config{
+		Dir:     dir,
+		Workers: 2,
+		Metrics: serve.NewMetrics(reg),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Watch(ctx, 50*time.Millisecond, nil)
+
+	handler := serve.Admission(serve.AdmissionConfig{MaxInflight: 256}, s.Handler())
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	// Live-ingest churn into the served store: short seal age so the
+	// watcher sees generation bumps (and clears the cache) mid-run.
+	plane, err := ingest.NewPlane(ctx, ingest.Config{
+		Dir:     dir,
+		Seal:    evstore.SealPolicy{MaxAge: 200 * time.Millisecond},
+		Metrics: ingest.NewMetrics(reg),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plane.Attach(&loadgen.ChurnFeed{EventsPerSec: 400}, ingest.FeedOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Continuous scraping while serving: every exposition must lint.
+	scrapeDone := make(chan struct{})
+	var scrapes, lintFails atomic.Int64
+	go func() {
+		defer close(scrapeDone)
+		for ctx.Err() == nil {
+			resp, err := http.Get(ts.URL + "/metrics")
+			if err != nil {
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			scrapes.Add(1)
+			if err := obs.Lint(body); err != nil {
+				lintFails.Add(1)
+				t.Errorf("scrape %d lint: %v", scrapes.Load(), err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL:     ts.URL,
+		Mix:         loadgen.DefaultMix(loadgen.StoreProfile{Day: testDay}),
+		Duration:    duration,
+		Concurrency: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	<-scrapeDone
+
+	if rep.Requests == 0 {
+		t.Fatal("load run issued no requests")
+	}
+	if rep.Errors != 0 {
+		t.Errorf("%d/%d requests failed", rep.Errors, rep.Requests)
+	}
+	if rep.Shed != 0 {
+		t.Errorf("%d requests shed by admission (inflight bound too low for the smoke)", rep.Shed)
+	}
+	if scrapes.Load() == 0 {
+		t.Error("no successful scrapes during the run")
+	}
+	if rep.Tiers["cached"] == 0 {
+		t.Errorf("no cached answers in tiers %v — tier header or cache broken", rep.Tiers)
+	}
+
+	st, err := plane.Drain(10 * time.Second)
+	if err != nil {
+		t.Fatalf("churn drain: %v", err)
+	}
+	if st.Events == 0 {
+		t.Error("churn feed delivered no events")
+	}
+	sealed := 0
+	for _, c := range st.Collectors {
+		sealed += c.Writer.Sealed
+	}
+	if sealed == 0 {
+		t.Error("churn sealed no partitions")
+	}
+}
+
+// TestRunRequestBudget pins the -requests stop condition: the run ends
+// at the budget even with duration to spare.
+func TestRunRequestBudget(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Comm-Tier", "cached")
+		w.Write([]byte("{}"))
+	}))
+	defer ts.Close()
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL: ts.URL,
+		Mix: []loadgen.Query{{Name: "ping", Weight: 1,
+			Path: func(*rand.Rand) string { return "/v1/ping" }}},
+		Duration:    30 * time.Second,
+		Requests:    50,
+		Concurrency: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 50 {
+		t.Errorf("issued %d requests, want exactly 50", rep.Requests)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("%d errors", rep.Errors)
+	}
+	if rep.DurationSec > 10 {
+		t.Errorf("budget run took %.1fs — did not stop at the request budget", rep.DurationSec)
+	}
+}
+
+// TestRunOpenLoop pins the open-loop discipline: Poisson arrivals at a
+// fixed rate produce roughly rate×duration requests.
+func TestRunOpenLoop(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("{}"))
+	}))
+	defer ts.Close()
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL: ts.URL,
+		Mix: []loadgen.Query{{Name: "ping", Weight: 1,
+			Path: func(*rand.Rand) string { return "/v1/ping" }}},
+		Duration: time.Second,
+		Rate:     200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "open" {
+		t.Errorf("mode %q, want open", rep.Mode)
+	}
+	// Poisson with λ=200/s over 1s: expect ~200, allow wide slack for
+	// loaded CI machines.
+	if rep.Requests < 60 || rep.Requests > 400 {
+		t.Errorf("open loop issued %d requests for rate 200 over 1s", rep.Requests)
+	}
+	if rep.Tiers["none"] != rep.Requests {
+		t.Errorf("uninstrumented target should classify all as tier none: %v", rep.Tiers)
+	}
+}

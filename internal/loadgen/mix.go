@@ -1,0 +1,119 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// StoreProfile describes the store under test — the knowledge the mix
+// builder needs to generate queries that actually hit data.
+type StoreProfile struct {
+	// Day is the store's primary ingested day (windows are cut from it).
+	Day time.Time
+	// Collectors are collector names present in the store.
+	Collectors []string
+	// PeerAS lists peer AS numbers to use for cold per-event-filter
+	// queries (empty disables the peeras mix entry).
+	PeerAS []uint32
+	// Figure3Collector/Figure3Prefix parameterize the session-mix route
+	// (empty disables the figure3 mix entry).
+	Figure3Collector string
+	Figure3Prefix    string
+	// FromYear/ToYear bound the figure2 series (0s disable it).
+	FromYear, ToYear int
+}
+
+// DefaultMix builds the standard serving mix over a profiled store:
+//
+//   - warm (w40): the same full-day table2 — cached after the first
+//     answer, the cache-hit-ratio driver
+//   - windowed (w25): table2 over randomized sub-day windows —
+//     snapshot merges plus residual edge scans, mostly cache misses
+//   - peeras (w10): table2 with a random peer-AS filter — forced cold
+//     scans (per-event filters bypass snapshots)
+//   - peers (w10): the §7 inference over the full day
+//   - table1 (w5), figure2 (w5), figure3 (w5): the remaining routes
+//
+// Weights follow a read-heavy dashboard workload: most traffic re-asks
+// hot questions, a steady minority cuts new windows, and a trickle
+// forces worst-case scans.
+func DefaultMix(p StoreProfile) []Query {
+	day := p.Day.UTC().Truncate(24 * time.Hour)
+	iso := func(t time.Time) string { return url.QueryEscape(t.Format(time.RFC3339)) }
+	fullWindow := fmt.Sprintf("from=%s&to=%s", iso(day), iso(day.Add(24*time.Hour)))
+	mix := []Query{
+		{Name: "warm-table2", Weight: 40, Path: func(*rand.Rand) string {
+			return "/v1/table2?" + fullWindow
+		}},
+		{Name: "windowed-table2", Weight: 25, Path: func(r *rand.Rand) string {
+			// Start in hour 0–5, span 2–18h: dozens of distinct windows,
+			// so repeats are occasional (some cache hits) but most issues
+			// merge snapshots and scan window-edge partitions.
+			from := day.Add(time.Duration(r.Intn(6)) * time.Hour)
+			to := from.Add(time.Duration(2+r.Intn(17)) * time.Hour)
+			return fmt.Sprintf("/v1/table2?from=%s&to=%s", iso(from), iso(to))
+		}},
+		{Name: "peers", Weight: 10, Path: func(*rand.Rand) string {
+			return "/v1/infer/peers?" + fullWindow
+		}},
+		{Name: "table1", Weight: 5, Path: func(*rand.Rand) string {
+			return "/v1/table1?" + fullWindow
+		}},
+	}
+	if len(p.PeerAS) > 0 {
+		mix = append(mix, Query{Name: "peeras-cold", Weight: 10, Path: func(r *rand.Rand) string {
+			as := p.PeerAS[r.Intn(len(p.PeerAS))]
+			return fmt.Sprintf("/v1/table2?%s&peeras=%d", fullWindow, as)
+		}})
+	}
+	if p.FromYear != 0 && p.ToYear >= p.FromYear {
+		mix = append(mix, Query{Name: "figure2", Weight: 5, Path: func(*rand.Rand) string {
+			return fmt.Sprintf("/v1/figure/2?fromyear=%d&toyear=%d", p.FromYear, p.ToYear)
+		}})
+	}
+	if p.Figure3Collector != "" && p.Figure3Prefix != "" {
+		mix = append(mix, Query{Name: "figure3", Weight: 5, Path: func(*rand.Rand) string {
+			return fmt.Sprintf("/v1/figure/3?collector=%s&prefix=%s&%s",
+				url.QueryEscape(p.Figure3Collector), url.QueryEscape(p.Figure3Prefix), fullWindow)
+		}})
+	}
+	if len(p.Collectors) > 1 {
+		mix = append(mix, Query{Name: "collector-table2", Weight: 5, Path: func(r *rand.Rand) string {
+			c := p.Collectors[r.Intn(len(p.Collectors))]
+			return fmt.Sprintf("/v1/table2?%s&collectors=%s", fullWindow, url.QueryEscape(c))
+		}})
+	}
+	return mix
+}
+
+// ParseMixFilter restricts a mix to the named entries ("warm-table2,
+// peers"); empty keeps everything.
+func ParseMixFilter(mix []Query, names string) ([]Query, error) {
+	if names == "" {
+		return mix, nil
+	}
+	want := map[string]bool{}
+	for _, n := range strings.Split(names, ",") {
+		want[strings.TrimSpace(n)] = true
+	}
+	var out []Query
+	for _, q := range mix {
+		if want[q.Name] {
+			out = append(out, q)
+			delete(want, q.Name)
+		}
+	}
+	if len(want) > 0 {
+		have := make([]string, 0, len(mix))
+		for _, q := range mix {
+			have = append(have, q.Name)
+		}
+		for n := range want {
+			return nil, fmt.Errorf("loadgen: unknown mix entry %q (have %s)", n, strings.Join(have, ", "))
+		}
+	}
+	return out, nil
+}

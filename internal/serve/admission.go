@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"log/slog"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// AdmissionConfig parameterizes the Admission middleware. Zero limits
+// disable that check, so the zero config admits everything.
+type AdmissionConfig struct {
+	// MaxInflight bounds concurrently-admitted requests across all
+	// clients (0: unbounded). Excess requests are shed with 429 rather
+	// than queued — the server's answer path already has the
+	// singleflight group to collapse identical work, so queueing here
+	// would only add latency to distinct work the node cannot absorb.
+	MaxInflight int
+	// Rate is the per-client steady-state admission rate in requests
+	// per second (0: unlimited); Burst is the bucket depth (0: max(1,
+	// ceil(Rate))). Clients are keyed by remote IP.
+	Rate  float64
+	Burst int
+	// Metrics (optional) counts sheds and tracks the in-flight gauge.
+	Metrics *Metrics
+	// Logger (optional) records sheds at Debug — one record per shed,
+	// so keep it at Debug in production.
+	Logger *slog.Logger
+	// now is injectable for tests (nil: time.Now).
+	now func() time.Time
+}
+
+// admission is a per-client token-bucket + global in-flight limiter.
+type admission struct {
+	cfg   AdmissionConfig
+	next  http.Handler
+	burst float64
+
+	mu       sync.Mutex
+	buckets  map[string]*bucket
+	inflight int
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxBuckets bounds the per-client table: an address-spraying client
+// cannot grow it without bound. At the cap, stale buckets (full — no
+// recent traffic) are swept; if none are stale the table holds and new
+// clients share a conservative fallback (they are admitted only while
+// the global in-flight limit holds).
+const maxBuckets = 4096
+
+// Admission wraps next with admission control: requests over the
+// per-client rate or the global in-flight bound are shed with
+// 429 Too Many Requests and a Retry-After header. Operational
+// endpoints — health, readiness, metrics, stats — and the
+// coordinator↔shard state protocol are exempt: probes must see an
+// overloaded node, and inter-tier traffic is governed at the
+// coordinator's own edge, not per-shard (shedding a shard's /v1/state
+// would turn overload into partial answers).
+func Admission(cfg AdmissionConfig, next http.Handler) http.Handler {
+	if cfg.MaxInflight <= 0 && cfg.Rate <= 0 {
+		return next
+	}
+	a := &admission{cfg: cfg, next: next, buckets: make(map[string]*bucket)}
+	a.burst = float64(cfg.Burst)
+	if a.burst <= 0 {
+		a.burst = math.Max(1, math.Ceil(cfg.Rate))
+	}
+	if a.cfg.now == nil {
+		a.cfg.now = time.Now
+	}
+	return a
+}
+
+// exemptFromAdmission lists the paths admission control never sheds.
+func exemptFromAdmission(path string) bool {
+	switch path {
+	case "/healthz", "/readyz", "/metrics", "/v1/stats", "/v1/state":
+		return true
+	}
+	return false
+}
+
+func (a *admission) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if exemptFromAdmission(r.URL.Path) {
+		a.next.ServeHTTP(w, r)
+		return
+	}
+	client := clientKey(r)
+	reason, retryAfter := a.admit(client)
+	if reason != "" {
+		if m := a.cfg.Metrics; m != nil {
+			m.rejected.With(reason).Inc()
+		}
+		if lg := a.cfg.Logger; lg != nil {
+			lg.Debug("request shed", "client", client, "path", r.URL.Path,
+				"reason", reason, "retry_after_sec", retryAfter)
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+		httpError(w, http.StatusTooManyRequests,
+			admissionError{reason: reason})
+		return
+	}
+	defer a.release()
+	a.next.ServeHTTP(w, r)
+}
+
+type admissionError struct{ reason string }
+
+func (e admissionError) Error() string {
+	if e.reason == "inflight" {
+		return "serve: too many in-flight requests; retry later"
+	}
+	return "serve: per-client rate limit exceeded; retry later"
+}
+
+// admit charges one request. It returns a non-empty shed reason and a
+// Retry-After hint in whole seconds (≥1) when the request must be
+// shed, or ("", 0) with the in-flight slot held.
+func (a *admission) admit(client string) (reason string, retryAfter int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.cfg.MaxInflight > 0 && a.inflight >= a.cfg.MaxInflight {
+		return "inflight", 1
+	}
+	if a.cfg.Rate > 0 {
+		now := a.cfg.now()
+		b := a.buckets[client]
+		if b == nil {
+			if len(a.buckets) >= maxBuckets {
+				a.sweepLocked()
+			}
+			if len(a.buckets) < maxBuckets {
+				b = &bucket{tokens: a.burst, last: now}
+				a.buckets[client] = b
+			}
+		}
+		if b != nil {
+			b.tokens = math.Min(a.burst, b.tokens+now.Sub(b.last).Seconds()*a.cfg.Rate)
+			b.last = now
+			if b.tokens < 1 {
+				wait := (1 - b.tokens) / a.cfg.Rate
+				return "rate", int(math.Max(1, math.Ceil(wait)))
+			}
+			b.tokens--
+		}
+	}
+	a.inflight++
+	if m := a.cfg.Metrics; m != nil {
+		m.inflight.Set(float64(a.inflight))
+		m.clients.Set(float64(len(a.buckets)))
+	}
+	return "", 0
+}
+
+func (a *admission) release() {
+	a.mu.Lock()
+	a.inflight--
+	n := a.inflight
+	a.mu.Unlock()
+	if m := a.cfg.Metrics; m != nil {
+		m.inflight.Set(float64(n))
+	}
+}
+
+// sweepLocked drops buckets idle long enough to have refilled — they
+// carry no rate-limiting state a fresh bucket wouldn't.
+func (a *admission) sweepLocked() {
+	now := a.cfg.now()
+	idle := time.Duration(float64(time.Second) * (a.burst/a.cfg.Rate + 1))
+	for k, b := range a.buckets {
+		if now.Sub(b.last) > idle {
+			delete(a.buckets, k)
+		}
+	}
+}
+
+// clientKey identifies a client for rate limiting: the remote IP
+// without the ephemeral port, so reconnecting doesn't reset the bucket.
+func clientKey(r *http.Request) string {
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}

@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+}
+
+func get(t *testing.T, h http.Handler, path, remote string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	req.RemoteAddr = remote
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestAdmissionZeroConfigIsPassthrough(t *testing.T) {
+	if _, limited := Admission(AdmissionConfig{}, okHandler()).(*admission); limited {
+		t.Error("zero config should return next unchanged, not a limiter")
+	}
+}
+
+func TestAdmissionPerClientRate(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	h := Admission(AdmissionConfig{
+		Rate: 1, Burst: 2,
+		now: func() time.Time { return clock },
+	}, okHandler())
+
+	// Burst of 2: two immediate requests pass, the third is shed.
+	for i := 0; i < 2; i++ {
+		if rec := get(t, h, "/v1/table2", "10.0.0.1:1234"); rec.Code != 200 {
+			t.Fatalf("burst request %d: status %d", i, rec.Code)
+		}
+	}
+	rec := get(t, h, "/v1/table2", "10.0.0.1:9999") // same IP, new port
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-rate request: status %d, want 429", rec.Code)
+	}
+	if ra, err := strconv.Atoi(rec.Header().Get("Retry-After")); err != nil || ra < 1 {
+		t.Errorf("Retry-After %q, want integer >= 1", rec.Header().Get("Retry-After"))
+	}
+	var body map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body["error"] == "" {
+		t.Errorf("shed body %q, want JSON error", rec.Body.String())
+	}
+
+	// A different client has its own bucket.
+	if rec := get(t, h, "/v1/table2", "10.0.0.2:1234"); rec.Code != 200 {
+		t.Errorf("second client shed by first client's bucket: %d", rec.Code)
+	}
+
+	// One second later the bucket has refilled one token.
+	clock = clock.Add(time.Second)
+	if rec := get(t, h, "/v1/table2", "10.0.0.1:1234"); rec.Code != 200 {
+		t.Errorf("post-refill request: status %d", rec.Code)
+	}
+	if rec := get(t, h, "/v1/table2", "10.0.0.1:1234"); rec.Code != http.StatusTooManyRequests {
+		t.Errorf("refill granted more than rate*dt tokens: status %d", rec.Code)
+	}
+}
+
+func TestAdmissionInflightBound(t *testing.T) {
+	hold := make(chan struct{})
+	entered := make(chan struct{})
+	var first atomic.Bool
+	first.Store(true)
+	h := Admission(AdmissionConfig{MaxInflight: 1}, http.HandlerFunc(
+		func(w http.ResponseWriter, r *http.Request) {
+			if first.CompareAndSwap(true, false) {
+				entered <- struct{}{}
+				<-hold
+			}
+		}))
+
+	done := make(chan int, 1)
+	go func() {
+		rec := get(t, h, "/v1/table2", "10.0.0.1:1")
+		done <- rec.Code
+	}()
+	<-entered // the slot is held
+
+	rec := get(t, h, "/v1/table2", "10.0.0.2:2")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Errorf("second in-flight request: status %d, want 429", rec.Code)
+	}
+
+	close(hold)
+	if code := <-done; code != 200 {
+		t.Errorf("held request finished with %d", code)
+	}
+	// Slot released: admitted again.
+	if rec := get(t, h, "/v1/table2", "10.0.0.3:3"); rec.Code != 200 {
+		t.Errorf("post-release request: status %d", rec.Code)
+	}
+}
+
+func TestAdmissionExemptPaths(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	// Rate so low every governed request after the first is shed.
+	h := Admission(AdmissionConfig{
+		Rate: 0.001, Burst: 1,
+		now: func() time.Time { return clock },
+	}, okHandler())
+	if rec := get(t, h, "/v1/table2", "10.0.0.1:1"); rec.Code != 200 {
+		t.Fatalf("first request: %d", rec.Code)
+	}
+	if rec := get(t, h, "/v1/table2", "10.0.0.1:1"); rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("second governed request not shed: %d", rec.Code)
+	}
+	for _, path := range []string{"/healthz", "/readyz", "/metrics", "/v1/stats", "/v1/state"} {
+		if rec := get(t, h, path, "10.0.0.1:1"); rec.Code != 200 {
+			t.Errorf("exempt path %s shed: status %d", path, rec.Code)
+		}
+	}
+}
+
+func TestGateWarmupThenReady(t *testing.T) {
+	g := NewGate()
+	if rec := get(t, g, "/healthz", "10.0.0.1:1"); rec.Code != 200 {
+		t.Errorf("warming /healthz: %d, want 200 (process is alive)", rec.Code)
+	}
+	if rec := get(t, g, "/readyz", "10.0.0.1:1"); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("warming /readyz: %d, want 503", rec.Code)
+	}
+	rec := get(t, g, "/v1/table2", "10.0.0.1:1")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("warming query: %d, want 503", rec.Code)
+	}
+	var body map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body["error"] == "" {
+		t.Errorf("warming body %q, want JSON error", rec.Body.String())
+	}
+
+	g.Ready(okHandler())
+	for _, path := range []string{"/healthz", "/readyz", "/v1/table2"} {
+		if rec := get(t, g, path, "10.0.0.1:1"); rec.Code != 200 {
+			t.Errorf("ready %s: %d, want routed to the real handler", path, rec.Code)
+		}
+	}
+}

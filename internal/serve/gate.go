@@ -1,0 +1,41 @@
+package serve
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// Gate is a bind-first startup handler: a daemon binds its listener and
+// serves the Gate immediately, then swaps the real handler in once the
+// (possibly long) store open + first snapshot pass finishes. Until
+// then /healthz answers 200 with phase "starting" (the process is
+// alive), /readyz answers 503 (do not route traffic here), and every
+// other path answers 503 — so orchestrators and load balancers get
+// meaningful probe answers during warmup instead of connection
+// refusals, and readiness is observable from the first instant of the
+// process's life.
+type Gate struct {
+	h atomic.Pointer[http.Handler]
+}
+
+// NewGate returns a gate in the warming state.
+func NewGate() *Gate { return &Gate{} }
+
+// Ready swaps in the real handler; every subsequent request routes to
+// it. Safe to call once from the startup goroutine.
+func (g *Gate) Ready(h http.Handler) { g.h.Store(&h) }
+
+func (g *Gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h := g.h.Load(); h != nil {
+		(*h).ServeHTTP(w, r)
+		return
+	}
+	switch r.URL.Path {
+	case "/healthz":
+		writeJSON(w, http.StatusOK, map[string]any{"ok": false, "phase": "starting"})
+	case "/readyz":
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": "starting"})
+	default:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "warming up: store opening / first snapshot pass"})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/netip"
 	"strconv"
@@ -25,6 +26,8 @@ import (
 //	GET  /v1/infer/ingress ?from&to&collectors
 //	GET  /v1/stats
 //	GET  /healthz
+//	GET  /readyz           (readiness: 503 until the store view is serveable)
+//	GET  /metrics          (Prometheus text, when Config.Metrics is set)
 //	POST /v1/state         (binary QuerySpec → binary StateEnvelope)
 //
 // Times are RFC 3339; collectors/peeras are comma-separated. Every
@@ -81,8 +84,8 @@ func (s *Server) StateHandler() http.Handler {
 }
 
 // handleOps registers the endpoints common to both modes: the binary
-// state protocol (so any daemon can serve as a shard), stats, and
-// health.
+// state protocol (so any daemon can serve as a shard), stats, health,
+// readiness, and — when the server is instrumented — /metrics.
 func (s *Server) handleOps(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v1/state", s.handleState)
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
@@ -102,6 +105,21 @@ func (s *Server) handleOps(mux *http.ServeMux) {
 			OKCompat bool `json:"ok"`
 		}{h, h.OK})
 	})
+	// Readiness is distinct from liveness: /healthz answers "is the
+	// process and its engine alive", /readyz answers "should a load
+	// balancer route query traffic here" — 503 until the store view is
+	// refreshed (and, under a coordinator, ≥1 shard is healthy).
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		ready, reason := s.Ready(r.Context())
+		if !ready {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": reason})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+	})
+	if s.metrics != nil {
+		mux.Handle("GET /metrics", s.metrics.reg.Handler())
+	}
 }
 
 // handleState serves the coordinator↔shard protocol: a binary
@@ -137,10 +155,24 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) serveAnswer(w http.ResponseWriter, r *http.Request, spec QuerySpec) {
+	start := time.Now()
 	ans, err := s.Answer(r.Context(), spec)
 	if err != nil {
+		if s.logger != nil {
+			s.logger.Warn("query failed", "endpoint", spec.Kind,
+				"elapsed", time.Since(start), "err", err)
+		}
 		httpError(w, errStatus(r, err), err)
 		return
+	}
+	tier := tierOf(ans)
+	// The tier header lets load generators and caches classify answers
+	// without parsing the body.
+	w.Header().Set("X-Comm-Tier", tier)
+	if s.logger != nil && s.logger.Enabled(r.Context(), slog.LevelDebug) {
+		s.logger.Debug("query", "endpoint", spec.Kind, "tier", tier,
+			"elapsed", time.Since(start), "partial", ans.Partial,
+			"spec", spec.CacheKey())
 	}
 	writeJSON(w, http.StatusOK, ans)
 }

@@ -28,6 +28,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net/netip"
 	"sort"
 	"strconv"
@@ -163,6 +164,13 @@ type Config struct {
 	// Backend overrides the engine. nil builds a LocalBackend over Dir;
 	// pass a Coordinator to serve scatter-gather.
 	Backend Backend
+	// Metrics, when non-nil, instruments the server (latency by
+	// endpoint×tier, scan work, shard health) and enables GET /metrics.
+	// One Metrics instruments one Server.
+	Metrics *Metrics
+	// Logger receives structured request/refresh records (nil: no
+	// request logging). Per-query records log at Debug.
+	Logger *slog.Logger
 }
 
 // DefaultRegistry returns the analyzer set a daemon snapshots by
@@ -188,10 +196,12 @@ func sessionMixKey(collector string, prefix netip.Prefix) string {
 // Server shapes Backend state into served answers. Safe for concurrent
 // use; Refresh may run concurrently with queries.
 type Server struct {
-	cfg    Config
-	engine Backend
-	cache  *resultCache
-	flight *flightGroup
+	cfg     Config
+	engine  Backend
+	cache   *resultCache
+	flight  *flightGroup
+	metrics *Metrics
+	logger  *slog.Logger
 
 	// lastGen is the last engine generation observed in an envelope; a
 	// drift detected mid-answer (a shard refreshed underneath a
@@ -228,9 +238,14 @@ func New(ctx context.Context, cfg Config) (*Server, RefreshStats, error) {
 		engine:  engine,
 		cache:   newResultCache(cfg.CacheEntries),
 		flight:  newFlightGroup(),
+		metrics: cfg.Metrics,
+		logger:  cfg.Logger,
 		started: time.Now(),
 	}
 	s.lastGen.Store(rs.Generation)
+	if s.metrics != nil {
+		s.metrics.bind(s)
+	}
 	return s, rs, nil
 }
 
@@ -275,6 +290,19 @@ func (s *Server) Watch(ctx context.Context, interval time.Duration, onRefresh fu
 
 // Answer serves one query through the cache and singleflight group.
 func (s *Server) Answer(ctx context.Context, spec QuerySpec) (*Answer, error) {
+	start := time.Now()
+	ans, err := s.answer(ctx, spec)
+	if s.metrics != nil {
+		if err != nil {
+			s.metrics.errors.With(spec.Kind).Inc()
+		} else {
+			s.metrics.observeAnswer(spec, ans, time.Since(start))
+		}
+	}
+	return ans, err
+}
+
+func (s *Server) answer(ctx context.Context, spec QuerySpec) (*Answer, error) {
 	s.queries.Add(1)
 	key := spec.CacheKey()
 	if v, ok := s.cache.get(key); ok {
@@ -292,6 +320,11 @@ func (s *Server) Answer(ctx context.Context, spec QuerySpec) (*Answer, error) {
 			return nil, err
 		}
 		s.observeGeneration(ans)
+		if s.metrics != nil {
+			// Leader-only: followers and cache hits share this compute's
+			// scan work, so the counters track work actually done.
+			s.metrics.observeCompute(ans)
+		}
 		if !ans.Partial {
 			s.cache.put(key, ans, gen)
 		}
@@ -305,6 +338,36 @@ func (s *Server) Answer(ctx context.Context, spec QuerySpec) (*Answer, error) {
 		return nil, err
 	}
 	return v.(*Answer), nil
+}
+
+// Ready reports whether the daemon should accept query traffic, and if
+// not, why. Distinct from liveness (/healthz): a starting daemon is
+// alive but not ready until its engine has a refreshed store view —
+// single-node, the store opened and the first snapshot pass completed
+// (both done before New returns); under a coordinator, at least one
+// shard answering health probes. A fully-partitioned coordinator stays
+// ready in degraded (partial-answer) form as long as one shard stands.
+func (s *Server) Ready(ctx context.Context) (bool, string) {
+	h, err := s.engine.Health(ctx)
+	if err != nil {
+		return false, err.Error()
+	}
+	if len(h.Shards) > 0 {
+		up := 0
+		for _, sh := range h.Shards {
+			if sh.OK {
+				up++
+			}
+		}
+		if up == 0 {
+			return false, "no healthy shards"
+		}
+		return true, ""
+	}
+	if !h.OK {
+		return false, "engine unhealthy"
+	}
+	return true, ""
 }
 
 // observeGeneration notes the engine generation an answer was computed
@@ -476,6 +539,8 @@ type ServerStats struct {
 	Store       string     `json:"store,omitempty"`
 	Backend     string     `json:"backend"`
 	Generation  uint64     `json:"generation"`
+	Ready       bool       `json:"ready"`
+	ReadyReason string     `json:"ready_reason,omitempty"`
 	UptimeSec   float64    `json:"uptime_sec"`
 	Partitions  int        `json:"partitions"`
 	Snapshotted int        `json:"snapshotted"`
@@ -499,6 +564,7 @@ func (s *Server) Stats(ctx context.Context) ServerStats {
 		Refreshes: s.refreshes.Load(),
 		Cache:     s.cache.stats(),
 	}
+	st.Ready, st.ReadyReason = s.Ready(ctx)
 	if h, err := s.engine.Health(ctx); err == nil {
 		st.Generation = h.Generation
 		st.Partitions = h.Partitions
